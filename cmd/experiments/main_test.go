@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes each experiment at a small scale
+// so the harness cannot rot: every table/figure generator must
+// complete without error. Output goes to /dev/null; the numeric
+// assertions live in the per-package tests.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	// Silence the reports.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			n := 4000
+			if e.id == "bst" || e.id == "outlier" {
+				n = 6000 // needs enough rows for a meaningful tessellation
+			}
+			if err := e.run(n, 42); err != nil {
+				t.Fatalf("%s: %v", e.id, err)
+			}
+		})
+	}
+}
+
+// TestExperimentIDsUnique guards the registry.
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.desc == "" || e.run == nil {
+			t.Errorf("experiment %q incomplete", e.id)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command sdssgen materializes a synthetic SDSS-like catalog on disk
+// as a paged magnitude table, ready for cmd/spatialq and
+// cmd/vizserver:
+//
+//	sdssgen -out /tmp/sdss -n 1000000 -seed 42 -spectro 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/pagestore"
+	"repro/internal/sky"
+	"repro/internal/table"
+)
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("out", "", "output directory (required)")
+	n := flag.Int("n", 1_000_000, "number of objects")
+	seed := flag.Int64("seed", 42, "generator seed")
+	spectro := flag.Float64("spectro", 0.01, "spectroscopic (reference) fraction")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("sdssgen: -out is required")
+	}
+
+	store, err := pagestore.Open(*out, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	tb, err := table.Create(store, "magnitude.tbl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := sky.DefaultParams(*n, *seed)
+	p.SpectroFrac = *spectro
+	if err := sky.GenerateTable(tb, p); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	counts := map[table.Class]uint64{}
+	var spec uint64
+	if err := tb.Scan(func(_ table.RowID, r *table.Record) bool {
+		counts[r.Class]++
+		if r.HasZ {
+			spec++
+		}
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s/magnitude.tbl: %d rows, %d pages (%d MiB)\n",
+		*out, tb.NumRows(), tb.NumPages(), tb.NumPages()*pagestore.PageSize/(1<<20))
+	for c := table.Star; c < table.NumClasses; c++ {
+		fmt.Printf("  %-8s %9d (%.1f%%)\n", c, counts[c], 100*float64(counts[c])/float64(tb.NumRows()))
+	}
+	fmt.Printf("  %-8s %9d (%.2f%%)\n", "spectro", spec, 100*float64(spec)/float64(tb.NumRows()))
+}

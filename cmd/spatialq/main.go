@@ -1,0 +1,154 @@
+// Command spatialq runs Figure 2-style color queries against a
+// catalog written by sdssgen, building the requested spatial index
+// and reporting the paper's cost metrics:
+//
+//	spatialq -dir /tmp/sdss -q "g - r > 0.4 AND g - r < 1.0 AND r < 19" -plan compare
+//	spatialq -dir /tmp/sdss -knn "19.5,18.9,18.2,17.9,17.7" -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/colorsql"
+	"repro/internal/engine"
+	"repro/internal/kdtree"
+	"repro/internal/knn"
+	"repro/internal/pagestore"
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir := flag.String("dir", "", "catalog directory from sdssgen (required)")
+	query := flag.String("q", "", "WHERE clause over u,g,r,i,z (dered_* aliases accepted)")
+	knnPt := flag.String("knn", "", "comma-separated 5-D point for nearest neighbour search")
+	k := flag.Int("k", 10, "neighbours for -knn")
+	plan := flag.String("plan", "kdtree", "kdtree | fullscan | compare")
+	limit := flag.Int("limit", 10, "result rows to print")
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("spatialq: -dir is required")
+	}
+	if (*query == "") == (*knnPt == "") {
+		log.Fatal("spatialq: exactly one of -q or -knn is required")
+	}
+
+	store, err := pagestore.Open(*dir, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	tb, err := table.OpenExisting(store, "magnitude.tbl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d rows, %d pages\n", tb.NumRows(), tb.NumPages())
+
+	needTree := *knnPt != "" || *plan == "kdtree" || *plan == "compare"
+	var tree *kdtree.Tree
+	var clustered *table.Table
+	if needTree {
+		tree, clustered, err = kdtree.Build(tb, "magnitude.kd.tbl", kdtree.BuildParams{Domain: sky.Domain()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := tree.Stats()
+		fmt.Printf("kd-tree: %d levels, %d leaves, ~%.0f rows/leaf\n", st.Levels, st.Leaves, st.MeanLeafRows)
+	}
+
+	if *knnPt != "" {
+		p, err := parsePoint(*knnPt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		searcher := knn.NewSearcher(tree, clustered)
+		nbs, stats, err := searcher.Search(p, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d nearest neighbours (%d of %d leaves examined, %d rows):\n",
+			len(nbs), stats.LeavesExamined, tree.NumLeaves(), stats.RowsExamined)
+		for i, nb := range nbs {
+			fmt.Printf("  %2d. obj %-9d dist=%.4f class=%-7s z=%.3f\n",
+				i+1, nb.Rec.ObjID, sqrt(nb.Dist2), nb.Rec.Class, nb.Rec.Redshift)
+		}
+		return
+	}
+
+	u, err := colorsql.Parse(*query, colorsql.DefaultVars(), table.Dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !u.IsConvex() {
+		fmt.Printf("query compiles to a union of %d polyhedra; running each clause\n", len(u.Polys))
+	}
+	for ci, poly := range u.Polys {
+		if len(u.Polys) > 1 {
+			fmt.Printf("-- clause %d\n", ci+1)
+		}
+		if *plan == "fullscan" || *plan == "compare" {
+			store.DropCache()
+			ids, stats, err := engine.FullScanPolyhedron(tb, poly)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("fullscan: %s\n", stats)
+			printRows(tb, ids, *limit)
+		}
+		if *plan == "kdtree" || *plan == "compare" {
+			store.DropCache()
+			ids, stats, err := tree.QueryPolyhedron(clustered, poly)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("kdtree:   returned=%d examined=%d diskReads=%d insideLeaves=%d partialLeaves=%d dur=%v\n",
+				stats.RowsReturned, stats.RowsExamined, stats.Pages.DiskReads,
+				stats.LeavesInside, stats.LeavesPartial, stats.Duration)
+			printRows(clustered, ids, *limit)
+		}
+	}
+}
+
+func printRows(tb *table.Table, ids []table.RowID, limit int) {
+	if limit <= 0 {
+		return
+	}
+	if len(ids) < limit {
+		limit = len(ids)
+	}
+	tb.GetMany(ids[:limit], func(_ table.RowID, r *table.Record) bool {
+		fmt.Printf("    obj %-9d u=%.2f g=%.2f r=%.2f i=%.2f z=%.2f class=%s\n",
+			r.ObjID, r.Mags[0], r.Mags[1], r.Mags[2], r.Mags[3], r.Mags[4], r.Class)
+		return true
+	})
+}
+
+func parsePoint(s string) (vec.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != table.Dim {
+		return nil, fmt.Errorf("spatialq: point needs %d coordinates, got %d", table.Dim, len(parts))
+	}
+	p := make(vec.Point, table.Dim)
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("spatialq: bad coordinate %q: %w", part, err)
+		}
+		p[i] = v
+	}
+	return p, nil
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

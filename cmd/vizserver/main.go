@@ -1,0 +1,190 @@
+// Command vizserver is the database half of the paper's adaptive
+// visualization system exposed over HTTP: clients send an
+// axis-aligned view box and a point budget, the server answers from
+// the layered uniform grid (§3.1) with n distribution-following
+// points — the request shape of Figure 11's Producer plugins.
+//
+//	vizserver -n 200000 -addr :8080
+//	curl 'localhost:8080/points?min=14,14,14&max=24,24,24&n=1000'
+//	curl 'localhost:8080/render?min=10,10,10&max=30,30,30&n=5000'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sky"
+	"repro/internal/vec"
+	"repro/internal/viz"
+)
+
+type server struct {
+	db *core.SpatialDB
+
+	mu       sync.Mutex
+	requests int
+	returned int64
+}
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8080", "listen address")
+	n := flag.Int("n", 200_000, "synthetic catalog size")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "vizserver-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := core.Open(core.Config{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.IngestSynthetic(sky.DefaultParams(*n, *seed)); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.BuildGridIndex(1024, *seed); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("catalog: %d rows; grid layers: %d", db.NumRows(), db.Grid().NumLayers())
+
+	s := &server{db: db}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/points", s.handlePoints)
+	mux.HandleFunc("/render", s.handleRender)
+	mux.HandleFunc("/stats", s.handleStats)
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// pointJSON is one object in the wire format.
+type pointJSON struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Z        float64 `json:"z"`
+	Class    string  `json:"class"`
+	Redshift float32 `json:"redshift"`
+}
+
+// parseView extracts the 3-D query box and point budget.
+func parseView(r *http.Request) (vec.Box, int, error) {
+	parse3 := func(name string) (vec.Point, error) {
+		parts := strings.Split(r.URL.Query().Get(name), ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s must be three comma-separated numbers", name)
+		}
+		p := make(vec.Point, 3)
+		for i, part := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s[%d]: %w", name, i, err)
+			}
+			p[i] = v
+		}
+		return p, nil
+	}
+	min, err := parse3("min")
+	if err != nil {
+		return vec.Box{}, 0, err
+	}
+	max, err := parse3("max")
+	if err != nil {
+		return vec.Box{}, 0, err
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return vec.Box{}, 0, fmt.Errorf("inverted box on axis %d", i)
+		}
+	}
+	n := 1000
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return vec.Box{}, 0, fmt.Errorf("bad n %q", s)
+		}
+		n = v
+	}
+	if n > 1_000_000 {
+		n = 1_000_000
+	}
+	return vec.NewBox(min, max), n, nil
+}
+
+func (s *server) handlePoints(w http.ResponseWriter, r *http.Request) {
+	view, n, err := parseView(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	recs, err := s.db.SampleRegion(view, n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	s.requests++
+	s.returned += int64(len(recs))
+	s.mu.Unlock()
+
+	out := make([]pointJSON, len(recs))
+	for i := range recs {
+		out[i] = pointJSON{
+			X:        float64(recs[i].Mags[0]),
+			Y:        float64(recs[i].Mags[1]),
+			Z:        float64(recs[i].Mags[2]),
+			Class:    recs[i].Class.String(),
+			Redshift: recs[i].Redshift,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"count": len(out), "points": out})
+}
+
+func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
+	view, n, err := parseView(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	recs, err := s.db.SampleRegion(view, n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	g := &viz.GeometrySet{}
+	for i := range recs {
+		g.Points = append(g.Points, viz.Point{
+			Pos: viz.P3{float64(recs[i].Mags[0]), float64(recs[i].Mags[1]), float64(recs[i].Mags[2])},
+			Tag: uint8(recs[i].Class),
+		})
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%d points in %v\n", len(recs), view)
+	fmt.Fprint(w, viz.AsciiRenderer{W: 100, H: 32}.Render(g, view))
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	req, ret := s.requests, s.returned
+	s.mu.Unlock()
+	pages := s.db.Engine().Store().Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"requests":       req,
+		"pointsReturned": ret,
+		"diskReads":      pages.DiskReads,
+		"poolHits":       pages.Hits,
+	})
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sky"
+)
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	db, err := core.Open(core.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.IngestSynthetic(sky.DefaultParams(5000, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildGridIndex(256, 7); err != nil {
+		t.Fatal(err)
+	}
+	return &server{db: db}
+}
+
+func TestHandlePoints(t *testing.T) {
+	s := newTestServer(t)
+	req := httptest.NewRequest("GET", "/points?min=10,10,10&max=30,30,30&n=100", nil)
+	w := httptest.NewRecorder()
+	s.handlePoints(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var out struct {
+		Count  int         `json:"count"`
+		Points []pointJSON `json:"points"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 100 || len(out.Points) != 100 {
+		t.Fatalf("count = %d, points = %d", out.Count, len(out.Points))
+	}
+	for _, p := range out.Points {
+		if p.X < 10 || p.X > 30 || p.Y < 10 || p.Y > 30 || p.Z < 10 || p.Z > 30 {
+			t.Fatalf("point outside requested box: %+v", p)
+		}
+		if p.Class == "" {
+			t.Fatal("missing class")
+		}
+	}
+}
+
+func TestHandlePointsValidation(t *testing.T) {
+	s := newTestServer(t)
+	bad := []string{
+		"/points?min=1,2&max=3,4,5",       // 2-D min
+		"/points?min=1,2,x&max=3,4,5",     // bad number
+		"/points?min=5,5,5&max=1,1,1",     // inverted
+		"/points?min=1,1,1&max=2,2,2&n=0", // bad n
+	}
+	for _, url := range bad {
+		req := httptest.NewRequest("GET", url, nil)
+		w := httptest.NewRecorder()
+		s.handlePoints(w, req)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, w.Code)
+		}
+	}
+}
+
+func TestHandleRender(t *testing.T) {
+	s := newTestServer(t)
+	req := httptest.NewRequest("GET", "/render?min=10,10,10&max=30,30,30&n=500", nil)
+	w := httptest.NewRecorder()
+	s.handleRender(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, "points in") {
+		t.Error("missing header line")
+	}
+	if strings.Count(body, "\n") < 30 {
+		t.Errorf("render too short: %d lines", strings.Count(body, "\n"))
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	s := newTestServer(t)
+	// Serve one points request first.
+	req := httptest.NewRequest("GET", "/points?min=10,10,10&max=30,30,30&n=50", nil)
+	s.handlePoints(httptest.NewRecorder(), req)
+
+	w := httptest.NewRecorder()
+	s.handleStats(w, httptest.NewRequest("GET", "/stats", nil))
+	var out map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["requests"].(float64) != 1 {
+		t.Errorf("requests = %v", out["requests"])
+	}
+	if out["pointsReturned"].(float64) != 50 {
+		t.Errorf("pointsReturned = %v", out["pointsReturned"])
+	}
+}

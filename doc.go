@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Spatial
+// Indexing of Large Multidimensional Databases" (Csabai et al., CIDR
+// 2007): a database engine with layered-grid, kd-tree and Voronoi
+// spatial indexes over a 5-dimensional astronomical color space,
+// the scientific applications built on them (photometric redshifts,
+// spectral similarity, basin-spanning-tree classification, outlier
+// detection), and the adaptive visualization pipeline.
+//
+// The public entry point is internal/core.SpatialDB; see README.md
+// for the architecture, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root package holds the cross-cutting benchmark suite
+// (bench_test.go, one family per table/figure of the paper) and the
+// end-to-end integration tests.
+package repro

@@ -1,0 +1,215 @@
+package repro
+
+import (
+	"math"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kdtree"
+	"repro/internal/knn"
+	"repro/internal/pagestore"
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// TestEndToEndSystem drives the full Figure 3 stack through the
+// public facade: ingest, all three indexes, queries under every
+// plan, kNN, adaptive sampling, photo-z — one scenario touching
+// every subsystem together.
+func TestEndToEndSystem(t *testing.T) {
+	db, err := core.Open(core.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	params := sky.DefaultParams(20_000, 42)
+	params.SpectroFrac = 0.15
+	if err := db.IngestSynthetic(params); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildGridIndex(512, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildVoronoiIndex(150, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildPhotoZ(16, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The Figure 2 logged query, all plans agreeing.
+	where := `
+	  (dered_r - dered_i - (dered_g - dered_r)/4 - 0.18 < 0.2)
+	  AND (dered_r - dered_i - (dered_g - dered_r)/4 - 0.18 > -0.2)
+	  AND (dered_r < 21)`
+	var results [][]int64
+	for _, plan := range []core.Plan{core.PlanFullScan, core.PlanKdTree, core.PlanVoronoi} {
+		recs, rep, err := db.QueryWhere(where, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Plan != plan {
+			t.Errorf("requested %v, report says %v", plan, rep.Plan)
+		}
+		ids := make([]int64, len(recs))
+		for i := range recs {
+			ids[i] = recs[i].ObjID
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		results = append(results, ids)
+	}
+	if len(results[0]) == 0 {
+		t.Fatal("figure 2 query returned nothing")
+	}
+	for p := 1; p < len(results); p++ {
+		if len(results[p]) != len(results[0]) {
+			t.Fatalf("plan %d returned %d rows, scan %d", p, len(results[p]), len(results[0]))
+		}
+		for i := range results[0] {
+			if results[p][i] != results[0][i] {
+				t.Fatalf("plan %d row mismatch at %d", p, i)
+			}
+		}
+	}
+
+	// kNN of a galaxy color returns galaxy-dominated neighbourhoods.
+	nbs, err := db.NearestNeighbors(sky.GalaxyColors(0.12, 18.5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	galaxies := 0
+	for _, nb := range nbs {
+		if nb.Class == table.Galaxy {
+			galaxies++
+		}
+	}
+	if galaxies < 7 {
+		t.Errorf("only %d/10 neighbours of a galaxy color are galaxies", galaxies)
+	}
+
+	// Adaptive sampling respects the box and the budget.
+	dom3 := vec.NewBox(db.Domain().Min[:3], db.Domain().Max[:3])
+	sample, err := db.SampleRegion(dom3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 500 {
+		t.Errorf("sampled %d points, want 500", len(sample))
+	}
+
+	// Photo-z on a clean galaxy color.
+	z, err := db.EstimateRedshift(sky.GalaxyColors(0.2, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z-0.2) > 0.08 {
+		t.Errorf("photo-z = %v, want ~0.2", z)
+	}
+
+	// Stored procedures mirror the direct API.
+	out, err := db.Engine().Call("NearestNeighbors", sky.GalaxyColors(0.12, 18.5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.([]table.Record); len(got) != 10 || got[0].ObjID != nbs[0].ObjID {
+		t.Error("stored procedure disagrees with direct call")
+	}
+}
+
+// TestColdRestart verifies the offline-artifact story: catalog and
+// clustered index table persist on disk, the kd-tree serializes to a
+// file, and a fresh process (new store, cold cache) serves identical
+// queries from them.
+func TestColdRestart(t *testing.T) {
+	dir := t.TempDir()
+	treePath := filepath.Join(dir, "mag.kd.tree")
+
+	var wantIDs []table.RowID
+	q := vec.BoxPolyhedron(vec.NewBox(
+		vec.Point{16, 16, 15, 15, 14}, vec.Point{21, 20, 19, 19, 18}))
+
+	// Session 1: build everything and persist.
+	{
+		s, err := pagestore.Open(dir, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := table.Create(s, "mag.tbl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sky.GenerateTable(tb, sky.DefaultParams(10_000, 42)); err != nil {
+			t.Fatal(err)
+		}
+		tree, clustered, err := kdtree.Build(tb, "mag.kd.tbl", kdtree.BuildParams{Domain: sky.Domain()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.SaveFile(treePath); err != nil {
+			t.Fatal(err)
+		}
+		wantIDs, _, err = tree.QueryPolyhedron(clustered, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wantIDs) == 0 {
+			t.Fatal("query returned nothing")
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Session 2: reopen cold and replay.
+	{
+		s, err := pagestore.Open(dir, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		clustered, err := table.OpenExisting(s, "mag.kd.tbl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := kdtree.LoadFile(treePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		gotIDs, stats, err := tree.QueryPolyhedron(clustered, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotIDs) != len(wantIDs) {
+			t.Fatalf("restart query returned %d rows, want %d", len(gotIDs), len(wantIDs))
+		}
+		for i := range gotIDs {
+			if gotIDs[i] != wantIDs[i] {
+				t.Fatalf("restart row mismatch at %d", i)
+			}
+		}
+		if stats.Pages.DiskReads == 0 {
+			t.Error("cold restart should have read pages from disk")
+		}
+		// kNN also works against the reloaded pair.
+		searcher := knn.NewSearcher(tree, clustered)
+		var rec table.Record
+		clustered.Get(5, &rec)
+		nbs, _, err := searcher.Search(rec.Point(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nbs[0].Dist2 != 0 {
+			t.Error("reloaded kNN lost exactness")
+		}
+	}
+}

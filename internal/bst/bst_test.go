@@ -1,0 +1,158 @@
+package bst
+
+import (
+	"testing"
+
+	"repro/internal/pagestore"
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/voronoi"
+)
+
+func TestBuildSimpleChain(t *testing.T) {
+	// Line graph 0-1-2-3 with increasing density: everything drains to 3.
+	adj := [][]int{{1}, {0, 2}, {1, 3}, {2}}
+	density := []float64{1, 2, 3, 4}
+	f, err := Build(adj, density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBasins() != 1 || f.Peaks[0] != 3 {
+		t.Errorf("peaks = %v", f.Peaks)
+	}
+	for c := 0; c < 4; c++ {
+		if f.Basin[c] != 3 {
+			t.Errorf("cell %d basin = %d", c, f.Basin[c])
+		}
+	}
+	if f.Depth(0) != 3 || f.Depth(3) != 0 {
+		t.Errorf("depths = %d, %d", f.Depth(0), f.Depth(3))
+	}
+}
+
+func TestBuildTwoPeaks(t *testing.T) {
+	// 0-1-2-3-4 with densities 5,4,1,4,5: valley at 2 splits basins.
+	adj := [][]int{{1}, {0, 2}, {1, 3}, {2, 4}, {3}}
+	density := []float64{5, 4, 1, 4, 5}
+	f, err := Build(adj, density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBasins() != 2 {
+		t.Fatalf("basins = %d, want 2", f.NumBasins())
+	}
+	if f.Basin[0] != 0 || f.Basin[1] != 0 {
+		t.Errorf("left basin broken: %v", f.Basin)
+	}
+	if f.Basin[3] != 4 || f.Basin[4] != 4 {
+		t.Errorf("right basin broken: %v", f.Basin)
+	}
+	// Valley cell joins whichever side; it must join one of the peaks.
+	if f.Basin[2] != 0 && f.Basin[2] != 4 {
+		t.Errorf("valley basin = %d", f.Basin[2])
+	}
+}
+
+func TestTiesAreAcyclic(t *testing.T) {
+	// Uniform density: tiebreak by index must still build a forest
+	// (higher index wins, so everything drains toward cell n-1 through
+	// neighbours).
+	adj := [][]int{{1, 2}, {0, 2}, {0, 1}}
+	density := []float64{1, 1, 1}
+	f, err := Build(adj, density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBasins() != 1 || f.Peaks[0] != 2 {
+		t.Errorf("tie handling: peaks = %v", f.Peaks)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, nil); err == nil {
+		t.Error("empty adjacency should fail")
+	}
+	if _, err := Build([][]int{{}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestIsolatedCellsArePeaks(t *testing.T) {
+	adj := [][]int{{}, {}, {}}
+	density := []float64{3, 1, 2}
+	f, err := Build(adj, density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBasins() != 3 {
+		t.Errorf("isolated cells: basins = %d", f.NumBasins())
+	}
+}
+
+// TestEvaluateOnCatalog reproduces the Figure 6 experiment at test
+// scale: basins built from Voronoi cell densities should align with
+// spectral classes far better than chance.
+func TestEvaluateOnCatalog(t *testing.T) {
+	s, err := pagestore.Open(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tb, err := table.Create(s, "mag.tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sky.GenerateTable(tb, sky.DefaultParams(8000, 42)); err != nil {
+		t.Fatal(err)
+	}
+	// The paper uses a 10% seed ratio (10K seeds for its 100K-object
+	// evaluation); match it — coarser tessellations merge distinct
+	// classes into shared basins and depress purity.
+	p := voronoi.DefaultParams(tb.NumRows(), 7)
+	p.NumSeeds = int(tb.NumRows()) / 10
+	ix, err := voronoi.Build(tb, "mag.vor", sky.Domain(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vols := ix.MonteCarloVolumes(100000, 11)
+	dens := ix.Densities(vols)
+	adj := make([][]int, ix.NumCells())
+	for c := range adj {
+		adj[c] = ix.Neighbors(c)
+	}
+	f, err := Build(adj, dens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(ix, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Objects == 0 {
+		t.Fatal("nothing evaluated")
+	}
+	// Chance level for the dominant class (stars ~55%); the paper
+	// reports 92% at full scale. Demand the same regime at test scale.
+	if ev.Accuracy < 0.8 {
+		t.Errorf("basin classification accuracy = %.3f, want >= 0.8", ev.Accuracy)
+	}
+	if ev.Basins < 2 {
+		t.Errorf("only %d basin(s); clustering collapsed", ev.Basins)
+	}
+	t.Logf("basins=%d objects=%d accuracy=%.3f", ev.Basins, ev.Objects, ev.Accuracy)
+}
+
+func TestEvaluateDimensionMismatch(t *testing.T) {
+	s, _ := pagestore.Open(t.TempDir(), 1024)
+	defer s.Close()
+	tb, _ := table.Create(s, "t")
+	sky.GenerateTable(tb, sky.DefaultParams(200, 1))
+	ix, err := voronoi.Build(tb, "t.vor", sky.Domain(), voronoi.Params{NumSeeds: 8, Seed: 1, RandomWitnesses: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Forest{Basin: []int{0}}
+	if _, err := Evaluate(ix, f); err == nil {
+		t.Error("mismatched forest should fail")
+	}
+}

@@ -1,0 +1,248 @@
+package colorsql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func parse(t *testing.T, src string) Union {
+	t.Helper()
+	u, err := Parse(src, DefaultVars(), 5)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return u
+}
+
+func TestSimpleComparison(t *testing.T) {
+	u := parse(t, "g - r < 1.0")
+	if !u.IsConvex() {
+		t.Fatal("single comparison should be convex")
+	}
+	// g - r = 0.5 < 1 → inside.
+	if !u.Contains(vec.Point{0, 1.0, 0.5, 0, 0}) {
+		t.Error("g-r=0.5 should match")
+	}
+	if u.Contains(vec.Point{0, 2.0, 0.5, 0, 0}) {
+		t.Error("g-r=1.5 should not match")
+	}
+}
+
+func TestGreaterThanFlips(t *testing.T) {
+	u := parse(t, "r > 18")
+	if !u.Contains(vec.Point{0, 0, 19, 0, 0}) {
+		t.Error("r=19 should match r > 18")
+	}
+	if u.Contains(vec.Point{0, 0, 17, 0, 0}) {
+		t.Error("r=17 should not match r > 18")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	// (g - r)/4 + 2*i - 0.5 < r   →  0.25g - 1.25r + 2i < 0.5
+	u := parse(t, "(g - r)/4 + 2*i - 0.5 < r")
+	check := func(p vec.Point) bool {
+		return 0.25*p[1]-1.25*p[2]+2*p[3] < 0.5
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := make(vec.Point, 5)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 2
+		}
+		if u.Contains(p) != check(p) {
+			t.Fatalf("disagreement at %v", p)
+		}
+	}
+}
+
+func TestConstantTimesParen(t *testing.T) {
+	u := parse(t, "7/3 * (g - r) < 1")
+	p := vec.Point{0, 1.0, 0.7, 0, 0} // 7/3*0.3 = 0.7 < 1
+	if !u.Contains(p) {
+		t.Error("should match")
+	}
+	p2 := vec.Point{0, 1.0, 0.2, 0, 0} // 7/3*0.8 ≈ 1.87
+	if u.Contains(p2) {
+		t.Error("should not match")
+	}
+}
+
+func TestAndSemantics(t *testing.T) {
+	u := parse(t, "r < 20 AND r > 15")
+	if !u.IsConvex() {
+		t.Fatal("AND of comparisons should stay convex")
+	}
+	if !u.Contains(vec.Point{0, 0, 17, 0, 0}) {
+		t.Error("17 in (15,20)")
+	}
+	if u.Contains(vec.Point{0, 0, 21, 0, 0}) || u.Contains(vec.Point{0, 0, 14, 0, 0}) {
+		t.Error("outside band matched")
+	}
+}
+
+func TestOrSemantics(t *testing.T) {
+	u := parse(t, "r < 15 OR r > 20")
+	if u.IsConvex() {
+		t.Fatal("OR should yield a union")
+	}
+	if len(u.Polys) != 2 {
+		t.Fatalf("expected 2 polyhedra, got %d", len(u.Polys))
+	}
+	if !u.Contains(vec.Point{0, 0, 14, 0, 0}) || !u.Contains(vec.Point{0, 0, 21, 0, 0}) {
+		t.Error("branches should match")
+	}
+	if u.Contains(vec.Point{0, 0, 17, 0, 0}) {
+		t.Error("middle should not match")
+	}
+}
+
+func TestPrecedenceAndParens(t *testing.T) {
+	// AND binds tighter than OR.
+	u := parse(t, "r < 15 OR r > 20 AND g < 10")
+	// r=21, g=20: second clause fails (g >= 10), first fails → no match.
+	if u.Contains(vec.Point{0, 20, 21, 0, 0}) {
+		t.Error("AND should bind tighter than OR")
+	}
+	if !u.Contains(vec.Point{0, 20, 14, 0, 0}) {
+		t.Error("first OR branch should match")
+	}
+	// Parenthesized boolean.
+	u2 := parse(t, "(r < 15 OR r > 20) AND g < 10")
+	if u2.Contains(vec.Point{0, 20, 14, 0, 0}) {
+		t.Error("g=20 should fail the conjunct")
+	}
+	if !u2.Contains(vec.Point{0, 5, 14, 0, 0}) {
+		t.Error("should match")
+	}
+}
+
+func TestDNFDistribution(t *testing.T) {
+	// (a OR b) AND (c OR d) → 4 clauses.
+	u := parse(t, "(r < 1 OR g < 1) AND (i < 1 OR z < 1)")
+	if len(u.Polys) != 4 {
+		t.Errorf("DNF clauses = %d, want 4", len(u.Polys))
+	}
+	rng := rand.New(rand.NewSource(2))
+	for n := 0; n < 300; n++ {
+		p := make(vec.Point, 5)
+		for j := range p {
+			p[j] = rng.Float64() * 2
+		}
+		want := (p[2] < 1 || p[1] < 1) && (p[3] < 1 || p[4] < 1)
+		if u.Contains(p) != want {
+			t.Fatalf("DNF semantics wrong at %v", p)
+		}
+	}
+}
+
+func TestFigure2Query(t *testing.T) {
+	// The magnitude-only core of the paper's Figure 2 query.
+	src := `
+	  (dered_r - dered_i - (dered_g - dered_r)/4 - 0.18 < 0.2)
+	  AND (dered_r - dered_i - (dered_g - dered_r)/4 - 0.18 > -0.2)
+	  AND (dered_r - dered_i - (dered_g - dered_r)/4 - 0.18 > 0.45 - 4*(dered_g - dered_r))
+	  AND (dered_g - dered_r > 1.35 + 0.25*(dered_r - dered_i))`
+	u := parse(t, src)
+	if !u.IsConvex() {
+		t.Fatal("pure AND query should be convex")
+	}
+	if len(u.Single().Planes) != 4 {
+		t.Errorf("expected 4 halfspaces, got %d", len(u.Single().Planes))
+	}
+	// Manual check of the semantics on random points.
+	rng := rand.New(rand.NewSource(3))
+	for n := 0; n < 500; n++ {
+		p := make(vec.Point, 5)
+		for j := range p {
+			p[j] = 15 + rng.Float64()*10
+		}
+		g, r, i := p[1], p[2], p[3]
+		srl := r - i - (g-r)/4 - 0.18
+		want := srl < 0.2 && srl > -0.2 && srl > 0.45-4*(g-r) && g-r > 1.35+0.25*(r-i)
+		if u.Contains(p) != want {
+			t.Fatalf("figure 2 semantics wrong at %v", p)
+		}
+	}
+}
+
+func TestAliases(t *testing.T) {
+	a := parse(t, "dered_g - dered_r < 0.5")
+	b := parse(t, "g - r < 0.5")
+	rng := rand.New(rand.NewSource(4))
+	for n := 0; n < 100; n++ {
+		p := make(vec.Point, 5)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		if a.Contains(p) != b.Contains(p) {
+			t.Fatal("alias mismatch")
+		}
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	u := parse(t, "-r < -18") // r > 18
+	if !u.Contains(vec.Point{0, 0, 19, 0, 0}) || u.Contains(vec.Point{0, 0, 17, 0, 0}) {
+		t.Error("unary minus broken")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"r <",               // missing rhs
+		"r < 1 AND",         // dangling AND
+		"bogus < 1",         // unknown column
+		"r * g < 1",         // nonlinear
+		"r / g < 1",         // divide by expression
+		"r / 0 < 1",         // divide by zero
+		"1 < 2",             // no variables
+		"r < 1 extra",       // trailing tokens
+		"(r < 1",            // unbalanced paren
+		"r # 1",             // bad character
+		"r < 1 OR OR g < 1", // double operator
+		"1.2.3 < r",         // bad number
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, DefaultVars(), 5); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestErrorMessagesMentionPosition(t *testing.T) {
+	_, err := Parse("r < bogus_col", DefaultVars(), 5)
+	if err == nil || !strings.Contains(err.Error(), "bogus_col") {
+		t.Errorf("error should name the unknown column: %v", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("r <", DefaultVars(), 5)
+}
+
+func TestSinglePanicsOnUnion(t *testing.T) {
+	u := parse(t, "r < 1 OR g < 1")
+	defer func() {
+		if recover() == nil {
+			t.Error("Single should panic on a union")
+		}
+	}()
+	u.Single()
+}
+
+func TestScientificNotation(t *testing.T) {
+	u := parse(t, "r < 1.8e1")
+	if !u.Contains(vec.Point{0, 0, 17, 0, 0}) || u.Contains(vec.Point{0, 0, 19, 0, 0}) {
+		t.Error("scientific notation broken")
+	}
+}

@@ -1,0 +1,141 @@
+// Package colorsql parses the linear magnitude predicates that
+// dominate SkyServer's query log (Figure 2 of the paper) and
+// compiles them into convex polyhedron queries.
+//
+// The supported language is the WHERE-clause fragment the paper
+// mines from the log: linear arithmetic over named magnitude columns
+// combined with comparison operators, AND, OR and parentheses, e.g.
+//
+//	(dered_r - dered_i - (dered_g - dered_r)/4 - 0.18) < 0.2
+//	AND (dered_g - dered_r) > 1.35 + 0.25 * (dered_r - dered_i)
+//
+// Each comparison becomes a halfspace; the boolean structure is
+// expanded to disjunctive normal form, so any query compiles into a
+// union of convex polyhedra — "in practice these can be broken down
+// into polyhedron queries" (§1).
+package colorsql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokIdent
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokLParen
+	tokRParen
+	tokLess    // < or <=
+	tokGreater // > or >=
+	tokAnd
+	tokOr
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %g", t.num)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes src. Comparison operators <=, >= collapse to their
+// strict forms: for continuous spatial predicates the boundary has
+// measure zero and the paper's index machinery treats them alike.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '+':
+			toks = append(toks, token{kind: tokPlus, text: "+", pos: i})
+			i++
+		case c == '-':
+			toks = append(toks, token{kind: tokMinus, text: "-", pos: i})
+			i++
+		case c == '*':
+			toks = append(toks, token{kind: tokStar, text: "*", pos: i})
+			i++
+		case c == '/':
+			toks = append(toks, token{kind: tokSlash, text: "/", pos: i})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == '<':
+			n := 1
+			if i+1 < len(src) && src[i+1] == '=' {
+				n = 2
+			}
+			toks = append(toks, token{kind: tokLess, text: src[i : i+n], pos: i})
+			i += n
+		case c == '>':
+			n := 1
+			if i+1 < len(src) && src[i+1] == '=' {
+				n = 2
+			}
+			toks = append(toks, token{kind: tokGreater, text: src[i : i+n], pos: i})
+			i += n
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' ||
+				((src[j] == 'e' || src[j] == 'E') && j > i) ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			v, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("colorsql: bad number %q at %d", src[i:j], i)
+			}
+			toks = append(toks, token{kind: tokNumber, num: v, text: src[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			switch strings.ToUpper(word) {
+			case "AND":
+				toks = append(toks, token{kind: tokAnd, text: word, pos: i})
+			case "OR":
+				toks = append(toks, token{kind: tokOr, text: word, pos: i})
+			default:
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("colorsql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }

@@ -1,0 +1,369 @@
+package colorsql
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// Union is a query compiled to disjunctive normal form: a point
+// matches when it lies inside any member polyhedron.
+type Union struct {
+	Polys []vec.Polyhedron
+}
+
+// Contains reports whether p satisfies the query.
+func (u Union) Contains(p vec.Point) bool {
+	for _, q := range u.Polys {
+		if q.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsConvex reports whether the query compiled to a single
+// polyhedron, in which case Single returns it.
+func (u Union) IsConvex() bool { return len(u.Polys) == 1 }
+
+// Single returns the lone polyhedron of a convex query and panics
+// otherwise.
+func (u Union) Single() vec.Polyhedron {
+	if !u.IsConvex() {
+		panic(fmt.Sprintf("colorsql: query is a union of %d polyhedra", len(u.Polys)))
+	}
+	return u.Polys[0]
+}
+
+// DefaultVars maps the SDSS column names of Figure 2 (and short
+// aliases) onto the 5 axes of the magnitude space.
+func DefaultVars() map[string]int {
+	return map[string]int{
+		"u": 0, "g": 1, "r": 2, "i": 3, "z": 4,
+		"dered_u": 0, "dered_g": 1, "dered_r": 2, "dered_i": 3, "dered_z": 4,
+	}
+}
+
+// Parse compiles a WHERE-clause fragment into a Union of convex
+// polyhedra over the given variable → axis mapping and
+// dimensionality.
+func Parse(src string, vars map[string]int, dim int) (Union, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Union{}, err
+	}
+	p := &parser{toks: toks, vars: vars, dim: dim}
+	node, err := p.parseOr()
+	if err != nil {
+		return Union{}, err
+	}
+	if p.peek().kind != tokEOF {
+		return Union{}, fmt.Errorf("colorsql: trailing input at %v", p.peek())
+	}
+	dnf := node.toDNF()
+	u := Union{Polys: make([]vec.Polyhedron, len(dnf))}
+	for i, clause := range dnf {
+		u.Polys[i] = vec.NewPolyhedron(clause...)
+	}
+	return u, nil
+}
+
+// MustParse is Parse panicking on error, for tests and fixed
+// experiment queries.
+func MustParse(src string, vars map[string]int, dim int) Union {
+	u, err := Parse(src, vars, dim)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// boolNode is the boolean structure over halfspace leaves.
+type boolNode struct {
+	// leaf is non-nil for comparison leaves.
+	leaf *vec.Halfspace
+	// op is "and" or "or" for interior nodes.
+	op          string
+	left, right *boolNode
+}
+
+// toDNF expands the tree into a list of AND-clauses of halfspaces.
+// Query log predicates are shallow (Figure 2 has ~10 terms), so the
+// potential exponential blowup of DNF is not a practical concern; a
+// guard below still caps pathological inputs.
+func (n *boolNode) toDNF() [][]vec.Halfspace {
+	if n.leaf != nil {
+		return [][]vec.Halfspace{{*n.leaf}}
+	}
+	l, r := n.left.toDNF(), n.right.toDNF()
+	if n.op == "or" {
+		return append(l, r...)
+	}
+	// AND: cartesian product of clauses.
+	out := make([][]vec.Halfspace, 0, len(l)*len(r))
+	for _, a := range l {
+		for _, b := range r {
+			clause := make([]vec.Halfspace, 0, len(a)+len(b))
+			clause = append(clause, a...)
+			clause = append(clause, b...)
+			out = append(out, clause)
+		}
+	}
+	return out
+}
+
+// linExpr is a linear expression c·x + k accumulated during parsing.
+type linExpr struct {
+	coeffs []float64
+	k      float64
+}
+
+func (p *parser) newLin() linExpr { return linExpr{coeffs: make([]float64, p.dim)} }
+
+func (e linExpr) add(o linExpr) linExpr {
+	r := linExpr{coeffs: make([]float64, len(e.coeffs)), k: e.k + o.k}
+	for i := range r.coeffs {
+		r.coeffs[i] = e.coeffs[i] + o.coeffs[i]
+	}
+	return r
+}
+
+func (e linExpr) scale(s float64) linExpr {
+	r := linExpr{coeffs: make([]float64, len(e.coeffs)), k: s * e.k}
+	for i := range r.coeffs {
+		r.coeffs[i] = s * e.coeffs[i]
+	}
+	return r
+}
+
+func (e linExpr) isConst() bool {
+	for _, c := range e.coeffs {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	vars map[string]int
+	dim  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("colorsql: expected %s at position %d, found %v", what, t.pos, t)
+	}
+	return t, nil
+}
+
+// parseOr: orExpr := andExpr (OR andExpr)*
+func (p *parser) parseOr() (*boolNode, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &boolNode{op: "or", left: left, right: right}
+	}
+	return left, nil
+}
+
+// parseAnd: andExpr := boolAtom (AND boolAtom)*
+func (p *parser) parseAnd() (*boolNode, error) {
+	left, err := p.parseBoolAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.parseBoolAtom()
+		if err != nil {
+			return nil, err
+		}
+		left = &boolNode{op: "and", left: left, right: right}
+	}
+	return left, nil
+}
+
+// parseBoolAtom handles the ambiguity of '(' which may open either a
+// parenthesized boolean expression or a parenthesized linear
+// expression that begins a comparison. It resolves it by attempting
+// the comparison parse first and backtracking.
+func (p *parser) parseBoolAtom() (*boolNode, error) {
+	save := p.pos
+	cmp, cmpErr := p.parseComparison()
+	if cmpErr == nil {
+		return cmp, nil
+	}
+	p.pos = save
+	if p.peek().kind == tokLParen {
+		p.next()
+		inner, err := p.parseOr()
+		if err == nil {
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	// Neither interpretation worked; the comparison error points at
+	// the actual problem (e.g. an unknown column name).
+	return nil, cmpErr
+}
+
+// parseComparison: linear (< | <= | > | >=) linear  →  halfspace leaf.
+func (p *parser) parseComparison() (*boolNode, error) {
+	lhs, err := p.parseLinear()
+	if err != nil {
+		return nil, err
+	}
+	op := p.next()
+	if op.kind != tokLess && op.kind != tokGreater {
+		return nil, fmt.Errorf("colorsql: expected comparison operator at position %d, found %v", op.pos, op)
+	}
+	rhs, err := p.parseLinear()
+	if err != nil {
+		return nil, err
+	}
+	// lhs <= rhs  ⇔  (lhs-rhs).coeffs · x <= -(lhs-rhs).k
+	diff := lhs.add(rhs.scale(-1))
+	if op.kind == tokGreater {
+		diff = diff.scale(-1)
+	}
+	if diff.isConst() {
+		return nil, fmt.Errorf("colorsql: comparison at position %d has no magnitude variables", op.pos)
+	}
+	h := vec.NewHalfspace(vec.Point(diff.coeffs), -diff.k)
+	return &boolNode{leaf: &h}, nil
+}
+
+// parseLinear: term (('+'|'-') term)*
+func (p *parser) parseLinear() (linExpr, error) {
+	e, err := p.parseTerm()
+	if err != nil {
+		return linExpr{}, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokPlus:
+			p.next()
+			t, err := p.parseTerm()
+			if err != nil {
+				return linExpr{}, err
+			}
+			e = e.add(t)
+		case tokMinus:
+			p.next()
+			t, err := p.parseTerm()
+			if err != nil {
+				return linExpr{}, err
+			}
+			e = e.add(t.scale(-1))
+		default:
+			return e, nil
+		}
+	}
+}
+
+// parseTerm: factor (('*'|'/') factor)* with the linearity rule that
+// at most one side of '*' may contain variables, and divisors must
+// be constant.
+func (p *parser) parseTerm() (linExpr, error) {
+	e, err := p.parseFactor()
+	if err != nil {
+		return linExpr{}, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokStar:
+			op := p.next()
+			f, err := p.parseFactor()
+			if err != nil {
+				return linExpr{}, err
+			}
+			switch {
+			case f.isConst():
+				e = e.scale(f.k)
+			case e.isConst():
+				e = f.scale(e.k)
+			default:
+				return linExpr{}, fmt.Errorf("colorsql: nonlinear product at position %d", op.pos)
+			}
+		case tokSlash:
+			op := p.next()
+			f, err := p.parseFactor()
+			if err != nil {
+				return linExpr{}, err
+			}
+			if !f.isConst() {
+				return linExpr{}, fmt.Errorf("colorsql: division by expression at position %d", op.pos)
+			}
+			if f.k == 0 {
+				return linExpr{}, fmt.Errorf("colorsql: division by zero at position %d", op.pos)
+			}
+			e = e.scale(1 / f.k)
+		default:
+			return e, nil
+		}
+	}
+}
+
+// parseFactor: number | ident | '-' factor | '+' factor | '(' linear ')'
+func (p *parser) parseFactor() (linExpr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		e := p.newLin()
+		e.k = t.num
+		return e, nil
+	case tokIdent:
+		axis, ok := p.vars[t.text]
+		if !ok {
+			return linExpr{}, fmt.Errorf("colorsql: unknown column %q at position %d", t.text, t.pos)
+		}
+		if axis < 0 || axis >= p.dim {
+			return linExpr{}, fmt.Errorf("colorsql: column %q maps to axis %d outside dimension %d", t.text, axis, p.dim)
+		}
+		e := p.newLin()
+		e.coeffs[axis] = 1
+		return e, nil
+	case tokMinus:
+		f, err := p.parseFactor()
+		if err != nil {
+			return linExpr{}, err
+		}
+		return f.scale(-1), nil
+	case tokPlus:
+		return p.parseFactor()
+	case tokLParen:
+		e, err := p.parseLinear()
+		if err != nil {
+			return linExpr{}, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return linExpr{}, err
+		}
+		return e, nil
+	default:
+		return linExpr{}, fmt.Errorf("colorsql: expected value at position %d, found %v", t.pos, t)
+	}
+}

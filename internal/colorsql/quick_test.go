@@ -1,0 +1,133 @@
+package colorsql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+// exprGen builds random linear-comparison queries together with a
+// direct evaluator, so the parser's semantics can be property-tested
+// against ground truth.
+type exprGen struct {
+	rng  *rand.Rand
+	vars []string
+}
+
+// linear returns a random linear-expression source string and its
+// evaluator.
+func (g *exprGen) linear(depth int) (string, func(vec.Point) float64) {
+	switch {
+	case depth <= 0 || g.rng.Float64() < 0.4:
+		// Leaf: constant or variable (optionally scaled).
+		if g.rng.Float64() < 0.4 {
+			c := float64(g.rng.Intn(41)-20) / 4
+			return fmt.Sprintf("%g", c), func(vec.Point) float64 { return c }
+		}
+		i := g.rng.Intn(len(g.vars))
+		name := g.vars[i]
+		return name, func(p vec.Point) float64 { return p[i] }
+	case g.rng.Float64() < 0.5:
+		// Sum or difference.
+		ls, lf := g.linear(depth - 1)
+		rs, rf := g.linear(depth - 1)
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("(%s + %s)", ls, rs), func(p vec.Point) float64 { return lf(p) + rf(p) }
+		}
+		return fmt.Sprintf("(%s - %s)", ls, rs), func(p vec.Point) float64 { return lf(p) - rf(p) }
+	default:
+		// Constant scaling or division.
+		s, f := g.linear(depth - 1)
+		c := float64(g.rng.Intn(15)+1) / 4
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("%g * %s", c, s), func(p vec.Point) float64 { return c * f(p) }
+		}
+		return fmt.Sprintf("%s / %g", s, c), func(p vec.Point) float64 { return f(p) / c }
+	}
+}
+
+// boolean returns a random boolean query string and evaluator.
+func (g *exprGen) boolean(depth int) (string, func(vec.Point) bool) {
+	if depth <= 0 || g.rng.Float64() < 0.5 {
+		// Comparison leaf; regenerate until the parser accepts it (a
+		// generated expression can cancel all variables, e.g. "g - g",
+		// which the parser rejects as variable-free).
+		for {
+			ls, lf := g.linear(2)
+			rs, rf := g.linear(2)
+			if !strings.ContainsAny(ls+rs, "ugriz") {
+				continue
+			}
+			op, cmp := "<", func(p vec.Point) bool { return lf(p) < rf(p) }
+			if g.rng.Intn(2) == 0 {
+				op, cmp = ">", func(p vec.Point) bool { return lf(p) > rf(p) }
+			}
+			src := fmt.Sprintf("%s %s %s", ls, op, rs)
+			if _, err := Parse(src, DefaultVars(), 5); err != nil {
+				continue
+			}
+			return src, cmp
+		}
+	}
+	ls, lf := g.boolean(depth - 1)
+	rs, rf := g.boolean(depth - 1)
+	if g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("(%s) AND (%s)", ls, rs), func(p vec.Point) bool { return lf(p) && rf(p) }
+	}
+	return fmt.Sprintf("(%s) OR (%s)", ls, rs), func(p vec.Point) bool { return lf(p) || rf(p) }
+}
+
+// Property: parsing a randomly generated query and evaluating the
+// compiled polyhedron union agrees with direct evaluation of the
+// expression at random points (away from decision boundaries, since
+// strict/non-strict comparisons coincide in the compiled form).
+func TestParserSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := &exprGen{rng: rng, vars: []string{"u", "g", "r", "i", "z"}}
+		src, eval := g.boolean(2)
+		u, err := Parse(src, DefaultVars(), 5)
+		if err != nil {
+			t.Logf("seed %d: %q failed to parse: %v", seed, src, err)
+			return false
+		}
+		for trial := 0; trial < 40; trial++ {
+			p := make(vec.Point, 5)
+			for d := range p {
+				p[d] = rng.NormFloat64() * 3
+			}
+			want := eval(p)
+			got := u.Contains(p)
+			if got != want {
+				// Tolerate boundary effects: skip points within epsilon of
+				// any decision surface by re-testing a perturbed point.
+				if onBoundary(u, p) {
+					continue
+				}
+				t.Logf("seed %d: %q disagrees at %v (got %v want %v)", seed, src, p, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// onBoundary reports whether p sits within epsilon of any halfspace
+// boundary of the union.
+func onBoundary(u Union, p vec.Point) bool {
+	for _, poly := range u.Polys {
+		for _, h := range poly.Planes {
+			if m := h.Margin(p); m > -1e-9 && m < 1e-9 {
+				return true
+			}
+		}
+	}
+	return false
+}

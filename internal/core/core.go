@@ -1,0 +1,516 @@
+// Package core assembles the paper's complete system (Figure 3): a
+// magnitude table inside a database engine, the three spatial
+// indexes built over it — layered uniform grid (§3.1), kd-tree
+// (§3.2) and sampled Voronoi tessellation (§3.4) — and the
+// server-side "stored procedures" the scientific applications call:
+// polyhedron queries, k-nearest-neighbour search, adaptive region
+// sampling and photometric redshift estimation.
+//
+// SpatialDB is the public API of the reproduction; the examples and
+// the experiment harness drive everything through it.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/colorsql"
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/hull"
+	"repro/internal/kdtree"
+	"repro/internal/knn"
+	"repro/internal/outlier"
+	"repro/internal/photoz"
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/vec"
+	"repro/internal/voronoi"
+)
+
+// Config configures a SpatialDB instance.
+type Config struct {
+	// Dir is the directory holding the paged files.
+	Dir string
+	// PoolPages is the buffer pool size in 8 KiB pages (default 4096
+	// = 32 MiB).
+	PoolPages int
+}
+
+// Plan selects the access path of a polyhedron query.
+type Plan int
+
+// Available query plans. PlanAuto picks the kd-tree when built, then
+// the Voronoi index, then the full scan — the paper's observation
+// that the kd-tree wins whenever selectivity is below ~0.25 makes it
+// the default index.
+const (
+	PlanAuto Plan = iota
+	PlanFullScan
+	PlanKdTree
+	PlanVoronoi
+)
+
+// String names the plan.
+func (p Plan) String() string {
+	switch p {
+	case PlanAuto:
+		return "auto"
+	case PlanFullScan:
+		return "fullscan"
+	case PlanKdTree:
+		return "kdtree"
+	case PlanVoronoi:
+		return "voronoi"
+	}
+	return fmt.Sprintf("Plan(%d)", int(p))
+}
+
+// Report describes how a query executed.
+type Report struct {
+	Plan         Plan
+	RowsReturned int64
+	RowsExamined int64
+	DiskReads    int64
+	CacheHits    int64
+}
+
+// SpatialDB is the assembled system.
+type SpatialDB struct {
+	eng     *engine.DB
+	catalog *table.Table
+	domain  vec.Box
+
+	kd      *kdtree.Tree
+	kdTable *table.Table
+	knnS    *knn.Searcher
+
+	grid *grid.Index
+	vor  *voronoi.Index
+
+	photoZ *photoz.Estimator
+}
+
+// Open creates an empty SpatialDB at cfg.Dir.
+func Open(cfg Config) (*SpatialDB, error) {
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = 4096
+	}
+	eng, err := engine.Open(cfg.Dir, cfg.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	db := &SpatialDB{eng: eng, domain: sky.Domain()}
+	db.registerProcs()
+	return db, nil
+}
+
+// Close flushes and closes the underlying store.
+func (db *SpatialDB) Close() error { return db.eng.Close() }
+
+// Engine exposes the underlying database engine (stored procedure
+// registry, catalog, statistics).
+func (db *SpatialDB) Engine() *engine.DB { return db.eng }
+
+// Domain returns the 5-D magnitude domain box.
+func (db *SpatialDB) Domain() vec.Box { return db.domain.Clone() }
+
+// NumRows returns the catalog size.
+func (db *SpatialDB) NumRows() uint64 {
+	if db.catalog == nil {
+		return 0
+	}
+	return db.catalog.NumRows()
+}
+
+// IngestSynthetic generates and loads a synthetic SDSS-like catalog.
+func (db *SpatialDB) IngestSynthetic(p sky.Params) error {
+	if db.catalog != nil {
+		return fmt.Errorf("core: catalog already loaded")
+	}
+	tb, err := db.eng.CreateTable("magnitude.tbl")
+	if err != nil {
+		return err
+	}
+	if err := sky.GenerateTable(tb, p); err != nil {
+		return err
+	}
+	db.catalog = tb
+	return nil
+}
+
+// IngestRecords loads caller-provided records as the catalog.
+func (db *SpatialDB) IngestRecords(recs []table.Record) error {
+	if db.catalog != nil {
+		return fmt.Errorf("core: catalog already loaded")
+	}
+	tb, err := db.eng.CreateTable("magnitude.tbl")
+	if err != nil {
+		return err
+	}
+	if err := tb.AppendAll(recs); err != nil {
+		return err
+	}
+	db.catalog = tb
+	return nil
+}
+
+// Catalog exposes the base table.
+func (db *SpatialDB) Catalog() (*table.Table, error) {
+	if db.catalog == nil {
+		return nil, fmt.Errorf("core: no catalog loaded")
+	}
+	return db.catalog, nil
+}
+
+// BuildKdIndex builds the §3.2 kd-tree (and its leaf-clustered table
+// copy). levels <= 0 applies the paper's √N-leaves rule.
+func (db *SpatialDB) BuildKdIndex(levels int) error {
+	if db.catalog == nil {
+		return fmt.Errorf("core: no catalog loaded")
+	}
+	tree, clustered, err := kdtree.Build(db.catalog, "magnitude.kd.tbl", kdtree.BuildParams{
+		Levels: levels,
+		Domain: db.domain,
+	})
+	if err != nil {
+		return err
+	}
+	db.kd = tree
+	db.kdTable = clustered
+	db.knnS = knn.NewSearcher(tree, clustered)
+	return db.eng.RegisterTable(clustered)
+}
+
+// KdTree exposes the built kd-tree (nil before BuildKdIndex).
+func (db *SpatialDB) KdTree() *kdtree.Tree { return db.kd }
+
+// BuildGridIndex builds the §3.1 layered uniform grid over the first
+// three magnitude axes (the visualization projection).
+func (db *SpatialDB) BuildGridIndex(base int, seed int64) error {
+	if db.catalog == nil {
+		return fmt.Errorf("core: no catalog loaded")
+	}
+	dom3 := vec.NewBox(db.domain.Min[:3], db.domain.Max[:3])
+	p := grid.DefaultParams(dom3, seed)
+	if base > 0 {
+		p.Base = base
+	}
+	ix, err := grid.Build(db.catalog, "magnitude.grid.tbl", p)
+	if err != nil {
+		return err
+	}
+	db.grid = ix
+	return db.eng.RegisterTable(ix.Table())
+}
+
+// Grid exposes the built grid index (nil before BuildGridIndex).
+func (db *SpatialDB) Grid() *grid.Index { return db.grid }
+
+// BuildVoronoiIndex builds the §3.4 sampled Voronoi index. numSeeds
+// <= 0 applies the √N default.
+func (db *SpatialDB) BuildVoronoiIndex(numSeeds int, seed int64) error {
+	if db.catalog == nil {
+		return fmt.Errorf("core: no catalog loaded")
+	}
+	p := voronoi.DefaultParams(db.catalog.NumRows(), seed)
+	if numSeeds > 0 {
+		p.NumSeeds = numSeeds
+	}
+	ix, err := voronoi.Build(db.catalog, "magnitude.vor.tbl", db.domain, p)
+	if err != nil {
+		return err
+	}
+	db.vor = ix
+	return db.eng.RegisterTable(ix.Table())
+}
+
+// Voronoi exposes the built Voronoi index (nil before
+// BuildVoronoiIndex).
+func (db *SpatialDB) Voronoi() *voronoi.Index { return db.vor }
+
+// BuildPhotoZ prepares the §4.1 redshift estimator from the
+// catalog's spectroscopic rows.
+func (db *SpatialDB) BuildPhotoZ(k, degree int) error {
+	if db.catalog == nil {
+		return fmt.Errorf("core: no catalog loaded")
+	}
+	ref, err := photoz.ExtractReference(db.catalog, db.eng.Store(), "reference.tbl")
+	if err != nil {
+		return err
+	}
+	est, err := photoz.NewEstimator(ref, "reference.kd.tbl", k, degree)
+	if err != nil {
+		return err
+	}
+	db.photoZ = est
+	return nil
+}
+
+// EstimateRedshift runs the kNN polynomial redshift estimator.
+func (db *SpatialDB) EstimateRedshift(mags vec.Point) (float64, error) {
+	if db.photoZ == nil {
+		return 0, fmt.Errorf("core: BuildPhotoZ has not been called")
+	}
+	return db.photoZ.Estimate(mags)
+}
+
+// QueryWhere parses a Figure 2-style WHERE clause and executes it,
+// returning matching records. OR queries execute one polyhedron per
+// DNF clause and union the results.
+func (db *SpatialDB) QueryWhere(where string, plan Plan) ([]table.Record, Report, error) {
+	u, err := colorsql.Parse(where, colorsql.DefaultVars(), table.Dim)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	seen := make(map[int64]bool)
+	var out []table.Record
+	var total Report
+	for _, poly := range u.Polys {
+		recs, rep, err := db.QueryPolyhedron(poly, plan)
+		if err != nil {
+			return nil, total, err
+		}
+		total.Plan = rep.Plan
+		total.RowsExamined += rep.RowsExamined
+		total.DiskReads += rep.DiskReads
+		total.CacheHits += rep.CacheHits
+		for i := range recs {
+			if !seen[recs[i].ObjID] {
+				seen[recs[i].ObjID] = true
+				out = append(out, recs[i])
+			}
+		}
+	}
+	total.RowsReturned = int64(len(out))
+	return out, total, nil
+}
+
+// QueryPolyhedron executes one convex polyhedron query under the
+// chosen plan and returns the matching records.
+func (db *SpatialDB) QueryPolyhedron(q vec.Polyhedron, plan Plan) ([]table.Record, Report, error) {
+	if db.catalog == nil {
+		return nil, Report{}, fmt.Errorf("core: no catalog loaded")
+	}
+	resolved := plan
+	if plan == PlanAuto {
+		switch {
+		case db.kd != nil:
+			resolved = PlanKdTree
+		case db.vor != nil:
+			resolved = PlanVoronoi
+		default:
+			resolved = PlanFullScan
+		}
+	}
+	switch resolved {
+	case PlanKdTree:
+		if db.kd == nil {
+			return nil, Report{}, fmt.Errorf("core: kd-tree index not built")
+		}
+		ids, stats, err := db.kd.QueryPolyhedron(db.kdTable, q)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		recs, err := materialize(db.kdTable, ids)
+		return recs, Report{
+			Plan:         PlanKdTree,
+			RowsReturned: stats.RowsReturned,
+			RowsExamined: stats.RowsExamined,
+			DiskReads:    stats.Pages.DiskReads,
+			CacheHits:    stats.Pages.Hits,
+		}, err
+	case PlanVoronoi:
+		if db.vor == nil {
+			return nil, Report{}, fmt.Errorf("core: voronoi index not built")
+		}
+		ids, stats, err := db.vor.QueryPolyhedron(q)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		recs, err := materialize(db.vor.Table(), ids)
+		return recs, Report{
+			Plan:         PlanVoronoi,
+			RowsReturned: stats.RowsReturned,
+			RowsExamined: stats.RowsExamined,
+			DiskReads:    stats.Pages.DiskReads,
+			CacheHits:    stats.Pages.Hits,
+		}, err
+	case PlanFullScan:
+		ids, stats, err := engine.FullScanPolyhedron(db.catalog, q)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		recs, err := materialize(db.catalog, ids)
+		return recs, Report{
+			Plan:         PlanFullScan,
+			RowsReturned: stats.RowsReturned,
+			RowsExamined: stats.RowsExamined,
+			DiskReads:    stats.Pages.DiskReads,
+			CacheHits:    stats.Pages.Hits,
+		}, err
+	default:
+		return nil, Report{}, fmt.Errorf("core: unknown plan %v", plan)
+	}
+}
+
+// NearestNeighbors returns the k catalog records closest to p in
+// color space (§3.3).
+func (db *SpatialDB) NearestNeighbors(p vec.Point, k int) ([]table.Record, error) {
+	if db.knnS == nil {
+		return nil, fmt.Errorf("core: kd-tree index not built")
+	}
+	nbs, _, err := db.knnS.Search(p, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]table.Record, len(nbs))
+	for i, nb := range nbs {
+		out[i] = nb.Rec
+	}
+	return out, nil
+}
+
+// SampleRegion returns at least n points of the catalog whose first
+// three magnitudes fall in the 3-D view box, following the
+// underlying distribution (§3.1).
+func (db *SpatialDB) SampleRegion(view vec.Box, n int) ([]table.Record, error) {
+	if db.grid == nil {
+		return nil, fmt.Errorf("core: grid index not built")
+	}
+	recs, _, err := db.grid.Sample(view, n)
+	return recs, err
+}
+
+// FindSimilar implements the §2.2 "convex hull around the training
+// set" search: build a support hull around the training points
+// (with the given outward margin in training-spread units) and
+// return every catalog object inside it, using the best available
+// index.
+func (db *SpatialDB) FindSimilar(training []vec.Point, margin float64, plan Plan) ([]table.Record, Report, error) {
+	p := hull.DefaultParams(table.Dim)
+	if margin > 0 {
+		p.Margin = margin
+	}
+	h, err := hull.Build(training, p)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return db.QueryPolyhedron(h, plan)
+}
+
+// DetectOutliers flags the objects living in the sparsest fraction
+// of Voronoi cells (§4's volume-based outlier detection), returning
+// the flagged records and the evaluation against ground truth.
+// Requires BuildVoronoiIndex; mcSamples sizes the Monte-Carlo volume
+// estimate (0 = 20 per cell).
+func (db *SpatialDB) DetectOutliers(fraction float64, mcSamples int, seed int64) ([]table.Record, outlier.Evaluation, error) {
+	if db.vor == nil {
+		return nil, outlier.Evaluation{}, fmt.Errorf("core: voronoi index not built")
+	}
+	if mcSamples <= 0 {
+		mcSamples = 20 * db.vor.NumCells()
+	}
+	vols := db.vor.MonteCarloVolumes(mcSamples, seed)
+	res, err := outlier.Detect(db.vor, vols, fraction)
+	if err != nil {
+		return nil, outlier.Evaluation{}, err
+	}
+	ev, err := outlier.Evaluate(db.vor, res)
+	if err != nil {
+		return nil, ev, err
+	}
+	recs, err := materialize(db.vor.Table(), res.Rows)
+	return recs, ev, err
+}
+
+// materialize fetches the records for a list of row ids.
+func materialize(tb *table.Table, ids []table.RowID) ([]table.Record, error) {
+	out := make([]table.Record, 0, len(ids))
+	err := tb.GetMany(ids, func(_ table.RowID, r *table.Record) bool {
+		out = append(out, *r)
+		return true
+	})
+	return out, err
+}
+
+// registerProcs installs the public operations in the engine's
+// stored procedure registry, making the Figure 3 architecture
+// inspectable (engine.ProcNames lists them like a database catalog).
+func (db *SpatialDB) registerProcs() {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(db.eng.RegisterProc("SpatialQuery", func(args ...any) (any, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("SpatialQuery(where string)")
+		}
+		where, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("SpatialQuery: want string, got %T", args[0])
+		}
+		recs, _, err := db.QueryWhere(where, PlanAuto)
+		return recs, err
+	}))
+	must(db.eng.RegisterProc("NearestNeighbors", func(args ...any) (any, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("NearestNeighbors(p vec.Point, k int)")
+		}
+		p, ok := args[0].(vec.Point)
+		if !ok {
+			return nil, fmt.Errorf("NearestNeighbors: want vec.Point, got %T", args[0])
+		}
+		k, ok := args[1].(int)
+		if !ok {
+			return nil, fmt.Errorf("NearestNeighbors: want int, got %T", args[1])
+		}
+		return db.NearestNeighbors(p, k)
+	}))
+	must(db.eng.RegisterProc("SampleRegion", func(args ...any) (any, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("SampleRegion(view vec.Box, n int)")
+		}
+		view, ok := args[0].(vec.Box)
+		if !ok {
+			return nil, fmt.Errorf("SampleRegion: want vec.Box, got %T", args[0])
+		}
+		n, ok := args[1].(int)
+		if !ok {
+			return nil, fmt.Errorf("SampleRegion: want int, got %T", args[1])
+		}
+		return db.SampleRegion(view, n)
+	}))
+	must(db.eng.RegisterProc("EstimateRedshift", func(args ...any) (any, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("EstimateRedshift(p vec.Point)")
+		}
+		p, ok := args[0].(vec.Point)
+		if !ok {
+			return nil, fmt.Errorf("EstimateRedshift: want vec.Point, got %T", args[0])
+		}
+		return db.EstimateRedshift(p)
+	}))
+	must(db.eng.RegisterProc("FindSimilar", func(args ...any) (any, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("FindSimilar(training []vec.Point)")
+		}
+		training, ok := args[0].([]vec.Point)
+		if !ok {
+			return nil, fmt.Errorf("FindSimilar: want []vec.Point, got %T", args[0])
+		}
+		recs, _, err := db.FindSimilar(training, 0, PlanAuto)
+		return recs, err
+	}))
+	must(db.eng.RegisterProc("DetectOutliers", func(args ...any) (any, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("DetectOutliers(fraction float64)")
+		}
+		fraction, ok := args[0].(float64)
+		if !ok {
+			return nil, fmt.Errorf("DetectOutliers: want float64, got %T", args[0])
+		}
+		recs, _, err := db.DetectOutliers(fraction, 0, 1)
+		return recs, err
+	}))
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+func openDB(t *testing.T, n int) *SpatialDB {
+	t.Helper()
+	db, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if n > 0 {
+		p := sky.DefaultParams(n, 42)
+		p.SpectroFrac = 0.15
+		if err := db.IngestSynthetic(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestOpenIngest(t *testing.T) {
+	db := openDB(t, 1000)
+	if db.NumRows() != 1000 {
+		t.Errorf("NumRows = %d", db.NumRows())
+	}
+	if _, err := db.Catalog(); err != nil {
+		t.Error(err)
+	}
+	if err := db.IngestSynthetic(sky.DefaultParams(10, 1)); err == nil {
+		t.Error("double ingest should fail")
+	}
+}
+
+func TestEmptyDBErrors(t *testing.T) {
+	db := openDB(t, 0)
+	if _, err := db.Catalog(); err == nil {
+		t.Error("catalog of empty db should fail")
+	}
+	if err := db.BuildKdIndex(0); err == nil {
+		t.Error("index build on empty db should fail")
+	}
+	if err := db.BuildGridIndex(0, 1); err == nil {
+		t.Error("grid build on empty db should fail")
+	}
+	if err := db.BuildVoronoiIndex(0, 1); err == nil {
+		t.Error("voronoi build on empty db should fail")
+	}
+	if _, _, err := db.QueryWhere("r < 18", PlanAuto); err == nil {
+		t.Error("query on empty db should fail")
+	}
+	if _, err := db.NearestNeighbors(vec.Point{1, 2, 3, 4, 5}, 3); err == nil {
+		t.Error("kNN without index should fail")
+	}
+	if _, err := db.SampleRegion(vec.UnitBox(3), 5); err == nil {
+		t.Error("sample without grid should fail")
+	}
+	if _, err := db.EstimateRedshift(vec.Point{1, 2, 3, 4, 5}); err == nil {
+		t.Error("photo-z without build should fail")
+	}
+}
+
+func TestIngestRecords(t *testing.T) {
+	db := openDB(t, 0)
+	recs := []table.Record{{ObjID: 1}, {ObjID: 2}}
+	if err := db.IngestRecords(recs); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRows() != 2 {
+		t.Errorf("NumRows = %d", db.NumRows())
+	}
+}
+
+func TestPlansAgree(t *testing.T) {
+	db := openDB(t, 4000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildVoronoiIndex(60, 7); err != nil {
+		t.Fatal(err)
+	}
+	where := "g - r < 1.1 AND g - r > 0.3 AND r < 20"
+	collect := func(plan Plan) []int64 {
+		recs, rep, err := db.QueryWhere(where, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.RowsReturned != int64(len(recs)) {
+			t.Fatalf("%v: report says %d, got %d", plan, rep.RowsReturned, len(recs))
+		}
+		ids := make([]int64, len(recs))
+		for i := range recs {
+			ids[i] = recs[i].ObjID
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		return ids
+	}
+	scan := collect(PlanFullScan)
+	kd := collect(PlanKdTree)
+	vor := collect(PlanVoronoi)
+	if len(scan) == 0 {
+		t.Fatal("test query returned nothing")
+	}
+	if len(kd) != len(scan) || len(vor) != len(scan) {
+		t.Fatalf("plan disagreement: scan %d, kd %d, voronoi %d", len(scan), len(kd), len(vor))
+	}
+	for i := range scan {
+		if kd[i] != scan[i] || vor[i] != scan[i] {
+			t.Fatalf("plan results differ at %d", i)
+		}
+	}
+}
+
+func TestAutoPlanPrefersKd(t *testing.T) {
+	db := openDB(t, 1000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := db.QueryWhere("r < 19", PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan != PlanKdTree {
+		t.Errorf("auto plan = %v", rep.Plan)
+	}
+}
+
+func TestAutoPlanFallsBackToScan(t *testing.T) {
+	db := openDB(t, 500)
+	_, rep, err := db.QueryWhere("r < 19", PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan != PlanFullScan {
+		t.Errorf("auto plan = %v", rep.Plan)
+	}
+}
+
+func TestOrQueryUnions(t *testing.T) {
+	db := openDB(t, 2000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	left, _, _ := db.QueryWhere("r < 16", PlanKdTree)
+	right, _, _ := db.QueryWhere("r > 22", PlanKdTree)
+	both, rep, err := db.QueryWhere("r < 16 OR r > 22", PlanKdTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(both)) != rep.RowsReturned {
+		t.Errorf("report mismatch")
+	}
+	if len(both) != len(left)+len(right) {
+		t.Errorf("union %d != %d + %d", len(both), len(left), len(right))
+	}
+}
+
+func TestNearestNeighborsThroughFacade(t *testing.T) {
+	db := openDB(t, 3000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	cat, _ := db.Catalog()
+	var rec table.Record
+	cat.Get(77, &rec)
+	nbs, err := db.NearestNeighbors(rec.Point(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 5 {
+		t.Fatalf("got %d neighbours", len(nbs))
+	}
+	if nbs[0].ObjID != rec.ObjID {
+		t.Errorf("nearest neighbour of a data point should be itself")
+	}
+}
+
+func TestSampleRegionThroughFacade(t *testing.T) {
+	db := openDB(t, 5000)
+	if err := db.BuildGridIndex(256, 7); err != nil {
+		t.Fatal(err)
+	}
+	dom3 := vec.NewBox(db.Domain().Min[:3], db.Domain().Max[:3])
+	recs, err := db.SampleRegion(dom3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 300 {
+		t.Errorf("sampled %d points", len(recs))
+	}
+}
+
+func TestPhotoZThroughFacade(t *testing.T) {
+	db := openDB(t, 10000)
+	if err := db.BuildPhotoZ(16, 1); err != nil {
+		t.Fatal(err)
+	}
+	z, err := db.EstimateRedshift(sky.GalaxyColors(0.2, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z-0.2) > 0.08 {
+		t.Errorf("EstimateRedshift = %v, want ~0.2", z)
+	}
+}
+
+func TestStoredProcedures(t *testing.T) {
+	db := openDB(t, 3000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	names := db.Engine().ProcNames()
+	want := []string{"DetectOutliers", "EstimateRedshift", "FindSimilar", "NearestNeighbors", "SampleRegion", "SpatialQuery"}
+	if len(names) != len(want) {
+		t.Fatalf("procs = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("procs = %v", names)
+		}
+	}
+	out, err := db.Engine().Call("SpatialQuery", "r < 18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := out.([]table.Record)
+	for i := range recs {
+		if recs[i].Mags[2] >= 18 {
+			t.Fatalf("SpatialQuery returned r=%v", recs[i].Mags[2])
+		}
+	}
+	// Arg validation.
+	if _, err := db.Engine().Call("SpatialQuery", 42); err == nil {
+		t.Error("bad arg type should fail")
+	}
+	if _, err := db.Engine().Call("NearestNeighbors", vec.Point{1, 2, 3, 4, 5}); err == nil {
+		t.Error("missing arg should fail")
+	}
+}
+
+func TestFindSimilarThroughFacade(t *testing.T) {
+	db := openDB(t, 10000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	cat, _ := db.Catalog()
+	var training []vec.Point
+	cat.Scan(func(id table.RowID, r *table.Record) bool {
+		if r.Class == table.Quasar && len(training) < 30 {
+			training = append(training, r.Point())
+		}
+		return true
+	})
+	recs, rep, err := db.FindSimilar(training, 0.4, PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan != PlanKdTree {
+		t.Errorf("plan = %v", rep.Plan)
+	}
+	if len(recs) < len(training) {
+		t.Fatalf("hull retrieved %d < %d training points", len(recs), len(training))
+	}
+	quasars := 0
+	for i := range recs {
+		if recs[i].Class == table.Quasar {
+			quasars++
+		}
+	}
+	if frac := float64(quasars) / float64(len(recs)); frac < 0.5 {
+		t.Errorf("quasar fraction %.2f among %d retrieved", frac, len(recs))
+	}
+	// Too-small training set errors.
+	if _, _, err := db.FindSimilar(training[:1], 0, PlanAuto); err == nil {
+		t.Error("single training point should fail")
+	}
+}
+
+func TestDetectOutliersThroughFacade(t *testing.T) {
+	db := openDB(t, 10000)
+	if _, _, err := db.DetectOutliers(0.1, 0, 1); err == nil {
+		t.Error("outlier detection without voronoi index should fail")
+	}
+	if err := db.BuildVoronoiIndex(700, 7); err != nil {
+		t.Fatal(err)
+	}
+	recs, ev, err := db.DetectOutliers(0.1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != ev.Flagged {
+		t.Errorf("returned %d records, evaluation says %d", len(recs), ev.Flagged)
+	}
+	if ev.Enrichment < 3 {
+		t.Errorf("enrichment %.1fx too low", ev.Enrichment)
+	}
+}
+
+func TestQueryWhereParseError(t *testing.T) {
+	db := openDB(t, 100)
+	if _, _, err := db.QueryWhere("r <", PlanFullScan); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	for _, p := range []Plan{PlanAuto, PlanFullScan, PlanKdTree, PlanVoronoi} {
+		if p.String() == "" {
+			t.Error("empty plan name")
+		}
+	}
+}

@@ -1,0 +1,423 @@
+// Package delaunay computes Delaunay triangulations — the substrate
+// of the paper's Voronoi tessellation index (§3.4).
+//
+// The paper used the QHull library to triangulate a 10K-seed sample
+// in 5 dimensions. This reproduction implements the same capability
+// from scratch, two ways:
+//
+//   - Build: an exact d-dimensional incremental Bowyer–Watson
+//     triangulation. Points are inserted one at a time; the "cavity"
+//     of simplices whose circumsphere contains the new point is
+//     carved out and re-triangulated against the new point. It is
+//     exact but its cost grows steeply with dimension (the size of a
+//     5-D Delaunay is huge — the very reason the paper could not
+//     tessellate 270M points and sampled 10K seeds), so it serves
+//     small-to-medium seed sets and validates the approximation.
+//
+//   - WitnessGraph: an approximate Delaunay *graph* (edges only, no
+//     simplices) built by shooting witness points at the seed set:
+//     a witness's two nearest seeds are Delaunay neighbours of each
+//     other in the witness's locality. With enough witnesses the
+//     graph converges to the true Delaunay edge set restricted to
+//     cell-boundary-adjacent seeds; it is the structure the paper's
+//     directed walk and the basin spanning trees actually need, and
+//     it matches the paper's own observation that storing only the
+//     Delaunay edges is the compact practical representation.
+package delaunay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/kdtree"
+	"repro/internal/linalg"
+	"repro/internal/vec"
+)
+
+// Triangulation is an exact Delaunay triangulation of a point set.
+type Triangulation struct {
+	Dim int
+	// Points holds the original points followed by the Dim+1 super
+	// simplex vertices.
+	Points []vec.Point
+	// NumOriginal is the number of caller points; indices >=
+	// NumOriginal are super vertices.
+	NumOriginal int
+	// Simplices lists the vertex index tuples (Dim+1 each) of the
+	// final triangulation, excluding simplices touching super
+	// vertices.
+	Simplices [][]int
+	// Centers and R2 hold each simplex's circumcenter and squared
+	// circumradius (the circumcenters are the Voronoi vertices).
+	Centers []vec.Point
+	R2      []float64
+}
+
+// simplexRec is the working representation during construction.
+type simplexRec struct {
+	verts  []int
+	center vec.Point
+	r2     float64
+	dead   bool
+}
+
+// Build computes the exact Delaunay triangulation of pts. The
+// points must be distinct; exact degeneracies (d+2 co-spherical
+// points) are broken by an infinitesimal deterministic jitter, the
+// standard symbolic-perturbation stand-in.
+func Build(pts []vec.Point) (*Triangulation, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("delaunay: no points")
+	}
+	dim := len(pts[0])
+	if dim < 2 {
+		return nil, fmt.Errorf("delaunay: dimension %d < 2", dim)
+	}
+	if len(pts) < dim+1 {
+		return nil, fmt.Errorf("delaunay: need at least %d points in %d-D, got %d", dim+1, dim, len(pts))
+	}
+
+	// Jittered working copy: breaks co-sphericality and co-planarity
+	// (e.g. grids) without moving points meaningfully.
+	domain := vec.BoundingBox(pts)
+	scale := 0.0
+	for i := 0; i < dim; i++ {
+		scale = math.Max(scale, domain.Side(i))
+	}
+	if scale == 0 {
+		return nil, fmt.Errorf("delaunay: all points coincide")
+	}
+	rng := rand.New(rand.NewSource(0x5eed))
+	work := make([]vec.Point, len(pts), len(pts)+dim+1)
+	for i, p := range pts {
+		q := p.Clone()
+		for d := range q {
+			q[d] += (rng.Float64() - 0.5) * scale * 1e-9
+		}
+		work[i] = q
+	}
+
+	t := &Triangulation{Dim: dim, NumOriginal: len(pts)}
+
+	// Super simplex: a regular-ish simplex blown up around the domain.
+	center := domain.Center()
+	superIdx := make([]int, dim+1)
+	for k := 0; k <= dim; k++ {
+		v := make(vec.Point, dim)
+		for d := 0; d < dim; d++ {
+			// Vertices of a simplex: coordinates of an orthoplex-ish
+			// spread; k == dim gets the all-negative corner.
+			if k < dim {
+				if d == k {
+					v[d] = center[d] + scale*40*float64(dim)
+				} else {
+					v[d] = center[d]
+				}
+			} else {
+				v[d] = center[d] - scale*40*float64(dim)
+			}
+		}
+		superIdx[k] = len(work)
+		work = append(work, v)
+	}
+
+	simplices := []simplexRec{}
+	sc, sr2, err := circumsphere(work, superIdx)
+	if err != nil {
+		return nil, fmt.Errorf("delaunay: degenerate super simplex: %w", err)
+	}
+	simplices = append(simplices, simplexRec{verts: superIdx, center: sc, r2: sr2})
+
+	// Incremental insertion with brute-force cavity discovery. The
+	// scan over all live simplices keeps the implementation free of
+	// fragile adjacency bookkeeping; construction is an offline batch
+	// step here exactly as in the paper.
+	for pi := 0; pi < t.NumOriginal; pi++ {
+		p := work[pi]
+		var cavity []int
+		for si := range simplices {
+			s := &simplices[si]
+			if s.dead {
+				continue
+			}
+			if p.Dist2(s.center) < s.r2 {
+				cavity = append(cavity, si)
+			}
+		}
+		if len(cavity) == 0 {
+			return nil, fmt.Errorf("delaunay: point %d fell outside every circumsphere (outside super simplex?)", pi)
+		}
+		// Boundary facets: facets of cavity simplices appearing exactly
+		// once. A facet is the vertex tuple minus one vertex.
+		type facetRef struct {
+			count int
+			verts []int
+		}
+		facets := map[string]*facetRef{}
+		for _, si := range cavity {
+			s := &simplices[si]
+			for omit := 0; omit <= dim; omit++ {
+				f := make([]int, 0, dim)
+				for vi, v := range s.verts {
+					if vi != omit {
+						f = append(f, v)
+					}
+				}
+				sort.Ints(f)
+				key := facetKey(f)
+				if fr, ok := facets[key]; ok {
+					fr.count++
+				} else {
+					facets[key] = &facetRef{count: 1, verts: f}
+				}
+			}
+			s.dead = true
+		}
+		for _, fr := range facets {
+			if fr.count != 1 {
+				continue // internal cavity facet
+			}
+			verts := append([]int{pi}, fr.verts...)
+			c, r2, err := circumsphere(work, verts)
+			if err != nil {
+				// Degenerate new simplex (point essentially on the facet
+				// plane): skip it; the jitter makes this vanishingly rare
+				// and neighbouring facets cover the volume.
+				continue
+			}
+			simplices = append(simplices, simplexRec{verts: verts, center: c, r2: r2})
+		}
+	}
+
+	// Harvest: keep simplices free of super vertices.
+	t.Points = work
+	for si := range simplices {
+		s := &simplices[si]
+		if s.dead {
+			continue
+		}
+		hasSuper := false
+		for _, v := range s.verts {
+			if v >= t.NumOriginal {
+				hasSuper = true
+				break
+			}
+		}
+		if hasSuper {
+			continue
+		}
+		t.Simplices = append(t.Simplices, s.verts)
+		t.Centers = append(t.Centers, s.center)
+		t.R2 = append(t.R2, s.r2)
+	}
+	return t, nil
+}
+
+// facetKey builds a map key from sorted vertex indices.
+func facetKey(f []int) string {
+	b := make([]byte, 0, len(f)*4)
+	for _, v := range f {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// circumsphere returns the circumcenter and squared circumradius of
+// the simplex with the given vertex indices.
+func circumsphere(pts []vec.Point, verts []int) (vec.Point, float64, error) {
+	dim := len(pts[verts[0]])
+	if len(verts) != dim+1 {
+		return nil, 0, fmt.Errorf("delaunay: simplex has %d vertices in %d-D", len(verts), dim)
+	}
+	p0 := pts[verts[0]]
+	a := linalg.NewMatrix(dim, dim)
+	b := make([]float64, dim)
+	for r := 1; r <= dim; r++ {
+		pr := pts[verts[r]]
+		var rhs float64
+		for c := 0; c < dim; c++ {
+			d := pr[c] - p0[c]
+			a.Set(r-1, c, 2*d)
+			rhs += pr[c]*pr[c] - p0[c]*p0[c]
+		}
+		b[r-1] = rhs
+	}
+	x, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	c := vec.Point(x)
+	return c, c.Dist2(p0), nil
+}
+
+// Edges returns the Delaunay edges between original points, each
+// pair once with a < b.
+func (t *Triangulation) Edges() [][2]int {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	for _, s := range t.Simplices {
+		for i := 0; i < len(s); i++ {
+			for j := i + 1; j < len(s); j++ {
+				a, b := s[i], s[j]
+				if a > b {
+					a, b = b, a
+				}
+				k := [2]int{a, b}
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, k)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Adjacency returns the neighbour lists of the Delaunay graph over
+// the original points.
+func (t *Triangulation) Adjacency() [][]int {
+	adj := make([][]int, t.NumOriginal)
+	for _, e := range t.Edges() {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return adj
+}
+
+// IncidentSimplices returns, per original point, the number of
+// interior Delaunay simplices touching it. Each such simplex's
+// circumcenter is a vertex of the point's Voronoi cell, so this is
+// the "vertices per Voronoi cell" statistic of §3.4 (the paper
+// reports ~1000 in 5-D versus 32 for boxes).
+func (t *Triangulation) IncidentSimplices() []int {
+	counts := make([]int, t.NumOriginal)
+	for _, s := range t.Simplices {
+		for _, v := range s {
+			counts[v]++
+		}
+	}
+	return counts
+}
+
+// VoronoiCell2D returns the Voronoi polygon of an interior point of
+// a 2-D triangulation: the circumcenters of its incident simplices
+// ordered by angle around the seed. For hull points the cell is
+// unbounded and the returned polygon is only its bounded part.
+func (t *Triangulation) VoronoiCell2D(v int) ([]vec.Point, error) {
+	if t.Dim != 2 {
+		return nil, fmt.Errorf("delaunay: VoronoiCell2D on %d-D triangulation", t.Dim)
+	}
+	var centers []vec.Point
+	for si, s := range t.Simplices {
+		for _, sv := range s {
+			if sv == v {
+				centers = append(centers, t.Centers[si])
+				break
+			}
+		}
+	}
+	if len(centers) == 0 {
+		return nil, fmt.Errorf("delaunay: point %d has no incident simplices", v)
+	}
+	seed := t.Points[v]
+	sort.Slice(centers, func(i, j int) bool {
+		ai := math.Atan2(centers[i][1]-seed[1], centers[i][0]-seed[0])
+		aj := math.Atan2(centers[j][1]-seed[1], centers[j][0]-seed[0])
+		return ai < aj
+	})
+	return centers, nil
+}
+
+// WitnessGraph approximates the Delaunay graph of seeds by sampling:
+// each witness point contributes an edge between its two nearest
+// seeds. numWitnesses random witnesses are drawn uniformly from the
+// seed bounding box (slightly padded); callers may add their own
+// data points as witnesses via AddWitnesses for density-adaptive
+// refinement.
+type WitnessGraph struct {
+	seeds    []vec.Point
+	searcher *kdtree.PointSearcher
+	adj      []map[int]struct{}
+}
+
+// NewWitnessGraph prepares an empty graph over the seeds.
+func NewWitnessGraph(seeds []vec.Point) (*WitnessGraph, error) {
+	if len(seeds) < 2 {
+		return nil, fmt.Errorf("delaunay: witness graph needs >= 2 seeds")
+	}
+	s, err := kdtree.NewPointSearcher(seeds)
+	if err != nil {
+		return nil, err
+	}
+	adj := make([]map[int]struct{}, len(seeds))
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &WitnessGraph{seeds: seeds, searcher: s, adj: adj}, nil
+}
+
+// AddWitness records the edge between the witness's two nearest
+// seeds.
+func (w *WitnessGraph) AddWitness(p vec.Point) {
+	nn := w.searcher.Nearest(p, 2)
+	if len(nn) < 2 {
+		return
+	}
+	a, b := nn[0], nn[1]
+	w.adj[a][b] = struct{}{}
+	w.adj[b][a] = struct{}{}
+}
+
+// AddWitnesses records a batch of witnesses.
+func (w *WitnessGraph) AddWitnesses(pts []vec.Point) {
+	for _, p := range pts {
+		w.AddWitness(p)
+	}
+}
+
+// AddRandomWitnesses draws n uniform witnesses from the padded seed
+// bounding box using the given seed.
+func (w *WitnessGraph) AddRandomWitnesses(n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	box := vec.BoundingBox(w.seeds)
+	pad := 0.0
+	for i := 0; i < box.Dim(); i++ {
+		pad = math.Max(pad, box.Side(i)*0.05)
+	}
+	for i := range box.Min {
+		box.Min[i] -= pad
+		box.Max[i] += pad
+	}
+	for i := 0; i < n; i++ {
+		w.AddWitness(box.Sample(rng.Float64))
+	}
+}
+
+// Adjacency returns the neighbour lists accumulated so far, sorted.
+func (w *WitnessGraph) Adjacency() [][]int {
+	out := make([][]int, len(w.adj))
+	for i, set := range w.adj {
+		for j := range set {
+			out[i] = append(out[i], j)
+		}
+		sort.Ints(out[i])
+	}
+	return out
+}
+
+// NumEdges returns the number of distinct edges.
+func (w *WitnessGraph) NumEdges() int {
+	n := 0
+	for _, set := range w.adj {
+		n += len(set)
+	}
+	return n / 2
+}

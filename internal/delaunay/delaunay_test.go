@@ -1,0 +1,347 @@
+package delaunay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func randomPoints(rng *rand.Rand, n, dim int) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, dim)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("no points should fail")
+	}
+	if _, err := Build([]vec.Point{{1}, {2}, {3}}); err == nil {
+		t.Error("1-D should fail")
+	}
+	if _, err := Build([]vec.Point{{1, 2}, {3, 4}}); err == nil {
+		t.Error("too few points should fail")
+	}
+	same := []vec.Point{{1, 1}, {1, 1}, {1, 1}}
+	if _, err := Build(same); err == nil {
+		t.Error("coincident points should fail")
+	}
+}
+
+func TestSquare2D(t *testing.T) {
+	// Unit square: 2 triangles, 5 edges (4 sides + 1 diagonal).
+	pts := []vec.Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Simplices) != 2 {
+		t.Errorf("square triangulated into %d simplices, want 2", len(tr.Simplices))
+	}
+	if e := tr.Edges(); len(e) != 5 {
+		t.Errorf("square has %d edges, want 5", len(e))
+	}
+}
+
+// emptyCircumsphere checks the defining Delaunay property: no input
+// point lies strictly inside any simplex circumsphere.
+func emptyCircumsphere(t *testing.T, tr *Triangulation, pts []vec.Point) {
+	t.Helper()
+	// Tolerance: jitter is 1e-9 of the domain scale; allow slightly
+	// more slack in the squared-distance comparison.
+	for si, s := range tr.Simplices {
+		c, r2 := tr.Centers[si], tr.R2[si]
+		tol := 1e-7 * (1 + r2)
+		for pi := range pts {
+			onSimplex := false
+			for _, v := range s {
+				if v == pi {
+					onSimplex = true
+					break
+				}
+			}
+			if onSimplex {
+				continue
+			}
+			if tr.Points[pi].Dist2(c) < r2-tol {
+				t.Fatalf("point %d strictly inside circumsphere of simplex %d (d2=%v r2=%v)",
+					pi, si, tr.Points[pi].Dist2(c), r2)
+			}
+		}
+	}
+}
+
+func TestDelaunayProperty2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 5; iter++ {
+		pts := randomPoints(rng, 40+iter*20, 2)
+		tr, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emptyCircumsphere(t, tr, pts)
+	}
+}
+
+func TestDelaunayProperty3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomPoints(rng, 60, 3)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyCircumsphere(t, tr, pts)
+}
+
+func TestDelaunayProperty5D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5-D triangulation is slow")
+	}
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 40, 5)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyCircumsphere(t, tr, pts)
+}
+
+func TestTriangulationCoversConvexHullArea2D(t *testing.T) {
+	// The triangle areas of a 2-D Delaunay must sum to the hull area.
+	// Use the unit square's corners plus interior points: hull area 1.
+	rng := rand.New(rand.NewSource(4))
+	pts := []vec.Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	pts = append(pts, randomPoints(rng, 30, 2)...)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var area float64
+	for _, s := range tr.Simplices {
+		a, b, c := tr.Points[s[0]], tr.Points[s[1]], tr.Points[s[2]]
+		area += math.Abs((b[0]-a[0])*(c[1]-a[1])-(c[0]-a[0])*(b[1]-a[1])) / 2
+	}
+	if math.Abs(area-1) > 1e-6 {
+		t.Errorf("triangulated area = %v, want 1", area)
+	}
+}
+
+func TestGridPointsDegenerate(t *testing.T) {
+	// A regular grid is maximally co-circular: the jitter must still
+	// produce a valid triangulation covering the square.
+	var pts []vec.Point
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			pts = append(pts, vec.Point{float64(x), float64(y)})
+		}
+	}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var area float64
+	for _, s := range tr.Simplices {
+		a, b, c := tr.Points[s[0]], tr.Points[s[1]], tr.Points[s[2]]
+		area += math.Abs((b[0]-a[0])*(c[1]-a[1])-(c[0]-a[0])*(b[1]-a[1])) / 2
+	}
+	if math.Abs(area-16) > 1e-5 {
+		t.Errorf("grid area = %v, want 16", area)
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 50, 2)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := tr.Adjacency()
+	for a, ns := range adj {
+		for _, b := range ns {
+			found := false
+			for _, back := range adj[b] {
+				if back == a {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestIncidentSimplicesCountsGrowWithDim(t *testing.T) {
+	// §3.4: Voronoi cells get more vertices ("rounder") as the
+	// dimension rises. Compare interior-point incident-simplex counts
+	// in 2-D vs 4-D.
+	rng := rand.New(rand.NewSource(6))
+	mean := func(dim, n int) float64 {
+		pts := randomPoints(rng, n, dim)
+		tr, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := tr.IncidentSimplices()
+		var s, m float64
+		for _, c := range counts {
+			if c > 0 {
+				s += float64(c)
+				m++
+			}
+		}
+		return s / m
+	}
+	m2 := mean(2, 60)
+	m4 := mean(4, 60)
+	if m4 < 2*m2 {
+		t.Errorf("incident simplices: 2-D %.1f vs 4-D %.1f; expected strong growth", m2, m4)
+	}
+}
+
+func TestVoronoiCell2D(t *testing.T) {
+	// 3x3 grid: the center point's Voronoi cell is the unit square
+	// around it (area 1).
+	var pts []vec.Point
+	for x := -1; x <= 1; x++ {
+		for y := -1; y <= 1; y++ {
+			pts = append(pts, vec.Point{float64(x), float64(y)})
+		}
+	}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find index of (0,0).
+	centerIdx := -1
+	for i, p := range pts {
+		if p[0] == 0 && p[1] == 0 {
+			centerIdx = i
+		}
+	}
+	cell, err := tr.VoronoiCell2D(centerIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shoelace area of the polygon.
+	var area float64
+	for i := range cell {
+		j := (i + 1) % len(cell)
+		area += cell[i][0]*cell[j][1] - cell[j][0]*cell[i][1]
+	}
+	area = math.Abs(area) / 2
+	if math.Abs(area-1) > 0.05 {
+		t.Errorf("center Voronoi cell area = %v, want ~1", area)
+	}
+	// Dim guard.
+	tr3, err := Build(randomPoints(rand.New(rand.NewSource(7)), 20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr3.VoronoiCell2D(0); err == nil {
+		t.Error("VoronoiCell2D should reject 3-D")
+	}
+}
+
+func TestWitnessGraphMatchesExactDelaunay(t *testing.T) {
+	// With dense witnesses, every witness edge must be a true Delaunay
+	// edge (two nearest seeds of any point are always Delaunay
+	// neighbours), and coverage should reach a large fraction of the
+	// exact edge set.
+	rng := rand.New(rand.NewSource(8))
+	seeds := randomPoints(rng, 40, 2)
+	tr, err := Build(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := map[[2]int]bool{}
+	for _, e := range tr.Edges() {
+		exact[e] = true
+	}
+
+	wg, err := NewWitnessGraph(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.AddRandomWitnesses(20000, 9)
+	witnessEdges := 0
+	covered := 0
+	for a, ns := range wg.Adjacency() {
+		for _, b := range ns {
+			if a >= b {
+				continue
+			}
+			witnessEdges++
+			if exact[[2]int{a, b}] {
+				covered++
+			}
+		}
+	}
+	if witnessEdges == 0 {
+		t.Fatal("witness graph empty")
+	}
+	// Soundness: witness edges are a subset of Delaunay edges.
+	if covered != witnessEdges {
+		t.Errorf("%d of %d witness edges are not Delaunay edges", witnessEdges-covered, witnessEdges)
+	}
+	// Completeness: most Delaunay edges get witnessed.
+	if float64(covered)/float64(len(exact)) < 0.8 {
+		t.Errorf("witness graph covers %d of %d Delaunay edges", covered, len(exact))
+	}
+}
+
+func TestWitnessGraphNeedsTwoSeeds(t *testing.T) {
+	if _, err := NewWitnessGraph([]vec.Point{{1, 2}}); err == nil {
+		t.Error("single seed should fail")
+	}
+}
+
+func TestWitnessGraphDataWitnesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	seeds := randomPoints(rng, 30, 3)
+	wg, err := NewWitnessGraph(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.AddWitnesses(randomPoints(rng, 5000, 3))
+	if wg.NumEdges() == 0 {
+		t.Error("no edges from data witnesses")
+	}
+	// Graph must be connected-ish: every seed has at least one
+	// neighbour after dense witnessing.
+	for i, ns := range wg.Adjacency() {
+		if len(ns) == 0 {
+			t.Errorf("seed %d has no neighbours", i)
+		}
+	}
+}
+
+func TestCircumsphereKnown(t *testing.T) {
+	// Right triangle (0,0),(2,0),(0,2): circumcenter (1,1), r² = 2.
+	pts := []vec.Point{{0, 0}, {2, 0}, {0, 2}}
+	c, r2, err := circumsphere(pts, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c[0]-1) > 1e-12 || math.Abs(c[1]-1) > 1e-12 {
+		t.Errorf("circumcenter = %v", c)
+	}
+	if math.Abs(r2-2) > 1e-12 {
+		t.Errorf("r2 = %v", r2)
+	}
+	// Degenerate (collinear) simplex errors.
+	bad := []vec.Point{{0, 0}, {1, 1}, {2, 2}}
+	if _, _, err := circumsphere(bad, []int{0, 1, 2}); err == nil {
+		t.Error("collinear circumsphere should fail")
+	}
+}

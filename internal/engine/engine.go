@@ -1,0 +1,227 @@
+// Package engine is the reproduction's database server: it owns the
+// page store, a catalog of tables, and a registry of named "stored
+// procedures" — the role MS SQL Server 2005 plays in the paper's
+// Figure 3. Queries that do not use a spatial index run here as full
+// table scans ("simple SQL queries"), which is the baseline every
+// index in the paper is measured against.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/pagestore"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// QueryStats describes the cost of one executed query, the same
+// accounting the paper reads off the SQL Server buffer manager.
+type QueryStats struct {
+	RowsExamined int64 // rows decoded and tested
+	RowsReturned int64 // rows matching the query
+	Pages        pagestore.Stats
+	Duration     time.Duration
+}
+
+// Selectivity returns returned/examined, the x-axis of Figure 5.
+func (q QueryStats) Selectivity() float64 {
+	if q.RowsExamined == 0 {
+		return 0
+	}
+	return float64(q.RowsReturned) / float64(q.RowsExamined)
+}
+
+// String formats the stats compactly for experiment output.
+func (q QueryStats) String() string {
+	return fmt.Sprintf("returned=%d examined=%d diskReads=%d hits=%d dur=%v",
+		q.RowsReturned, q.RowsExamined, q.Pages.DiskReads, q.Pages.Hits, q.Duration)
+}
+
+// Proc is a stored procedure: a named server-side routine operating
+// on the catalog. The paper implements its indexes and science
+// applications as CLR stored procedures; here they are Go closures
+// registered on the engine.
+type Proc func(args ...any) (any, error)
+
+// DB is the database engine instance.
+type DB struct {
+	store  *pagestore.Store
+	tables map[string]*table.Table
+	procs  map[string]Proc
+}
+
+// Open creates an engine over a fresh page store rooted at dir with
+// the given buffer pool size in pages.
+func Open(dir string, poolPages int) (*DB, error) {
+	s, err := pagestore.Open(dir, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		store:  s,
+		tables: make(map[string]*table.Table),
+		procs:  make(map[string]Proc),
+	}, nil
+}
+
+// Store returns the underlying page store.
+func (db *DB) Store() *pagestore.Store { return db.store }
+
+// Close flushes and closes the underlying store.
+func (db *DB) Close() error { return db.store.Close() }
+
+// CreateTable creates and registers an empty table.
+func (db *DB) CreateTable(name string) (*table.Table, error) {
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	t, err := table.Create(db.store, name)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// RegisterTable adopts an externally created table (e.g. the result
+// of a clustered Rewrite).
+func (db *DB) RegisterTable(t *table.Table) error {
+	if _, ok := db.tables[t.Name()]; ok {
+		return fmt.Errorf("engine: table %q already exists", t.Name())
+	}
+	db.tables[t.Name()] = t
+	return nil
+}
+
+// Table looks up a registered table.
+func (db *DB) Table(name string) (*table.Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames lists registered tables in sorted order.
+func (db *DB) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterProc installs a stored procedure under the given name.
+func (db *DB) RegisterProc(name string, p Proc) error {
+	if _, ok := db.procs[name]; ok {
+		return fmt.Errorf("engine: procedure %q already registered", name)
+	}
+	db.procs[name] = p
+	return nil
+}
+
+// Call invokes a stored procedure by name.
+func (db *DB) Call(name string, args ...any) (any, error) {
+	p, ok := db.procs[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no procedure %q", name)
+	}
+	return p(args...)
+}
+
+// ProcNames lists registered procedures in sorted order.
+func (db *DB) ProcNames() []string {
+	names := make([]string, 0, len(db.procs))
+	for n := range db.procs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FullScanPolyhedron answers a polyhedron query by scanning every
+// row — the paper's "simple SQL query" baseline of Figure 5. It
+// returns the matching row ids in physical order.
+func FullScanPolyhedron(t *table.Table, q vec.Polyhedron) ([]table.RowID, QueryStats, error) {
+	start := time.Now()
+	before := t.Store().Stats()
+	var ids []table.RowID
+	var examined int64
+	err := t.ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
+		examined++
+		if polyContainsMags(q, m) {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	stats := QueryStats{
+		RowsExamined: examined,
+		RowsReturned: int64(len(ids)),
+		Pages:        t.Store().Stats().Sub(before),
+		Duration:     time.Since(start),
+	}
+	return ids, stats, err
+}
+
+// CountScanPolyhedron is FullScanPolyhedron without materializing
+// ids, for benchmarks that only need the count.
+func CountScanPolyhedron(t *table.Table, q vec.Polyhedron) (int64, QueryStats, error) {
+	start := time.Now()
+	before := t.Store().Stats()
+	var count, examined int64
+	err := t.ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
+		examined++
+		if polyContainsMags(q, m) {
+			count++
+		}
+		return true
+	})
+	stats := QueryStats{
+		RowsExamined: examined,
+		RowsReturned: count,
+		Pages:        t.Store().Stats().Sub(before),
+		Duration:     time.Since(start),
+	}
+	return count, stats, err
+}
+
+// polyContainsMags tests a raw magnitude array against the
+// polyhedron without allocating a vec.Point.
+func polyContainsMags(q vec.Polyhedron, m *[table.Dim]float64) bool {
+	for _, h := range q.Planes {
+		var s float64
+		for i, a := range h.A {
+			s += a * m[i]
+		}
+		if s > h.B {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterRows re-tests candidate rows against the polyhedron,
+// fetching them page-efficiently. Index query paths use it on
+// "partial" cells (Figure 4's red cells).
+func FilterRows(t *table.Table, candidates []table.RowID, q vec.Polyhedron) ([]table.RowID, error) {
+	out := make([]table.RowID, 0, len(candidates))
+	err := t.GetMany(candidates, func(id table.RowID, r *table.Record) bool {
+		m := magsOf(r)
+		if polyContainsMags(q, &m) {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, err
+}
+
+func magsOf(r *table.Record) [table.Dim]float64 {
+	var m [table.Dim]float64
+	for i, v := range r.Mags {
+		m[i] = float64(v)
+	}
+	return m
+}

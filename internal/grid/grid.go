@@ -1,0 +1,550 @@
+// Package grid implements the paper's layered uniform grid index
+// (§3.1): the server-side structure that lets the adaptive
+// visualization client ask "give me n points from this query box
+// that follow the underlying distribution" and get them back reading
+// little more than the n points themselves.
+//
+// Construction follows the paper exactly:
+//
+//  1. every row receives a RandomID — its rank in a random
+//     permutation of the table;
+//  2. the first Base ranks form layer 1, the next Base·G ranks layer
+//     2, then Base·G² and so on, where G = 2^projDim so the expected
+//     points-per-cell stays constant across layers;
+//  3. layer l is cut by a uniform grid of 2^l cells per axis over the
+//     (projected) visualization space, and each row stores its cell
+//     code in ContainedBy.
+//
+// Because each layer is a uniform random subsample, the union of the
+// first k layers is itself a uniform subsample — so serving a query
+// box from layers 1, 2, ... until n points accumulate yields a
+// sample that follows the underlying density, at every zoom level.
+//
+// The reproduction makes the I/O claim measurable by physically
+// clustering the index table on (Layer, ContainedBy): an in-memory
+// directory maps each non-empty cell to its contiguous row range, so
+// a query touches exactly the pages of the cells intersecting the
+// box.
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/pagestore"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// ProjFunc maps a full magnitude vector to the low-dimensional
+// visualization space the grid lives in. The paper projects onto the
+// first three principal components; experiments may also use plain
+// coordinate selections.
+type ProjFunc func(m *[table.Dim]float64) vec.Point
+
+// FirstAxes returns a projector selecting the first k magnitude
+// axes.
+func FirstAxes(k int) ProjFunc {
+	return func(m *[table.Dim]float64) vec.Point {
+		p := make(vec.Point, k)
+		copy(p, m[:k])
+		return p
+	}
+}
+
+// Params configures index construction.
+type Params struct {
+	// Base is the size of layer 1 (the paper uses 1024).
+	Base int
+	// ProjDim is the dimensionality of the visualization space
+	// (the paper uses 3). Layer sizes grow by 2^ProjDim per layer.
+	ProjDim int
+	// Proj maps magnitudes into the visualization space. Defaults to
+	// FirstAxes(ProjDim).
+	Proj ProjFunc
+	// Domain bounds the projected data; the layer grids tile it.
+	Domain vec.Box
+	// Seed drives the random permutation.
+	Seed int64
+	// MaxLayers caps the number of layers (0 = as many as needed).
+	MaxLayers int
+}
+
+// DefaultParams mirrors the paper: Base 1024, 3-D projection.
+func DefaultParams(domain vec.Box, seed int64) Params {
+	return Params{Base: 1024, ProjDim: 3, Domain: domain, Seed: seed}
+}
+
+// layerInfo describes one layer's grid.
+type layerInfo struct {
+	res    int // cells per axis = 2^layer
+	points int // rows assigned to this layer
+}
+
+// cellKey identifies a grid cell across layers.
+type cellKey struct {
+	layer int
+	code  uint64
+}
+
+// rowRange is a contiguous row interval [start, start+count) in the
+// clustered table.
+type rowRange struct {
+	start table.RowID
+	count uint32
+}
+
+// Index is a built layered uniform grid over a clustered copy of the
+// base table.
+type Index struct {
+	params Params
+	// tbl is the clustered copy ordered by (Layer, ContainedBy).
+	tbl    *table.Table
+	layers []layerInfo
+	dir    map[cellKey]rowRange
+}
+
+// SampleStats reports the cost of one adaptive sample, the §3.1
+// evaluation currency.
+type SampleStats struct {
+	Returned     int   // points delivered to the client
+	LayersUsed   int   // deepest layer consulted
+	CellsScanned int   // cell ranges read
+	RowsExamined int64 // rows decoded (inside cells intersecting the box)
+	Pages        pagestore.Stats
+	Duration     time.Duration
+}
+
+// Build constructs the index: assigns RandomID/Layer/ContainedBy,
+// writes the clustered copy under clusteredName, and builds the cell
+// directory.
+func Build(tb *table.Table, clusteredName string, p Params) (*Index, error) {
+	if p.Base < 1 {
+		return nil, fmt.Errorf("grid: Base must be >= 1, got %d", p.Base)
+	}
+	if p.ProjDim < 1 || p.ProjDim > table.Dim {
+		return nil, fmt.Errorf("grid: ProjDim %d out of [1,%d]", p.ProjDim, table.Dim)
+	}
+	if p.Proj == nil {
+		p.Proj = FirstAxes(p.ProjDim)
+	}
+	if p.Domain.Dim() != p.ProjDim {
+		return nil, fmt.Errorf("grid: domain dim %d != ProjDim %d", p.Domain.Dim(), p.ProjDim)
+	}
+	n := int(tb.NumRows())
+	if n == 0 {
+		return nil, fmt.Errorf("grid: empty table")
+	}
+
+	// Random permutation: rank[i] is the RandomID of row i.
+	rng := rand.New(rand.NewSource(p.Seed))
+	rank := rng.Perm(n)
+
+	growth := 1 << uint(p.ProjDim)
+	layers := planLayers(n, p.Base, growth, p.MaxLayers)
+
+	// Compute layer + cell code per row and the clustered order. We
+	// hold the per-row index columns in memory (the paper precomputes
+	// them into table columns the same way).
+	type rowTag struct {
+		row   table.RowID
+		layer uint16
+		code  uint64
+		rank  uint32
+	}
+	tags := make([]rowTag, n)
+	var scanErr error
+	i := 0
+	err := tb.ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
+		r := rank[i]
+		layer := layerOfRank(r, p.Base, growth, len(layers))
+		proj := p.Proj(m)
+		code, err := cellCode(proj, p.Domain, layers[layer-1].res)
+		if err != nil {
+			scanErr = fmt.Errorf("grid: row %d: %w", id, err)
+			return false
+		}
+		tags[i] = rowTag{row: id, layer: uint16(layer), code: code, rank: uint32(r)}
+		i++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+
+	// Clustered order: by (layer, code), ties by rank so each cell's
+	// prefix is itself a random subsample.
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb2 := tags[order[a]], tags[order[b]]
+		if ta.layer != tb2.layer {
+			return ta.layer < tb2.layer
+		}
+		if ta.code != tb2.code {
+			return ta.code < tb2.code
+		}
+		return ta.rank < tb2.rank
+	})
+
+	// Install the index columns while rewriting in clustered order.
+	perm := make([]table.RowID, n)
+	for newPos, j := range order {
+		perm[newPos] = tags[j].row
+	}
+	clustered, err := tb.Rewrite(clusteredName, perm)
+	if err != nil {
+		return nil, err
+	}
+	for newPos, j := range order {
+		t := tags[j]
+		if err := clustered.Update(table.RowID(newPos), func(r *table.Record) {
+			r.RandomID = t.rank
+			r.Layer = t.layer
+			r.ContainedBy = uint32(t.code)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Directory of contiguous cell ranges.
+	dir := make(map[cellKey]rowRange)
+	for newPos, j := range order {
+		t := tags[j]
+		key := cellKey{layer: int(t.layer), code: t.code}
+		r, ok := dir[key]
+		if !ok {
+			dir[key] = rowRange{start: table.RowID(newPos), count: 1}
+		} else {
+			r.count++
+			dir[key] = r
+		}
+	}
+
+	return &Index{params: p, tbl: clustered, layers: layers, dir: dir}, nil
+}
+
+// planLayers returns the layer plan for n rows: layer l holds
+// base·growth^(l-1) rows, except the last which takes the remainder.
+func planLayers(n, base, growth, maxLayers int) []layerInfo {
+	var layers []layerInfo
+	remaining := n
+	size := base
+	for l := 1; remaining > 0; l++ {
+		pts := size
+		if pts > remaining {
+			pts = remaining
+		}
+		if maxLayers > 0 && l == maxLayers {
+			pts = remaining
+		}
+		layers = append(layers, layerInfo{res: 1 << uint(l), points: pts})
+		remaining -= pts
+		size *= growth
+	}
+	return layers
+}
+
+// layerOfRank returns the 1-based layer of a RandomID rank under the
+// geometric layer plan, clamped to the deepest layer.
+func layerOfRank(rank, base, growth, numLayers int) int {
+	start := 0
+	size := base
+	for l := 1; ; l++ {
+		if rank < start+size || l == numLayers {
+			return l
+		}
+		start += size
+		size *= growth
+	}
+}
+
+// cellCode computes the row-major cell index of the projected point
+// within the layer grid of the given per-axis resolution.
+func cellCode(p vec.Point, domain vec.Box, res int) (uint64, error) {
+	var code uint64
+	for d := 0; d < len(p); d++ {
+		side := domain.Max[d] - domain.Min[d]
+		if side <= 0 {
+			return 0, fmt.Errorf("degenerate domain axis %d", d)
+		}
+		c := int((p[d] - domain.Min[d]) / side * float64(res))
+		if c < 0 || c > res {
+			return 0, fmt.Errorf("point %v outside grid domain %v", p, domain)
+		}
+		if c == res { // exact upper boundary folds into the last cell
+			c = res - 1
+		}
+		code = code*uint64(res) + uint64(c)
+	}
+	return code, nil
+}
+
+// cellBox returns the geometric box of the coded cell.
+func cellBox(code uint64, domain vec.Box, res int, dim int) vec.Box {
+	coords := make([]int, dim)
+	for d := dim - 1; d >= 0; d-- {
+		coords[d] = int(code % uint64(res))
+		code /= uint64(res)
+	}
+	min := make(vec.Point, dim)
+	max := make(vec.Point, dim)
+	for d := 0; d < dim; d++ {
+		side := (domain.Max[d] - domain.Min[d]) / float64(res)
+		min[d] = domain.Min[d] + float64(coords[d])*side
+		max[d] = min[d] + side
+	}
+	return vec.Box{Min: min, Max: max}
+}
+
+// intersectingCells enumerates the codes of layer-grid cells that
+// intersect the query box, without touching cells outside it — the
+// "trivially computes which of the 2×2×2 cells intersects q" step.
+func intersectingCells(q vec.Box, domain vec.Box, res, dim int) []uint64 {
+	lo := make([]int, dim)
+	hi := make([]int, dim)
+	for d := 0; d < dim; d++ {
+		side := (domain.Max[d] - domain.Min[d]) / float64(res)
+		l := int((q.Min[d] - domain.Min[d]) / side)
+		h := int((q.Max[d] - domain.Min[d]) / side)
+		if l < 0 {
+			l = 0
+		}
+		if h >= res {
+			h = res - 1
+		}
+		if l > h {
+			return nil
+		}
+		lo[d], hi[d] = l, h
+	}
+	// Row-major enumeration of the hyper-rectangle of cells.
+	var out []uint64
+	coords := make([]int, dim)
+	copy(coords, lo)
+	for {
+		var code uint64
+		for d := 0; d < dim; d++ {
+			code = code*uint64(res) + uint64(coords[d])
+		}
+		out = append(out, code)
+		d := dim - 1
+		for d >= 0 {
+			coords[d]++
+			if coords[d] <= hi[d] {
+				break
+			}
+			coords[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			return out
+		}
+	}
+}
+
+// shuffleCodes applies a deterministic Fisher–Yates permutation.
+func shuffleCodes(codes []uint64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := len(codes) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		codes[i], codes[j] = codes[j], codes[i]
+	}
+}
+
+// NumLayers returns how many layers the index built.
+func (ix *Index) NumLayers() int { return len(ix.layers) }
+
+// LayerPoints returns the number of rows on the given 1-based layer.
+func (ix *Index) LayerPoints(layer int) int { return ix.layers[layer-1].points }
+
+// Table returns the clustered table the index serves from.
+func (ix *Index) Table() *table.Table { return ix.tbl }
+
+// Sample returns n points of the table whose projection falls inside
+// the query box q — fewer only when the box itself holds fewer —
+// chosen so the sample follows the underlying density: complete
+// layers are uniform subsamples, and the final partial layer
+// contributes a randomly chosen set of cells with rank-prefix rows.
+func (ix *Index) Sample(q vec.Box, n int) ([]table.Record, SampleStats, error) {
+	if q.Dim() != ix.params.ProjDim {
+		return nil, SampleStats{}, fmt.Errorf("grid: query box dim %d != ProjDim %d", q.Dim(), ix.params.ProjDim)
+	}
+	start := time.Now()
+	before := ix.tbl.Store().Stats()
+	var out []table.Record
+	var stats SampleStats
+
+	for l := 1; l <= len(ix.layers); l++ {
+		res := ix.layers[l-1].res
+		codes := intersectingCells(q, ix.params.Domain, res, ix.params.ProjDim)
+		// Visit cells in a deterministic shuffled order so that when
+		// the target count is reached mid-layer, the served cells are a
+		// random subset of the layer — keeping the sample unbiased at
+		// cell granularity. (The paper fetches "n − r" points from the
+		// final layer in storage order, which skews toward the low
+		// cell codes; shuffling removes that skew for free.)
+		shuffleCodes(codes, ix.params.Seed+int64(l))
+		for _, code := range codes {
+			rng, ok := ix.dir[cellKey{layer: l, code: code}]
+			if !ok {
+				continue
+			}
+			// Cells entirely inside q skip the per-point test.
+			cb := cellBox(code, ix.params.Domain, res, ix.params.ProjDim)
+			wholeCell := q.ContainsBox(cb)
+			stats.CellsScanned++
+			err := ix.tbl.ScanRange(rng.start, rng.start+table.RowID(rng.count), func(id table.RowID, r *table.Record) bool {
+				stats.RowsExamined++
+				if wholeCell || ix.inBox(r, q) {
+					out = append(out, *r)
+				}
+				// Rows within a cell are ordered by RandomID rank, so a
+				// prefix is itself a uniform subsample: stopping exactly
+				// at n keeps the sample fair.
+				return len(out) < n
+			})
+			if err != nil {
+				return nil, stats, err
+			}
+			if len(out) >= n {
+				break
+			}
+		}
+		stats.LayersUsed = l
+		if len(out) >= n {
+			break
+		}
+	}
+
+	stats.Returned = len(out)
+	stats.Pages = ix.tbl.Store().Stats().Sub(before)
+	stats.Duration = time.Since(start)
+	return out, stats, nil
+}
+
+// SampleStream is the streaming variant the paper sketches ("when
+// points from the first layer are available, start sending them back
+// to the client as we fetch more points from layer 2"): records are
+// delivered through yield as each cell is read, layer by layer, so a
+// client can start rendering before the request completes. yield
+// returning false cancels the stream. The record pointer passed to
+// yield is reused; copy to retain.
+func (ix *Index) SampleStream(q vec.Box, n int, yield func(*table.Record) bool) (SampleStats, error) {
+	if q.Dim() != ix.params.ProjDim {
+		return SampleStats{}, fmt.Errorf("grid: query box dim %d != ProjDim %d", q.Dim(), ix.params.ProjDim)
+	}
+	start := time.Now()
+	before := ix.tbl.Store().Stats()
+	var stats SampleStats
+	delivered := 0
+	cancelled := false
+
+	for l := 1; l <= len(ix.layers) && !cancelled; l++ {
+		res := ix.layers[l-1].res
+		codes := intersectingCells(q, ix.params.Domain, res, ix.params.ProjDim)
+		shuffleCodes(codes, ix.params.Seed+int64(l))
+		for _, code := range codes {
+			rng, ok := ix.dir[cellKey{layer: l, code: code}]
+			if !ok {
+				continue
+			}
+			cb := cellBox(code, ix.params.Domain, res, ix.params.ProjDim)
+			wholeCell := q.ContainsBox(cb)
+			stats.CellsScanned++
+			err := ix.tbl.ScanRange(rng.start, rng.start+table.RowID(rng.count), func(id table.RowID, r *table.Record) bool {
+				stats.RowsExamined++
+				if wholeCell || ix.inBox(r, q) {
+					if !yield(r) {
+						cancelled = true
+						return false
+					}
+					delivered++
+				}
+				return delivered < n
+			})
+			if err != nil {
+				return stats, err
+			}
+			if delivered >= n || cancelled {
+				break
+			}
+		}
+		stats.LayersUsed = l
+		if delivered >= n {
+			break
+		}
+	}
+
+	stats.Returned = delivered
+	stats.Pages = ix.tbl.Store().Stats().Sub(before)
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// inBox tests a record's projection against the query box.
+func (ix *Index) inBox(r *table.Record, q vec.Box) bool {
+	var m [table.Dim]float64
+	for i, v := range r.Mags {
+		m[i] = float64(v)
+	}
+	return q.Contains(ix.params.Proj(&m))
+}
+
+// Validate checks the structural invariants of the index: layer
+// sizes match the plan, directory ranges tile the table exactly, and
+// every row's stored cell code agrees with its geometry. Tests and
+// the experiment harness call it after building.
+func (ix *Index) Validate() error {
+	total := 0
+	for _, l := range ix.layers {
+		total += l.points
+	}
+	if total != int(ix.tbl.NumRows()) {
+		return fmt.Errorf("grid: layer plan covers %d rows, table has %d", total, ix.tbl.NumRows())
+	}
+	covered := uint64(0)
+	for key, r := range ix.dir {
+		if key.layer < 1 || key.layer > len(ix.layers) {
+			return fmt.Errorf("grid: directory has invalid layer %d", key.layer)
+		}
+		covered += uint64(r.count)
+	}
+	if covered != ix.tbl.NumRows() {
+		return fmt.Errorf("grid: directory covers %d rows, table has %d", covered, ix.tbl.NumRows())
+	}
+	// Spot-check stored codes against geometry.
+	var checkErr error
+	err := ix.tbl.Scan(func(id table.RowID, r *table.Record) bool {
+		layer := int(r.Layer)
+		if layer < 1 || layer > len(ix.layers) {
+			checkErr = fmt.Errorf("grid: row %d has layer %d", id, layer)
+			return false
+		}
+		var m [table.Dim]float64
+		for i, v := range r.Mags {
+			m[i] = float64(v)
+		}
+		code, err := cellCode(ix.params.Proj(&m), ix.params.Domain, ix.layers[layer-1].res)
+		if err != nil {
+			checkErr = err
+			return false
+		}
+		if code != uint64(r.ContainedBy) {
+			checkErr = fmt.Errorf("grid: row %d stored cell %d, geometry says %d", id, r.ContainedBy, code)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return checkErr
+}

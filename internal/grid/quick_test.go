@@ -1,0 +1,145 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+// Property: layerOfRank is the inverse of the plan — each rank lands
+// in the layer whose cumulative range covers it, for arbitrary base
+// and table size.
+func TestLayerOfRankMatchesPlan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := 1 + rng.Intn(64)
+		growth := []int{2, 4, 8}[rng.Intn(3)]
+		n := 1 + rng.Intn(5000)
+		layers := planLayers(n, base, growth, 0)
+		// Walk all ranks, tracking the expected layer from the plan.
+		expected := 1
+		consumed := 0
+		for rank := 0; rank < n; rank++ {
+			for consumed+layers[expected-1].points <= rank {
+				consumed += layers[expected-1].points
+				expected++
+			}
+			if got := layerOfRank(rank, base, growth, len(layers)); got != expected {
+				t.Logf("seed %d: rank %d -> layer %d, want %d", seed, rank, got, expected)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: planLayers always covers exactly n rows with positive
+// layer sizes and the documented resolutions.
+func TestPlanLayersCoversExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := 1 + rng.Intn(100)
+		growth := 1 << (1 + rng.Intn(3))
+		n := 1 + rng.Intn(100000)
+		maxLayers := rng.Intn(6) // 0 = unlimited
+		layers := planLayers(n, base, growth, maxLayers)
+		total := 0
+		for i, l := range layers {
+			if l.points <= 0 {
+				return false
+			}
+			if l.res != 1<<(i+1) {
+				return false
+			}
+			total += l.points
+		}
+		if maxLayers > 0 && len(layers) > maxLayers {
+			return false
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any point in the domain, cellCode places it into a
+// cell whose geometric box contains it, at every resolution.
+func TestCellCodeGeometryConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(4)
+		min := make(vec.Point, dim)
+		max := make(vec.Point, dim)
+		for d := 0; d < dim; d++ {
+			min[d] = rng.NormFloat64()
+			max[d] = min[d] + 0.1 + rng.Float64()*5
+		}
+		domain := vec.NewBox(min, max)
+		res := 1 << (1 + rng.Intn(5))
+		for trial := 0; trial < 20; trial++ {
+			p := domain.Sample(rng.Float64)
+			code, err := cellCode(p, domain, res)
+			if err != nil {
+				return false
+			}
+			box := cellBox(code, domain, res, dim)
+			// Allow boundary epsilon: cell boxes are half-open in spirit.
+			for d := 0; d < dim; d++ {
+				if p[d] < box.Min[d]-1e-9 || p[d] > box.Max[d]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersectingCells is complete — the cell of any point
+// inside the query box is always enumerated.
+func TestIntersectingCellsComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(3)
+		domain := vec.UnitBox(dim)
+		res := 1 << (1 + rng.Intn(4))
+		// Random query box clipped to the domain.
+		qmin := make(vec.Point, dim)
+		qmax := make(vec.Point, dim)
+		for d := 0; d < dim; d++ {
+			a, b := rng.Float64(), rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			qmin[d], qmax[d] = a, b
+		}
+		q := vec.NewBox(qmin, qmax)
+		cells := map[uint64]bool{}
+		for _, c := range intersectingCells(q, domain, res, dim) {
+			cells[c] = true
+		}
+		for trial := 0; trial < 30; trial++ {
+			p := q.Sample(rng.Float64)
+			code, err := cellCode(p, domain, res)
+			if err != nil {
+				return false
+			}
+			if !cells[code] {
+				t.Logf("seed %d: point %v in cell %d missing from intersection list", seed, p, code)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+func TestSampleStreamMatchesSample(t *testing.T) {
+	ix, _ := buildIndex(t, 10000, 256)
+	q := vec.NewBox(vec.Point{15, 15, 14}, vec.Point{23, 22, 21})
+	const n = 500
+
+	recs, _, err := ix.Sample(q, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []table.Record
+	stats, err := ix.SampleStream(q, n, func(r *table.Record) bool {
+		streamed = append(streamed, *r)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(recs) {
+		t.Fatalf("stream delivered %d, sample %d", len(streamed), len(recs))
+	}
+	for i := range streamed {
+		if streamed[i].ObjID != recs[i].ObjID {
+			t.Fatalf("stream order differs from sample at %d", i)
+		}
+	}
+	if stats.Returned != len(streamed) {
+		t.Errorf("stats.Returned = %d", stats.Returned)
+	}
+}
+
+func TestSampleStreamCancellation(t *testing.T) {
+	ix, _ := buildIndex(t, 5000, 256)
+	q := vec.NewBox(sky.Domain().Min[:3], sky.Domain().Max[:3])
+	delivered := 0
+	stats, err := ix.SampleStream(q, 1000, func(r *table.Record) bool {
+		delivered++
+		return delivered < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 10 {
+		t.Errorf("cancelled stream delivered %d", delivered)
+	}
+	if stats.Returned != 9 {
+		// The 10th yield returned false: 9 accepted deliveries.
+		t.Errorf("stats.Returned = %d, want 9", stats.Returned)
+	}
+}
+
+func TestSampleStreamDimMismatch(t *testing.T) {
+	ix, _ := buildIndex(t, 1000, 64)
+	if _, err := ix.SampleStream(vec.UnitBox(2), 5, func(*table.Record) bool { return true }); err == nil {
+		t.Error("expected dim mismatch error")
+	}
+}
+
+func TestSampleStreamEarlyLayersFirst(t *testing.T) {
+	// Streaming must deliver layer-1 records before layer-2 records:
+	// the client can render a coarse view immediately.
+	ix, _ := buildIndex(t, 20000, 256)
+	q := vec.NewBox(sky.Domain().Min[:3], sky.Domain().Max[:3])
+	var layers []uint16
+	_, err := ix.SampleStream(q, 2000, func(r *table.Record) bool {
+		layers = append(layers, r.Layer)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(layers); i++ {
+		if layers[i] < layers[i-1] {
+			t.Fatalf("layer order violated at %d: %d after %d", i, layers[i], layers[i-1])
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package hull implements the paper's "finding similar objects with
+// drawing a convex hull around the training set" workload (§2.2):
+// given a handful of examples with known type (say, confirmed
+// quasars), build a convex region around them in color space and
+// retrieve every catalog object inside it through the standard
+// polyhedron query machinery.
+//
+// An exact 5-D convex hull has far too many facets to be a useful
+// query (and the paper's own queries are small halfspace
+// conjunctions), so the region is built by support-function
+// sampling: for each probe direction d the halfspace
+// {x : d·x <= max_i d·p_i + margin} is added. With the 2d axis
+// directions the result is the bounding box; additional oblique
+// directions tighten it toward the true hull. The output is a
+// vec.Polyhedron, so it runs unchanged on the full scan, the
+// kd-tree and the Voronoi index.
+package hull
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// Params controls hull construction.
+type Params struct {
+	// Oblique is the number of random oblique probe directions added
+	// on top of the 2·dim axis directions. More directions hug the
+	// training set tighter.
+	Oblique int
+	// Margin expands every face outward by this distance (in units of
+	// the training set's RMS spread along the face normal), admitting
+	// objects slightly outside the training examples — the paper's
+	// training sets are tiny relative to the class.
+	Margin float64
+	// Seed drives the random directions.
+	Seed int64
+}
+
+// DefaultParams returns a hull of 4·dim oblique directions with a
+// 10% margin.
+func DefaultParams(dim int) Params {
+	return Params{Oblique: 4 * dim, Margin: 0.1, Seed: 1}
+}
+
+// Build returns the support hull of the training points.
+func Build(training []vec.Point, p Params) (vec.Polyhedron, error) {
+	if len(training) < 2 {
+		return vec.Polyhedron{}, fmt.Errorf("hull: need >= 2 training points, got %d", len(training))
+	}
+	dim := len(training[0])
+	if p.Oblique < 0 {
+		return vec.Polyhedron{}, fmt.Errorf("hull: negative oblique count")
+	}
+
+	dirs := make([]vec.Point, 0, 2*dim+p.Oblique)
+	for a := 0; a < dim; a++ {
+		plus := make(vec.Point, dim)
+		plus[a] = 1
+		minus := make(vec.Point, dim)
+		minus[a] = -1
+		dirs = append(dirs, plus, minus)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i := 0; i < p.Oblique; i++ {
+		d := make(vec.Point, dim)
+		var norm float64
+		for a := range d {
+			d[a] = rng.NormFloat64()
+			norm += d[a] * d[a]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			continue
+		}
+		for a := range d {
+			d[a] /= norm
+		}
+		dirs = append(dirs, d)
+	}
+
+	planes := make([]vec.Halfspace, 0, len(dirs))
+	for _, d := range dirs {
+		// Support value and spread of the training set along d.
+		maxV := math.Inf(-1)
+		var mean, m2 float64
+		for i, tp := range training {
+			v := d.Dot(tp)
+			if v > maxV {
+				maxV = v
+			}
+			delta := v - mean
+			mean += delta / float64(i+1)
+			m2 += delta * (v - mean)
+		}
+		spread := math.Sqrt(m2 / float64(len(training)))
+		planes = append(planes, vec.NewHalfspace(d, maxV+p.Margin*spread))
+	}
+	return vec.NewPolyhedron(planes...), nil
+}

@@ -1,0 +1,274 @@
+package kdtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// BuildParams configures tree construction.
+type BuildParams struct {
+	// Levels is the number of split levels; 0 means the paper's
+	// √N-leaves rule via ChooseLevels.
+	Levels int
+	// Domain is the root partition cell. It must contain every point.
+	Domain vec.Box
+}
+
+// Build constructs a balanced kd-tree over the magnitude vectors of
+// tb, rewrites the table clustered by leaf under clusteredName, and
+// stores each row's leaf in its LeafID column. The returned table is
+// the clustered copy the tree's row ranges refer to.
+func Build(tb *table.Table, clusteredName string, p BuildParams) (*Tree, *table.Table, error) {
+	pts, err := tb.AllPoints()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(pts) == 0 {
+		return nil, nil, fmt.Errorf("kdtree: empty table")
+	}
+	dim := len(pts[0])
+	if p.Domain.Dim() != dim {
+		return nil, nil, fmt.Errorf("kdtree: domain dim %d != point dim %d", p.Domain.Dim(), dim)
+	}
+	levels := p.Levels
+	if levels <= 0 {
+		levels = ChooseLevels(uint64(len(pts)))
+	}
+	for (1 << uint(levels)) > len(pts) {
+		levels-- // never more leaves than points
+	}
+	if levels < 0 {
+		levels = 0
+	}
+
+	t := &Tree{Dim: dim, Levels: levels, NumRows: uint64(len(pts))}
+
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	// Recursive build over index slices. Node row ranges refer to
+	// positions in the final clustered order, which is exactly the
+	// left-to-right order of idx after all partitions.
+	var post int32
+	var build func(span []int, cell vec.Box, level int, rowLo table.RowID) int32
+	build = func(span []int, cell vec.Box, level int, rowLo table.RowID) int32 {
+		self := int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, Node{Left: -1, Right: -1, Leaf: -1})
+
+		bounds := vec.EmptyBox(dim)
+		for _, i := range span {
+			bounds.ExtendPoint(pts[i])
+		}
+
+		if level == levels {
+			leaf := int32(len(t.LeafNodes))
+			t.LeafNodes = append(t.LeafNodes, self)
+			n := &t.Nodes[self]
+			n.Cell = cell
+			n.Bounds = bounds
+			n.RowLo = rowLo
+			n.RowHi = rowLo + table.RowID(len(span))
+			n.Leaf = leaf
+			n.SubtreeSize = 1
+			n.PostOrder = post
+			post++
+			return self
+		}
+
+		// Split axis: the widest extent of the node's points, the
+		// adaptive choice that follows the data's structure. Degenerate
+		// extents fall back to cycling by level.
+		axis := bounds.LongestAxis()
+		if bounds.Side(axis) == 0 {
+			axis = level % dim
+		}
+		mid := len(span) / 2
+		selectNth(span, mid, func(a, b int) bool { return pts[a][axis] < pts[b][axis] })
+		// Cut halfway between the two sides so descent (< cut left,
+		// >= cut right) routes every build point to its own leaf, up to
+		// exact duplicates at the median.
+		maxLeft := pts[span[0]][axis]
+		for _, i := range span[:mid] {
+			if v := pts[i][axis]; v > maxLeft {
+				maxLeft = v
+			}
+		}
+		cut := (maxLeft + pts[span[mid]][axis]) / 2
+
+		loCell, hiCell := cell.Split(axis, cut)
+		left := build(span[:mid], loCell, level+1, rowLo)
+		right := build(span[mid:], hiCell, level+1, rowLo+table.RowID(mid))
+
+		n := &t.Nodes[self]
+		n.Axis = int32(axis)
+		n.Cut = cut
+		n.Left = left
+		n.Right = right
+		n.Cell = cell
+		n.Bounds = bounds
+		n.RowLo = rowLo
+		n.RowHi = rowLo + table.RowID(len(span))
+		n.SubtreeSize = t.Nodes[left].SubtreeSize + t.Nodes[right].SubtreeSize + 1
+		n.PostOrder = post
+		post++
+		return self
+	}
+	build(idx, p.Domain.Clone(), 0, 0)
+
+	// Rewrite the table in leaf order and tag rows with their leaf.
+	perm := make([]table.RowID, len(idx))
+	for newPos, old := range idx {
+		perm[newPos] = table.RowID(old)
+	}
+	clustered, err := tb.Rewrite(clusteredName, perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	for leaf, ni := range t.LeafNodes {
+		n := &t.Nodes[ni]
+		for row := n.RowLo; row < n.RowHi; row++ {
+			if err := clustered.Update(row, func(r *table.Record) { r.LeafID = uint32(leaf) }); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return t, clustered, nil
+}
+
+// BuildFromPoints constructs a tree over in-memory points without a
+// backing table (used by substrate consumers like the Voronoi seed
+// locator). Row ranges index into the returned permutation: row r
+// corresponds to pts[perm[r]].
+func BuildFromPoints(pts []vec.Point, domain vec.Box, levels int) (*Tree, []int, error) {
+	if len(pts) == 0 {
+		return nil, nil, fmt.Errorf("kdtree: no points")
+	}
+	dim := len(pts[0])
+	if levels <= 0 {
+		levels = ChooseLevels(uint64(len(pts)))
+	}
+	for (1 << uint(levels)) > len(pts) {
+		levels--
+	}
+	if levels < 0 {
+		levels = 0
+	}
+	t := &Tree{Dim: dim, Levels: levels, NumRows: uint64(len(pts))}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	var post int32
+	var build func(span []int, cell vec.Box, level int, rowLo table.RowID) int32
+	build = func(span []int, cell vec.Box, level int, rowLo table.RowID) int32 {
+		self := int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, Node{Left: -1, Right: -1, Leaf: -1})
+		bounds := vec.EmptyBox(dim)
+		for _, i := range span {
+			bounds.ExtendPoint(pts[i])
+		}
+		if level == levels {
+			leaf := int32(len(t.LeafNodes))
+			t.LeafNodes = append(t.LeafNodes, self)
+			n := &t.Nodes[self]
+			n.Cell, n.Bounds = cell, bounds
+			n.RowLo, n.RowHi = rowLo, rowLo+table.RowID(len(span))
+			n.Leaf, n.SubtreeSize, n.PostOrder = leaf, 1, post
+			post++
+			return self
+		}
+		axis := bounds.LongestAxis()
+		if bounds.Side(axis) == 0 {
+			axis = level % dim
+		}
+		mid := len(span) / 2
+		selectNth(span, mid, func(a, b int) bool { return pts[a][axis] < pts[b][axis] })
+		maxLeft := pts[span[0]][axis]
+		for _, i := range span[:mid] {
+			if v := pts[i][axis]; v > maxLeft {
+				maxLeft = v
+			}
+		}
+		cut := (maxLeft + pts[span[mid]][axis]) / 2
+		loCell, hiCell := cell.Split(axis, cut)
+		left := build(span[:mid], loCell, level+1, rowLo)
+		right := build(span[mid:], hiCell, level+1, rowLo+table.RowID(mid))
+		n := &t.Nodes[self]
+		n.Axis, n.Cut = int32(axis), cut
+		n.Left, n.Right = left, right
+		n.Cell, n.Bounds = cell, bounds
+		n.RowLo, n.RowHi = rowLo, rowLo+table.RowID(len(span))
+		n.SubtreeSize = t.Nodes[left].SubtreeSize + t.Nodes[right].SubtreeSize + 1
+		n.PostOrder = post
+		post++
+		return self
+	}
+	build(idx, domain.Clone(), 0, 0)
+	return t, idx, nil
+}
+
+// selectNth partially sorts span so span[n] holds the element that
+// would be at position n in sorted order, with smaller elements
+// before it (Hoare quickselect with median-of-three pivots and an
+// insertion-sort fallback on small spans).
+func selectNth(span []int, n int, less func(a, b int) bool) {
+	lo, hi := 0, len(span)-1
+	for hi > lo {
+		if hi-lo < 12 {
+			insertionSort(span[lo:hi+1], less)
+			return
+		}
+		p := medianOfThree(span, lo, (lo+hi)/2, hi, less)
+		span[p], span[hi] = span[hi], span[p]
+		pivot := span[hi]
+		store := lo
+		for i := lo; i < hi; i++ {
+			if less(span[i], pivot) {
+				span[i], span[store] = span[store], span[i]
+				store++
+			}
+		}
+		span[store], span[hi] = span[hi], span[store]
+		switch {
+		case store == n:
+			return
+		case store < n:
+			lo = store + 1
+		default:
+			hi = store - 1
+		}
+	}
+}
+
+func insertionSort(s []int, less func(a, b int) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+func medianOfThree(span []int, a, b, c int, less func(x, y int) bool) int {
+	va, vb, vc := span[a], span[b], span[c]
+	switch {
+	case less(va, vb):
+		switch {
+		case less(vb, vc):
+			return b
+		case less(va, vc):
+			return c
+		default:
+			return a
+		}
+	default:
+		switch {
+		case less(va, vc):
+			return a
+		case less(vb, vc):
+			return c
+		default:
+			return b
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package kdtree implements the paper's balanced kd-tree index
+// (§3.2): the workhorse structure for polyhedron queries and nearest
+// neighbour search over the 5-dimensional magnitude space.
+//
+// Construction reproduces the paper's design decisions:
+//
+//   - the tree is balanced, built level by level with median cuts
+//     (the paper generates SQL per level; we run the same level-
+//     ordered partition in memory — index construction is an offline
+//     batch step in both systems);
+//   - the depth is chosen so the number of leaves is about √N, the
+//     paper's optimum where leaf count equals leaf size ("our tree
+//     has 15 levels, 2^14 leafs and in each leaf there are
+//     approximately 16K items" for 270M rows);
+//   - nodes are post-order numbered, and the table is rewritten
+//     clustered by leaf so every subtree's points form one contiguous
+//     row range — the paper's trick that turns "return all points
+//     under this node" into a single BETWEEN range scan;
+//   - each node keeps both its partition cell (the axis-aligned box
+//     produced by the cuts, which tiles the domain) and the tight
+//     bounding box of its points (used for query pruning, and the
+//     object whose elongation Figure 15 visualizes).
+package kdtree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// Node is one kd-tree node. Leaves have Left == -1.
+type Node struct {
+	Axis int32   // split axis (inner nodes)
+	Cut  float64 // split threshold: < Cut goes left, >= Cut goes right
+
+	Left, Right int32 // child indices into Tree.Nodes, -1 for leaves
+
+	// PostOrder is the paper's node numbering: all descendants of a
+	// node have smaller post-order numbers, so a subtree is the
+	// contiguous interval (PostOrder - SubtreeSize, PostOrder].
+	PostOrder   int32
+	SubtreeSize int32 // number of nodes in this subtree, itself included
+
+	// Cell is the partition box: the region of space routed to this
+	// node by the cuts. Cells of the leaves tile the domain.
+	Cell vec.Box
+	// Bounds is the tight bounding box of the points stored under the
+	// node (empty for a leaf holding zero points).
+	Bounds vec.Box
+
+	// RowLo, RowHi delimit the node's points in the leaf-clustered
+	// table: rows [RowLo, RowHi).
+	RowLo, RowHi table.RowID
+
+	// Leaf is the left-to-right leaf ordinal, -1 for inner nodes.
+	Leaf int32
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left < 0 }
+
+// Tree is a built kd-tree. Nodes[0] is the root.
+type Tree struct {
+	Dim    int
+	Levels int // number of split levels; leaves = 2^Levels
+	Nodes  []Node
+	// LeafNodes maps the left-to-right leaf ordinal to its node index.
+	LeafNodes []int32
+	// NumRows is the row count of the indexed table.
+	NumRows uint64
+}
+
+// ChooseLevels returns the paper's depth rule: enough levels that
+// the number of leaves is approximately √N (leaf count ≈ leaf size).
+func ChooseLevels(n uint64) int {
+	if n <= 1 {
+		return 0
+	}
+	levels := int(math.Round(math.Log2(float64(n)) / 2))
+	if levels < 0 {
+		levels = 0
+	}
+	return levels
+}
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return len(t.LeafNodes) }
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return &t.Nodes[0] }
+
+// LeafBox returns the partition cell of the given leaf ordinal.
+func (t *Tree) LeafBox(leaf int) vec.Box { return t.Nodes[t.LeafNodes[leaf]].Cell }
+
+// LeafRows returns the row range [lo, hi) of the leaf ordinal.
+func (t *Tree) LeafRows(leaf int) (lo, hi table.RowID) {
+	n := &t.Nodes[t.LeafNodes[leaf]]
+	return n.RowLo, n.RowHi
+}
+
+// LeafContaining descends from the root to the leaf whose partition
+// cell contains p and returns its ordinal.
+func (t *Tree) LeafContaining(p vec.Point) int {
+	idx := int32(0)
+	for {
+		n := &t.Nodes[idx]
+		if n.IsLeaf() {
+			return int(n.Leaf)
+		}
+		if p[n.Axis] < n.Cut {
+			idx = n.Left
+		} else {
+			idx = n.Right
+		}
+	}
+}
+
+// Stats aggregates structural statistics for the experiment harness
+// (§3.2's "15 levels, 2^14 leafs, ~16K items each" and Figure 15's
+// elongation observation).
+type Stats struct {
+	Levels         int
+	Leaves         int
+	MinLeafRows    int
+	MaxLeafRows    int
+	MeanLeafRows   float64
+	MeanElongation float64 // mean tight-box elongation over leaves
+}
+
+// Stats computes structural statistics.
+func (t *Tree) Stats() Stats {
+	s := Stats{Levels: t.Levels, Leaves: t.NumLeaves(), MinLeafRows: math.MaxInt}
+	var elong float64
+	var elongN int
+	for _, ni := range t.LeafNodes {
+		n := &t.Nodes[ni]
+		rows := int(n.RowHi - n.RowLo)
+		if rows < s.MinLeafRows {
+			s.MinLeafRows = rows
+		}
+		if rows > s.MaxLeafRows {
+			s.MaxLeafRows = rows
+		}
+		s.MeanLeafRows += float64(rows)
+		if !n.Bounds.IsEmpty() {
+			e := n.Bounds.Elongation()
+			if !math.IsInf(e, 1) {
+				elong += e
+				elongN++
+			}
+		}
+	}
+	if len(t.LeafNodes) > 0 {
+		s.MeanLeafRows /= float64(len(t.LeafNodes))
+	}
+	if elongN > 0 {
+		s.MeanElongation = elong / float64(elongN)
+	}
+	if s.MinLeafRows == math.MaxInt {
+		s.MinLeafRows = 0
+	}
+	return s
+}
+
+// Validate checks the structural invariants: post-order numbering,
+// row ranges forming a partition, children cells tiling parents, and
+// bounds contained in cells. Index builds run it in tests and the
+// experiment harness.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("kdtree: empty tree")
+	}
+	// Root must cover all rows.
+	root := t.Root()
+	if root.RowLo != 0 || uint64(root.RowHi) != t.NumRows {
+		return fmt.Errorf("kdtree: root covers rows [%d,%d), table has %d", root.RowLo, root.RowHi, t.NumRows)
+	}
+	seenPost := make(map[int32]bool, len(t.Nodes))
+	var walk func(idx int32) error
+	walk = func(idx int32) error {
+		n := &t.Nodes[idx]
+		if seenPost[n.PostOrder] {
+			return fmt.Errorf("kdtree: duplicate post-order %d", n.PostOrder)
+		}
+		seenPost[n.PostOrder] = true
+		if n.IsLeaf() {
+			if n.Leaf < 0 {
+				return fmt.Errorf("kdtree: leaf without ordinal at node %d", idx)
+			}
+			if n.SubtreeSize != 1 {
+				return fmt.Errorf("kdtree: leaf subtree size %d", n.SubtreeSize)
+			}
+			if !n.Bounds.IsEmpty() && !n.Cell.ContainsBox(n.Bounds) {
+				return fmt.Errorf("kdtree: leaf %d bounds %v escape cell %v", n.Leaf, n.Bounds, n.Cell)
+			}
+			return nil
+		}
+		l, r := &t.Nodes[n.Left], &t.Nodes[n.Right]
+		if l.RowLo != n.RowLo || r.RowHi != n.RowHi || l.RowHi != r.RowLo {
+			return fmt.Errorf("kdtree: node %d row ranges broken: [%d,%d) -> [%d,%d)+[%d,%d)",
+				idx, n.RowLo, n.RowHi, l.RowLo, l.RowHi, r.RowLo, r.RowHi)
+		}
+		// Post-order: children numbered before parent, parent's number
+		// is the max of its subtree, subtree is contiguous.
+		if n.PostOrder != r.PostOrder+1 && n.PostOrder != l.PostOrder+1 {
+			// parent is numbered immediately after its last child
+			return fmt.Errorf("kdtree: node %d post-order %d not adjacent to children (%d, %d)",
+				idx, n.PostOrder, l.PostOrder, r.PostOrder)
+		}
+		if n.SubtreeSize != l.SubtreeSize+r.SubtreeSize+1 {
+			return fmt.Errorf("kdtree: node %d subtree size %d != %d + %d + 1",
+				idx, n.SubtreeSize, l.SubtreeSize, r.SubtreeSize)
+		}
+		if n.PostOrder-n.SubtreeSize != minPost(t, idx)-1 {
+			return fmt.Errorf("kdtree: node %d subtree interval broken", idx)
+		}
+		// Cells tile: children split the parent cell on the cut plane.
+		if l.Cell.Max[n.Axis] != n.Cut || r.Cell.Min[n.Axis] != n.Cut {
+			return fmt.Errorf("kdtree: node %d children cells do not meet at cut", idx)
+		}
+		if err := walk(n.Left); err != nil {
+			return err
+		}
+		return walk(n.Right)
+	}
+	return walk(0)
+}
+
+// minPost returns the smallest post-order number in the subtree.
+func minPost(t *Tree, idx int32) int32 {
+	n := &t.Nodes[idx]
+	for !n.IsLeaf() {
+		n = &t.Nodes[n.Left]
+	}
+	return n.PostOrder
+}

@@ -1,0 +1,83 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// TestPruningStrategiesAgree: both pruning strategies must return
+// identical result sets; only the work differs.
+func TestPruningStrategiesAgree(t *testing.T) {
+	tree, tb := buildFixture(t, 4000, 0)
+	rng := rand.New(rand.NewSource(21))
+	dom := sky.Domain()
+	for iter := 0; iter < 10; iter++ {
+		c := dom.Sample(rng.Float64)
+		half := 0.5 + 2*rng.Float64()
+		lo, hi := make(vec.Point, 5), make(vec.Point, 5)
+		for d := 0; d < 5; d++ {
+			lo[d], hi[d] = c[d]-half, c[d]+half
+		}
+		q := vec.BoxPolyhedron(vec.NewBox(lo, hi))
+		a, _, err := tree.QueryPolyhedronPruned(tb, q, PruneTightBounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := tree.QueryPolyhedronPruned(tb, q, PrunePartitionCells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("strategies disagree: %d vs %d rows", len(a), len(b))
+		}
+		got := map[table.RowID]bool{}
+		for _, id := range a {
+			got[id] = true
+		}
+		for _, id := range b {
+			if !got[id] {
+				t.Fatalf("row %d only in cell-pruned result", id)
+			}
+		}
+	}
+}
+
+// TestTightBoundsPruneMore: on clustered data, tight bounds must
+// examine no more rows than partition cells, and typically far
+// fewer — the ablation behind "the spatial partitioning must follow
+// the structure of the data".
+func TestTightBoundsPruneMore(t *testing.T) {
+	tree, tb := buildFixture(t, 20000, 0)
+	rng := rand.New(rand.NewSource(23))
+	var tightRows, cellRows int64
+	for iter := 0; iter < 10; iter++ {
+		var rec table.Record
+		tb.Get(table.RowID(rng.Intn(int(tb.NumRows()))), &rec)
+		c := rec.Point()
+		lo, hi := make(vec.Point, 5), make(vec.Point, 5)
+		for d := 0; d < 5; d++ {
+			lo[d], hi[d] = c[d]-0.6, c[d]+0.6
+		}
+		q := vec.BoxPolyhedron(vec.NewBox(lo, hi))
+		_, st1, err := tree.QueryPolyhedronPruned(tb, q, PruneTightBounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st2, err := tree.QueryPolyhedronPruned(tb, q, PrunePartitionCells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tightRows += st1.RowsExamined
+		cellRows += st2.RowsExamined
+	}
+	if tightRows > cellRows {
+		t.Errorf("tight bounds examined %d rows, cells %d — pruning regressed", tightRows, cellRows)
+	}
+	if float64(tightRows) > 0.9*float64(cellRows) {
+		t.Logf("note: tight bounds only marginally better (%d vs %d)", tightRows, cellRows)
+	}
+}

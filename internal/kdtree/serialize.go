@@ -1,0 +1,82 @@
+package kdtree
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The tree is an offline artifact in the paper (12 hours of build
+// time over 270M rows); persisting it alongside the clustered table
+// lets query sessions skip the rebuild. The serialized form is a
+// gob stream with a version header.
+
+const treeFormatVersion = 1
+
+type treeHeader struct {
+	Version int
+	Dim     int
+	Levels  int
+	NumRows uint64
+}
+
+// Save writes the tree to w.
+func (t *Tree) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(treeHeader{Version: treeFormatVersion, Dim: t.Dim, Levels: t.Levels, NumRows: t.NumRows}); err != nil {
+		return fmt.Errorf("kdtree: encode header: %w", err)
+	}
+	if err := enc.Encode(t.Nodes); err != nil {
+		return fmt.Errorf("kdtree: encode nodes: %w", err)
+	}
+	if err := enc.Encode(t.LeafNodes); err != nil {
+		return fmt.Errorf("kdtree: encode leaf map: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a tree written by Save.
+func Load(r io.Reader) (*Tree, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var h treeHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("kdtree: decode header: %w", err)
+	}
+	if h.Version != treeFormatVersion {
+		return nil, fmt.Errorf("kdtree: unsupported format version %d", h.Version)
+	}
+	t := &Tree{Dim: h.Dim, Levels: h.Levels, NumRows: h.NumRows}
+	if err := dec.Decode(&t.Nodes); err != nil {
+		return nil, fmt.Errorf("kdtree: decode nodes: %w", err)
+	}
+	if err := dec.Decode(&t.LeafNodes); err != nil {
+		return nil, fmt.Errorf("kdtree: decode leaf map: %w", err)
+	}
+	return t, nil
+}
+
+// SaveFile writes the tree to the named file.
+func (t *Tree) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a tree from the named file.
+func LoadFile(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,114 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SymEigen computes the eigendecomposition of the symmetric matrix A
+// with the cyclic Jacobi method. It returns the eigenvalues in
+// descending order and the matching eigenvectors as the columns of V
+// (so A ≈ V diag(vals) Vᵀ). Only the lower triangle of A is read.
+//
+// Jacobi iteration is quadratically convergent and unconditionally
+// stable for symmetric input, which makes it the right tool for the
+// small covariance matrices (5×5 for the color space, a few hundred
+// square for spectra after binning) the PCA pipeline produces.
+func SymEigen(a *Matrix) (vals []float64, vecs *Matrix) {
+	if a.Rows != a.Cols {
+		panic("linalg: SymEigen requires a square matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	// Symmetrize from the lower triangle so callers may fill either half.
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			m.Set(j, i, m.At(i, j))
+		}
+	}
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off < 1e-13*(1+frobNorm(m)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				// Stable tangent of the rotation angle.
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// rotate applies the Jacobi rotation G(p,q,θ) to m (two-sided) and
+// accumulates it into v (one-sided).
+func rotate(m, v *Matrix, p, q int, c, s float64) {
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		mip, miq := m.At(i, p), m.At(i, q)
+		m.Set(i, p, c*mip-s*miq)
+		m.Set(i, q, s*mip+c*miq)
+	}
+	for i := 0; i < n; i++ {
+		mpi, mqi := m.At(p, i), m.At(q, i)
+		m.Set(p, i, c*mpi-s*mqi)
+		m.Set(q, i, s*mpi+c*mqi)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func frobNorm(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

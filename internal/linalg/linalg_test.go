@@ -1,0 +1,388 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Errorf("At = %v", m.At(1, 0))
+	}
+	m.Set(1, 0, 7)
+	if m.At(1, 0) != 7 {
+		t.Error("Set did not stick")
+	}
+	tr := m.T()
+	if tr.At(0, 1) != 7 || tr.At(1, 0) != 2 {
+		t.Errorf("transpose wrong: %v", tr)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	p := m.Mul(Identity(3))
+	if p.MaxAbsDiff(m) != 0 {
+		t.Errorf("m×I != m: %v", p)
+	}
+	q := Identity(2).Mul(m)
+	if q.MaxAbsDiff(m) != 0 {
+		t.Errorf("I×m != m: %v", q)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got.MaxAbsDiff(want) > 1e-12 {
+		t.Errorf("Mul = %v", got)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	y := a.MulVec([]float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v", y)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("Solve = %v, want [1 3]", x)
+	}
+	// Original inputs must be untouched.
+	if a.At(0, 0) != 2 {
+		t.Error("Solve modified its input")
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("Solve = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("expected singular matrix error")
+	}
+}
+
+// Property: Solve recovers x from b = A·x for random well-conditioned A.
+func TestSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		// Diagonal dominance keeps the system well conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := l.Mul(l.T())
+	if recon.MaxAbsDiff(a) > 1e-12 {
+		t.Errorf("L·Lᵀ = %v, want %v", recon, a)
+	}
+	x := SolveCholesky(l, []float64{8, 7})
+	b := a.MulVec(x)
+	if math.Abs(b[0]-8) > 1e-10 || math.Abs(b[1]-7) > 1e-10 {
+		t.Errorf("SolveCholesky residual: %v", b)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Error("expected not-positive-definite error")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent: y = 2x + 1 at 4 points.
+	a := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	b := []float64{1, 3, 5, 7}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Errorf("LeastSquares = %v, want [1 2]", x)
+	}
+}
+
+func TestLeastSquaresDegenerate(t *testing.T) {
+	// Second column identical to the first: normal matrix singular.
+	a := FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}})
+	b := []float64{2, 2, 2}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("damped least squares should succeed: %v", err)
+	}
+	// Fitted values must still match.
+	fit := a.MulVec(x)
+	for i := range fit {
+		if math.Abs(fit[i]-2) > 1e-4 {
+			t.Errorf("fitted value %d = %v, want 2", i, fit[i])
+		}
+	}
+}
+
+func TestPolyFeatures(t *testing.T) {
+	x := []float64{2, 3}
+	if got := PolyFeatures(x, 0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("deg0 = %v", got)
+	}
+	if got := PolyFeatures(x, 1); len(got) != 3 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("deg1 = %v", got)
+	}
+	got := PolyFeatures(x, 2)
+	want := []float64{1, 2, 3, 4, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("deg2 len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("deg2[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, dim := range []int{1, 2, 5} {
+		xs := make([]float64, dim)
+		for _, deg := range []int{0, 1, 2} {
+			if got, want := len(PolyFeatures(xs, deg)), NumPolyFeatures(dim, deg); got != want {
+				t.Errorf("NumPolyFeatures(%d,%d) = %d, features = %d", dim, deg, want, got)
+			}
+		}
+	}
+}
+
+func TestPolyFitRecoversQuadratic(t *testing.T) {
+	// z = 1 + 2x - y + 0.5x^2 + xy in 2-D.
+	truth := func(x, y float64) float64 { return 1 + 2*x - y + 0.5*x*x + x*y }
+	rng := rand.New(rand.NewSource(9))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 50; i++ {
+		x, y := rng.NormFloat64(), rng.NormFloat64()
+		xs = append(xs, []float64{x, y})
+		ys = append(ys, truth(x, y))
+	}
+	coeffs, deg, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != 2 {
+		t.Fatalf("degraded to degree %d", deg)
+	}
+	for i := 0; i < 20; i++ {
+		x, y := rng.NormFloat64(), rng.NormFloat64()
+		got := PolyEval(coeffs, []float64{x, y}, deg)
+		if math.Abs(got-truth(x, y)) > 1e-6 {
+			t.Fatalf("PolyEval(%v,%v) = %v, want %v", x, y, got, truth(x, y))
+		}
+	}
+}
+
+func TestPolyFitDegradesDegree(t *testing.T) {
+	// 3 samples in 2-D cannot support a quadratic (6 coeffs) or even a
+	// full linear+quadratic; expect automatic degradation.
+	xs := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	ys := []float64{1, 2, 3}
+	coeffs, deg, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != 1 {
+		t.Fatalf("expected degradation to degree 1, got %d", deg)
+	}
+	for i, x := range xs {
+		if got := PolyEval(coeffs, x, deg); math.Abs(got-ys[i]) > 1e-9 {
+			t.Errorf("interpolation failed at %v: %v != %v", x, got, ys[i])
+		}
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 1}})
+	vals, vecs := SymEigen(a)
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Errorf("vals = %v", vals)
+	}
+	if math.Abs(math.Abs(vecs.At(0, 0))-1) > 1e-9 {
+		t.Errorf("first eigenvector = (%v, %v)", vecs.At(0, 0), vecs.At(1, 0))
+	}
+}
+
+func TestSymEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := SymEigen(a)
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Errorf("vals = %v", vals)
+	}
+	// Check A v = λ v for each eigenpair.
+	for c := 0; c < 2; c++ {
+		v := []float64{vecs.At(0, c), vecs.At(1, c)}
+		av := a.MulVec(v)
+		for i := range av {
+			if math.Abs(av[i]-vals[c]*v[i]) > 1e-9 {
+				t.Errorf("eigenpair %d residual %v", c, av)
+			}
+		}
+	}
+}
+
+// Property: SymEigen reconstructs A = V diag(vals) Vᵀ and V is orthogonal.
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs := SymEigen(a)
+		for c := 1; c < n; c++ {
+			if vals[c] > vals[c-1]+1e-12 {
+				t.Fatalf("eigenvalues not sorted: %v", vals)
+			}
+		}
+		// Orthogonality.
+		vtv := vecs.T().Mul(vecs)
+		if vtv.MaxAbsDiff(Identity(n)) > 1e-8 {
+			t.Fatalf("V not orthogonal, VᵀV deviates by %v", vtv.MaxAbsDiff(Identity(n)))
+		}
+		// Reconstruction.
+		d := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			d.Set(i, i, vals[i])
+		}
+		recon := vecs.Mul(d).Mul(vecs.T())
+		if recon.MaxAbsDiff(a) > 1e-8 {
+			t.Fatalf("reconstruction error %v", recon.MaxAbsDiff(a))
+		}
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points along the direction (1,1)/√2 with small orthogonal noise.
+	rng := rand.New(rand.NewSource(23))
+	var samples [][]float64
+	for i := 0; i < 500; i++ {
+		tt := rng.NormFloat64() * 5
+		n := rng.NormFloat64() * 0.1
+		samples = append(samples, []float64{tt + n, tt - n})
+	}
+	p, err := FitPCA(samples, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First component should align with (1,1)/√2 up to sign.
+	v0, v1 := p.Basis.At(0, 0), p.Basis.At(0, 1)
+	if math.Abs(math.Abs(v0)-math.Sqrt2/2) > 0.01 || math.Abs(v0-v1) > 0.01 {
+		t.Errorf("first PC = (%v, %v)", v0, v1)
+	}
+	if p.Variances[0] < 10*p.Variances[1] {
+		t.Errorf("variance ordering weak: %v", p.Variances)
+	}
+	ev := p.ExplainedVariance()
+	if ev[0] < 0.9 {
+		t.Errorf("explained variance = %v", ev)
+	}
+}
+
+func TestPCAWhitening(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var samples [][]float64
+	for i := 0; i < 2000; i++ {
+		samples = append(samples, []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 0.5})
+	}
+	p, err := FitPCA(samples, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := p.TransformAll(samples)
+	for c := 0; c < 2; c++ {
+		var mean, ss float64
+		for _, row := range proj {
+			mean += row[c]
+		}
+		mean /= float64(len(proj))
+		for _, row := range proj {
+			d := row[c] - mean
+			ss += d * d
+		}
+		variance := ss / float64(len(proj)-1)
+		if math.Abs(variance-1) > 0.1 {
+			t.Errorf("whitened component %d variance = %v", c, variance)
+		}
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := FitPCA([][]float64{{1, 2}}, 1, false); err == nil {
+		t.Error("single sample should fail")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {3, 4}}, 3, false); err == nil {
+		t.Error("too many components should fail")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {3, 4}, {5}}, 1, false); err == nil {
+		t.Error("ragged samples should fail")
+	}
+}

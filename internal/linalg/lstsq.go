@@ -1,0 +1,129 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeastSquares solves min ‖A x − b‖₂ for a tall design matrix A
+// (Rows ≥ Cols) via the normal equations AᵀA x = Aᵀb, solved with a
+// Cholesky factorization and a Gaussian-elimination fallback with
+// Tikhonov damping when the normal matrix is numerically singular
+// (which happens routinely when nearest neighbours are nearly
+// co-planar in color space — the local polynomial fit of §4.1 must
+// not fall over on such neighbourhoods).
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("linalg: underdetermined system %dx%d", a.Rows, a.Cols)
+	}
+	if a.Rows != len(b) {
+		panic("linalg: LeastSquares shape mismatch")
+	}
+	at := a.T()
+	ata := at.Mul(a)
+	atb := at.MulVec(b)
+	if l, err := Cholesky(ata); err == nil {
+		return SolveCholesky(l, atb), nil
+	}
+	// Damped retry: add a ridge proportional to the matrix scale. The
+	// damping only matters in the degenerate directions, so the fitted
+	// values at the data points remain essentially unchanged.
+	scale := 0.0
+	for i := 0; i < ata.Rows; i++ {
+		scale = math.Max(scale, math.Abs(ata.At(i, i)))
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	ridge := ata.Clone()
+	for i := 0; i < ridge.Rows; i++ {
+		ridge.Set(i, i, ridge.At(i, i)+1e-8*scale)
+	}
+	x, err := Solve(ridge, atb)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: least squares failed even with damping: %w", err)
+	}
+	return x, nil
+}
+
+// PolyFeatures expands the point x into the monomial basis of total
+// degree <= deg: constant, all linear terms, and for deg >= 2 all
+// quadratic products x_i x_j (i <= j). Degrees above 2 are not
+// needed by the paper's "low order polynomial fit" and are rejected.
+func PolyFeatures(x []float64, deg int) []float64 {
+	switch deg {
+	case 0:
+		return []float64{1}
+	case 1:
+		f := make([]float64, 0, 1+len(x))
+		f = append(f, 1)
+		f = append(f, x...)
+		return f
+	case 2:
+		d := len(x)
+		f := make([]float64, 0, 1+d+d*(d+1)/2)
+		f = append(f, 1)
+		f = append(f, x...)
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				f = append(f, x[i]*x[j])
+			}
+		}
+		return f
+	default:
+		panic(fmt.Sprintf("linalg: unsupported polynomial degree %d", deg))
+	}
+}
+
+// NumPolyFeatures returns len(PolyFeatures(x, deg)) for dim-dimensional x.
+func NumPolyFeatures(dim, deg int) int {
+	switch deg {
+	case 0:
+		return 1
+	case 1:
+		return 1 + dim
+	case 2:
+		return 1 + dim + dim*(dim+1)/2
+	default:
+		panic(fmt.Sprintf("linalg: unsupported polynomial degree %d", deg))
+	}
+}
+
+// PolyFit fits a polynomial of the given total degree to the samples
+// (xs[i], ys[i]) by least squares and returns the coefficient vector
+// in PolyFeatures order. If there are fewer samples than coefficients
+// it automatically degrades the degree (2 → 1 → 0) — the behaviour
+// the redshift estimator needs when a query point has few usable
+// neighbours.
+func PolyFit(xs [][]float64, ys []float64, deg int) (coeffs []float64, usedDeg int, err error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, 0, fmt.Errorf("linalg: PolyFit needs matching non-empty samples (%d xs, %d ys)", len(xs), len(ys))
+	}
+	dim := len(xs[0])
+	for deg > 0 && len(xs) < NumPolyFeatures(dim, deg) {
+		deg--
+	}
+	a := NewMatrix(len(xs), NumPolyFeatures(dim, deg))
+	for i, x := range xs {
+		copy(a.Row(i), PolyFeatures(x, deg))
+	}
+	c, err := LeastSquares(a, ys)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, deg, nil
+}
+
+// PolyEval evaluates a polynomial with PolyFeatures-ordered
+// coefficients at x.
+func PolyEval(coeffs []float64, x []float64, deg int) float64 {
+	f := PolyFeatures(x, deg)
+	if len(f) != len(coeffs) {
+		panic(fmt.Sprintf("linalg: coefficient count %d does not match degree-%d basis %d", len(coeffs), deg, len(f)))
+	}
+	var s float64
+	for i, c := range coeffs {
+		s += c * f[i]
+	}
+	return s
+}

@@ -1,0 +1,251 @@
+// Package linalg implements the small dense linear algebra kernel the
+// scientific procedures of the paper depend on: least-squares
+// polynomial fits for photometric redshift estimation (§4.1, the
+// paper uses a Numerical-Recipes style general least squares solver
+// compiled into the database), and the Karhunen–Loève / principal
+// component transform used to reduce 3000-dimensional spectra to
+// 5-dimensional feature vectors (§4.2) and to compute the first three
+// principal components visualized in §5.
+//
+// Everything is plain dense float64; the matrices involved are tiny
+// (polynomial design matrices with tens of columns, covariance
+// matrices up to a few thousand square), so clarity wins over
+// blocking or vectorization.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix returns a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix shape %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices, which must all share one
+// length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: FromRows needs a non-empty rectangle")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns row r as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns an independent copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			t.Set(c, r, m.At(r, c))
+		}
+	}
+	return t
+}
+
+// Mul returns m × o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d × %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	p := NewMatrix(m.Rows, o.Cols)
+	for r := 0; r < m.Rows; r++ {
+		mrow := m.Row(r)
+		prow := p.Row(r)
+		for k := 0; k < m.Cols; k++ {
+			v := mrow[k]
+			if v == 0 {
+				continue
+			}
+			orow := o.Row(k)
+			for c := 0; c < o.Cols; c++ {
+				prow[c] += v * orow[c]
+			}
+		}
+	}
+	return p
+}
+
+// MulVec returns m × x for a column vector x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic("linalg: MulVec shape mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		var s float64
+		for c, v := range row {
+			s += v * x[c]
+		}
+		y[r] = s
+	}
+	return y
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference
+// between m and o, a convenient metric for tests.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("linalg: MaxAbsDiff shape mismatch")
+	}
+	var d float64
+	for i := range m.Data {
+		d = math.Max(d, math.Abs(m.Data[i]-o.Data[i]))
+	}
+	return d
+}
+
+// Solve solves the square system A x = b by Gaussian elimination
+// with partial pivoting. A and b are left unmodified. It returns an
+// error when the matrix is singular to working precision.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Solve requires a square matrix")
+	}
+	if a.Rows != len(b) {
+		panic("linalg: Solve shape mismatch")
+	}
+	n := a.Rows
+	// Augmented working copy.
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest |value| in this column at or below the diagonal.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("linalg: singular matrix (pivot %d ~ %g)", col, best)
+		}
+		if pivot != col {
+			swapRows(m, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m.Set(r, c, m.At(r, c)-f*m.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= m.At(r, c) * x[c]
+		}
+		x[r] = s / m.At(r, r)
+	}
+	return x, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for c := range ri {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}
+
+// Cholesky factors the symmetric positive-definite matrix A as L·Lᵀ
+// and returns the lower-triangular L. It errors when A is not
+// positive definite to working precision.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("linalg: matrix not positive definite (row %d, s=%g)", i, s)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A x = b given the Cholesky factor L of A, by
+// forward then backward substitution.
+func SolveCholesky(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}

@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// PCA is a fitted principal component (Karhunen–Loève) transform.
+// The paper uses it twice: to reduce 3000-bin spectra to 5-component
+// feature vectors for similarity search (§4.2, after Connolly et
+// al. 1995), and to pick the first three principal components of the
+// magnitude table for 3-D visualization (§5.2). Whitening — scaling
+// each component to unit variance — makes the Euclidean metric of
+// the Voronoi index meaningful (§3.4: "after whitening this should
+// give correct results").
+type PCA struct {
+	Dim        int       // input dimensionality
+	Components int       // number of retained components
+	Mean       []float64 // per-input-dimension mean
+	// Basis holds the retained eigenvectors as rows: Components×Dim.
+	Basis *Matrix
+	// Variances holds the eigenvalue (variance) of each retained
+	// component in descending order.
+	Variances []float64
+	// Whiten scales projected coordinates to unit variance.
+	Whiten bool
+}
+
+// FitPCA fits a PCA with the given number of retained components to
+// the sample rows. It needs at least two samples and components in
+// [1, dim].
+func FitPCA(samples [][]float64, components int, whiten bool) (*PCA, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("linalg: PCA needs >= 2 samples, got %d", len(samples))
+	}
+	dim := len(samples[0])
+	if components < 1 || components > dim {
+		return nil, fmt.Errorf("linalg: PCA components %d out of range [1,%d]", components, dim)
+	}
+	mean := make([]float64, dim)
+	for _, s := range samples {
+		if len(s) != dim {
+			return nil, fmt.Errorf("linalg: ragged PCA samples")
+		}
+		for i, v := range s {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(samples))
+	}
+	// Covariance (lower triangle suffices for SymEigen).
+	cov := NewMatrix(dim, dim)
+	inv := 1 / float64(len(samples)-1)
+	centered := make([]float64, dim)
+	for _, s := range samples {
+		for i := range centered {
+			centered[i] = s[i] - mean[i]
+		}
+		for i := 0; i < dim; i++ {
+			ci := centered[i]
+			if ci == 0 {
+				continue
+			}
+			row := cov.Row(i)
+			for j := 0; j <= i; j++ {
+				row[j] += ci * centered[j] * inv
+			}
+		}
+	}
+	vals, vecs := SymEigen(cov)
+	basis := NewMatrix(components, dim)
+	variances := make([]float64, components)
+	for c := 0; c < components; c++ {
+		variances[c] = vals[c]
+		for r := 0; r < dim; r++ {
+			basis.Set(c, r, vecs.At(r, c))
+		}
+	}
+	return &PCA{
+		Dim:        dim,
+		Components: components,
+		Mean:       mean,
+		Basis:      basis,
+		Variances:  variances,
+		Whiten:     whiten,
+	}, nil
+}
+
+// Transform projects x onto the retained components, whitening if
+// the transform was fitted with whitening.
+func (p *PCA) Transform(x []float64) []float64 {
+	if len(x) != p.Dim {
+		panic(fmt.Sprintf("linalg: PCA input dim %d, want %d", len(x), p.Dim))
+	}
+	out := make([]float64, p.Components)
+	for c := 0; c < p.Components; c++ {
+		row := p.Basis.Row(c)
+		var s float64
+		for i, v := range x {
+			s += row[i] * (v - p.Mean[i])
+		}
+		if p.Whiten && p.Variances[c] > 1e-12 {
+			s /= sqrt(p.Variances[c])
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// TransformAll projects every sample row.
+func (p *PCA) TransformAll(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = p.Transform(x)
+	}
+	return out
+}
+
+// ExplainedVariance returns the fraction of per-component variance
+// relative to the summed retained variance. (With all components
+// retained this is the usual explained-variance ratio.)
+func (p *PCA) ExplainedVariance() []float64 {
+	var total float64
+	for _, v := range p.Variances {
+		total += v
+	}
+	out := make([]float64, len(p.Variances))
+	if total <= 0 {
+		return out
+	}
+	for i, v := range p.Variances {
+		out[i] = v / total
+	}
+	return out
+}
+
+func sqrt(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

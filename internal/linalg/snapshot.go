@@ -1,0 +1,96 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitPCASnapshot fits a PCA when the dimensionality far exceeds the
+// sample count — the situation of §4.2, where spectra have ~3000
+// bins but the Karhunen–Loève basis is estimated from a few hundred
+// exemplars. Instead of the dim×dim covariance it eigendecomposes
+// the n×n Gram matrix of the centered samples ("method of
+// snapshots"): if X is the centered n×dim sample matrix, the
+// eigenvectors v of XXᵀ/(n−1) map to covariance eigenvectors
+// Xᵀv / ‖Xᵀv‖ with the same eigenvalues.
+func FitPCASnapshot(samples [][]float64, components int, whiten bool) (*PCA, error) {
+	n := len(samples)
+	if n < 2 {
+		return nil, fmt.Errorf("linalg: snapshot PCA needs >= 2 samples, got %d", n)
+	}
+	dim := len(samples[0])
+	if components < 1 || components > n-1 || components > dim {
+		return nil, fmt.Errorf("linalg: snapshot PCA components %d out of range [1, min(%d,%d)]", components, n-1, dim)
+	}
+	mean := make([]float64, dim)
+	for _, s := range samples {
+		if len(s) != dim {
+			return nil, fmt.Errorf("linalg: ragged snapshot samples")
+		}
+		for i, v := range s {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(n)
+	}
+	// Centered sample matrix X (n×dim), materialized row-wise.
+	x := NewMatrix(n, dim)
+	for r, s := range samples {
+		row := x.Row(r)
+		for i, v := range s {
+			row[i] = v - mean[i]
+		}
+	}
+	// Gram matrix G = X Xᵀ / (n-1), n×n.
+	g := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		ri := x.Row(i)
+		for j := 0; j <= i; j++ {
+			rj := x.Row(j)
+			var s float64
+			for c := 0; c < dim; c++ {
+				s += ri[c] * rj[c]
+			}
+			g.Set(i, j, s/float64(n-1))
+		}
+	}
+	vals, vecs := SymEigen(g)
+
+	basis := NewMatrix(components, dim)
+	variances := make([]float64, components)
+	for c := 0; c < components; c++ {
+		variances[c] = math.Max(vals[c], 0)
+		// Covariance eigenvector: Xᵀ v_c, normalized.
+		dir := basis.Row(c)
+		for r := 0; r < n; r++ {
+			w := vecs.At(r, c)
+			if w == 0 {
+				continue
+			}
+			row := x.Row(r)
+			for i := 0; i < dim; i++ {
+				dir[i] += w * row[i]
+			}
+		}
+		var norm float64
+		for _, v := range dir {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			return nil, fmt.Errorf("linalg: snapshot PCA component %d degenerate (eigenvalue %g)", c, vals[c])
+		}
+		for i := range dir {
+			dir[i] /= norm
+		}
+	}
+	return &PCA{
+		Dim:        dim,
+		Components: components,
+		Mean:       mean,
+		Basis:      basis,
+		Variances:  variances,
+		Whiten:     whiten,
+	}, nil
+}

@@ -1,0 +1,156 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSnapshotMatchesDirectPCA: on small-dimensional data both
+// estimators must produce the same subspace and variances.
+func TestSnapshotMatchesDirectPCA(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var samples [][]float64
+	for i := 0; i < 200; i++ {
+		a, b := rng.NormFloat64()*3, rng.NormFloat64()
+		samples = append(samples, []float64{a + b, a - b, 0.5 * a, b})
+	}
+	direct, err := FitPCA(samples, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := FitPCASnapshot(samples, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		if math.Abs(direct.Variances[c]-snap.Variances[c])/direct.Variances[c] > 1e-6 {
+			t.Errorf("component %d variance: direct %v, snapshot %v", c, direct.Variances[c], snap.Variances[c])
+		}
+		// Basis vectors equal up to sign.
+		var dot float64
+		for i := 0; i < 4; i++ {
+			dot += direct.Basis.At(c, i) * snap.Basis.At(c, i)
+		}
+		if math.Abs(math.Abs(dot)-1) > 1e-6 {
+			t.Errorf("component %d misaligned: |dot| = %v", c, math.Abs(dot))
+		}
+	}
+}
+
+// TestSnapshotHighDim: snapshot PCA on dim >> n recovers planted
+// structure without ever forming the dim×dim covariance.
+func TestSnapshotHighDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const dim = 2000
+	// Two orthogonal planted directions.
+	u := make([]float64, dim)
+	v := make([]float64, dim)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+		v[i] = rng.NormFloat64()
+	}
+	normalize(u)
+	// Gram-Schmidt v against u.
+	var dot float64
+	for i := range v {
+		dot += u[i] * v[i]
+	}
+	for i := range v {
+		v[i] -= dot * u[i]
+	}
+	normalize(v)
+
+	var samples [][]float64
+	for k := 0; k < 60; k++ {
+		a, b := rng.NormFloat64()*5, rng.NormFloat64()*2
+		s := make([]float64, dim)
+		for i := range s {
+			s[i] = a*u[i] + b*v[i] + rng.NormFloat64()*0.01
+		}
+		samples = append(samples, s)
+	}
+	p, err := FitPCASnapshot(samples, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First component aligned with u, second with v (up to sign).
+	align := func(basisRow int, dir []float64) float64 {
+		var d float64
+		for i := 0; i < dim; i++ {
+			d += p.Basis.At(basisRow, i) * dir[i]
+		}
+		return math.Abs(d)
+	}
+	if align(0, u) < 0.99 {
+		t.Errorf("first snapshot PC alignment with u = %v", align(0, u))
+	}
+	if align(1, v) < 0.99 {
+		t.Errorf("second snapshot PC alignment with v = %v", align(1, v))
+	}
+	// Variances ordered and roughly 25 and 4.
+	if p.Variances[0] < p.Variances[1] {
+		t.Error("variances out of order")
+	}
+	if math.Abs(p.Variances[0]-25) > 10 || math.Abs(p.Variances[1]-4) > 3 {
+		t.Errorf("variances = %v, want ~[25 4]", p.Variances)
+	}
+}
+
+func TestSnapshotTransformConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var samples [][]float64
+	for k := 0; k < 50; k++ {
+		s := make([]float64, 100)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		samples = append(samples, s)
+	}
+	p, err := FitPCASnapshot(samples, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projected sample variance along component c equals Variances[c].
+	proj := p.TransformAll(samples)
+	for c := 0; c < 5; c++ {
+		var mean float64
+		for _, row := range proj {
+			mean += row[c]
+		}
+		mean /= float64(len(proj))
+		var ss float64
+		for _, row := range proj {
+			d := row[c] - mean
+			ss += d * d
+		}
+		variance := ss / float64(len(proj)-1)
+		if math.Abs(variance-p.Variances[c])/p.Variances[c] > 1e-6 {
+			t.Errorf("component %d: projected variance %v, eigenvalue %v", c, variance, p.Variances[c])
+		}
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	if _, err := FitPCASnapshot([][]float64{{1, 2}}, 1, false); err == nil {
+		t.Error("one sample should fail")
+	}
+	s := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}}
+	if _, err := FitPCASnapshot(s, 3, false); err == nil {
+		t.Error("components > n-1 should fail")
+	}
+	if _, err := FitPCASnapshot([][]float64{{1, 2}, {3}}, 1, false); err == nil {
+		t.Error("ragged samples should fail")
+	}
+}
+
+func normalize(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	for i := range v {
+		v[i] /= n
+	}
+}

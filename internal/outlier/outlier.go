@@ -1,0 +1,123 @@
+// Package outlier implements the paper's density-based outlier
+// detection (§4: "detect outliers based on the volume of the spatial
+// bins", §3.4: cell volume is inversely proportional to local
+// density). Objects living in Voronoi cells whose density falls
+// below a threshold are flagged: in Figure 1's terms, the points off
+// the stellar locus and galaxy cloud — calibration artifacts or
+// genuinely rare objects, both of which astronomers want surfaced.
+package outlier
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+	"repro/internal/voronoi"
+)
+
+// Result is the outcome of a detection pass.
+type Result struct {
+	// Rows are the flagged row ids in the index's clustered table.
+	Rows []table.RowID
+	// Cells are the flagged cell ids.
+	Cells []int
+	// Threshold is the density cut actually applied.
+	Threshold float64
+}
+
+// Detect flags every object whose Voronoi cell density (members per
+// Monte-Carlo volume) lies in the lowest fraction quantile of
+// populated cells. fraction in (0, 1); volumes must come from
+// ix.MonteCarloVolumes.
+func Detect(ix *voronoi.Index, volumes []float64, fraction float64) (Result, error) {
+	if fraction <= 0 || fraction >= 1 {
+		return Result{}, fmt.Errorf("outlier: fraction %g out of (0,1)", fraction)
+	}
+	if len(volumes) != ix.NumCells() {
+		return Result{}, fmt.Errorf("outlier: %d volumes for %d cells", len(volumes), ix.NumCells())
+	}
+	dens := ix.Densities(volumes)
+
+	// Quantile over populated cells only: empty cells have no objects
+	// to flag.
+	type cellDensity struct {
+		cell int
+		d    float64
+	}
+	populated := make([]cellDensity, 0, ix.NumCells())
+	for c := 0; c < ix.NumCells(); c++ {
+		if ix.Members[c] > 0 {
+			populated = append(populated, cellDensity{c, dens[c]})
+		}
+	}
+	if len(populated) == 0 {
+		return Result{}, fmt.Errorf("outlier: index has no populated cells")
+	}
+	sort.Slice(populated, func(i, j int) bool { return populated[i].d < populated[j].d })
+	cut := int(fraction * float64(len(populated)))
+	if cut < 1 {
+		cut = 1
+	}
+	threshold := populated[cut-1].d
+
+	res := Result{Threshold: threshold}
+	for _, cd := range populated[:cut] {
+		res.Cells = append(res.Cells, cd.cell)
+		lo, hi := ix.CellRows(cd.cell)
+		for r := lo; r < hi; r++ {
+			res.Rows = append(res.Rows, r)
+		}
+	}
+	sort.Ints(res.Cells)
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i] < res.Rows[j] })
+	return res, nil
+}
+
+// Evaluation compares flagged rows against the catalog's ground
+// truth Outlier class.
+type Evaluation struct {
+	Flagged      int
+	TrueOutliers int     // outlier-class objects in the catalog
+	Hit          int     // flagged rows that are true outliers
+	Precision    float64 // Hit / Flagged
+	Recall       float64 // Hit / TrueOutliers
+	// Enrichment is precision divided by the base outlier rate: how
+	// many times more likely a flagged object is to be a true outlier
+	// than a random object.
+	Enrichment float64
+}
+
+// Evaluate scores a detection result against the ground truth
+// classes stored in the index's table.
+func Evaluate(ix *voronoi.Index, res Result) (Evaluation, error) {
+	flagged := make(map[table.RowID]bool, len(res.Rows))
+	for _, r := range res.Rows {
+		flagged[r] = true
+	}
+	var ev Evaluation
+	ev.Flagged = len(res.Rows)
+	err := ix.Table().Scan(func(id table.RowID, rec *table.Record) bool {
+		if rec.Class == table.Outlier {
+			ev.TrueOutliers++
+			if flagged[id] {
+				ev.Hit++
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return ev, err
+	}
+	if ev.Flagged > 0 {
+		ev.Precision = float64(ev.Hit) / float64(ev.Flagged)
+	}
+	if ev.TrueOutliers > 0 {
+		ev.Recall = float64(ev.Hit) / float64(ev.TrueOutliers)
+	}
+	total := float64(ix.Table().NumRows())
+	base := float64(ev.TrueOutliers) / total
+	if base > 0 {
+		ev.Enrichment = ev.Precision / base
+	}
+	return ev, nil
+}

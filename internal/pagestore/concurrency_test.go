@@ -1,0 +1,120 @@
+package pagestore
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReaders hammers the pool from several goroutines;
+// run with -race. Pinned pages must never be evicted from under a
+// reader, and the content must stay intact.
+func TestConcurrentReaders(t *testing.T) {
+	s := newStore(t, 16) // small pool: forces constant eviction
+	f, err := s.CreateFile("t.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 64
+	for i := 0; i < pages; i++ {
+		p, err := s.Alloc(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range p.Data {
+			p.Data[j] = byte(i)
+		}
+		p.MarkDirty()
+		p.Release()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for iter := 0; iter < 400; iter++ {
+				num := PageNum((worker*31 + iter*7) % pages)
+				p, err := s.Get(PageID{File: f, Num: num})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if p.Data[0] != byte(num) || p.Data[PageSize-1] != byte(num) {
+					errs <- &contentError{num: num, got: p.Data[0]}
+					p.Release()
+					return
+				}
+				p.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type contentError struct {
+	num PageNum
+	got byte
+}
+
+func (e *contentError) Error() string {
+	return "page content corrupted under concurrency"
+}
+
+// TestConcurrentWritersDistinctFiles exercises parallel appends to
+// separate files sharing one pool.
+func TestConcurrentWritersDistinctFiles(t *testing.T) {
+	s := newStore(t, 8)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	files := make([]FileID, 4)
+	for i := range files {
+		f, err := s.CreateFile(string(rune('a' + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = f
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p, err := s.Alloc(files[worker])
+				if err != nil {
+					errs <- err
+					return
+				}
+				p.Data[0] = byte(worker)
+				p.Data[1] = byte(i)
+				p.MarkDirty()
+				p.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Verify all pages round-trip.
+	for w, f := range files {
+		if got := s.NumPages(f); got != 50 {
+			t.Fatalf("file %d has %d pages", w, got)
+		}
+		for i := 0; i < 50; i++ {
+			p, err := s.Get(PageID{File: f, Num: PageNum(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Data[0] != byte(w) || p.Data[1] != byte(i) {
+				t.Fatalf("file %d page %d content = %d,%d", w, i, p.Data[0], p.Data[1])
+			}
+			p.Release()
+		}
+	}
+}

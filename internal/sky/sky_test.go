@@ -1,0 +1,263 @@
+package sky
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pagestore"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultParams(500, 42)
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeeds(t *testing.T) {
+	a, _ := Generate(DefaultParams(100, 1))
+	b, _ := Generate(DefaultParams(100, 2))
+	same := 0
+	for i := range a {
+		if a[i].Mags == b[i].Mags {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("%d identical records across seeds", same)
+	}
+}
+
+func TestClassMixture(t *testing.T) {
+	p := DefaultParams(20000, 7)
+	recs, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[table.Class]int{}
+	for i := range recs {
+		counts[recs[i].Class]++
+	}
+	n := float64(len(recs))
+	checks := []struct {
+		class table.Class
+		want  float64
+	}{
+		{table.Star, p.FracStar},
+		{table.Galaxy, p.FracGalaxy},
+		{table.Quasar, p.FracQuasar},
+		{table.Outlier, 1 - p.FracStar - p.FracGalaxy - p.FracQuasar},
+	}
+	for _, c := range checks {
+		got := float64(counts[c.class]) / n
+		if math.Abs(got-c.want) > 0.02 {
+			t.Errorf("class %v fraction = %.3f, want %.3f", c.class, got, c.want)
+		}
+	}
+}
+
+func TestPointsInsideDomain(t *testing.T) {
+	recs, err := Generate(DefaultParams(5000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := Domain()
+	for i := range recs {
+		if !dom.Contains(recs[i].Point()) {
+			t.Fatalf("record %d at %v outside domain", i, recs[i].Point())
+		}
+	}
+}
+
+func TestSpectroFraction(t *testing.T) {
+	p := DefaultParams(20000, 5)
+	recs, _ := Generate(p)
+	n := 0
+	for i := range recs {
+		if recs[i].HasZ {
+			n++
+		}
+	}
+	got := float64(n) / float64(len(recs))
+	if math.Abs(got-p.SpectroFrac) > 0.005 {
+		t.Errorf("spectroscopic fraction = %.4f, want %.4f", got, p.SpectroFrac)
+	}
+}
+
+func TestDistributionIsInhomogeneous(t *testing.T) {
+	// Figure 1's point: the data is highly clustered. Compare occupied
+	// cell counts of a uniform grid against a uniform distribution —
+	// clustered data occupies far fewer cells.
+	recs, _ := Generate(DefaultParams(20000, 11))
+	dom := Domain()
+	const g = 8 // 8^5 = 32768 cells
+	occupied := map[int]int{}
+	for i := range recs {
+		p := recs[i].Point()
+		code := 0
+		for d := 0; d < table.Dim; d++ {
+			c := int((p[d] - dom.Min[d]) / (dom.Max[d] - dom.Min[d]) * g)
+			if c >= g {
+				c = g - 1
+			}
+			code = code*g + c
+		}
+		occupied[code]++
+	}
+	frac := float64(len(occupied)) / math.Pow(g, table.Dim)
+	if frac > 0.1 {
+		t.Errorf("data occupies %.1f%% of cells; expected strong clustering (<10%%)", 100*frac)
+	}
+	// And there must be at least one heavily loaded cell.
+	max := 0
+	for _, c := range occupied {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 50 {
+		t.Errorf("densest cell holds %d points; expected density peaks", max)
+	}
+}
+
+func TestGalaxyColorRedshiftRelation(t *testing.T) {
+	// Colors must vary smoothly and monotonically enough with z for
+	// kNN regression to work: nearby z -> nearby colors.
+	for z := 0.0; z < 0.55; z += 0.05 {
+		a := GalaxyColors(z, 18)
+		b := GalaxyColors(z+0.01, 18)
+		if a.Dist(b) > 0.2 {
+			t.Errorf("color jump at z=%.2f: %v", z, a.Dist(b))
+		}
+	}
+	// And distinct redshifts must have distinct colors (injectivity on
+	// the grid): g-r color strictly increases over [0, 0.5].
+	prev := math.Inf(-1)
+	for z := 0.0; z <= 0.5; z += 0.05 {
+		c := GalaxyColors(z, 18)
+		gr := c[1] - c[2]
+		if gr <= prev {
+			t.Errorf("g-r not increasing at z=%.2f", z)
+		}
+		prev = gr
+	}
+}
+
+func TestStarLocusIsCurve(t *testing.T) {
+	// Consecutive locus points must be close (a connected curve).
+	for tt := 0.0; tt < 1; tt += 0.05 {
+		a := StarColors(tt, 18)
+		b := StarColors(tt+0.01, 18)
+		if a.Dist(b) > 0.2 {
+			t.Errorf("star locus jump at t=%.2f", tt)
+		}
+	}
+}
+
+func TestQuasarsSeparatedFromStars(t *testing.T) {
+	// In u-g, quasars must be bluer than most of the stellar locus —
+	// the separability Figure 1 displays.
+	quasarUG := 0.0
+	n := 0
+	for z := 0.3; z < 2.8; z += 0.1 {
+		c := QuasarColors(z, 18)
+		quasarUG += c[0] - c[1]
+		n++
+	}
+	quasarUG /= float64(n)
+	starUG := 0.0
+	m := 0
+	for tt := 0.3; tt <= 1; tt += 0.05 {
+		c := StarColors(tt, 18)
+		starUG += c[0] - c[1]
+		m++
+	}
+	starUG /= float64(m)
+	if quasarUG > starUG-0.5 {
+		t.Errorf("quasar u-g %.2f not separated from star u-g %.2f", quasarUG, starUG)
+	}
+}
+
+func TestGenerateTable(t *testing.T) {
+	s, err := pagestore.Open(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tb, err := table.Create(s, "cat.tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(1000, 13)
+	if err := GenerateTable(tb, p); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1000 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	// Table contents must match in-memory generation with same params.
+	want, _ := Generate(p)
+	var rec table.Record
+	for i := 0; i < 10; i++ {
+		tb.Get(table.RowID(i*97), &rec)
+		if rec != want[i*97] {
+			t.Fatalf("row %d differs from in-memory generation", i*97)
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	bad := DefaultParams(10, 1)
+	bad.FracStar = 0.9
+	bad.FracGalaxy = 0.9
+	if _, err := NewGenerator(bad); err == nil {
+		t.Error("expected error for fractions > 1")
+	}
+	bad2 := DefaultParams(10, 1)
+	bad2.SpectroFrac = 2
+	if _, err := NewGenerator(bad2); err == nil {
+		t.Error("expected error for SpectroFrac > 1")
+	}
+	bad3 := DefaultParams(-1, 1)
+	if _, err := NewGenerator(bad3); err == nil {
+		t.Error("expected error for negative N")
+	}
+}
+
+func TestSkyPositionsValid(t *testing.T) {
+	recs, _ := Generate(DefaultParams(5000, 17))
+	for i := range recs {
+		if recs[i].Ra < 0 || recs[i].Ra >= 360.0001 {
+			t.Fatalf("ra out of range: %v", recs[i].Ra)
+		}
+		if recs[i].Dec < -90.0001 || recs[i].Dec > 90.0001 {
+			t.Fatalf("dec out of range: %v", recs[i].Dec)
+		}
+		if recs[i].Redshift < 0 {
+			t.Fatalf("negative redshift %v", recs[i].Redshift)
+		}
+	}
+}
+
+func TestDomainIsBox(t *testing.T) {
+	dom := Domain()
+	if dom.Dim() != table.Dim {
+		t.Errorf("domain dim = %d", dom.Dim())
+	}
+	if dom.IsEmpty() {
+		t.Error("domain empty")
+	}
+	var _ vec.Box = dom
+}

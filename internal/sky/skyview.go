@@ -1,0 +1,65 @@
+package sky
+
+import (
+	"math"
+
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// This file supports the paper's second point-cloud visualization
+// (§5.2, Figure 14): the ra/dec/redshift view showing the large
+// scale structure of the universe. Hubble's law makes radial
+// distance proportional to redshift, so each object maps to a 3-D
+// Cartesian position as seen from Earth; galaxy clusters appear as
+// dense knots with "Finger of God" elongation along the line of
+// sight.
+
+// CartesianSky converts an object's (ra, dec, redshift) to Cartesian
+// coordinates with distance = redshift (Hubble's law up to a
+// constant; the visualization only needs relative structure).
+func CartesianSky(raDeg, decDeg, z float64) vec.Point {
+	ra := raDeg * math.Pi / 180
+	dec := decDeg * math.Pi / 180
+	d := z
+	return vec.Point{
+		d * math.Cos(dec) * math.Cos(ra),
+		d * math.Cos(dec) * math.Sin(ra),
+		d * math.Sin(dec),
+	}
+}
+
+// SkyDomain bounds the Cartesian sky positions of a catalog with
+// redshifts up to zMax.
+func SkyDomain(zMax float64) vec.Box {
+	return vec.NewBox(
+		vec.Point{-zMax, -zMax, -zMax},
+		vec.Point{zMax, zMax, zMax},
+	)
+}
+
+// SkyCatalog derives the Figure 14 table from a magnitude catalog:
+// each record's first three magnitude columns are replaced by the
+// object's Cartesian sky position, so the ordinary grid index and
+// point-cloud producers visualize the universe's structure without
+// any new machinery — the paper likewise reuses its adaptive point
+// plugins for both views. Only objects with a (true) redshift carry
+// positional information, so stars are skipped.
+func SkyCatalog(src *table.Table) ([]table.Record, error) {
+	var out []table.Record
+	err := src.Scan(func(_ table.RowID, r *table.Record) bool {
+		if r.Class != table.Galaxy && r.Class != table.Quasar {
+			return true
+		}
+		p := CartesianSky(float64(r.Ra), float64(r.Dec), float64(r.Redshift))
+		rec := *r
+		rec.Mags[0] = float32(p[0])
+		rec.Mags[1] = float32(p[1])
+		rec.Mags[2] = float32(p[2])
+		rec.Mags[3] = 0
+		rec.Mags[4] = 0
+		out = append(out, rec)
+		return true
+	})
+	return out, err
+}

@@ -1,0 +1,158 @@
+package sky
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/pagestore"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+func TestCartesianSkyGeometry(t *testing.T) {
+	// ra=0, dec=0 points along +x with length z.
+	p := CartesianSky(0, 0, 0.5)
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]) > 1e-12 || math.Abs(p[2]) > 1e-12 {
+		t.Errorf("CartesianSky(0,0,0.5) = %v", p)
+	}
+	// dec=90 points along +z.
+	p = CartesianSky(123, 90, 0.3)
+	if math.Abs(p[2]-0.3) > 1e-12 || math.Abs(p[0]) > 1e-9 || math.Abs(p[1]) > 1e-9 {
+		t.Errorf("pole = %v", p)
+	}
+	// Norm equals redshift for any direction.
+	for _, c := range []struct{ ra, dec, z float64 }{{45, 30, 0.2}, {200, -60, 0.55}} {
+		p := CartesianSky(c.ra, c.dec, c.z)
+		if math.Abs(p.Norm()-c.z) > 1e-12 {
+			t.Errorf("norm %v != z %v", p.Norm(), c.z)
+		}
+	}
+	if !SkyDomain(0.7).Contains(CartesianSky(10, 10, 0.69)) {
+		t.Error("SkyDomain too small")
+	}
+}
+
+func TestSkyCatalogKeepsOnlyExtragalactic(t *testing.T) {
+	s, err := pagestore.Open(t.TempDir(), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tb, _ := table.Create(s, "mag.tbl")
+	if err := GenerateTable(tb, DefaultParams(5000, 42)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := SkyCatalog(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty sky catalog")
+	}
+	for i := range recs {
+		if recs[i].Class == table.Star || recs[i].Class == table.Outlier {
+			t.Fatalf("record %d has class %v", i, recs[i].Class)
+		}
+	}
+	// Positions agree with the stored ra/dec/z.
+	for i := 0; i < 20; i++ {
+		r := recs[i*7]
+		want := CartesianSky(float64(r.Ra), float64(r.Dec), float64(r.Redshift))
+		got := vec.Point{float64(r.Mags[0]), float64(r.Mags[1]), float64(r.Mags[2])}
+		if got.Dist(want) > 1e-5 {
+			t.Fatalf("position mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+// TestLargeScaleStructureVisible: the sky catalog must show galaxy
+// clusters — dense knots far exceeding a uniform distribution's
+// densest cell (the Figure 14 "clusters of galaxies are clearly
+// visible" claim).
+func TestLargeScaleStructureVisible(t *testing.T) {
+	s, err := pagestore.Open(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tb, _ := table.Create(s, "mag.tbl")
+	if err := GenerateTable(tb, DefaultParams(20000, 42)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := SkyCatalog(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bin galaxies only (quasars are uniform) into a coarse 3-D grid.
+	const g = 24
+	counts := map[int]int{}
+	n := 0
+	for i := range recs {
+		if recs[i].Class != table.Galaxy {
+			continue
+		}
+		n++
+		x := int((float64(recs[i].Mags[0]) + 0.7) / 1.4 * g)
+		y := int((float64(recs[i].Mags[1]) + 0.7) / 1.4 * g)
+		z := int((float64(recs[i].Mags[2]) + 0.7) / 1.4 * g)
+		clamp := func(v int) int {
+			if v < 0 {
+				return 0
+			}
+			if v >= g {
+				return g - 1
+			}
+			return v
+		}
+		counts[(clamp(x)*g+clamp(y))*g+clamp(z)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// A uniform distribution would put ~n/g³ per cell; clusters should
+	// concentrate two orders of magnitude above that.
+	uniform := float64(n) / (g * g * g)
+	if float64(max) < 50*uniform {
+		t.Errorf("densest sky cell %d vs uniform expectation %.2f — structure missing", max, uniform)
+	}
+}
+
+// TestSkyGridIndex: the ordinary grid index serves the Figure 14
+// view from the derived catalog.
+func TestSkyGridIndex(t *testing.T) {
+	s, err := pagestore.Open(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tb, _ := table.Create(s, "mag.tbl")
+	if err := GenerateTable(tb, DefaultParams(10000, 42)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := SkyCatalog(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skyTb, _ := table.Create(s, "sky.tbl")
+	if err := skyTb.AppendAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	dom := SkyDomain(3)
+	p := grid.DefaultParams(dom, 7)
+	p.Base = 256
+	ix, err := grid.Build(skyTb, "sky.grid", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.Sample(dom, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Errorf("sampled %d sky points", len(got))
+	}
+}

@@ -1,0 +1,354 @@
+package table
+
+import (
+	"fmt"
+
+	"repro/internal/pagestore"
+	"repro/internal/vec"
+)
+
+// RowID addresses a record within a Table by dense position: page =
+// RowID / RecordsPerPage, slot = RowID % RecordsPerPage.
+type RowID uint64
+
+// RecordsPerPage is how many fixed-width records fit on one page
+// after the 4-byte row-count header.
+const RecordsPerPage = (pagestore.PageSize - pageHeaderSize) / RecordSize
+
+const pageHeaderSize = 4
+
+// Table is a heap file of Records on a page store. Rows are
+// addressed by dense RowIDs; the physical order of rows is the
+// clustered order, which the indexes exploit by rewriting the table
+// sorted by their key (the paper's clustered index over the Voronoi
+// cell tag, and the post-order leaf numbering of the kd-tree whose
+// leaves become BETWEEN ranges).
+type Table struct {
+	store *pagestore.Store
+	file  pagestore.FileID
+	name  string
+	rows  uint64
+}
+
+// Create makes a new empty table backed by the named file.
+func Create(store *pagestore.Store, name string) (*Table, error) {
+	f, err := store.CreateFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{store: store, file: f, name: name}, nil
+}
+
+// OpenExisting opens a table previously written to the named file.
+func OpenExisting(store *pagestore.Store, name string) (*Table, error) {
+	f, pages, err := store.OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{store: store, file: f, name: name}
+	if pages > 0 {
+		// Row count = full pages * RecordsPerPage + header of last page.
+		last, err := store.Get(pagestore.PageID{File: f, Num: pages - 1})
+		if err != nil {
+			return nil, err
+		}
+		lastCount := pageCount(last.Data)
+		last.Release()
+		t.rows = uint64(pages-1)*RecordsPerPage + uint64(lastCount)
+	}
+	return t, nil
+}
+
+// Name returns the table's file name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the number of records.
+func (t *Table) NumRows() uint64 { return t.rows }
+
+// NumPages returns the number of pages the table occupies.
+func (t *Table) NumPages() int { return int(t.store.NumPages(t.file)) }
+
+// Store exposes the underlying page store (for stats snapshots).
+func (t *Table) Store() *pagestore.Store { return t.store }
+
+func pageCount(data []byte) uint32 {
+	return uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24
+}
+
+func setPageCount(data []byte, n uint32) {
+	data[0] = byte(n)
+	data[1] = byte(n >> 8)
+	data[2] = byte(n >> 16)
+	data[3] = byte(n >> 24)
+}
+
+// Appender bulk-loads records, keeping the tail page pinned between
+// appends. Close it to flush the final page.
+type Appender struct {
+	t    *Table
+	page *pagestore.Page
+}
+
+// NewAppender returns a bulk loader positioned at the end of the
+// table.
+func (t *Table) NewAppender() *Appender { return &Appender{t: t} }
+
+// Append adds one record to the table.
+func (a *Appender) Append(r *Record) error {
+	slot := a.t.rows % RecordsPerPage
+	if slot == 0 {
+		// Previous page (if any) is full; start a new one.
+		if a.page != nil {
+			a.page.Release()
+			a.page = nil
+		}
+		p, err := a.t.store.Alloc(a.t.file)
+		if err != nil {
+			return err
+		}
+		a.page = p
+	} else if a.page == nil {
+		// Resuming an append into a partially filled tail page.
+		num := pagestore.PageNum(a.t.rows / RecordsPerPage)
+		p, err := a.t.store.Get(pagestore.PageID{File: a.t.file, Num: num})
+		if err != nil {
+			return err
+		}
+		a.page = p
+	}
+	off := pageHeaderSize + int(slot)*RecordSize
+	r.Encode(a.page.Data[off : off+RecordSize])
+	setPageCount(a.page.Data, uint32(slot)+1)
+	a.page.MarkDirty()
+	a.t.rows++
+	return nil
+}
+
+// Close releases the tail page. The Appender must not be used after
+// Close.
+func (a *Appender) Close() {
+	if a.page != nil {
+		a.page.Release()
+		a.page = nil
+	}
+}
+
+// AppendAll bulk-loads a slice of records.
+func (t *Table) AppendAll(recs []Record) error {
+	a := t.NewAppender()
+	defer a.Close()
+	for i := range recs {
+		if err := a.Append(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rowPage maps a RowID to its page and byte offset.
+func (t *Table) rowPage(id RowID) (pagestore.PageID, int, error) {
+	if uint64(id) >= t.rows {
+		return pagestore.PageID{}, 0, fmt.Errorf("table %s: row %d out of range (%d rows)", t.name, id, t.rows)
+	}
+	return pagestore.PageID{File: t.file, Num: pagestore.PageNum(uint64(id) / RecordsPerPage)},
+		pageHeaderSize + int(uint64(id)%RecordsPerPage)*RecordSize, nil
+}
+
+// Get reads one record.
+func (t *Table) Get(id RowID, out *Record) error {
+	pid, off, err := t.rowPage(id)
+	if err != nil {
+		return err
+	}
+	p, err := t.store.Get(pid)
+	if err != nil {
+		return err
+	}
+	out.Decode(p.Data[off : off+RecordSize])
+	p.Release()
+	return nil
+}
+
+// GetMany reads the records for a sorted-or-not list of row ids,
+// calling fn for each. Consecutive ids on the same page share one
+// page fetch.
+func (t *Table) GetMany(ids []RowID, fn func(RowID, *Record) bool) error {
+	var rec Record
+	var cur *pagestore.Page
+	var curNum pagestore.PageNum
+	defer func() {
+		if cur != nil {
+			cur.Release()
+		}
+	}()
+	for _, id := range ids {
+		pid, off, err := t.rowPage(id)
+		if err != nil {
+			return err
+		}
+		if cur == nil || pid.Num != curNum {
+			if cur != nil {
+				cur.Release()
+			}
+			cur, err = t.store.Get(pid)
+			if err != nil {
+				return err
+			}
+			curNum = pid.Num
+		}
+		rec.Decode(cur.Data[off : off+RecordSize])
+		if !fn(id, &rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Update rewrites one record in place via fn.
+func (t *Table) Update(id RowID, fn func(*Record)) error {
+	pid, off, err := t.rowPage(id)
+	if err != nil {
+		return err
+	}
+	p, err := t.store.Get(pid)
+	if err != nil {
+		return err
+	}
+	var rec Record
+	rec.Decode(p.Data[off : off+RecordSize])
+	fn(&rec)
+	rec.Encode(p.Data[off : off+RecordSize])
+	p.MarkDirty()
+	p.Release()
+	return nil
+}
+
+// Scan iterates every record in physical order. fn receives a
+// record buffer that is reused between calls; copy it to retain.
+// Returning false stops the scan early.
+func (t *Table) Scan(fn func(RowID, *Record) bool) error {
+	var rec Record
+	pages := t.store.NumPages(t.file)
+	row := RowID(0)
+	for num := pagestore.PageNum(0); num < pages; num++ {
+		p, err := t.store.Get(pagestore.PageID{File: t.file, Num: num})
+		if err != nil {
+			return err
+		}
+		n := int(pageCount(p.Data))
+		for slot := 0; slot < n; slot++ {
+			off := pageHeaderSize + slot*RecordSize
+			rec.Decode(p.Data[off : off+RecordSize])
+			if !fn(row, &rec) {
+				p.Release()
+				return nil
+			}
+			row++
+		}
+		p.Release()
+	}
+	return nil
+}
+
+// ScanRange iterates rows [lo, hi) in physical order — the BETWEEN
+// retrieval the kd-tree uses once leaves are numbered contiguously.
+func (t *Table) ScanRange(lo, hi RowID, fn func(RowID, *Record) bool) error {
+	if hi > RowID(t.rows) {
+		hi = RowID(t.rows)
+	}
+	if lo >= hi {
+		return nil
+	}
+	var rec Record
+	row := lo
+	for row < hi {
+		pid, off, err := t.rowPage(row)
+		if err != nil {
+			return err
+		}
+		p, err := t.store.Get(pid)
+		if err != nil {
+			return err
+		}
+		slotsLeft := RecordsPerPage - int(uint64(row)%RecordsPerPage)
+		for s := 0; s < slotsLeft && row < hi; s++ {
+			rec.Decode(p.Data[off : off+RecordSize])
+			if !fn(row, &rec) {
+				p.Release()
+				return nil
+			}
+			off += RecordSize
+			row++
+		}
+		p.Release()
+	}
+	return nil
+}
+
+// ScanMags iterates every record decoding only the magnitude vector
+// — the fast binary-blob path of §3.5. fn receives a buffer reused
+// between calls.
+func (t *Table) ScanMags(fn func(RowID, *[Dim]float64) bool) error {
+	var mags [Dim]float64
+	pages := t.store.NumPages(t.file)
+	row := RowID(0)
+	for num := pagestore.PageNum(0); num < pages; num++ {
+		p, err := t.store.Get(pagestore.PageID{File: t.file, Num: num})
+		if err != nil {
+			return err
+		}
+		n := int(pageCount(p.Data))
+		for slot := 0; slot < n; slot++ {
+			off := pageHeaderSize + slot*RecordSize
+			DecodeMags(p.Data[off:off+RecordSize], &mags)
+			if !fn(row, &mags) {
+				p.Release()
+				return nil
+			}
+			row++
+		}
+		p.Release()
+	}
+	return nil
+}
+
+// AllPoints materializes every magnitude vector in RowID order.
+// Index builders use it when they can afford N×Dim float64 in memory
+// (the in-memory build mirrors the paper's index construction, which
+// is an offline batch step).
+func (t *Table) AllPoints() ([]vec.Point, error) {
+	pts := make([]vec.Point, 0, t.rows)
+	err := t.ScanMags(func(_ RowID, m *[Dim]float64) bool {
+		p := make(vec.Point, Dim)
+		copy(p, m[:])
+		pts = append(pts, p)
+		return true
+	})
+	return pts, err
+}
+
+// Rewrite writes a new table under newName containing this table's
+// rows permuted so that new row i is old row perm[i]. This is how
+// clustered orderings are installed (sort by LeafID or CellID, then
+// Rewrite). perm must be a permutation of [0, NumRows).
+func (t *Table) Rewrite(newName string, perm []RowID) (*Table, error) {
+	if uint64(len(perm)) != t.rows {
+		return nil, fmt.Errorf("table %s: permutation length %d != %d rows", t.name, len(perm), t.rows)
+	}
+	nt, err := Create(t.store, newName)
+	if err != nil {
+		return nil, err
+	}
+	a := nt.NewAppender()
+	defer a.Close()
+	var rec Record
+	for _, old := range perm {
+		if err := t.Get(old, &rec); err != nil {
+			return nil, err
+		}
+		if err := a.Append(&rec); err != nil {
+			return nil, err
+		}
+	}
+	return nt, nil
+}

@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"strings"
+
+	"repro/internal/vec"
+)
+
+// AsciiRenderer rasterizes a GeometrySet into a character grid: the
+// reproduction's stand-in for the paper's Managed DirectX viewport.
+// Points accumulate density (rendered ' ', '.', ':', '*', '#', '@'
+// by count), lines are drawn with '+', box outlines with '|' and
+// '-'. The projection drops the z coordinate of the view space.
+type AsciiRenderer struct {
+	W, H int
+}
+
+// densityRamp maps cell hit counts to characters.
+var densityRamp = []rune{' ', '.', ':', '*', '#', '@'}
+
+// Render draws the geometry as seen through the camera's view box.
+func (r AsciiRenderer) Render(g *GeometrySet, view vec.Box) string {
+	if r.W < 2 || r.H < 2 {
+		return ""
+	}
+	counts := make([]int, r.W*r.H)
+	overlay := make([]rune, r.W*r.H)
+
+	toCell := func(p P3) (int, int, bool) {
+		sx := view.Side(0)
+		sy := view.Side(1)
+		if sx <= 0 || sy <= 0 {
+			return 0, 0, false
+		}
+		x := int((p[0] - view.Min[0]) / sx * float64(r.W))
+		y := int((p[1] - view.Min[1]) / sy * float64(r.H))
+		if x < 0 || x >= r.W || y < 0 || y >= r.H {
+			return 0, 0, false
+		}
+		return x, y, true
+	}
+
+	for _, pt := range g.Points {
+		if x, y, ok := toCell(pt.Pos); ok {
+			counts[y*r.W+x]++
+		}
+	}
+	for _, ln := range g.Lines {
+		r.drawLine(overlay, toCell, ln.A, ln.B, '+')
+	}
+	for _, bx := range g.Boxes {
+		corners := []P3{
+			bx.Min,
+			{bx.Max[0], bx.Min[1], 0},
+			bx.Max,
+			{bx.Min[0], bx.Max[1], 0},
+		}
+		for i := range corners {
+			r.drawLine(overlay, toCell, corners[i], corners[(i+1)%4], '.')
+		}
+	}
+
+	// Normalize density to the ramp.
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var sb strings.Builder
+	for y := r.H - 1; y >= 0; y-- { // y axis upward
+		for x := 0; x < r.W; x++ {
+			i := y*r.W + x
+			ch := ' '
+			if counts[i] > 0 && maxC > 0 {
+				level := 1 + counts[i]*(len(densityRamp)-2)/maxC
+				if level >= len(densityRamp) {
+					level = len(densityRamp) - 1
+				}
+				ch = densityRamp[level]
+			}
+			if overlay[i] != 0 {
+				ch = overlay[i]
+			}
+			sb.WriteRune(ch)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// drawLine rasterizes a segment with a simple DDA.
+func (r AsciiRenderer) drawLine(overlay []rune, toCell func(P3) (int, int, bool), a, b P3, ch rune) {
+	const steps = 256
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / steps
+		p := P3{a[0] + t*(b[0]-a[0]), a[1] + t*(b[1]-a[1]), 0}
+		if x, y, ok := toCell(p); ok {
+			overlay[y*r.W+x] = ch
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package viz
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/delaunay"
+	"repro/internal/vec"
+)
+
+// VoronoiLevel is one LOD level of the Voronoi visualization: a
+// point sample with its exact 2-D triangulation of the first two
+// view axes, from which the producer derives the induced Voronoi
+// cell polygons — the paper's Figure 16, where "the Voronoi plugin
+// uses the edges returned and computes and displays the induced
+// Voronoi-cells" and colors them by cell volume.
+type VoronoiLevel struct {
+	tri *delaunay.Triangulation
+}
+
+// BuildVoronoiLevel triangulates the (first two coordinates of the)
+// sample points exactly.
+func BuildVoronoiLevel(pts []vec.Point) (*VoronoiLevel, error) {
+	proj := make([]vec.Point, len(pts))
+	for i, p := range pts {
+		proj[i] = vec.Point{p[0], p[1]}
+	}
+	tri, err := delaunay.Build(proj)
+	if err != nil {
+		return nil, err
+	}
+	return &VoronoiLevel{tri: tri}, nil
+}
+
+// NumCells returns the number of seeds at this level.
+func (l *VoronoiLevel) NumCells() int { return l.tri.NumOriginal }
+
+// VoronoiProducer adaptively visualizes Voronoi tessellations: it
+// walks coarse-to-fine levels (the paper demos 1K/10K/100K samples)
+// and renders the first level showing at least MinCells cells in the
+// view, emitting each bounded cell's polygon as a line loop. The
+// point Tag of each cell's seed encodes the cell-area quantile
+// (0..255), standing in for Figure 16's volume coloring.
+type VoronoiProducer struct {
+	*producerCore
+	levels []*VoronoiLevel
+	min    int
+}
+
+// NewVoronoiProducer builds the producer over coarse-to-fine levels.
+func NewVoronoiProducer(levels []*VoronoiLevel, domain vec.Box, minCells int) *VoronoiProducer {
+	p := &VoronoiProducer{levels: levels, min: minCells}
+	core := newAsyncProducer(NewCamera(domain, minCells), p.computeCam)
+	p.producerCore = core
+	core.setSelf(p)
+	return p
+}
+
+func (p *VoronoiProducer) computeCam(cam Camera) *GeometrySet {
+	var best *GeometrySet
+	for li, level := range p.levels {
+		g := level.render(cam, li+1)
+		best = g
+		if countCells(g) >= p.min {
+			return g
+		}
+	}
+	if best == nil {
+		best = &GeometrySet{}
+	}
+	return best
+}
+
+// countCells counts rendered seeds (one Point per visible cell).
+func countCells(g *GeometrySet) int { return len(g.Points) }
+
+// render emits the bounded Voronoi cells whose seed lies in view.
+func (l *VoronoiLevel) render(cam Camera, levelNo int) *GeometrySet {
+	g := &GeometrySet{Level: levelNo}
+	// Cell areas for the volume coloring.
+	areas := make([]float64, l.tri.NumOriginal)
+	for v := 0; v < l.tri.NumOriginal; v++ {
+		seed := l.tri.Points[v]
+		if seed[0] < cam.View.Min[0] || seed[0] > cam.View.Max[0] ||
+			seed[1] < cam.View.Min[1] || seed[1] > cam.View.Max[1] {
+			areas[v] = -1 // out of view
+			continue
+		}
+		cell, err := l.tri.VoronoiCell2D(v)
+		if err != nil || len(cell) < 3 {
+			areas[v] = -1
+			continue
+		}
+		areas[v] = polygonArea(cell)
+		for i := range cell {
+			a, b := cell[i], cell[(i+1)%len(cell)]
+			g.Lines = append(g.Lines, Line{A: P3{a[0], a[1], 0}, B: P3{b[0], b[1], 0}})
+		}
+	}
+	// Quantile-rank the visible areas into tags.
+	var visible []float64
+	for _, a := range areas {
+		if a >= 0 {
+			visible = append(visible, a)
+		}
+	}
+	sort.Float64s(visible)
+	for v, a := range areas {
+		if a < 0 {
+			continue
+		}
+		rank := sort.SearchFloat64s(visible, a)
+		tag := uint8(0)
+		if len(visible) > 1 {
+			tag = uint8(math.Min(255, float64(rank)*255/float64(len(visible)-1)))
+		}
+		seed := l.tri.Points[v]
+		g.Points = append(g.Points, Point{Pos: P3{seed[0], seed[1], 0}, Tag: tag})
+	}
+	return g
+}
+
+// polygonArea is the shoelace area of an angularly sorted polygon.
+func polygonArea(poly []vec.Point) float64 {
+	var s float64
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		s += poly[i][0]*poly[j][1] - poly[j][0]*poly[i][1]
+	}
+	return math.Abs(s) / 2
+}
+
+var _ Producer = (*VoronoiProducer)(nil)

@@ -1,0 +1,98 @@
+package viz
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/vec"
+)
+
+func voronoiLevels(t *testing.T) []*VoronoiLevel {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	mk := func(n int) *VoronoiLevel {
+		pts := make([]vec.Point, n)
+		for i := range pts {
+			pts[i] = vec.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		l, err := BuildVoronoiLevel(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	return []*VoronoiLevel{mk(12), mk(120)}
+}
+
+func TestVoronoiProducerLODFallThrough(t *testing.T) {
+	levels := voronoiLevels(t)
+	p := NewVoronoiProducer(levels, vec.UnitBox(3), 40)
+	app := NewApp()
+	app.AddPipeline(p)
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	app.SetCamera(NewCamera(vec.UnitBox(3), 40))
+	g, err := app.WaitFrame(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 seeds cannot satisfy 40 cells: must fall to level 2.
+	if g.Level != 2 {
+		t.Errorf("LOD level = %d, want 2", g.Level)
+	}
+	if countCells(g) < 40 {
+		t.Errorf("only %d cells in view", countCells(g))
+	}
+	if len(g.Lines) == 0 {
+		t.Error("no cell boundary lines emitted")
+	}
+}
+
+func TestVoronoiProducerCoarseSufficient(t *testing.T) {
+	levels := voronoiLevels(t)
+	p := NewVoronoiProducer(levels, vec.UnitBox(3), 3)
+	app := NewApp()
+	app.AddPipeline(p)
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	app.SetCamera(NewCamera(vec.UnitBox(3), 3))
+	g, err := app.WaitFrame(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Level != 1 {
+		t.Errorf("coarse level sufficient but used level %d", g.Level)
+	}
+}
+
+func TestVoronoiTagsEncodeAreaQuantiles(t *testing.T) {
+	levels := voronoiLevels(t)
+	g := levels[1].render(NewCamera(vec.UnitBox(3), 1), 1)
+	if len(g.Points) < 20 {
+		t.Fatalf("only %d visible cells", len(g.Points))
+	}
+	// Tags must span a range (not all identical) and stay in [0,255].
+	minT, maxT := g.Points[0].Tag, g.Points[0].Tag
+	for _, p := range g.Points {
+		if p.Tag < minT {
+			minT = p.Tag
+		}
+		if p.Tag > maxT {
+			maxT = p.Tag
+		}
+	}
+	if minT == maxT {
+		t.Error("all cells share one area tag")
+	}
+}
+
+func TestBuildVoronoiLevelErrors(t *testing.T) {
+	if _, err := BuildVoronoiLevel([]vec.Point{{1, 2, 3}}); err == nil {
+		t.Error("single point should fail")
+	}
+}

@@ -1,0 +1,323 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/pagestore"
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+func fixture(t *testing.T, n, seeds int) *Index {
+	t.Helper()
+	s, err := pagestore.Open(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	tb, err := table.Create(s, "mag.tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sky.GenerateTable(tb, sky.DefaultParams(n, 42)); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(tb.NumRows(), 7)
+	if seeds > 0 {
+		p.NumSeeds = seeds
+	}
+	ix, err := Build(tb, "mag.vor", sky.Domain(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestBuildValidates(t *testing.T) {
+	ix := fixture(t, 3000, 50)
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumCells() != 50 {
+		t.Errorf("NumCells = %d", ix.NumCells())
+	}
+	total := 0
+	for _, m := range ix.Members {
+		total += m
+	}
+	if total != 3000 {
+		t.Errorf("members sum to %d", total)
+	}
+}
+
+func TestDefaultParamsScaling(t *testing.T) {
+	p := DefaultParams(10000, 1)
+	if p.NumSeeds != 100 {
+		t.Errorf("√10000 = 100, got %d", p.NumSeeds)
+	}
+	big := DefaultParams(1<<40, 1)
+	if big.NumSeeds != 10000 {
+		t.Errorf("cap at 10000, got %d", big.NumSeeds)
+	}
+	small := DefaultParams(4, 1)
+	if small.NumSeeds < 2 {
+		t.Errorf("tiny table seeds = %d", small.NumSeeds)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	s, _ := pagestore.Open(t.TempDir(), 64)
+	defer s.Close()
+	empty, _ := table.Create(s, "e")
+	if _, err := Build(empty, "e.vor", sky.Domain(), Params{NumSeeds: 10}); err == nil {
+		t.Error("empty table should fail")
+	}
+	tb, _ := table.Create(s, "t")
+	sky.GenerateTable(tb, sky.DefaultParams(10, 1))
+	if _, err := Build(tb, "t.vor", sky.Domain(), Params{NumSeeds: 1}); err == nil {
+		t.Error("single seed should fail")
+	}
+}
+
+func TestCellAssignmentIsNearestSeed(t *testing.T) {
+	ix := fixture(t, 1000, 30)
+	// Exhaustive check on every row: tagged seed is the nearest.
+	err := ix.Table().Scan(func(id table.RowID, r *table.Record) bool {
+		p := r.Point()
+		bestD := math.Inf(1)
+		best := -1
+		for c, s := range ix.Seeds {
+			if d := p.Dist2(s); d < bestD {
+				bestD, best = d, c
+			}
+		}
+		if int(r.CellID) != best && math.Abs(p.Dist2(ix.Seeds[r.CellID])-bestD) > 1e-12 {
+			t.Fatalf("row %d tagged %d, nearest %d", id, r.CellID, best)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceFillingCurveLocality(t *testing.T) {
+	// Morton numbering: consecutive cell IDs should be spatially close
+	// on average — much closer than random pairs.
+	ix := fixture(t, 2000, 100)
+	var consecutive, random float64
+	rng := rand.New(rand.NewSource(1))
+	n := ix.NumCells()
+	for i := 0; i+1 < n; i++ {
+		consecutive += ix.Seeds[i].Dist(ix.Seeds[i+1])
+		a, b := rng.Intn(n), rng.Intn(n)
+		random += ix.Seeds[a].Dist(ix.Seeds[b])
+	}
+	if consecutive >= random {
+		t.Errorf("consecutive seed distance %.2f not below random %.2f", consecutive, random)
+	}
+}
+
+func TestQueryMatchesFullScan(t *testing.T) {
+	ix := fixture(t, 4000, 60)
+	rng := rand.New(rand.NewSource(3))
+	dom := sky.Domain()
+	for iter := 0; iter < 10; iter++ {
+		c := dom.Sample(rng.Float64)
+		half := 0.5 + 2.5*rng.Float64()
+		min, max := make(vec.Point, 5), make(vec.Point, 5)
+		for d := 0; d < 5; d++ {
+			min[d], max[d] = c[d]-half, c[d]+half
+		}
+		q := vec.BoxPolyhedron(vec.NewBox(min, max))
+
+		got, stats, err := ix.QueryPolyhedron(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []table.RowID
+		ix.Table().Scan(func(id table.RowID, r *table.Record) bool {
+			if q.Contains(r.Point()) {
+				want = append(want, id)
+			}
+			return true
+		})
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: index %d rows, scan %d", iter, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: row mismatch", iter)
+			}
+		}
+		if stats.CellsInside+stats.CellsOutside+stats.CellsPartial == 0 {
+			t.Error("no cells classified")
+		}
+	}
+}
+
+func TestQuerySkipsOutsideCells(t *testing.T) {
+	ix := fixture(t, 5000, 70)
+	ix.Table().Store().DropCache()
+	// Tiny far-corner box: most cells must be rejected without I/O.
+	q := vec.BoxPolyhedron(vec.NewBox(
+		vec.Point{10, 10, 10, 10, 10}, vec.Point{11, 11, 11, 11, 11}))
+	_, stats, err := ix.QueryPolyhedron(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CellsOutside < ix.NumCells()/2 {
+		t.Errorf("only %d of %d cells rejected", stats.CellsOutside, ix.NumCells())
+	}
+	tablePages := int64(ix.Table().NumPages())
+	if stats.Pages.DiskReads > tablePages/2 {
+		t.Errorf("read %d of %d pages for a corner query", stats.Pages.DiskReads, tablePages)
+	}
+}
+
+func TestDirectedWalkFindsNearbyCell(t *testing.T) {
+	ix := fixture(t, 5000, 100)
+	rng := rand.New(rand.NewSource(5))
+	exactHits, oneOff := 0, 0
+	const trials = 50
+	var totalSteps int
+	for i := 0; i < trials; i++ {
+		var rec table.Record
+		ix.Table().Get(table.RowID(rng.Intn(int(ix.Table().NumRows()))), &rec)
+		p := rec.Point()
+		want := ix.CellOf(p)
+		got, steps := ix.DirectedWalk(p, rng.Intn(ix.NumCells()))
+		totalSteps += steps
+		if got == want {
+			exactHits++
+		} else {
+			// A stall must still land adjacent-or-near: within 2× the
+			// true nearest seed distance.
+			if p.Dist(ix.Seeds[got]) <= 2*p.Dist(ix.Seeds[want])+1e-9 {
+				oneOff++
+			}
+		}
+	}
+	if exactHits+oneOff < trials*9/10 {
+		t.Errorf("walk exact %d, near %d of %d", exactHits, oneOff, trials)
+	}
+	if exactHits < trials/2 {
+		t.Errorf("walk found the exact cell only %d/%d times", exactHits, trials)
+	}
+	meanSteps := float64(totalSteps) / trials
+	if meanSteps > 4*math.Sqrt(float64(ix.NumCells())) {
+		t.Errorf("mean walk steps %.1f ≫ √Nseed %.1f", meanSteps, math.Sqrt(float64(ix.NumCells())))
+	}
+}
+
+func TestMonteCarloVolumesSumToDomain(t *testing.T) {
+	ix := fixture(t, 1000, 20)
+	vols := ix.MonteCarloVolumes(20000, 11)
+	var sum float64
+	for _, v := range vols {
+		sum += v
+	}
+	dom := ix.domain.Volume()
+	if math.Abs(sum-dom)/dom > 1e-9 {
+		t.Errorf("volumes sum to %g, domain is %g", sum, dom)
+	}
+}
+
+func TestDensitiesReflectClustering(t *testing.T) {
+	// Cells holding many members in small volumes must out-rank
+	// near-empty cells: compare the densest cell against the sparsest
+	// populated one.
+	ix := fixture(t, 5000, 50)
+	vols := ix.MonteCarloVolumes(50000, 13)
+	dens := ix.Densities(vols)
+	maxD, minD := 0.0, math.Inf(1)
+	for c := range dens {
+		if ix.Members[c] == 0 {
+			continue
+		}
+		if dens[c] > maxD {
+			maxD = dens[c]
+		}
+		if dens[c] < minD {
+			minD = dens[c]
+		}
+	}
+	if maxD < 10*minD {
+		t.Errorf("density contrast %.2g/%.2g too small for clustered data", maxD, minD)
+	}
+}
+
+func TestNeighborsSymmetricAndNonEmpty(t *testing.T) {
+	ix := fixture(t, 3000, 40)
+	for c := 0; c < ix.NumCells(); c++ {
+		for _, nb := range ix.Neighbors(c) {
+			found := false
+			for _, back := range ix.Neighbors(nb) {
+				if back == c {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency %d-%d not symmetric", c, nb)
+			}
+		}
+	}
+	if ix.MeanNeighbors() <= 0 {
+		t.Error("no neighbours at all")
+	}
+}
+
+func TestExactDelaunayOption(t *testing.T) {
+	s, _ := pagestore.Open(t.TempDir(), 1024)
+	defer s.Close()
+	tb, _ := table.Create(s, "t")
+	sky.GenerateTable(tb, sky.DefaultParams(500, 3))
+	p := Params{NumSeeds: 12, Seed: 3, ExactDelaunay: true}
+	ix, err := Build(tb, "t.vor", sky.Domain(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.MeanNeighbors() <= 0 {
+		t.Error("exact Delaunay produced no edges")
+	}
+}
+
+func TestZOrderMonotoneOnAxis(t *testing.T) {
+	dom := vec.UnitBox(2)
+	// Along one axis with the other fixed at 0, z-order must increase.
+	prev := uint64(0)
+	for i := 0; i < 32; i++ {
+		k := zOrder(vec.Point{float64(i) / 32, 0}, dom)
+		if i > 0 && k <= prev {
+			t.Fatalf("zOrder not increasing at %d", i)
+		}
+		prev = k
+	}
+	// Clamping outside the domain.
+	lo := zOrder(vec.Point{-5, -5}, dom)
+	hi := zOrder(vec.Point{9, 9}, dom)
+	if lo != 0 {
+		t.Errorf("below-domain key = %d", lo)
+	}
+	if hi <= lo {
+		t.Errorf("above-domain key not maximal")
+	}
+}
+
+func TestBallVolume(t *testing.T) {
+	// V_2(r) = πr², V_3(r) = 4/3 πr³.
+	if math.Abs(ballVolume(2, 1)-math.Pi) > 1e-12 {
+		t.Errorf("V2 = %v", ballVolume(2, 1))
+	}
+	if math.Abs(ballVolume(3, 2)-4.0/3*math.Pi*8) > 1e-9 {
+		t.Errorf("V3 = %v", ballVolume(3, 2))
+	}
+}
