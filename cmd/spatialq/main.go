@@ -1,8 +1,12 @@
 // Command spatialq runs Figure 2-style color queries against a
 // catalog written by sdssgen, building the requested spatial index
-// and reporting the paper's cost metrics:
+// and reporting the paper's cost metrics. The default -plan auto
+// routes each query through the cost-based planner, which estimates
+// its selectivity and picks the cheapest access path; -workers sizes
+// the concurrent range executor.
 //
-//	spatialq -dir /tmp/sdss -q "g - r > 0.4 AND g - r < 1.0 AND r < 19" -plan compare
+//	spatialq -dir /tmp/sdss -q "g - r > 0.4 AND g - r < 1.0 AND r < 19"
+//	spatialq -dir /tmp/sdss -q "r < 22" -plan compare -workers 8
 //	spatialq -dir /tmp/sdss -knn "19.5,18.9,18.2,17.9,17.7" -k 10
 package main
 
@@ -11,14 +15,15 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/colorsql"
-	"repro/internal/engine"
 	"repro/internal/kdtree"
 	"repro/internal/knn"
 	"repro/internal/pagestore"
+	"repro/internal/planner"
 	"repro/internal/sky"
 	"repro/internal/table"
 	"repro/internal/vec"
@@ -30,7 +35,8 @@ func main() {
 	query := flag.String("q", "", "WHERE clause over u,g,r,i,z (dered_* aliases accepted)")
 	knnPt := flag.String("knn", "", "comma-separated 5-D point for nearest neighbour search")
 	k := flag.Int("k", 10, "neighbours for -knn")
-	plan := flag.String("plan", "kdtree", "kdtree | fullscan | compare")
+	plan := flag.String("plan", "auto", "auto | kdtree | fullscan | compare")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "query executor worker pool size")
 	limit := flag.Int("limit", 10, "result rows to print")
 	flag.Parse()
 	if *dir == "" {
@@ -51,7 +57,7 @@ func main() {
 	}
 	fmt.Printf("catalog: %d rows, %d pages\n", tb.NumRows(), tb.NumPages())
 
-	needTree := *knnPt != "" || *plan == "kdtree" || *plan == "compare"
+	needTree := *knnPt != "" || *plan == "auto" || *plan == "kdtree" || *plan == "compare"
 	var tree *kdtree.Tree
 	var clustered *table.Table
 	if needTree {
@@ -89,29 +95,63 @@ func main() {
 	if !u.IsConvex() {
 		fmt.Printf("query compiles to a union of %d polyhedra; running each clause\n", len(u.Polys))
 	}
+	exec := &planner.Executor{Workers: *workers}
+	runFullScan := func(poly vec.Polyhedron) {
+		store.DropCache()
+		ids, stats, err := exec.FullScan(tb, poly)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fullscan: %s\n", stats)
+		printRows(tb, ids, *limit)
+	}
+	reportKd := func(ids []table.RowID, stats kdtree.QueryStats) {
+		fmt.Printf("kdtree:   returned=%d examined=%d diskReads=%d insideLeaves=%d partialLeaves=%d dur=%v\n",
+			stats.RowsReturned, stats.RowsExamined, stats.Pages.DiskReads,
+			stats.LeavesInside, stats.LeavesPartial, stats.Duration)
+		printRows(clustered, ids, *limit)
+	}
+	runKdTree := func(poly vec.Polyhedron) {
+		store.DropCache()
+		ids, stats, err := exec.KdQuery(tree, clustered, poly)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reportKd(ids, stats)
+	}
 	for ci, poly := range u.Polys {
 		if len(u.Polys) > 1 {
 			fmt.Printf("-- clause %d\n", ci+1)
 		}
-		if *plan == "fullscan" || *plan == "compare" {
-			store.DropCache()
-			ids, stats, err := engine.FullScanPolyhedron(tb, poly)
-			if err != nil {
-				log.Fatal(err)
+		switch *plan {
+		case "auto":
+			// The default model prices cold-cache I/O — which is exactly
+			// how the query below executes (DropCache precedes it).
+			pl := &planner.Planner{
+				Catalog: tb, Kd: tree, KdTable: clustered,
+				Domain: sky.Domain(),
 			}
-			fmt.Printf("fullscan: %s\n", stats)
-			printRows(tb, ids, *limit)
-		}
-		if *plan == "kdtree" || *plan == "compare" {
-			store.DropCache()
-			ids, stats, err := tree.QueryPolyhedron(clustered, poly)
-			if err != nil {
-				log.Fatal(err)
+			choice := pl.Plan(poly)
+			fmt.Printf("planner:  %s\n", choice.Reason)
+			if choice.Path == planner.PathKdTree {
+				store.DropCache()
+				ids, stats, err := exec.KdQueryRanges(clustered, poly, choice.KdRanges, choice.KdWalk)
+				if err != nil {
+					log.Fatal(err)
+				}
+				reportKd(ids, stats)
+			} else {
+				runFullScan(poly)
 			}
-			fmt.Printf("kdtree:   returned=%d examined=%d diskReads=%d insideLeaves=%d partialLeaves=%d dur=%v\n",
-				stats.RowsReturned, stats.RowsExamined, stats.Pages.DiskReads,
-				stats.LeavesInside, stats.LeavesPartial, stats.Duration)
-			printRows(clustered, ids, *limit)
+		case "fullscan":
+			runFullScan(poly)
+		case "kdtree":
+			runKdTree(poly)
+		case "compare":
+			runFullScan(poly)
+			runKdTree(poly)
+		default:
+			log.Fatalf("spatialq: unknown -plan %q", *plan)
 		}
 	}
 }

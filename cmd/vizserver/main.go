@@ -2,11 +2,15 @@
 // visualization system exposed over HTTP: clients send an
 // axis-aligned view box and a point budget, the server answers from
 // the layered uniform grid (§3.1) with n distribution-following
-// points — the request shape of Figure 11's Producer plugins.
+// points — the request shape of Figure 11's Producer plugins. The
+// /query endpoint additionally serves Figure 2-style color-cut
+// queries through the cost-based planner, reporting the chosen
+// access path and its estimated selectivity alongside the rows.
 //
-//	vizserver -n 200000 -addr :8080
+//	vizserver -n 200000 -addr :8080 -workers 8
 //	curl 'localhost:8080/points?min=14,14,14&max=24,24,24&n=1000'
 //	curl 'localhost:8080/render?min=10,10,10&max=30,30,30&n=5000'
+//	curl 'localhost:8080/query?where=g-r>0.4+AND+r<19&limit=5'
 //	curl 'localhost:8080/stats'
 package main
 
@@ -21,8 +25,10 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/colorsql"
 	"repro/internal/core"
 	"repro/internal/sky"
+	"repro/internal/table"
 	"repro/internal/vec"
 	"repro/internal/viz"
 )
@@ -40,6 +46,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	n := flag.Int("n", 200_000, "synthetic catalog size")
 	seed := flag.Int64("seed", 42, "generator seed")
+	workers := flag.Int("workers", 0, "query executor pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	dir, err := os.MkdirTemp("", "vizserver-*")
@@ -47,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	db, err := core.Open(core.Config{Dir: dir})
+	db, err := core.Open(core.Config{Dir: dir, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,12 +65,17 @@ func main() {
 	if err := db.BuildGridIndex(1024, *seed); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("catalog: %d rows; grid layers: %d", db.NumRows(), db.Grid().NumLayers())
+	if err := db.BuildKdIndex(0); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("catalog: %d rows; grid layers: %d; kd leaves: %d",
+		db.NumRows(), db.Grid().NumLayers(), db.KdTree().NumLeaves())
 
 	s := &server{db: db}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/points", s.handlePoints)
 	mux.HandleFunc("/render", s.handleRender)
+	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
 	log.Printf("listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
@@ -173,6 +185,64 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "%d points in %v\n", len(recs), view)
 	fmt.Fprint(w, viz.AsciiRenderer{W: 100, H: 32}.Render(g, view))
+}
+
+// handleQuery serves a WHERE-clause query through the cost-based
+// planner and reports how it was executed.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	where := r.URL.Query().Get("where")
+	if where == "" {
+		http.Error(w, "missing where parameter", http.StatusBadRequest)
+		return
+	}
+	limit := 100
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		v, err := strconv.Atoi(ls)
+		if err != nil || v < 0 {
+			http.Error(w, fmt.Sprintf("bad limit %q", ls), http.StatusBadRequest)
+			return
+		}
+		limit = v
+	}
+	// Validate the query string separately so malformed input gets a
+	// 400 while execution failures surface as 500.
+	if _, err := colorsql.Parse(where, colorsql.DefaultVars(), table.Dim); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	recs, rep, err := s.db.QueryWhere(where, core.PlanAuto)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	s.requests++
+	s.returned += rep.RowsReturned
+	s.mu.Unlock()
+
+	if limit > len(recs) {
+		limit = len(recs)
+	}
+	out := make([]pointJSON, limit)
+	for i := 0; i < limit; i++ {
+		out[i] = pointJSON{
+			X:        float64(recs[i].Mags[0]),
+			Y:        float64(recs[i].Mags[1]),
+			Z:        float64(recs[i].Mags[2]),
+			Class:    recs[i].Class.String(),
+			Redshift: recs[i].Redshift,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"plan":                 rep.Plan.String(),
+		"planReason":           rep.PlanReason,
+		"estimatedSelectivity": rep.EstimatedSelectivity,
+		"rowsReturned":         rep.RowsReturned,
+		"rowsExamined":         rep.RowsExamined,
+		"diskReads":            rep.DiskReads,
+		"points":               out,
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

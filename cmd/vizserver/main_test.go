@@ -24,7 +24,63 @@ func newTestServer(t *testing.T) *server {
 	if err := db.BuildGridIndex(256, 7); err != nil {
 		t.Fatal(err)
 	}
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
 	return &server{db: db}
+}
+
+func TestHandleQuery(t *testing.T) {
+	s := newTestServer(t)
+	req := httptest.NewRequest("GET", "/query?where=r+%3C+16&limit=5", nil)
+	w := httptest.NewRecorder()
+	s.handleQuery(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var out struct {
+		Plan                 string      `json:"plan"`
+		PlanReason           string      `json:"planReason"`
+		EstimatedSelectivity float64     `json:"estimatedSelectivity"`
+		RowsReturned         int64       `json:"rowsReturned"`
+		Points               []pointJSON `json:"points"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan != "kdtree" && out.Plan != "fullscan" {
+		t.Errorf("plan = %q", out.Plan)
+	}
+	if out.PlanReason == "" {
+		t.Error("missing planReason")
+	}
+	if out.EstimatedSelectivity < 0 || out.EstimatedSelectivity > 1 {
+		t.Errorf("estimatedSelectivity = %v", out.EstimatedSelectivity)
+	}
+	if int64(len(out.Points)) > out.RowsReturned || len(out.Points) > 5 {
+		t.Errorf("points = %d, rowsReturned = %d", len(out.Points), out.RowsReturned)
+	}
+	for _, p := range out.Points {
+		if p.Z >= 16 { // r is the third magnitude
+			t.Errorf("point violates r < 16: %+v", p)
+		}
+	}
+}
+
+func TestHandleQueryValidation(t *testing.T) {
+	s := newTestServer(t)
+	for _, url := range []string{
+		"/query",                        // missing where
+		"/query?where=r+%3C",            // parse error
+		"/query?where=r+%3C+16&limit=x", // bad limit
+	} {
+		req := httptest.NewRequest("GET", url, nil)
+		w := httptest.NewRecorder()
+		s.handleQuery(w, req)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, w.Code)
+		}
+	}
 }
 
 func TestHandlePoints(t *testing.T) {

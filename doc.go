@@ -6,6 +6,13 @@
 // spectral similarity, basin-spanning-tree classification, outlier
 // detection), and the adaptive visualization pipeline.
 //
+// Access paths are not hard-coded: the cost-based planner of
+// internal/planner estimates each query's selectivity, prices the
+// full scan and every built index in page reads, and picks the
+// cheapest — the paper's Figure 5 crossover (~0.25 selectivity)
+// made operational — then executes the winner over a concurrent
+// worker pool.
+//
 // The public entry point is internal/core.SpatialDB; see README.md
 // for the architecture, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured

@@ -6,12 +6,23 @@
 // polyhedron queries, k-nearest-neighbour search, adaptive region
 // sampling and photometric redshift estimation.
 //
+// Access paths are chosen per query by the cost-based planner
+// (internal/planner): PlanAuto estimates the query's selectivity and
+// picks whichever of full scan, kd-tree or Voronoi is predicted
+// cheapest — the paper's Figure 5 observation that the kd-tree wins
+// below ~0.25 selectivity and the sequential scan above it, made
+// operational. Queries execute over a worker pool (Config.Workers)
+// and SpatialDB is safe for any number of concurrent readers once
+// its indexes are built.
+//
 // SpatialDB is the public API of the reproduction; the examples and
 // the experiment harness drive everything through it.
 package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/colorsql"
 	"repro/internal/engine"
@@ -20,7 +31,9 @@ import (
 	"repro/internal/kdtree"
 	"repro/internal/knn"
 	"repro/internal/outlier"
+	"repro/internal/pagestore"
 	"repro/internal/photoz"
+	"repro/internal/planner"
 	"repro/internal/sky"
 	"repro/internal/table"
 	"repro/internal/vec"
@@ -34,15 +47,23 @@ type Config struct {
 	// PoolPages is the buffer pool size in 8 KiB pages (default 4096
 	// = 32 MiB).
 	PoolPages int
+	// Workers sizes the query executor's worker pool: candidate
+	// kd-subtree and Voronoi-cell ranges (and full-scan chunks) are
+	// scanned concurrently. 0 means GOMAXPROCS; 1 forces serial
+	// execution.
+	Workers int
 }
 
 // Plan selects the access path of a polyhedron query.
 type Plan int
 
-// Available query plans. PlanAuto picks the kd-tree when built, then
-// the Voronoi index, then the full scan — the paper's observation
-// that the kd-tree wins whenever selectivity is below ~0.25 makes it
-// the default index.
+// Available query plans. PlanAuto asks the cost-based planner: it
+// estimates the query's selectivity (kd-tree walk, Voronoi spheres,
+// grid layers or bounding-box volume — whichever structure exists),
+// prices every built access path in page reads, and picks the
+// cheapest. The paper's observation that the kd-tree wins below
+// ~0.25 selectivity and the full scan above it falls out of the
+// default cost constants. The remaining plans force one path.
 const (
 	PlanAuto Plan = iota
 	PlanFullScan
@@ -72,11 +93,24 @@ type Report struct {
 	RowsExamined int64
 	DiskReads    int64
 	CacheHits    int64
+
+	// EstimatedSelectivity is the planner's pre-execution prediction
+	// of returned/total rows. Zero for forced plans (the planner did
+	// not run).
+	EstimatedSelectivity float64
+	// PlanReason explains the choice, e.g.
+	// "est sel 0.031 (kdtree-walk); kdtree 58.1 beats fullscan 494.0, voronoi n/a".
+	PlanReason string
 }
 
-// SpatialDB is the assembled system.
+// SpatialDB is the assembled system. Index builds serialize behind
+// an RW-latch; queries of every kind run concurrently against the
+// built state.
 type SpatialDB struct {
-	eng     *engine.DB
+	eng  *engine.DB
+	exec *planner.Executor
+
+	mu      sync.RWMutex
 	catalog *table.Table
 	domain  vec.Box
 
@@ -95,11 +129,18 @@ func Open(cfg Config) (*SpatialDB, error) {
 	if cfg.PoolPages <= 0 {
 		cfg.PoolPages = 4096
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	eng, err := engine.Open(cfg.Dir, cfg.PoolPages)
 	if err != nil {
 		return nil, err
 	}
-	db := &SpatialDB{eng: eng, domain: sky.Domain()}
+	db := &SpatialDB{
+		eng:    eng,
+		exec:   &planner.Executor{Workers: cfg.Workers},
+		domain: sky.Domain(),
+	}
 	db.registerProcs()
 	return db, nil
 }
@@ -116,6 +157,8 @@ func (db *SpatialDB) Domain() vec.Box { return db.domain.Clone() }
 
 // NumRows returns the catalog size.
 func (db *SpatialDB) NumRows() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.catalog == nil {
 		return 0
 	}
@@ -124,6 +167,8 @@ func (db *SpatialDB) NumRows() uint64 {
 
 // IngestSynthetic generates and loads a synthetic SDSS-like catalog.
 func (db *SpatialDB) IngestSynthetic(p sky.Params) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.catalog != nil {
 		return fmt.Errorf("core: catalog already loaded")
 	}
@@ -140,6 +185,8 @@ func (db *SpatialDB) IngestSynthetic(p sky.Params) error {
 
 // IngestRecords loads caller-provided records as the catalog.
 func (db *SpatialDB) IngestRecords(recs []table.Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.catalog != nil {
 		return fmt.Errorf("core: catalog already loaded")
 	}
@@ -156,6 +203,8 @@ func (db *SpatialDB) IngestRecords(recs []table.Record) error {
 
 // Catalog exposes the base table.
 func (db *SpatialDB) Catalog() (*table.Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.catalog == nil {
 		return nil, fmt.Errorf("core: no catalog loaded")
 	}
@@ -165,6 +214,8 @@ func (db *SpatialDB) Catalog() (*table.Table, error) {
 // BuildKdIndex builds the §3.2 kd-tree (and its leaf-clustered table
 // copy). levels <= 0 applies the paper's √N-leaves rule.
 func (db *SpatialDB) BuildKdIndex(levels int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.catalog == nil {
 		return fmt.Errorf("core: no catalog loaded")
 	}
@@ -182,11 +233,17 @@ func (db *SpatialDB) BuildKdIndex(levels int) error {
 }
 
 // KdTree exposes the built kd-tree (nil before BuildKdIndex).
-func (db *SpatialDB) KdTree() *kdtree.Tree { return db.kd }
+func (db *SpatialDB) KdTree() *kdtree.Tree {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.kd
+}
 
 // BuildGridIndex builds the §3.1 layered uniform grid over the first
 // three magnitude axes (the visualization projection).
 func (db *SpatialDB) BuildGridIndex(base int, seed int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.catalog == nil {
 		return fmt.Errorf("core: no catalog loaded")
 	}
@@ -204,11 +261,17 @@ func (db *SpatialDB) BuildGridIndex(base int, seed int64) error {
 }
 
 // Grid exposes the built grid index (nil before BuildGridIndex).
-func (db *SpatialDB) Grid() *grid.Index { return db.grid }
+func (db *SpatialDB) Grid() *grid.Index {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.grid
+}
 
 // BuildVoronoiIndex builds the §3.4 sampled Voronoi index. numSeeds
 // <= 0 applies the √N default.
 func (db *SpatialDB) BuildVoronoiIndex(numSeeds int, seed int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.catalog == nil {
 		return fmt.Errorf("core: no catalog loaded")
 	}
@@ -226,11 +289,17 @@ func (db *SpatialDB) BuildVoronoiIndex(numSeeds int, seed int64) error {
 
 // Voronoi exposes the built Voronoi index (nil before
 // BuildVoronoiIndex).
-func (db *SpatialDB) Voronoi() *voronoi.Index { return db.vor }
+func (db *SpatialDB) Voronoi() *voronoi.Index {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.vor
+}
 
 // BuildPhotoZ prepares the §4.1 redshift estimator from the
 // catalog's spectroscopic rows.
 func (db *SpatialDB) BuildPhotoZ(k, degree int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.catalog == nil {
 		return fmt.Errorf("core: no catalog loaded")
 	}
@@ -248,15 +317,22 @@ func (db *SpatialDB) BuildPhotoZ(k, degree int) error {
 
 // EstimateRedshift runs the kNN polynomial redshift estimator.
 func (db *SpatialDB) EstimateRedshift(mags vec.Point) (float64, error) {
-	if db.photoZ == nil {
+	db.mu.RLock()
+	est := db.photoZ
+	db.mu.RUnlock()
+	if est == nil {
 		return 0, fmt.Errorf("core: BuildPhotoZ has not been called")
 	}
-	return db.photoZ.Estimate(mags)
+	return est.Estimate(mags)
 }
 
 // QueryWhere parses a Figure 2-style WHERE clause and executes it,
 // returning matching records. OR queries execute one polyhedron per
-// DNF clause and union the results.
+// DNF clause and union the results; the Report then describes the
+// union: row and page counters sum over clauses, EstimatedSelectivity
+// is the clamped sum of per-clause estimates (an upper bound ignoring
+// overlap), Plan is the last clause's plan, and PlanReason joins the
+// per-clause reasons.
 func (db *SpatialDB) QueryWhere(where string, plan Plan) ([]table.Record, Report, error) {
 	u, err := colorsql.Parse(where, colorsql.DefaultVars(), table.Dim)
 	if err != nil {
@@ -271,6 +347,15 @@ func (db *SpatialDB) QueryWhere(where string, plan Plan) ([]table.Record, Report
 			return nil, total, err
 		}
 		total.Plan = rep.Plan
+		total.EstimatedSelectivity += rep.EstimatedSelectivity
+		if total.EstimatedSelectivity > 1 {
+			total.EstimatedSelectivity = 1
+		}
+		if total.PlanReason == "" {
+			total.PlanReason = rep.PlanReason
+		} else if rep.PlanReason != "" {
+			total.PlanReason += " | " + rep.PlanReason
+		}
 		total.RowsExamined += rep.RowsExamined
 		total.DiskReads += rep.DiskReads
 		total.CacheHits += rep.CacheHits
@@ -285,69 +370,98 @@ func (db *SpatialDB) QueryWhere(where string, plan Plan) ([]table.Record, Report
 	return out, total, nil
 }
 
-// QueryPolyhedron executes one convex polyhedron query under the
-// chosen plan and returns the matching records.
-func (db *SpatialDB) QueryPolyhedron(q vec.Polyhedron, plan Plan) ([]table.Record, Report, error) {
+// Planner returns a cost-based planner over the currently built
+// indexes, priced with the default cost model.
+func (db *SpatialDB) Planner() (*planner.Planner, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.catalog == nil {
-		return nil, Report{}, fmt.Errorf("core: no catalog loaded")
+		return nil, fmt.Errorf("core: no catalog loaded")
 	}
+	return &planner.Planner{
+		Catalog: db.catalog,
+		Kd:      db.kd,
+		KdTable: db.kdTable,
+		Vor:     db.vor,
+		Grid:    db.grid,
+		Domain:  db.domain,
+	}, nil
+}
+
+// QueryPolyhedron executes one convex polyhedron query under the
+// chosen plan and returns the matching records. PlanAuto consults
+// the cost-based planner; every path runs through the concurrent
+// executor sized by Config.Workers.
+func (db *SpatialDB) QueryPolyhedron(q vec.Polyhedron, plan Plan) ([]table.Record, Report, error) {
+	pl, err := db.Planner()
+	if err != nil {
+		return nil, Report{}, err
+	}
+	catalog, kd, kdTable, vor := pl.Catalog, pl.Kd, pl.KdTable, pl.Vor
 	resolved := plan
+	var est float64
+	var why string
+	var choice *planner.Choice
 	if plan == PlanAuto {
-		switch {
-		case db.kd != nil:
+		ch := pl.Plan(q)
+		choice = &ch
+		est, why = ch.Est.Selectivity, ch.Reason
+		switch ch.Path {
+		case planner.PathKdTree:
 			resolved = PlanKdTree
-		case db.vor != nil:
+		case planner.PathVoronoi:
 			resolved = PlanVoronoi
 		default:
 			resolved = PlanFullScan
 		}
 	}
+	report := func(plan Plan, returned, examined int64, pages pagestore.Stats) Report {
+		return Report{
+			Plan:                 plan,
+			RowsReturned:         returned,
+			RowsExamined:         examined,
+			DiskReads:            pages.DiskReads,
+			CacheHits:            pages.Hits,
+			EstimatedSelectivity: est,
+			PlanReason:           why,
+		}
+	}
 	switch resolved {
 	case PlanKdTree:
-		if db.kd == nil {
+		if kd == nil {
 			return nil, Report{}, fmt.Errorf("core: kd-tree index not built")
 		}
-		ids, stats, err := db.kd.QueryPolyhedron(db.kdTable, q)
+		var ids []table.RowID
+		var stats kdtree.QueryStats
+		var err error
+		if choice != nil && choice.KdRanges != nil {
+			// Reuse the classification the planner already ran.
+			ids, stats, err = db.exec.KdQueryRanges(kdTable, q, choice.KdRanges, choice.KdWalk)
+		} else {
+			ids, stats, err = db.exec.KdQuery(kd, kdTable, q)
+		}
 		if err != nil {
 			return nil, Report{}, err
 		}
-		recs, err := materialize(db.kdTable, ids)
-		return recs, Report{
-			Plan:         PlanKdTree,
-			RowsReturned: stats.RowsReturned,
-			RowsExamined: stats.RowsExamined,
-			DiskReads:    stats.Pages.DiskReads,
-			CacheHits:    stats.Pages.Hits,
-		}, err
+		recs, err := materialize(kdTable, ids)
+		return recs, report(PlanKdTree, stats.RowsReturned, stats.RowsExamined, stats.Pages), err
 	case PlanVoronoi:
-		if db.vor == nil {
+		if vor == nil {
 			return nil, Report{}, fmt.Errorf("core: voronoi index not built")
 		}
-		ids, stats, err := db.vor.QueryPolyhedron(q)
+		ids, stats, err := db.exec.VoronoiQuery(vor, q)
 		if err != nil {
 			return nil, Report{}, err
 		}
-		recs, err := materialize(db.vor.Table(), ids)
-		return recs, Report{
-			Plan:         PlanVoronoi,
-			RowsReturned: stats.RowsReturned,
-			RowsExamined: stats.RowsExamined,
-			DiskReads:    stats.Pages.DiskReads,
-			CacheHits:    stats.Pages.Hits,
-		}, err
+		recs, err := materialize(vor.Table(), ids)
+		return recs, report(PlanVoronoi, stats.RowsReturned, stats.RowsExamined, stats.Pages), err
 	case PlanFullScan:
-		ids, stats, err := engine.FullScanPolyhedron(db.catalog, q)
+		ids, stats, err := db.exec.FullScan(catalog, q)
 		if err != nil {
 			return nil, Report{}, err
 		}
-		recs, err := materialize(db.catalog, ids)
-		return recs, Report{
-			Plan:         PlanFullScan,
-			RowsReturned: stats.RowsReturned,
-			RowsExamined: stats.RowsExamined,
-			DiskReads:    stats.Pages.DiskReads,
-			CacheHits:    stats.Pages.Hits,
-		}, err
+		recs, err := materialize(catalog, ids)
+		return recs, report(PlanFullScan, stats.RowsReturned, stats.RowsExamined, stats.Pages), err
 	default:
 		return nil, Report{}, fmt.Errorf("core: unknown plan %v", plan)
 	}
@@ -356,10 +470,13 @@ func (db *SpatialDB) QueryPolyhedron(q vec.Polyhedron, plan Plan) ([]table.Recor
 // NearestNeighbors returns the k catalog records closest to p in
 // color space (§3.3).
 func (db *SpatialDB) NearestNeighbors(p vec.Point, k int) ([]table.Record, error) {
-	if db.knnS == nil {
+	db.mu.RLock()
+	searcher := db.knnS
+	db.mu.RUnlock()
+	if searcher == nil {
 		return nil, fmt.Errorf("core: kd-tree index not built")
 	}
-	nbs, _, err := db.knnS.Search(p, k)
+	nbs, _, err := searcher.Search(p, k)
 	if err != nil {
 		return nil, err
 	}
@@ -374,10 +491,13 @@ func (db *SpatialDB) NearestNeighbors(p vec.Point, k int) ([]table.Record, error
 // three magnitudes fall in the 3-D view box, following the
 // underlying distribution (§3.1).
 func (db *SpatialDB) SampleRegion(view vec.Box, n int) ([]table.Record, error) {
-	if db.grid == nil {
+	db.mu.RLock()
+	g := db.grid
+	db.mu.RUnlock()
+	if g == nil {
 		return nil, fmt.Errorf("core: grid index not built")
 	}
-	recs, _, err := db.grid.Sample(view, n)
+	recs, _, err := g.Sample(view, n)
 	return recs, err
 }
 
@@ -404,22 +524,25 @@ func (db *SpatialDB) FindSimilar(training []vec.Point, margin float64, plan Plan
 // Requires BuildVoronoiIndex; mcSamples sizes the Monte-Carlo volume
 // estimate (0 = 20 per cell).
 func (db *SpatialDB) DetectOutliers(fraction float64, mcSamples int, seed int64) ([]table.Record, outlier.Evaluation, error) {
-	if db.vor == nil {
+	db.mu.RLock()
+	vor := db.vor
+	db.mu.RUnlock()
+	if vor == nil {
 		return nil, outlier.Evaluation{}, fmt.Errorf("core: voronoi index not built")
 	}
 	if mcSamples <= 0 {
-		mcSamples = 20 * db.vor.NumCells()
+		mcSamples = 20 * vor.NumCells()
 	}
-	vols := db.vor.MonteCarloVolumes(mcSamples, seed)
-	res, err := outlier.Detect(db.vor, vols, fraction)
+	vols := vor.MonteCarloVolumes(mcSamples, seed)
+	res, err := outlier.Detect(vor, vols, fraction)
 	if err != nil {
 		return nil, outlier.Evaluation{}, err
 	}
-	ev, err := outlier.Evaluate(db.vor, res)
+	ev, err := outlier.Evaluate(vor, res)
 	if err != nil {
 		return nil, ev, err
 	}
-	recs, err := materialize(db.vor.Table(), res.Rows)
+	recs, err := materialize(vor.Table(), res.Rows)
 	return recs, ev, err
 }
 

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/sky"
@@ -119,17 +121,96 @@ func TestPlansAgree(t *testing.T) {
 	}
 }
 
-func TestAutoPlanPrefersKd(t *testing.T) {
-	db := openDB(t, 1000)
+func TestAutoPlanSelectiveQueryUsesIndex(t *testing.T) {
+	db := openDB(t, 4000)
 	if err := db.BuildKdIndex(0); err != nil {
 		t.Fatal(err)
 	}
-	_, rep, err := db.QueryWhere("r < 19", PlanAuto)
+	// A narrow color cut returns a tiny fraction of the catalog; the
+	// cost-based planner must route it through the kd-tree.
+	_, rep, err := db.QueryWhere("r < 16", PlanAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Plan != PlanKdTree {
-		t.Errorf("auto plan = %v", rep.Plan)
+		t.Errorf("auto plan = %v (reason %q)", rep.Plan, rep.PlanReason)
+	}
+	if rep.PlanReason == "" {
+		t.Error("auto plan should explain itself")
+	}
+	if rep.EstimatedSelectivity < 0 || rep.EstimatedSelectivity > 0.25 {
+		t.Errorf("estimated selectivity %v for a narrow cut", rep.EstimatedSelectivity)
+	}
+}
+
+func TestAutoPlanWideQueryUsesFullScan(t *testing.T) {
+	db := openDB(t, 4000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	// Nearly the whole catalog matches; despite the kd-tree being
+	// built, the planner must prefer the sequential scan (Figure 5's
+	// high-selectivity regime).
+	_, rep, err := db.QueryWhere("r < 29", PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan != PlanFullScan {
+		t.Errorf("auto plan = %v (reason %q)", rep.Plan, rep.PlanReason)
+	}
+	if rep.EstimatedSelectivity < 0.5 {
+		t.Errorf("estimated selectivity %v for a near-total query", rep.EstimatedSelectivity)
+	}
+}
+
+// TestConcurrentQueries exercises the N-readers contract: one
+// SpatialDB serving polyhedron queries, kNN and sampling from many
+// goroutines at once. Run with -race.
+func TestConcurrentQueries(t *testing.T) {
+	db := openDB(t, 4000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildGridIndex(256, 7); err != nil {
+		t.Fatal(err)
+	}
+	where := "g - r < 1.1 AND g - r > 0.3 AND r < 20"
+	wantRecs, _, err := db.QueryWhere(where, PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom3 := vec.NewBox(db.Domain().Min[:3], db.Domain().Max[:3])
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				recs, _, err := db.QueryWhere(where, PlanAuto)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(recs) != len(wantRecs) {
+					errs <- fmt.Errorf("worker %d got %d rows, want %d", worker, len(recs), len(wantRecs))
+					return
+				}
+				if _, err := db.NearestNeighbors(recs[i%len(recs)].Point(), 3); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := db.SampleRegion(dom3, 50); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

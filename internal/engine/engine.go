@@ -4,11 +4,18 @@
 // Figure 3. Queries that do not use a spatial index run here as full
 // table scans ("simple SQL queries"), which is the baseline every
 // index in the paper is measured against.
+//
+// The engine is safe for concurrent readers: the catalog and
+// procedure registry are RW-latched, so any number of goroutines may
+// look up tables and call procedures while the maps stay mutable for
+// (serialized) index builds. Access-path selection for spatial
+// queries lives one layer up, in internal/planner.
 package engine
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/pagestore"
@@ -45,9 +52,12 @@ func (q QueryStats) String() string {
 // registered on the engine.
 type Proc func(args ...any) (any, error)
 
-// DB is the database engine instance.
+// DB is the database engine instance. Catalog and procedure lookups
+// are RW-latched: reads run concurrently, registrations serialize.
 type DB struct {
-	store  *pagestore.Store
+	store *pagestore.Store
+
+	mu     sync.RWMutex
 	tables map[string]*table.Table
 	procs  map[string]Proc
 }
@@ -74,6 +84,8 @@ func (db *DB) Close() error { return db.store.Close() }
 
 // CreateTable creates and registers an empty table.
 func (db *DB) CreateTable(name string) (*table.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; ok {
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
@@ -88,6 +100,8 @@ func (db *DB) CreateTable(name string) (*table.Table, error) {
 // RegisterTable adopts an externally created table (e.g. the result
 // of a clustered Rewrite).
 func (db *DB) RegisterTable(t *table.Table) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.tables[t.Name()]; ok {
 		return fmt.Errorf("engine: table %q already exists", t.Name())
 	}
@@ -97,6 +111,8 @@ func (db *DB) RegisterTable(t *table.Table) error {
 
 // Table looks up a registered table.
 func (db *DB) Table(name string) (*table.Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("engine: no table %q", name)
@@ -106,6 +122,8 @@ func (db *DB) Table(name string) (*table.Table, error) {
 
 // TableNames lists registered tables in sorted order.
 func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
@@ -116,6 +134,8 @@ func (db *DB) TableNames() []string {
 
 // RegisterProc installs a stored procedure under the given name.
 func (db *DB) RegisterProc(name string, p Proc) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.procs[name]; ok {
 		return fmt.Errorf("engine: procedure %q already registered", name)
 	}
@@ -125,7 +145,9 @@ func (db *DB) RegisterProc(name string, p Proc) error {
 
 // Call invokes a stored procedure by name.
 func (db *DB) Call(name string, args ...any) (any, error) {
+	db.mu.RLock()
 	p, ok := db.procs[name]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("engine: no procedure %q", name)
 	}
@@ -134,6 +156,8 @@ func (db *DB) Call(name string, args ...any) (any, error) {
 
 // ProcNames lists registered procedures in sorted order.
 func (db *DB) ProcNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.procs))
 	for n := range db.procs {
 		names = append(names, n)
@@ -152,7 +176,7 @@ func FullScanPolyhedron(t *table.Table, q vec.Polyhedron) ([]table.RowID, QueryS
 	var examined int64
 	err := t.ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
 		examined++
-		if polyContainsMags(q, m) {
+		if ContainsMags(q, m) {
 			ids = append(ids, id)
 		}
 		return true
@@ -174,7 +198,7 @@ func CountScanPolyhedron(t *table.Table, q vec.Polyhedron) (int64, QueryStats, e
 	var count, examined int64
 	err := t.ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
 		examined++
-		if polyContainsMags(q, m) {
+		if ContainsMags(q, m) {
 			count++
 		}
 		return true
@@ -188,9 +212,10 @@ func CountScanPolyhedron(t *table.Table, q vec.Polyhedron) (int64, QueryStats, e
 	return count, stats, err
 }
 
-// polyContainsMags tests a raw magnitude array against the
-// polyhedron without allocating a vec.Point.
-func polyContainsMags(q vec.Polyhedron, m *[table.Dim]float64) bool {
+// ContainsMags tests a raw magnitude array against the polyhedron
+// without allocating a vec.Point. Exported so the parallel executor
+// in internal/planner can filter candidate ranges the same way.
+func ContainsMags(q vec.Polyhedron, m *[table.Dim]float64) bool {
 	for _, h := range q.Planes {
 		var s float64
 		for i, a := range h.A {
@@ -210,7 +235,7 @@ func FilterRows(t *table.Table, candidates []table.RowID, q vec.Polyhedron) ([]t
 	out := make([]table.RowID, 0, len(candidates))
 	err := t.GetMany(candidates, func(id table.RowID, r *table.Record) bool {
 		m := magsOf(r)
-		if polyContainsMags(q, &m) {
+		if ContainsMags(q, &m) {
 			out = append(out, id)
 		}
 		return true

@@ -169,6 +169,76 @@ func countLeaves(t *Tree, idx int32) int {
 	return int(n.SubtreeSize+1) / 2
 }
 
+// Range is one candidate row interval produced by classifying the
+// tree against a query polyhedron without touching the table. Ranges
+// are emitted in ascending row order, so concatenating their rows
+// reproduces the physical-order answer of QueryPolyhedron.
+type Range struct {
+	Lo, Hi table.RowID
+	// Filter is true for partial leaves (Figure 4's red cells): the
+	// rows need the per-point polyhedron test. Ranges with Filter
+	// false lie entirely inside the query.
+	Filter bool
+	// Bounds is the tight bounding box of the node that produced the
+	// range; the planner uses it to apportion partial leaves by
+	// volume overlap.
+	Bounds vec.Box
+}
+
+// Rows returns the number of rows in the range.
+func (r Range) Rows() int64 { return int64(r.Hi - r.Lo) }
+
+// Walk summarizes the in-memory classification pass behind
+// CollectRanges.
+type Walk struct {
+	NodesVisited  int
+	LeavesInside  int
+	LeavesPartial int
+}
+
+// CollectRanges classifies the tree against the polyhedron entirely
+// in memory and returns the candidate row ranges: Inside subtrees as
+// bulk ranges, partial leaves as filter ranges. It performs no table
+// I/O — the cost-based planner prices plans with it, and the
+// parallel executor fans the ranges across its worker pool.
+func (t *Tree) CollectRanges(q vec.Polyhedron, pr Pruning) ([]Range, Walk) {
+	var out []Range
+	var walk Walk
+	stack := []int32{0}
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.Nodes[idx]
+		if n.RowLo == n.RowHi {
+			continue
+		}
+		walk.NodesVisited++
+		box := n.Bounds
+		if pr == PrunePartitionCells {
+			box = n.Cell
+		}
+		switch q.ClassifyBox(box) {
+		case vec.Outside:
+			continue
+		case vec.Inside:
+			if n.IsLeaf() {
+				walk.LeavesInside++
+			} else {
+				walk.LeavesInside += countLeaves(t, idx)
+			}
+			out = append(out, Range{Lo: n.RowLo, Hi: n.RowHi, Bounds: n.Bounds})
+		case vec.Partial:
+			if n.IsLeaf() {
+				walk.LeavesPartial++
+				out = append(out, Range{Lo: n.RowLo, Hi: n.RowHi, Filter: true, Bounds: n.Bounds})
+			} else {
+				stack = append(stack, n.Right, n.Left)
+			}
+		}
+	}
+	return out, walk
+}
+
 // ClassifyLeaves returns, for a query polyhedron, how many leaf
 // cells fall inside / outside / partial — the cell coloring of
 // Figure 4. It classifies partition cells (not tight bounds) because

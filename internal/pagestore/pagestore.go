@@ -11,6 +11,11 @@
 // tests show that practically only points which are actually
 // returned are read from disk into memory" (§3.1) are verified in
 // this repository by asserting on Stats deltas.
+//
+// The store is safe for concurrent use: pool bookkeeping runs under
+// one latch, but physical reads happen outside it behind a per-frame
+// loading latch, so N concurrent readers overlap their disk I/O and
+// a page requested by several readers at once is read exactly once.
 package pagestore
 
 import (
@@ -95,6 +100,17 @@ type frame struct {
 	// lruElem is non-nil exactly while the frame sits on the unpinned
 	// LRU list.
 	lruElem *list.Element
+
+	// loading is non-nil while the frame's content is being read from
+	// disk outside the store latch; it is closed once the read
+	// completes. Concurrent Gets for the same page pin the frame and
+	// wait on it instead of issuing a second read.
+	loading chan struct{}
+	// loadErr records a failed disk read; valid after loading closes.
+	loadErr error
+	// dead marks a frame whose load failed: it has been removed from
+	// the frame map and must never be parked on the LRU list.
+	dead bool
 }
 
 // Store manages a directory of paged files behind one shared buffer
@@ -207,31 +223,67 @@ func (s *Store) Alloc(f FileID) (*Page, error) {
 }
 
 // Get returns the page pinned, reading it from disk on a pool miss.
+//
+// The store latch is released for the duration of the physical read,
+// so N concurrent readers missing on different pages overlap their
+// disk I/O; readers missing on the same page wait on the frame's
+// loading latch and share the single read.
 func (s *Store) Get(id PageID) (*Page, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if int(id.File) >= len(s.files) {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("pagestore: unknown file %d", id.File)
 	}
 	if id.Num >= s.sizes[id.File] {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("pagestore: page %v beyond EOF (%d pages)", id, s.sizes[id.File])
 	}
 	if fr, ok := s.frames[id]; ok {
 		s.stats.Hits++
 		s.pin(fr)
+		loading := fr.loading
+		s.mu.Unlock()
+		if loading != nil {
+			<-loading
+			if fr.loadErr != nil {
+				err := fr.loadErr
+				s.unpin(fr)
+				return nil, err
+			}
+		}
 		return s.pagFromFrame(fr), nil
 	}
 	s.stats.Misses++
 	fr, err := s.takeFrame(id)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
-	if _, err := s.files[id.File].ReadAt(fr.data[:], int64(id.Num)*PageSize); err != nil {
-		// Frame is pinned and now invalid; drop it entirely.
+	ch := make(chan struct{})
+	fr.loading = ch
+	file := s.files[id.File]
+	s.mu.Unlock()
+
+	_, rerr := file.ReadAt(fr.data[:], int64(id.Num)*PageSize)
+
+	s.mu.Lock()
+	fr.loading = nil
+	if rerr != nil {
+		// Frame is invalid; drop it from the pool. Waiters still pin
+		// it, so unpin must not park it on the LRU list.
+		fr.loadErr = fmt.Errorf("pagestore: read %v: %w", id, rerr)
+		fr.dead = true
 		delete(s.frames, id)
-		return nil, fmt.Errorf("pagestore: read %v: %w", id, err)
+	} else {
+		s.stats.DiskReads++
 	}
-	s.stats.DiskReads++
+	s.mu.Unlock()
+	close(ch)
+	if rerr != nil {
+		err := fr.loadErr
+		s.unpin(fr)
+		return nil, err
+	}
 	return s.pagFromFrame(fr), nil
 }
 
@@ -278,7 +330,7 @@ func (s *Store) unpin(fr *frame) {
 		panic("pagestore: unpin of unpinned page " + fr.id.String())
 	}
 	fr.pins--
-	if fr.pins == 0 {
+	if fr.pins == 0 && !fr.dead {
 		fr.lruElem = s.lru.PushBack(fr)
 	}
 }

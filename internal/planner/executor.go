@@ -1,0 +1,216 @@
+package planner
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/kdtree"
+	"repro/internal/table"
+	"repro/internal/vec"
+	"repro/internal/voronoi"
+)
+
+// Executor is the concurrent query executor: candidate row ranges —
+// kd-subtree BETWEEN ranges, Voronoi cell ranges, or full-scan
+// chunks — are fanned across a fixed worker pool. Each worker scans
+// its ranges with the allocation-free magnitude decoder; per-range
+// results are reassembled in range order, so the parallel paths
+// return exactly the row ids, in exactly the physical order, of
+// their serial counterparts. The zero value (and a nil *Executor)
+// executes serially.
+//
+// Per-query Pages stats are deltas of the shared store counters —
+// the repo-wide accounting convention — so when several queries run
+// concurrently each report includes the others' page traffic. Row
+// counts and results are always exact; treat page stats as exact
+// only for serially issued queries.
+type Executor struct {
+	// Workers is the pool size; values below 2 mean serial execution.
+	Workers int
+}
+
+func (e *Executor) workers() int {
+	if e == nil || e.Workers < 1 {
+		return 1
+	}
+	return e.Workers
+}
+
+// task is one candidate range: scan rows [lo, hi), re-testing each
+// row when filter is set, and deposit the matches at out[slot].
+type task struct {
+	lo, hi table.RowID
+	filter bool
+	slot   int
+}
+
+// runTasks executes the tasks over the pool and returns the
+// concatenated row ids (in slot order) plus the examined-row count.
+func (e *Executor) runTasks(tb *table.Table, q vec.Polyhedron, tasks []task) ([]table.RowID, int64, error) {
+	results := make([][]table.RowID, len(tasks))
+	var examined atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+
+	scan := func(t task) {
+		var ids []table.RowID
+		var local int64
+		err := tb.ScanMagsRange(t.lo, t.hi, func(id table.RowID, m *[table.Dim]float64) bool {
+			local++
+			if !t.filter || engine.ContainsMags(q, m) {
+				ids = append(ids, id)
+			}
+			return true
+		})
+		examined.Add(local)
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return
+		}
+		results[t.slot] = ids
+	}
+
+	if w := e.workers(); w > 1 && len(tasks) > 1 {
+		ch := make(chan task)
+		var wg sync.WaitGroup
+		if w > len(tasks) {
+			w = len(tasks)
+		}
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range ch {
+					scan(t)
+				}
+			}()
+		}
+		for _, t := range tasks {
+			ch <- t
+		}
+		close(ch)
+		wg.Wait()
+	} else {
+		for _, t := range tasks {
+			scan(t)
+		}
+	}
+
+	if firstErr != nil {
+		return nil, examined.Load(), firstErr
+	}
+	var total int
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]table.RowID, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, examined.Load(), nil
+}
+
+// KdQuery answers the polyhedron query through the kd-tree with the
+// candidate subtree ranges fanned across the pool. Results match
+// Tree.QueryPolyhedron exactly, including physical row order.
+func (e *Executor) KdQuery(t *kdtree.Tree, tb *table.Table, q vec.Polyhedron) ([]table.RowID, kdtree.QueryStats, error) {
+	ranges, walk := t.CollectRanges(q, kdtree.PruneTightBounds)
+	return e.KdQueryRanges(tb, q, ranges, walk)
+}
+
+// KdQueryRanges is KdQuery over precomputed candidate ranges: the
+// planner already ran CollectRanges to price the kd path, so an
+// auto-planned query classifies the tree exactly once
+// (Choice.KdRanges carries the result here).
+func (e *Executor) KdQueryRanges(tb *table.Table, q vec.Polyhedron, ranges []kdtree.Range, walk kdtree.Walk) ([]table.RowID, kdtree.QueryStats, error) {
+	start := time.Now()
+	before := tb.Store().Stats()
+	tasks := make([]task, len(ranges))
+	for i, r := range ranges {
+		tasks[i] = task{lo: r.Lo, hi: r.Hi, filter: r.Filter, slot: i}
+	}
+	ids, examined, err := e.runTasks(tb, q, tasks)
+	stats := kdtree.QueryStats{
+		NodesVisited:  walk.NodesVisited,
+		LeavesInside:  walk.LeavesInside,
+		LeavesPartial: walk.LeavesPartial,
+		RowsExamined:  examined,
+		RowsReturned:  int64(len(ids)),
+		Pages:         tb.Store().Stats().Sub(before),
+		Duration:      time.Since(start),
+	}
+	return ids, stats, err
+}
+
+// FullScan answers the query by scanning the whole table in
+// page-aligned chunks distributed over the pool. Results match
+// engine.FullScanPolyhedron exactly.
+func (e *Executor) FullScan(tb *table.Table, q vec.Polyhedron) ([]table.RowID, engine.QueryStats, error) {
+	start := time.Now()
+	before := tb.Store().Stats()
+	rows := table.RowID(tb.NumRows())
+
+	// Chunks are multiples of RecordsPerPage so workers never share a
+	// page, and several per worker so stragglers balance out.
+	chunk := table.RowID(table.RecordsPerPage)
+	if w := table.RowID(e.workers()); w > 0 {
+		if per := (rows + w*4 - 1) / (w * 4); per > chunk {
+			chunk = (per + chunk - 1) / chunk * chunk
+		}
+	}
+	var tasks []task
+	for lo := table.RowID(0); lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		tasks = append(tasks, task{lo: lo, hi: hi, filter: true, slot: len(tasks)})
+	}
+	ids, examined, err := e.runTasks(tb, q, tasks)
+	stats := engine.QueryStats{
+		RowsExamined: examined,
+		RowsReturned: int64(len(ids)),
+		Pages:        tb.Store().Stats().Sub(before),
+		Duration:     time.Since(start),
+	}
+	return ids, stats, err
+}
+
+// VoronoiQuery answers the query through the Voronoi cell index with
+// the candidate cell ranges fanned across the pool. Results match
+// Index.QueryPolyhedron exactly.
+func (e *Executor) VoronoiQuery(ix *voronoi.Index, q vec.Polyhedron) ([]table.RowID, voronoi.QueryStats, error) {
+	start := time.Now()
+	tb := ix.Table()
+	before := tb.Store().Stats()
+	var stats voronoi.QueryStats
+	var tasks []task
+	for cell := range ix.Seeds {
+		lo, hi := ix.CellRows(cell)
+		if lo == hi {
+			continue
+		}
+		switch q.ClassifySphere(ix.Seeds[cell], ix.Radius[cell]) {
+		case vec.Outside:
+			stats.CellsOutside++
+		case vec.Inside:
+			stats.CellsInside++
+			tasks = append(tasks, task{lo: lo, hi: hi, slot: len(tasks)})
+		case vec.Partial:
+			stats.CellsPartial++
+			tasks = append(tasks, task{lo: lo, hi: hi, filter: true, slot: len(tasks)})
+		}
+	}
+	ids, examined, err := e.runTasks(tb, q, tasks)
+	stats.RowsExamined = examined
+	stats.RowsReturned = int64(len(ids))
+	stats.Pages = tb.Store().Stats().Sub(before)
+	stats.Duration = time.Since(start)
+	return ids, stats, err
+}

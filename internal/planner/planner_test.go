@@ -1,0 +1,336 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/kdtree"
+	"repro/internal/pagestore"
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/vec"
+	"repro/internal/voronoi"
+)
+
+// world is the shared test fixture: a synthetic catalog with every
+// index built over it.
+type world struct {
+	store   *pagestore.Store
+	catalog *table.Table
+	tree    *kdtree.Tree
+	kdTable *table.Table
+	vor     *voronoi.Index
+	gridIx  *grid.Index
+}
+
+var (
+	worldOnce sync.Once
+	theWorld  *world
+	worldErr  error
+)
+
+const worldRows = 20_000
+
+func sharedWorld(t *testing.T) *world {
+	t.Helper()
+	worldOnce.Do(func() {
+		dir, err := make20kDir()
+		if err != nil {
+			worldErr = err
+			return
+		}
+		theWorld = dir
+	})
+	if worldErr != nil {
+		t.Fatal(worldErr)
+	}
+	return theWorld
+}
+
+func make20kDir() (*world, error) {
+	dir, err := os.MkdirTemp("", "planner-test-*")
+	if err != nil {
+		return nil, err
+	}
+	s, err := pagestore.Open(dir, 16384)
+	if err != nil {
+		return nil, err
+	}
+	w := &world{store: s}
+	w.catalog, err = table.Create(s, "mag.tbl")
+	if err != nil {
+		return nil, err
+	}
+	if err := sky.GenerateTable(w.catalog, sky.DefaultParams(worldRows, 42)); err != nil {
+		return nil, err
+	}
+	w.tree, w.kdTable, err = kdtree.Build(w.catalog, "mag.kd.tbl", kdtree.BuildParams{Domain: sky.Domain()})
+	if err != nil {
+		return nil, err
+	}
+	vp := voronoi.DefaultParams(w.catalog.NumRows(), 7)
+	w.vor, err = voronoi.Build(w.catalog, "mag.vor.tbl", sky.Domain(), vp)
+	if err != nil {
+		return nil, err
+	}
+	dom3 := vec.NewBox(sky.Domain().Min[:3], sky.Domain().Max[:3])
+	w.gridIx, err = grid.Build(w.catalog, "mag.grid.tbl", grid.DefaultParams(dom3, 7))
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// centeredBox returns a box query of the given half-width around a
+// mid-catalog point, the Figure 5 query shape.
+func centeredBox(tb *table.Table, half float64) vec.Polyhedron {
+	var rec table.Record
+	tb.Get(table.RowID(tb.NumRows()/2), &rec)
+	c := rec.Point()
+	lo, hi := make(vec.Point, table.Dim), make(vec.Point, table.Dim)
+	for d := range lo {
+		lo[d], hi[d] = c[d]-half, c[d]+half
+	}
+	return vec.BoxPolyhedron(vec.NewBox(lo, hi))
+}
+
+// trueSelectivity counts the exact answer by full scan.
+func trueSelectivity(t *testing.T, tb *table.Table, q vec.Polyhedron) float64 {
+	t.Helper()
+	count, _, err := engine.CountScanPolyhedron(tb, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(count) / float64(tb.NumRows())
+}
+
+// TestKdEstimateErrorBound checks the kd-walk estimator across the
+// Figure 5 selectivity sweep: box queries from ~0 to ~1 selectivity
+// must be predicted within an absolute error of 0.2 (the partial-leaf
+// apportionment assumes uniform density inside a leaf's tight bounds,
+// so mid-selectivity queries carry the largest error; the extremes —
+// where the plan choice is clear-cut — are much tighter).
+func TestKdEstimateErrorBound(t *testing.T) {
+	w := sharedWorld(t)
+	pl := &Planner{Catalog: w.catalog, Kd: w.tree, KdTable: w.kdTable, Domain: sky.Domain()}
+	for _, half := range []float64{0.2, 0.8, 1.6, 3.2, 6.4, 12.8} {
+		q := centeredBox(w.kdTable, half)
+		actual := trueSelectivity(t, w.catalog, q)
+		choice := pl.Plan(q)
+		got := choice.Est.Selectivity
+		if choice.Est.Method != "kdtree-walk" {
+			t.Fatalf("half=%v: method %q", half, choice.Est.Method)
+		}
+		bound := 0.2
+		if actual < 0.05 {
+			// Low-selectivity queries — the regime where picking the
+			// index matters most — must be predicted tightly.
+			bound = 0.05
+		}
+		if err := math.Abs(got - actual); err > bound {
+			t.Errorf("half=%v: estimated %0.4f, actual %0.4f (err %0.4f > %0.2f)", half, got, actual, err, bound)
+		}
+	}
+}
+
+// TestVoronoiAndGridEstimators degrades the planner index by index
+// and checks the fallback estimators stay sane (within 0.2 absolute
+// for a mid-size box, correct method label).
+func TestVoronoiAndGridEstimators(t *testing.T) {
+	w := sharedWorld(t)
+	q := centeredBox(w.kdTable, 3.2)
+	actual := trueSelectivity(t, w.catalog, q)
+
+	vorOnly := &Planner{Catalog: w.catalog, Vor: w.vor, Domain: sky.Domain()}
+	c := vorOnly.Plan(q)
+	if c.Est.Method != "voronoi-spheres" {
+		t.Fatalf("method %q", c.Est.Method)
+	}
+	if err := math.Abs(c.Est.Selectivity - actual); err > 0.2 {
+		t.Errorf("voronoi estimate %0.4f vs actual %0.4f", c.Est.Selectivity, actual)
+	}
+
+	gridOnly := &Planner{Catalog: w.catalog, Grid: w.gridIx, Domain: sky.Domain()}
+	c = gridOnly.Plan(q)
+	if c.Est.Method != "grid-layers" {
+		t.Fatalf("method %q", c.Est.Method)
+	}
+	// The grid estimator sees only the 3-D projection of the box and
+	// assumes uniform mass within cells, so it is the crudest of the
+	// fallbacks; it must still land in the right ballpark.
+	if err := math.Abs(c.Est.Selectivity - actual); err > 0.35 {
+		t.Errorf("grid estimate %0.4f vs actual %0.4f (err %0.4f)", c.Est.Selectivity, actual, err)
+	}
+
+	bare := &Planner{Catalog: w.catalog, Domain: sky.Domain()}
+	c = bare.Plan(q)
+	if c.Est.Method != "bbox-volume" {
+		t.Fatalf("method %q", c.Est.Method)
+	}
+	if c.Path != PathFullScan {
+		t.Errorf("no indexes built but path = %v", c.Path)
+	}
+}
+
+// TestPlanCrossover pins the acceptance criterion: a >0.5-selectivity
+// query must run as a full scan, a <0.05-selectivity query through an
+// index, with the flip consistent around the paper's ~0.25 boundary.
+func TestPlanCrossover(t *testing.T) {
+	w := sharedWorld(t)
+	pl := &Planner{Catalog: w.catalog, Kd: w.tree, KdTable: w.kdTable, Domain: sky.Domain()}
+
+	wide := centeredBox(w.kdTable, 12.8)
+	if s := trueSelectivity(t, w.catalog, wide); s < 0.5 {
+		t.Fatalf("wide query selectivity %0.3f, want > 0.5", s)
+	}
+	if c := pl.Plan(wide); c.Path != PathFullScan {
+		t.Errorf("wide query path = %v (%s)", c.Path, c.Reason)
+	}
+
+	narrow := centeredBox(w.kdTable, 0.4)
+	if s := trueSelectivity(t, w.catalog, narrow); s > 0.05 {
+		t.Fatalf("narrow query selectivity %0.3f, want < 0.05", s)
+	}
+	if c := pl.Plan(narrow); c.Path != PathKdTree {
+		t.Errorf("narrow query path = %v (%s)", c.Path, c.Reason)
+	}
+}
+
+// TestPlanMonotoneInSelectivity sweeps the query width and checks
+// the chosen path never flips back to the index once the full scan
+// has won — the decision should be monotone in selectivity.
+func TestPlanMonotoneInSelectivity(t *testing.T) {
+	w := sharedWorld(t)
+	pl := &Planner{Catalog: w.catalog, Kd: w.tree, KdTable: w.kdTable, Domain: sky.Domain()}
+	sawFullScan := false
+	for _, half := range []float64{0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6} {
+		c := pl.Plan(centeredBox(w.kdTable, half))
+		if c.Path == PathFullScan {
+			sawFullScan = true
+		} else if sawFullScan {
+			t.Fatalf("path flipped back to %v at half=%v", c.Path, half)
+		}
+	}
+	if !sawFullScan {
+		t.Error("full scan never chosen across the sweep")
+	}
+}
+
+// TestCalibrate checks that a hot buffer pool pulls RandPage toward
+// SeqPage and an all-miss history leaves the model cold.
+func TestCalibrate(t *testing.T) {
+	m := DefaultCostModel()
+	hot := m.Calibrate(pagestore.Stats{Hits: 99, Misses: 1})
+	if hot.RandPage >= m.RandPage {
+		t.Errorf("hot pool RandPage %v not reduced from %v", hot.RandPage, m.RandPage)
+	}
+	if hot.RandPage < m.SeqPage {
+		t.Errorf("RandPage %v fell below SeqPage", hot.RandPage)
+	}
+	cold := m.Calibrate(pagestore.Stats{Misses: 50})
+	if cold.RandPage != m.RandPage {
+		t.Errorf("all-miss history changed RandPage to %v", cold.RandPage)
+	}
+	if none := m.Calibrate(pagestore.Stats{}); none != m {
+		t.Errorf("empty stats changed the model: %+v", none)
+	}
+}
+
+// TestExecutorMatchesSerial verifies every parallel path returns
+// exactly the serial answer, ids and order included.
+func TestExecutorMatchesSerial(t *testing.T) {
+	w := sharedWorld(t)
+	for _, half := range []float64{0.8, 3.2, 12.8} {
+		q := centeredBox(w.kdTable, half)
+		for _, workers := range []int{0, 1, 2, 8} {
+			exec := &Executor{Workers: workers}
+			name := fmt.Sprintf("half=%v/workers=%d", half, workers)
+
+			wantKd, _, err := w.tree.QueryPolyhedron(w.kdTable, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotKd, stats, err := exec.KdQuery(w.tree, w.kdTable, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameIDs(t, name+"/kd", gotKd, wantKd)
+			if stats.RowsReturned != int64(len(gotKd)) {
+				t.Errorf("%s: stats returned %d, ids %d", name, stats.RowsReturned, len(gotKd))
+			}
+
+			wantScan, _, err := engine.FullScanPolyhedron(w.catalog, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotScan, _, err := exec.FullScan(w.catalog, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameIDs(t, name+"/scan", gotScan, wantScan)
+
+			wantVor, _, err := w.vor.QueryPolyhedron(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotVor, _, err := exec.VoronoiQuery(w.vor, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameIDs(t, name+"/vor", gotVor, wantVor)
+		}
+	}
+}
+
+// TestExecutorConcurrentCallers runs many queries from many
+// goroutines over one shared executor; run with -race.
+func TestExecutorConcurrentCallers(t *testing.T) {
+	w := sharedWorld(t)
+	exec := &Executor{Workers: 4}
+	q := centeredBox(w.kdTable, 3.2)
+	want, _, err := exec.KdQuery(w.tree, w.kdTable, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				got, _, err := exec.KdQuery(w.tree, w.kdTable, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) != len(want) {
+					errs <- fmt.Errorf("got %d ids, want %d", len(got), len(want))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func assertSameIDs(t *testing.T, name string, got, want []table.RowID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d ids, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: id mismatch at %d: %d != %d", name, i, got[i], want[i])
+		}
+	}
+}

@@ -312,6 +312,43 @@ func (t *Table) ScanMags(fn func(RowID, *[Dim]float64) bool) error {
 	return nil
 }
 
+// ScanMagsRange iterates rows [lo, hi) decoding only the magnitude
+// vector — ScanRange's counterpart to ScanMags. The parallel query
+// executor uses it to test candidate ranges without materializing
+// whole records. fn receives a buffer reused between calls.
+func (t *Table) ScanMagsRange(lo, hi RowID, fn func(RowID, *[Dim]float64) bool) error {
+	if hi > RowID(t.rows) {
+		hi = RowID(t.rows)
+	}
+	if lo >= hi {
+		return nil
+	}
+	var mags [Dim]float64
+	row := lo
+	for row < hi {
+		pid, off, err := t.rowPage(row)
+		if err != nil {
+			return err
+		}
+		p, err := t.store.Get(pid)
+		if err != nil {
+			return err
+		}
+		slotsLeft := RecordsPerPage - int(uint64(row)%RecordsPerPage)
+		for s := 0; s < slotsLeft && row < hi; s++ {
+			DecodeMags(p.Data[off:off+RecordSize], &mags)
+			if !fn(row, &mags) {
+				p.Release()
+				return nil
+			}
+			off += RecordSize
+			row++
+		}
+		p.Release()
+	}
+	return nil
+}
+
 // AllPoints materializes every magnitude vector in RowID order.
 // Index builders use it when they can afford N×Dim float64 in memory
 // (the in-memory build mirrors the paper's index construction, which
