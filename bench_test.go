@@ -803,3 +803,58 @@ func BenchmarkVectorCodec(b *testing.B) {
 		})
 	}
 }
+
+// --- batched kNN / photo-z serving engine ------------------------------
+
+// BenchmarkKnnBatch measures SearchBatch throughput as the worker
+// pool grows: the per-worker reusable scratch and seed-leaf locality
+// ordering should make even workers=1 beat a loop over Search, and
+// workers=4 should scale further (the benchmark host's core count
+// caps the speedup).
+func BenchmarkKnnBatch(b *testing.B) {
+	f := sharedFixture(b)
+	rng := rand.New(rand.NewSource(17))
+	const batch = 256
+	queries := make([]vec.Point, batch)
+	for i := range queries {
+		var rec table.Record
+		f.kdTable.Get(table.RowID(rng.Intn(int(f.kdTable.NumRows()))), &rec)
+		queries[i] = rec.Point()
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := f.searcher.SearchBatch(queries, 10, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkPhotozBatch compares serial EvaluateGalaxies against the
+// batched engine at several worker counts over the standard
+// synthetic catalog — the §4.1 workload the batch engine exists for.
+func BenchmarkPhotozBatch(b *testing.B) {
+	f := sharedFixture(b)
+	const limit = 512
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := photoz.EvaluateGalaxies(f.catalog, f.estimator.Estimate, limit); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(limit)*float64(b.N)/b.Elapsed().Seconds(), "estimates/s")
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := photoz.EvaluateGalaxiesBatch(f.catalog, f.estimator, limit, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(limit)*float64(b.N)/b.Elapsed().Seconds(), "estimates/s")
+		})
+	}
+}

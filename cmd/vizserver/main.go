@@ -7,10 +7,17 @@
 // queries through the cost-based planner, reporting the chosen
 // access path and its estimated selectivity alongside the rows.
 //
+// The /knn and /photoz endpoints serve the §3.3 and §4.1
+// applications from the batched concurrent kNN engine: a POST /knn
+// body carries many query points at once, fanned over the worker
+// pool with per-query exact page accounting.
+//
 //	vizserver -n 200000 -addr :8080 -workers 8
 //	curl 'localhost:8080/points?min=14,14,14&max=24,24,24&n=1000'
 //	curl 'localhost:8080/render?min=10,10,10&max=30,30,30&n=5000'
 //	curl 'localhost:8080/query?where=g-r>0.4+AND+r<19&limit=5'
+//	curl -d '{"points":[[18.2,17.9,17.7,17.6,17.5]],"k":5}' 'localhost:8080/knn'
+//	curl 'localhost:8080/photoz?mags=18.2,17.9,17.7,17.6,17.5'
 //	curl 'localhost:8080/stats'
 package main
 
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"strconv"
@@ -39,6 +47,10 @@ type server struct {
 	mu       sync.Mutex
 	requests int
 	returned int64
+	// Cumulative kNN serving counters, fed by /knn reports.
+	knnQueries int64
+	knnLeaves  int64
+	knnRows    int64
 }
 
 func main() {
@@ -68,6 +80,9 @@ func main() {
 	if err := db.BuildKdIndex(0); err != nil {
 		log.Fatal(err)
 	}
+	if err := db.BuildPhotoZ(24, 1); err != nil {
+		log.Fatal(err)
+	}
 	log.Printf("catalog: %d rows; grid layers: %d; kd leaves: %d",
 		db.NumRows(), db.Grid().NumLayers(), db.KdTree().NumLeaves())
 
@@ -76,6 +91,8 @@ func main() {
 	mux.HandleFunc("/points", s.handlePoints)
 	mux.HandleFunc("/render", s.handleRender)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/knn", s.handleKnn)
+	mux.HandleFunc("/photoz", s.handlePhotoz)
 	mux.HandleFunc("/stats", s.handleStats)
 	log.Printf("listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
@@ -245,16 +262,195 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// parseMags parses one "m1,m2,m3,m4,m5" magnitude vector.
+func parseMags(raw string) (vec.Point, error) {
+	parts := strings.Split(raw, ",")
+	if len(parts) != table.Dim {
+		return nil, fmt.Errorf("mags needs %d comma-separated numbers, got %q", table.Dim, raw)
+	}
+	p := make(vec.Point, table.Dim)
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("mags[%d]: %w", i, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// A NaN query breaks every distance comparison and would
+			// return k arbitrary records as a 200.
+			return nil, fmt.Errorf("mags[%d]: %v is not a finite magnitude", i, v)
+		}
+		p[i] = v
+	}
+	return p, nil
+}
+
+// neighborJSON is one /knn result record: unlike the 3-D viz
+// pointJSON it carries the object identity and all five magnitudes,
+// so callers can identify the returned objects and verify the 5-D
+// ordering themselves.
+type neighborJSON struct {
+	ObjID    int64      `json:"objId"`
+	Mags     [5]float64 `json:"mags"`
+	Class    string     `json:"class"`
+	Redshift float32    `json:"redshift"`
+}
+
+// knnResultJSON is one query's slice of the /knn response.
+type knnResultJSON struct {
+	Neighbors      []neighborJSON `json:"neighbors"`
+	LeavesExamined int64          `json:"leavesExamined"`
+	RowsExamined   int64          `json:"rowsExamined"`
+	DiskReads      int64          `json:"diskReads"`
+}
+
+// handleKnn serves batched nearest-neighbour queries: POST a JSON
+// body {"points": [[5 mags]...], "k": n} and get, per query in input
+// order, the k neighbours plus that query's exact cost report from
+// the batch engine.
+func (s *server) handleKnn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON body {\"points\": [[m1..m5]...], \"k\": n}", http.StatusMethodNotAllowed)
+		return
+	}
+	var in struct {
+		Points [][]float64 `json:"points"`
+		K      int         `json:"k"`
+	}
+	// 10k points × 5 coordinates fit comfortably in 4 MiB; cap the
+	// body before decoding so an oversized request cannot exhaust
+	// memory.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&in); err != nil {
+		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if in.K == 0 {
+		in.K = 10
+	}
+	if in.K < 1 || in.K > 1000 {
+		http.Error(w, fmt.Sprintf("k %d out of [1,1000]", in.K), http.StatusBadRequest)
+		return
+	}
+	if len(in.Points) == 0 || len(in.Points) > 10_000 {
+		http.Error(w, fmt.Sprintf("points count %d out of [1,10000]", len(in.Points)), http.StatusBadRequest)
+		return
+	}
+	qs := make([]vec.Point, len(in.Points))
+	for i, p := range in.Points {
+		if len(p) != table.Dim {
+			http.Error(w, fmt.Sprintf("points[%d] has %d coordinates, want %d", i, len(p), table.Dim), http.StatusBadRequest)
+			return
+		}
+		qs[i] = vec.Point(p)
+	}
+	recs, reports, err := s.db.NearestNeighborsBatch(qs, in.K)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	results := make([]knnResultJSON, len(recs))
+	var leaves, rows, returned int64
+	for i, nbs := range recs {
+		out := make([]neighborJSON, len(nbs))
+		for j := range nbs {
+			nj := neighborJSON{
+				ObjID:    nbs[j].ObjID,
+				Class:    nbs[j].Class.String(),
+				Redshift: nbs[j].Redshift,
+			}
+			for d := 0; d < 5; d++ {
+				nj.Mags[d] = float64(nbs[j].Mags[d])
+			}
+			out[j] = nj
+		}
+		results[i] = knnResultJSON{
+			Neighbors:      out,
+			LeavesExamined: reports[i].LeavesExamined,
+			RowsExamined:   reports[i].RowsExamined,
+			DiskReads:      reports[i].DiskReads,
+		}
+		leaves += reports[i].LeavesExamined
+		rows += reports[i].RowsExamined
+		returned += reports[i].RowsReturned
+	}
+	s.mu.Lock()
+	s.requests++
+	s.returned += returned
+	s.knnQueries += int64(len(qs))
+	s.knnLeaves += leaves
+	s.knnRows += rows
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"k":          in.K,
+		"queries":    len(qs),
+		"plan":       reports[0].Plan.String(),
+		"planReason": reports[0].PlanReason,
+		"results":    results,
+	})
+}
+
+// handlePhotoz serves photometric redshift estimates: repeat the
+// mags parameter for a batch, e.g. /photoz?mags=18,17,17,16,16&mags=...
+// The batch runs on the batched kNN engine; the response includes
+// the batch's fit-fallback count (degenerate neighbourhoods).
+func (s *server) handlePhotoz(w http.ResponseWriter, r *http.Request) {
+	raws := r.URL.Query()["mags"]
+	if len(raws) == 0 {
+		http.Error(w, "missing mags parameter (m1,m2,m3,m4,m5; repeatable)", http.StatusBadRequest)
+		return
+	}
+	if len(raws) > 10_000 {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds 10000", len(raws)), http.StatusBadRequest)
+		return
+	}
+	qs := make([]vec.Point, len(raws))
+	for i, raw := range raws {
+		p, err := parseMags(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		qs[i] = p
+	}
+	zs, rep, err := s.db.EstimateRedshiftBatch(qs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	s.requests++
+	s.returned += int64(len(zs))
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"redshifts":      zs,
+		"queries":        len(zs),
+		"fitFallbacks":   rep.FitFallbacks,
+		"leavesExamined": rep.LeavesExamined,
+		"rowsExamined":   rep.RowsExamined,
+		"diskReads":      rep.DiskReads,
+	})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	req, ret := s.requests, s.returned
+	knnQ, knnL, knnR := s.knnQueries, s.knnLeaves, s.knnRows
 	s.mu.Unlock()
 	pages := s.db.Engine().Store().Stats()
+	pz := s.db.PhotoZStats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"requests":       req,
-		"pointsReturned": ret,
-		"diskReads":      pages.DiskReads,
-		"poolHits":       pages.Hits,
+		"requests":           req,
+		"pointsReturned":     ret,
+		"diskReads":          pages.DiskReads,
+		"poolHits":           pages.Hits,
+		"knnQueries":         knnQ,
+		"knnLeavesExamined":  knnL,
+		"knnRowsExamined":    knnR,
+		"photozEstimates":    pz.Estimates,
+		"photozFitFallbacks": pz.FitFallbacks,
 	})
 }

@@ -27,6 +27,9 @@ func newTestServer(t *testing.T) *server {
 	if err := db.BuildKdIndex(0); err != nil {
 		t.Fatal(err)
 	}
+	if err := db.BuildPhotoZ(16, 1); err != nil {
+		t.Fatal(err)
+	}
 	return &server{db: db}
 }
 
@@ -163,5 +166,142 @@ func TestHandleStats(t *testing.T) {
 	}
 	if out["pointsReturned"].(float64) != 50 {
 		t.Errorf("pointsReturned = %v", out["pointsReturned"])
+	}
+}
+
+func TestHandleKnn(t *testing.T) {
+	s := newTestServer(t)
+	body := `{"points": [[18.2,17.9,17.7,17.6,17.5],[20.1,19.5,19.2,19.0,18.9]], "k": 5}`
+	req := httptest.NewRequest("POST", "/knn", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.handleKnn(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var out struct {
+		K          int    `json:"k"`
+		Queries    int    `json:"queries"`
+		Plan       string `json:"plan"`
+		PlanReason string `json:"planReason"`
+		Results    []struct {
+			Neighbors []struct {
+				ObjID int64      `json:"objId"`
+				Mags  [5]float64 `json:"mags"`
+				Class string     `json:"class"`
+			} `json:"neighbors"`
+			LeavesExamined int64 `json:"leavesExamined"`
+			RowsExamined   int64 `json:"rowsExamined"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.K != 5 || out.Queries != 2 || len(out.Results) != 2 {
+		t.Fatalf("k=%d queries=%d results=%d", out.K, out.Queries, len(out.Results))
+	}
+	if out.Plan != "kdtree" || out.PlanReason == "" {
+		t.Errorf("plan %q reason %q", out.Plan, out.PlanReason)
+	}
+	for i, res := range out.Results {
+		if len(res.Neighbors) != 5 {
+			t.Errorf("query %d returned %d neighbours", i, len(res.Neighbors))
+		}
+		if res.LeavesExamined < 1 || res.RowsExamined < 5 {
+			t.Errorf("query %d cost report empty: %+v", i, res)
+		}
+		for j, nb := range res.Neighbors {
+			if nb.Class == "" || nb.Mags == [5]float64{} {
+				t.Errorf("query %d neighbour %d missing identity/magnitudes: %+v", i, j, nb)
+			}
+		}
+	}
+}
+
+func TestHandleKnnValidation(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		method, body string
+		want         int
+	}{
+		{"GET", "", http.StatusMethodNotAllowed},
+		{"POST", "{not json", http.StatusBadRequest},
+		{"POST", `{"points": []}`, http.StatusBadRequest},
+		{"POST", `{"points": [[1,2]], "k": 3}`, http.StatusBadRequest},
+		{"POST", `{"points": [[1,2,3,4,5]], "k": -1}`, http.StatusBadRequest},
+		// Oversized body must be rejected by the 4 MiB cap, not decoded.
+		{"POST", `{"points": [[` + strings.Repeat("1,", 5<<20) + `1]]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(c.method, "/knn", strings.NewReader(c.body))
+		w := httptest.NewRecorder()
+		s.handleKnn(w, req)
+		if w.Code != c.want {
+			t.Errorf("%s %q: status %d, want %d", c.method, c.body, w.Code, c.want)
+		}
+	}
+}
+
+func TestHandlePhotoz(t *testing.T) {
+	s := newTestServer(t)
+	req := httptest.NewRequest("GET", "/photoz?mags=18.2,17.9,17.7,17.6,17.5&mags=20.1,19.5,19.2,19.0,18.9", nil)
+	w := httptest.NewRecorder()
+	s.handlePhotoz(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var out struct {
+		Redshifts    []float64 `json:"redshifts"`
+		Queries      int       `json:"queries"`
+		FitFallbacks int64     `json:"fitFallbacks"`
+		RowsExamined int64     `json:"rowsExamined"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Queries != 2 || len(out.Redshifts) != 2 {
+		t.Fatalf("queries=%d redshifts=%d", out.Queries, len(out.Redshifts))
+	}
+	for i, z := range out.Redshifts {
+		if z < 0 || z > 10 {
+			t.Errorf("redshift %d = %v out of range", i, z)
+		}
+	}
+	if out.RowsExamined < 1 {
+		t.Error("photo-z cost report empty")
+	}
+
+	// The /stats endpoint must surface the photo-z and knn counters.
+	sw := httptest.NewRecorder()
+	s.handleStats(sw, httptest.NewRequest("GET", "/stats", nil))
+	var stats map[string]any
+	if err := json.Unmarshal(sw.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["photozEstimates"].(float64) != 2 {
+		t.Errorf("photozEstimates = %v, want 2", stats["photozEstimates"])
+	}
+	for _, key := range []string{"knnQueries", "knnLeavesExamined", "knnRowsExamined", "photozFitFallbacks"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("/stats missing %s", key)
+		}
+	}
+}
+
+func TestHandlePhotozValidation(t *testing.T) {
+	s := newTestServer(t)
+	for _, url := range []string{
+		"/photoz",                       // missing mags
+		"/photoz?mags=1,2,3",            // wrong arity
+		"/photoz?mags=1,2,3,4,x",        // bad number
+		"/photoz?mags=NaN,1,2,3,4",      // non-finite query
+		"/photoz?mags=1,2,3,4,%2BInf",   // +Inf
+		"/photoz?mags=17,17,17,17,-Inf", // -Inf
+	} {
+		req := httptest.NewRequest("GET", url, nil)
+		w := httptest.NewRecorder()
+		s.handlePhotoz(w, req)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, w.Code)
+		}
 	}
 }

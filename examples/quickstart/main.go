@@ -54,11 +54,12 @@ func main() {
 
 	// 4. Nearest neighbours of a known galaxy color.
 	probe := sky.GalaxyColors(0.15, 18)
-	nbs, err := db.NearestNeighbors(probe, 5)
+	nbs, knnRep, err := db.NearestNeighbors(probe, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("5 nearest neighbours of %v:\n", probe)
+	fmt.Printf("5 nearest neighbours of %v (%d leaves, %d rows examined):\n",
+		probe, knnRep.LeavesExamined, knnRep.RowsExamined)
 	for i, nb := range nbs {
 		fmt.Printf("  %d. obj %-8d class=%-7s z=%.3f\n", i+1, nb.ObjID, nb.Class, nb.Redshift)
 	}

@@ -80,7 +80,7 @@ func TestEndToEndSystem(t *testing.T) {
 	}
 
 	// kNN of a galaxy color returns galaxy-dominated neighbourhoods.
-	nbs, err := db.NearestNeighbors(sky.GalaxyColors(0.12, 18.5), 10)
+	nbs, _, err := db.NearestNeighbors(sky.GalaxyColors(0.12, 18.5), 10)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/knn"
 	"repro/internal/outlier"
 	"repro/internal/pagestore"
+	"repro/internal/parallel"
 	"repro/internal/photoz"
 	"repro/internal/planner"
 	"repro/internal/sky"
@@ -86,13 +87,23 @@ func (p Plan) String() string {
 	return fmt.Sprintf("Plan(%d)", int(p))
 }
 
-// Report describes how a query executed.
+// Report describes how a query executed. Page counters are exact
+// per query even under concurrency: every query runs under its own
+// pagestore accounting scope.
 type Report struct {
 	Plan         Plan
 	RowsReturned int64
 	RowsExamined int64
 	DiskReads    int64
 	CacheHits    int64
+
+	// LeavesExamined counts kd-tree leaves scanned by the §3.3
+	// region-growing kNN (zero for polyhedron queries).
+	LeavesExamined int64
+	// FitFallbacks counts photo-z estimates whose local polynomial
+	// fit degenerated and fell back to the neighbour mean (zero for
+	// everything but redshift estimation).
+	FitFallbacks int64
 
 	// EstimatedSelectivity is the planner's pre-execution prediction
 	// of returned/total rows. Zero for forced plans (the planner did
@@ -326,6 +337,45 @@ func (db *SpatialDB) EstimateRedshift(mags vec.Point) (float64, error) {
 	return est.Estimate(mags)
 }
 
+// EstimateRedshiftBatch estimates many objects on the batched kNN
+// engine (Config.Workers sizes the pool) and reports the batch's
+// exact aggregate cost, including how many local polynomial fits
+// degenerated to the neighbour-mean fallback.
+func (db *SpatialDB) EstimateRedshiftBatch(mags []vec.Point) ([]float64, Report, error) {
+	db.mu.RLock()
+	est := db.photoZ
+	db.mu.RUnlock()
+	if est == nil {
+		return nil, Report{}, fmt.Errorf("core: BuildPhotoZ has not been called")
+	}
+	zs, stats, err := est.EstimateBatch(mags, db.exec.Workers)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return zs, Report{
+		Plan:           PlanKdTree,
+		RowsReturned:   int64(len(zs)),
+		RowsExamined:   stats.RowsExamined,
+		LeavesExamined: stats.LeavesExamined,
+		FitFallbacks:   stats.FitFallbacks,
+		DiskReads:      stats.Pages.DiskReads,
+		CacheHits:      stats.Pages.Hits,
+		PlanReason:     fmt.Sprintf("photoz batch: %d queries over kNN batch engine", stats.Queries),
+	}, nil
+}
+
+// PhotoZStats returns the estimator's cumulative counters (zero
+// before BuildPhotoZ).
+func (db *SpatialDB) PhotoZStats() photoz.EstimatorStats {
+	db.mu.RLock()
+	est := db.photoZ
+	db.mu.RUnlock()
+	if est == nil {
+		return photoz.EstimatorStats{}
+	}
+	return est.Stats()
+}
+
 // QueryWhere parses a Figure 2-style WHERE clause and executes it,
 // returning matching records. OR queries execute one polyhedron per
 // DNF clause and union the results; the Report then describes the
@@ -467,24 +517,118 @@ func (db *SpatialDB) QueryPolyhedron(q vec.Polyhedron, plan Plan) ([]table.Recor
 	}
 }
 
-// NearestNeighbors returns the k catalog records closest to p in
-// color space (§3.3).
-func (db *SpatialDB) NearestNeighbors(p vec.Point, k int) ([]table.Record, error) {
+// knnPlan prices the kNN query and snapshots the structures it
+// needs. The searcher may be nil (kd-tree not built), in which case
+// brute force is the only path.
+func (db *SpatialDB) knnPlan(k int) (*knn.Searcher, *table.Table, planner.KNNChoice, error) {
 	db.mu.RLock()
-	searcher := db.knnS
+	searcher, catalog, kd, kdTable := db.knnS, db.catalog, db.kd, db.kdTable
 	db.mu.RUnlock()
-	if searcher == nil {
-		return nil, fmt.Errorf("core: kd-tree index not built")
+	if catalog == nil {
+		return nil, nil, planner.KNNChoice{}, fmt.Errorf("core: no catalog loaded")
 	}
-	nbs, _, err := searcher.Search(p, k)
+	pl := &planner.Planner{Catalog: catalog, Kd: kd, KdTable: kdTable, Domain: db.domain}
+	return searcher, catalog, pl.PlanKNN(k), nil
+}
+
+// knnReport converts search stats into a Report.
+func knnReport(plan Plan, reason string, stats knn.Stats, returned int) Report {
+	return Report{
+		Plan:           plan,
+		RowsReturned:   int64(returned),
+		RowsExamined:   stats.RowsExamined,
+		LeavesExamined: int64(stats.LeavesExamined),
+		DiskReads:      stats.Pages.DiskReads,
+		CacheHits:      stats.Pages.Hits,
+		PlanReason:     reason,
+	}
+}
+
+// NearestNeighbors returns the k catalog records closest to p in
+// color space (§3.3), with a Report of the query's exact cost. The
+// access path — region-growing through the kd-tree versus brute
+// force — is chosen by the cost-based planner: for k approaching N
+// the grown region covers most leaves at scattered-page prices and
+// the sequential scan wins, mirroring the Figure 5 crossover.
+func (db *SpatialDB) NearestNeighbors(p vec.Point, k int) ([]table.Record, Report, error) {
+	searcher, catalog, choice, err := db.knnPlan(k)
 	if err != nil {
-		return nil, err
+		return nil, Report{}, err
+	}
+	var nbs []knn.Neighbor
+	var stats knn.Stats
+	plan := PlanFullScan
+	if choice.UseIndex && searcher != nil {
+		plan = PlanKdTree
+		nbs, stats, err = searcher.Search(p, k)
+	} else {
+		// No kd-tree, or the planner priced the scan cheaper: serve
+		// the query anyway through the brute-force path.
+		nbs, stats, err = knn.BruteForce(catalog, p, k)
+	}
+	if err != nil {
+		return nil, Report{}, err
 	}
 	out := make([]table.Record, len(nbs))
 	for i, nb := range nbs {
 		out[i] = nb.Rec
 	}
-	return out, nil
+	return out, knnReport(plan, choice.Reason, stats, len(out)), nil
+}
+
+// NearestNeighborsBatch answers many kNN queries on the batched
+// engine (knn.SearchBatch over Config.Workers workers, per-worker
+// scratch, seed-leaf locality ordering), returning results in input
+// order with an exact per-query Report each. If the planner predicts
+// brute force cheaper (k approaching N, or no kd-tree built), the
+// queries run as brute-force scans fanned over the same worker pool.
+func (db *SpatialDB) NearestNeighborsBatch(ps []vec.Point, k int) ([][]table.Record, []Report, error) {
+	searcher, catalog, choice, err := db.knnPlan(k)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs := make([][]table.Record, len(ps))
+	reports := make([]Report, len(ps))
+	if !choice.UseIndex || searcher == nil {
+		if err := db.bruteForceBatch(catalog, ps, k, choice.Reason, recs, reports); err != nil {
+			return nil, nil, err
+		}
+		return recs, reports, nil
+	}
+	nbsAll, statsAll, err := searcher.SearchBatch(ps, k, db.exec.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, nbs := range nbsAll {
+		recs[i] = make([]table.Record, len(nbs))
+		for j, nb := range nbs {
+			recs[i][j] = nb.Rec
+		}
+		reports[i] = knnReport(PlanKdTree, choice.Reason, statsAll[i], len(nbs))
+	}
+	return recs, reports, nil
+}
+
+// bruteForceBatch answers the queries by whole-table scans fanned
+// over the worker pool, filling recs/reports in input order.
+func (db *SpatialDB) bruteForceBatch(catalog *table.Table, ps []vec.Point, k int, reason string, recs [][]table.Record, reports []Report) error {
+	return parallel.ForChunks(len(ps), db.exec.Workers, func(lo, hi int, stopped func() bool) error {
+		for i := lo; i < hi; i++ {
+			if stopped() {
+				return nil
+			}
+			nbs, stats, err := knn.BruteForce(catalog, ps[i], k)
+			if err != nil {
+				return err
+			}
+			recs[i] = make([]table.Record, len(nbs))
+			for j, nb := range nbs {
+				recs[i][j] = nb.Rec
+			}
+			reports[i] = knnReport(PlanFullScan, reason, stats, len(nbs))
+		}
+		return nil
+	})
 }
 
 // SampleRegion returns at least n points of the catalog whose first
@@ -588,7 +732,8 @@ func (db *SpatialDB) registerProcs() {
 		if !ok {
 			return nil, fmt.Errorf("NearestNeighbors: want int, got %T", args[1])
 		}
-		return db.NearestNeighbors(p, k)
+		recs, _, err := db.NearestNeighbors(p, k)
+		return recs, err
 	}))
 	must(db.eng.RegisterProc("SampleRegion", func(args ...any) (any, error) {
 		if len(args) != 2 {

@@ -59,7 +59,7 @@ func TestEmptyDBErrors(t *testing.T) {
 	if _, _, err := db.QueryWhere("r < 18", PlanAuto); err == nil {
 		t.Error("query on empty db should fail")
 	}
-	if _, err := db.NearestNeighbors(vec.Point{1, 2, 3, 4, 5}, 3); err == nil {
+	if _, _, err := db.NearestNeighbors(vec.Point{1, 2, 3, 4, 5}, 3); err == nil {
 		t.Error("kNN without index should fail")
 	}
 	if _, err := db.SampleRegion(vec.UnitBox(3), 5); err == nil {
@@ -196,7 +196,7 @@ func TestConcurrentQueries(t *testing.T) {
 					errs <- fmt.Errorf("worker %d got %d rows, want %d", worker, len(recs), len(wantRecs))
 					return
 				}
-				if _, err := db.NearestNeighbors(recs[i%len(recs)].Point(), 3); err != nil {
+				if _, _, err := db.NearestNeighbors(recs[i%len(recs)].Point(), 3); err != nil {
 					errs <- err
 					return
 				}
@@ -252,7 +252,7 @@ func TestNearestNeighborsThroughFacade(t *testing.T) {
 	cat, _ := db.Catalog()
 	var rec table.Record
 	cat.Get(77, &rec)
-	nbs, err := db.NearestNeighbors(rec.Point(), 5)
+	nbs, rep, err := db.NearestNeighbors(rec.Point(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,6 +261,10 @@ func TestNearestNeighborsThroughFacade(t *testing.T) {
 	}
 	if nbs[0].ObjID != rec.ObjID {
 		t.Errorf("nearest neighbour of a data point should be itself")
+	}
+	if rep.Plan != PlanKdTree || rep.LeavesExamined < 1 || rep.RowsExamined < 5 ||
+		rep.RowsReturned != 5 || rep.PlanReason == "" {
+		t.Errorf("kNN report not populated: %+v", rep)
 	}
 }
 

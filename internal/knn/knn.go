@@ -25,11 +25,18 @@
 // boundary point. This keeps the region-growing exact on unbalanced
 // neighbourhoods; the paper's TOP(k−f) refinement falls out for free
 // because leaves are admitted in distance order.
+//
+// Every query runs under its own pagestore accounting scope, so
+// Stats.Pages is exactly the pages that query touched even while
+// other queries run concurrently against the same store. SearchBatch
+// fans many queries over a worker pool with per-worker reusable
+// scratch and seed-leaf locality ordering.
 package knn
 
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/kdtree"
@@ -46,7 +53,9 @@ type Neighbor struct {
 }
 
 // Stats reports the cost of one search — the §3.3 evaluation is
-// that LeavesExamined ≪ total leaves.
+// that LeavesExamined ≪ total leaves. Pages is scope-exact: it
+// counts only this query's page traffic, regardless of what other
+// queries do concurrently.
 type Stats struct {
 	LeavesExamined int
 	RowsExamined   int64
@@ -85,8 +94,40 @@ func (h *frontierHeap) Pop() any {
 	return x
 }
 
+// scratch is reusable per-worker search state. The visited set is a
+// generation-stamped array, so resetting between queries is O(1)
+// instead of allocating a NumLeaves-sized bitmap per call, and the
+// two heaps keep their backing arrays across queries.
+type scratch struct {
+	visited  []uint32
+	gen      uint32
+	result   resultHeap
+	frontier frontierHeap
+}
+
+func newScratch(numLeaves int) *scratch {
+	return &scratch{visited: make([]uint32, numLeaves)}
+}
+
+// reset prepares the scratch for the next query.
+func (scr *scratch) reset() {
+	scr.gen++
+	if scr.gen == 0 { // stamp wrapped: clear and restart
+		for i := range scr.visited {
+			scr.visited[i] = 0
+		}
+		scr.gen = 1
+	}
+	scr.result = scr.result[:0]
+	scr.frontier = scr.frontier[:0]
+}
+
+func (scr *scratch) seen(leaf int) bool { return scr.visited[leaf] == scr.gen }
+func (scr *scratch) visit(leaf int)     { scr.visited[leaf] = scr.gen }
+
 // Searcher runs kNN queries against one kd-tree and its clustered
-// table.
+// table. It is safe for concurrent use: every query allocates (or,
+// in SearchBatch, reuses) its own scratch state and accounting scope.
 type Searcher struct {
 	Tree *kdtree.Tree
 	Tb   *table.Table
@@ -100,60 +141,82 @@ func NewSearcher(tree *kdtree.Tree, tb *table.Table) *Searcher {
 // Search returns the k nearest neighbours of p in ascending distance
 // order.
 func (s *Searcher) Search(p vec.Point, k int) ([]Neighbor, Stats, error) {
+	if err := s.validate(p, k); err != nil {
+		return nil, Stats{}, err
+	}
+	return s.searchScoped(p, k, s.seedLeaf(p), newScratch(s.Tree.NumLeaves()))
+}
+
+// seedLeaf routes p (clamped into the domain, so off-data queries
+// still land) to the leaf the region growth starts from.
+func (s *Searcher) seedLeaf(p vec.Point) int {
+	return s.Tree.LeafContaining(s.Tree.Root().Cell.ClosestPoint(p))
+}
+
+// validate checks the query arguments.
+func (s *Searcher) validate(p vec.Point, k int) error {
 	if k < 1 {
-		return nil, Stats{}, fmt.Errorf("knn: k must be >= 1, got %d", k)
+		return fmt.Errorf("knn: k must be >= 1, got %d", k)
 	}
 	if len(p) != s.Tree.Dim {
-		return nil, Stats{}, fmt.Errorf("knn: query dim %d != tree dim %d", len(p), s.Tree.Dim)
+		return fmt.Errorf("knn: query dim %d != tree dim %d", len(p), s.Tree.Dim)
 	}
+	return nil
+}
+
+// searchScoped runs one validated query on the caller's scratch,
+// attributing page traffic to a fresh per-query scope. seed is the
+// query's precomputed seed leaf (SearchBatch routes every query
+// once for its locality ordering and passes the result down).
+func (s *Searcher) searchScoped(p vec.Point, k, seed int, scr *scratch) ([]Neighbor, Stats, error) {
 	start := time.Now()
-	before := s.Tb.Store().Stats()
+	scope := s.Tb.Store().Scoped()
+	tb := s.Tb.Scoped(scope)
 	var stats Stats
+	out, err := s.run(tb, p, k, seed, scr, &stats)
+	stats.Pages = scope.Stats()
+	stats.Duration = time.Since(start)
+	return out, stats, err
+}
 
-	result := make(resultHeap, 0, k+1)
-	visited := make([]bool, s.Tree.NumLeaves())
-	frontier := frontierHeap{}
+// run is the region-growing loop over an already-scoped table.
+func (s *Searcher) run(tb *table.Table, p vec.Point, k, seed int, scr *scratch, stats *Stats) ([]Neighbor, error) {
+	scr.reset()
+	result, frontier := &scr.result, &scr.frontier
 
-	// Seed: clamp p into the domain so off-data queries still route.
-	seedPt := s.Tree.Root().Cell.ClosestPoint(p)
-	seed := s.Tree.LeafContaining(seedPt)
-	heap.Push(&frontier, frontierEntry{leaf: seed, dist2: s.Tree.LeafBox(seed).Dist2(p)})
-	visited[seed] = true
+	heap.Push(frontier, frontierEntry{leaf: seed, dist2: s.Tree.LeafBox(seed).Dist2(p)})
+	scr.visit(seed)
 
 	m2 := func() float64 {
-		if len(result) < k {
-			return inf
+		if len(*result) < k {
+			return math.Inf(1)
 		}
-		return result[0].Dist2
+		return (*result)[0].Dist2
 	}
 
 	for frontier.Len() > 0 {
-		e := heap.Pop(&frontier).(frontierEntry)
+		e := heap.Pop(frontier).(frontierEntry)
 		if e.dist2 > m2() {
 			break // index list exhausted within radius m: done
 		}
-		if err := s.examineLeaf(e.leaf, p, k, &result, &stats); err != nil {
-			return nil, stats, err
+		if err := s.examineLeaf(tb, e.leaf, p, k, result, stats); err != nil {
+			return nil, err
 		}
-		s.growAcrossFaces(e.leaf, p, m2(), visited, &frontier)
+		s.growAcrossFaces(e.leaf, p, m2(), scr, frontier)
 	}
 
-	out := make([]Neighbor, len(result))
-	for i := len(result) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&result).(Neighbor)
+	out := make([]Neighbor, len(*result))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(result).(Neighbor)
 	}
-	stats.Pages = s.Tb.Store().Stats().Sub(before)
-	stats.Duration = time.Since(start)
-	return out, stats, nil
+	return out, nil
 }
 
-const inf = 1e308
-
 // examineLeaf scans one leaf's row range, refining the result list.
-func (s *Searcher) examineLeaf(leaf int, p vec.Point, k int, result *resultHeap, stats *Stats) error {
+func (s *Searcher) examineLeaf(tb *table.Table, leaf int, p vec.Point, k int, result *resultHeap, stats *Stats) error {
 	stats.LeavesExamined++
 	lo, hi := s.Tree.LeafRows(leaf)
-	return s.Tb.ScanRange(lo, hi, func(id table.RowID, r *table.Record) bool {
+	return tb.ScanRange(lo, hi, func(id table.RowID, r *table.Record) bool {
 		stats.RowsExamined++
 		d2 := dist2Mags(p, r)
 		if len(*result) < k {
@@ -171,7 +234,7 @@ func (s *Searcher) examineLeaf(leaf int, p vec.Point, k int, result *resultHeap,
 // each face the crossing is a thin slab just beyond the face plane,
 // intersected with the tree to enumerate every neighbouring cell —
 // the multi-neighbour generalization of the paper's boundary points.
-func (s *Searcher) growAcrossFaces(leaf int, p vec.Point, m2 float64, visited []bool, frontier *frontierHeap) {
+func (s *Searcher) growAcrossFaces(leaf int, p vec.Point, m2 float64, scr *scratch, frontier *frontierHeap) {
 	cell := s.Tree.LeafBox(leaf)
 	dim := cell.Dim()
 	root := s.Tree.Root().Cell
@@ -204,7 +267,7 @@ func (s *Searcher) growAcrossFaces(leaf int, p vec.Point, m2 float64, visited []
 			} else {
 				slab.Min[axis], slab.Max[axis] = faceCoord, faceCoord+eps
 			}
-			s.collectLeavesIntersecting(slab, p, m2, visited, frontier)
+			s.collectLeavesIntersecting(slab, p, m2, scr, frontier)
 		}
 	}
 }
@@ -220,7 +283,7 @@ func faceEps(root vec.Box, axis int) float64 {
 
 // collectLeavesIntersecting walks the tree pushing every unvisited
 // leaf whose cell intersects box and lies within radius² m2 of p.
-func (s *Searcher) collectLeavesIntersecting(box vec.Box, p vec.Point, m2 float64, visited []bool, frontier *frontierHeap) {
+func (s *Searcher) collectLeavesIntersecting(box vec.Box, p vec.Point, m2 float64, scr *scratch, frontier *frontierHeap) {
 	stack := []int32{0}
 	for len(stack) > 0 {
 		idx := stack[len(stack)-1]
@@ -234,8 +297,8 @@ func (s *Searcher) collectLeavesIntersecting(box vec.Box, p vec.Point, m2 float6
 		}
 		if n.IsLeaf() {
 			leaf := int(n.Leaf)
-			if !visited[leaf] {
-				visited[leaf] = true
+			if !scr.seen(leaf) {
+				scr.visit(leaf)
 				heap.Push(frontier, frontierEntry{leaf: leaf, dist2: n.Cell.Dist2(p)})
 			}
 			continue
@@ -256,16 +319,21 @@ func dist2Mags(p vec.Point, r *table.Record) float64 {
 
 // BruteForce returns the exact k nearest neighbours by scanning the
 // whole table — the reference the index-assisted search is verified
-// against and the baseline of the kNN benchmarks.
+// against and the baseline of the kNN benchmarks. Pages stats are
+// scope-exact, like Search.
 func BruteForce(tb *table.Table, p vec.Point, k int) ([]Neighbor, Stats, error) {
 	if k < 1 {
 		return nil, Stats{}, fmt.Errorf("knn: k must be >= 1, got %d", k)
 	}
+	if len(p) != table.Dim {
+		return nil, Stats{}, fmt.Errorf("knn: query dim %d != table dim %d", len(p), table.Dim)
+	}
 	start := time.Now()
-	before := tb.Store().Stats()
+	scope := tb.Store().Scoped()
+	stb := tb.Scoped(scope)
 	var stats Stats
 	result := make(resultHeap, 0, k+1)
-	err := tb.Scan(func(id table.RowID, r *table.Record) bool {
+	err := stb.Scan(func(id table.RowID, r *table.Record) bool {
 		stats.RowsExamined++
 		d2 := dist2Mags(p, r)
 		if len(result) < k {
@@ -283,7 +351,7 @@ func BruteForce(tb *table.Table, p vec.Point, k int) ([]Neighbor, Stats, error) 
 	for i := len(result) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(&result).(Neighbor)
 	}
-	stats.Pages = tb.Store().Stats().Sub(before)
+	stats.Pages = scope.Stats()
 	stats.Duration = time.Since(start)
 	return out, stats, nil
 }

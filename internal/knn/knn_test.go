@@ -144,6 +144,9 @@ func TestInvalidArgs(t *testing.T) {
 	if _, _, err := BruteForce(s.Tb, vec.Point{1, 2, 3, 4, 5}, 0); err == nil {
 		t.Error("brute force k=0 should fail")
 	}
+	if _, _, err := BruteForce(s.Tb, vec.Point{1, 2, 3}, 3); err == nil {
+		t.Error("brute force dim mismatch should fail, not panic or truncate")
+	}
 }
 
 func TestLeavesExaminedMuchSmallerThanTotal(t *testing.T) {

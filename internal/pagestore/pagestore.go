@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of every page in bytes, matching SQL Server's
@@ -56,6 +57,18 @@ type Stats struct {
 	Allocs     int64 // fresh pages appended to files
 }
 
+// Add returns s + o, for aggregating per-query stats.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		DiskReads:  s.DiskReads + o.DiskReads,
+		DiskWrites: s.DiskWrites + o.DiskWrites,
+		Hits:       s.Hits + o.Hits,
+		Misses:     s.Misses + o.Misses,
+		Evictions:  s.Evictions + o.Evictions,
+		Allocs:     s.Allocs + o.Allocs,
+	}
+}
+
 // Sub returns s - o, the activity between two snapshots.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
@@ -66,6 +79,70 @@ func (s Stats) Sub(o Stats) Stats {
 		Evictions:  s.Evictions - o.Evictions,
 		Allocs:     s.Allocs - o.Allocs,
 	}
+}
+
+// Scope is a per-caller accounting handle over a Store. Every page
+// operation issued through the handle tallies into the scope's own
+// counters as well as the store-global ones, so a query's page costs
+// are exact even while other queries run concurrently against the
+// same store. (Diffing two snapshots of the global counters — the
+// pre-scope convention — silently attributes every concurrent
+// neighbour's I/O to the measuring query.)
+//
+// The invariant: a scope's counters are exactly the pages its handle
+// touched. A page request is a Hit or a Miss for precisely one
+// scope; a physical DiskRead is charged to the scope that issued it
+// (concurrent requesters of an in-flight page record a Hit and wait);
+// Evictions and DiskWrites are charged to the scope whose request
+// forced them. Operations on the bare Store are unscoped: they count
+// only globally.
+//
+// A Scope may be shared by several goroutines (the batch executor
+// hands one query's scope to all its workers); the counters are
+// atomic.
+type Scope struct {
+	store *Store
+
+	diskReads  atomic.Int64
+	diskWrites atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	allocs     atomic.Int64
+}
+
+// Scoped returns a fresh accounting scope over the store.
+func (s *Store) Scoped() *Scope { return &Scope{store: s} }
+
+// Store returns the underlying store.
+func (sc *Scope) Store() *Store { return sc.store }
+
+// Get is Store.Get with the activity attributed to the scope.
+func (sc *Scope) Get(id PageID) (*Page, error) { return sc.store.get(id, sc) }
+
+// Alloc is Store.Alloc with the activity attributed to the scope.
+func (sc *Scope) Alloc(f FileID) (*Page, error) { return sc.store.alloc(f, sc) }
+
+// Stats returns a snapshot of the scope's counters.
+func (sc *Scope) Stats() Stats {
+	return Stats{
+		DiskReads:  sc.diskReads.Load(),
+		DiskWrites: sc.diskWrites.Load(),
+		Hits:       sc.hits.Load(),
+		Misses:     sc.misses.Load(),
+		Evictions:  sc.evictions.Load(),
+		Allocs:     sc.allocs.Load(),
+	}
+}
+
+// Reset zeroes the scope's counters.
+func (sc *Scope) Reset() {
+	sc.diskReads.Store(0)
+	sc.diskWrites.Store(0)
+	sc.hits.Store(0)
+	sc.misses.Store(0)
+	sc.evictions.Store(0)
+	sc.allocs.Store(0)
 }
 
 // Page is a pinned page in the buffer pool. The Data slice aliases
@@ -202,18 +279,23 @@ func (s *Store) NumPages(f FileID) PageNum {
 
 // Alloc appends a zeroed page to the file and returns it pinned and
 // dirty.
-func (s *Store) Alloc(f FileID) (*Page, error) {
+func (s *Store) Alloc(f FileID) (*Page, error) { return s.alloc(f, nil) }
+
+func (s *Store) alloc(f FileID, sc *Scope) (*Page, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	num := s.sizes[f]
 	s.sizes[f]++
 	s.stats.Allocs++
 	id := PageID{File: f, Num: num}
-	fr, err := s.takeFrame(id)
+	fr, err := s.takeFrame(id, sc)
 	if err != nil {
 		s.sizes[f]-- // roll back
 		s.stats.Allocs--
 		return nil, err
+	}
+	if sc != nil {
+		sc.allocs.Add(1)
 	}
 	for i := range fr.data {
 		fr.data[i] = 0
@@ -228,7 +310,9 @@ func (s *Store) Alloc(f FileID) (*Page, error) {
 // so N concurrent readers missing on different pages overlap their
 // disk I/O; readers missing on the same page wait on the frame's
 // loading latch and share the single read.
-func (s *Store) Get(id PageID) (*Page, error) {
+func (s *Store) Get(id PageID) (*Page, error) { return s.get(id, nil) }
+
+func (s *Store) get(id PageID, sc *Scope) (*Page, error) {
 	s.mu.Lock()
 	if int(id.File) >= len(s.files) {
 		s.mu.Unlock()
@@ -240,6 +324,9 @@ func (s *Store) Get(id PageID) (*Page, error) {
 	}
 	if fr, ok := s.frames[id]; ok {
 		s.stats.Hits++
+		if sc != nil {
+			sc.hits.Add(1)
+		}
 		s.pin(fr)
 		loading := fr.loading
 		s.mu.Unlock()
@@ -254,7 +341,10 @@ func (s *Store) Get(id PageID) (*Page, error) {
 		return s.pagFromFrame(fr), nil
 	}
 	s.stats.Misses++
-	fr, err := s.takeFrame(id)
+	if sc != nil {
+		sc.misses.Add(1)
+	}
+	fr, err := s.takeFrame(id, sc)
 	if err != nil {
 		s.mu.Unlock()
 		return nil, err
@@ -276,6 +366,9 @@ func (s *Store) Get(id PageID) (*Page, error) {
 		delete(s.frames, id)
 	} else {
 		s.stats.DiskReads++
+		if sc != nil {
+			sc.diskReads.Add(1)
+		}
 	}
 	s.mu.Unlock()
 	close(ch)
@@ -295,14 +388,15 @@ func (s *Store) pagFromFrame(fr *frame) *Page {
 func (s *Store) pageFor(fr *frame) *Page { return s.pagFromFrame(fr) }
 
 // takeFrame returns a pinned frame mapped to id, evicting if needed.
-// Caller holds s.mu. The frame content is undefined.
-func (s *Store) takeFrame(id PageID) (*frame, error) {
+// Caller holds s.mu. The frame content is undefined. Evictions (and
+// the writes they force) are attributed to sc.
+func (s *Store) takeFrame(id PageID, sc *Scope) (*frame, error) {
 	if fr, ok := s.frames[id]; ok {
 		s.pin(fr)
 		return fr, nil
 	}
 	if len(s.frames) >= s.capacity {
-		if err := s.evictOne(); err != nil {
+		if err := s.evictOne(sc); err != nil {
 			return nil, err
 		}
 	}
@@ -337,7 +431,7 @@ func (s *Store) unpin(fr *frame) {
 
 // evictOne removes the least recently used unpinned frame, writing
 // it out if dirty. Caller holds s.mu.
-func (s *Store) evictOne() error {
+func (s *Store) evictOne(sc *Scope) error {
 	el := s.lru.Front()
 	if el == nil {
 		return fmt.Errorf("pagestore: buffer pool exhausted (%d pages, all pinned)", s.capacity)
@@ -346,22 +440,28 @@ func (s *Store) evictOne() error {
 	s.lru.Remove(el)
 	fr.lruElem = nil
 	if fr.dirty {
-		if err := s.writeFrame(fr); err != nil {
+		if err := s.writeFrame(fr, sc); err != nil {
 			return err
 		}
 	}
 	delete(s.frames, fr.id)
 	s.stats.Evictions++
+	if sc != nil {
+		sc.evictions.Add(1)
+	}
 	return nil
 }
 
 // writeFrame flushes one frame to disk. Caller holds s.mu.
-func (s *Store) writeFrame(fr *frame) error {
+func (s *Store) writeFrame(fr *frame, sc *Scope) error {
 	if _, err := s.files[fr.id.File].WriteAt(fr.data[:], int64(fr.id.Num)*PageSize); err != nil {
 		return fmt.Errorf("pagestore: write %v: %w", fr.id, err)
 	}
 	fr.dirty = false
 	s.stats.DiskWrites++
+	if sc != nil {
+		sc.diskWrites.Add(1)
+	}
 	return nil
 }
 
@@ -371,7 +471,7 @@ func (s *Store) Flush() error {
 	defer s.mu.Unlock()
 	for _, fr := range s.frames {
 		if fr.dirty {
-			if err := s.writeFrame(fr); err != nil {
+			if err := s.writeFrame(fr, nil); err != nil {
 				return err
 			}
 		}
@@ -387,7 +487,7 @@ func (s *Store) DropCache() error {
 	defer s.mu.Unlock()
 	for _, fr := range s.frames {
 		if fr.dirty {
-			if err := s.writeFrame(fr); err != nil {
+			if err := s.writeFrame(fr, nil); err != nil {
 				return err
 			}
 		}
@@ -433,7 +533,7 @@ func (s *Store) Close() error {
 	var firstErr error
 	for _, fr := range s.frames {
 		if fr.dirty {
-			if err := s.writeFrame(fr); err != nil && firstErr == nil {
+			if err := s.writeFrame(fr, nil); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}

@@ -1,0 +1,162 @@
+package pagestore
+
+import (
+	"sync"
+	"testing"
+)
+
+// scopedFixture creates a store with `pages` written pages and the
+// cache dropped, so the first read of each page is a miss.
+func scopedFixture(t *testing.T, pool, pages int) (*Store, FileID) {
+	t.Helper()
+	s := newStore(t, pool)
+	f, err := s.CreateFile("t.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pages; i++ {
+		p, err := s.Alloc(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Data[0] = byte(i)
+		p.MarkDirty()
+		p.Release()
+	}
+	if err := s.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	return s, f
+}
+
+func TestScopedCountersMatchGlobalDelta(t *testing.T) {
+	s, f := scopedFixture(t, 64, 32)
+	before := s.Stats()
+	sc := s.Scoped()
+	for i := 0; i < 32; i++ {
+		p, err := sc.Get(PageID{File: f, Num: PageNum(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	// Second pass: all hits.
+	for i := 0; i < 32; i++ {
+		p, err := sc.Get(PageID{File: f, Num: PageNum(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	got := sc.Stats()
+	delta := s.Stats().Sub(before)
+	if got != delta {
+		t.Errorf("scope stats %+v != global delta %+v (scope was the only client)", got, delta)
+	}
+	if got.Misses != 32 || got.Hits != 32 || got.DiskReads != 32 {
+		t.Errorf("scope stats %+v; want 32 misses, 32 hits, 32 disk reads", got)
+	}
+}
+
+func TestScopeResetZeroes(t *testing.T) {
+	s, f := scopedFixture(t, 8, 4)
+	sc := s.Scoped()
+	p, err := sc.Get(PageID{File: f, Num: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	if sc.Stats() == (Stats{}) {
+		t.Fatal("scope recorded nothing")
+	}
+	sc.Reset()
+	if got := sc.Stats(); got != (Stats{}) {
+		t.Errorf("after Reset, stats = %+v", got)
+	}
+	if sc.Store() != s {
+		t.Error("Scope.Store does not return the owning store")
+	}
+}
+
+func TestUnscopedGetsInvisibleToScopes(t *testing.T) {
+	s, f := scopedFixture(t, 16, 8)
+	sc := s.Scoped()
+	for i := 0; i < 8; i++ {
+		p, err := s.Get(PageID{File: f, Num: PageNum(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	if got := sc.Stats(); got != (Stats{}) {
+		t.Errorf("unscoped traffic leaked into scope: %+v", got)
+	}
+}
+
+// TestConcurrentScopesExactAttribution is the headline accounting
+// property under -race: N concurrent readers, each with its own
+// scope over a disjoint page set, must each count exactly its own
+// pages — and the per-scope sums must equal the store-global delta.
+func TestConcurrentScopesExactAttribution(t *testing.T) {
+	const (
+		readers       = 8
+		pagesPerScope = 16
+		rounds        = 25
+	)
+	s, f := scopedFixture(t, readers*pagesPerScope+8, readers*pagesPerScope)
+	before := s.Stats()
+
+	scopes := make([]*Scope, readers)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		scopes[r] = s.Scoped()
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sc := scopes[r]
+			for round := 0; round < rounds; round++ {
+				for i := 0; i < pagesPerScope; i++ {
+					num := PageNum(r*pagesPerScope + i)
+					p, err := sc.Get(PageID{File: f, Num: num})
+					if err != nil {
+						errs <- err
+						return
+					}
+					p.Release()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var sum Stats
+	for r, sc := range scopes {
+		got := sc.Stats()
+		// Disjoint page sets in a large-enough pool: each scope must
+		// see exactly its own requests — pagesPerScope misses on the
+		// first round, hits after.
+		wantTouched := int64(pagesPerScope * rounds)
+		if got.Hits+got.Misses != wantTouched {
+			t.Errorf("scope %d touched %d pages, want %d (stats %+v)",
+				r, got.Hits+got.Misses, wantTouched, got)
+		}
+		if got.Misses != pagesPerScope || got.DiskReads != pagesPerScope {
+			t.Errorf("scope %d: %d misses / %d disk reads, want %d each",
+				r, got.Misses, got.DiskReads, pagesPerScope)
+		}
+		sum.DiskReads += got.DiskReads
+		sum.DiskWrites += got.DiskWrites
+		sum.Hits += got.Hits
+		sum.Misses += got.Misses
+		sum.Evictions += got.Evictions
+		sum.Allocs += got.Allocs
+	}
+	if delta := s.Stats().Sub(before); sum != delta {
+		t.Errorf("scope sum %+v != global delta %+v", sum, delta)
+	}
+}

@@ -1,0 +1,67 @@
+// Package parallel holds the one fan-out primitive the batch
+// engines share: contiguous-chunk work splitting with first-error
+// abort. kNN batch search, photo-z batch fitting and the core
+// brute-force batch all fan independent items over a worker pool;
+// keeping the chunking and error semantics here keeps them
+// identical everywhere.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForChunks splits [0, n) into at most `workers` contiguous chunks
+// and runs fn on each concurrently. fn receives its chunk bounds and
+// a stopped predicate: implementations iterating many items should
+// poll it between items and return early once it reports true.
+// workers <= 0 means GOMAXPROCS; with one chunk fn runs on the
+// caller's goroutine. The first error stops the remaining work and
+// is returned.
+func ForChunks(n, workers int, fn func(lo, hi int, stopped func() bool) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	var (
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	stopped := func() bool { return failed.Load() }
+	runChunk := func(lo, hi int) {
+		if err := fn(lo, hi, stopped); err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			failed.Store(true)
+		}
+	}
+	if w <= 1 {
+		runChunk(0, n)
+		return firstErr
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		lo, hi := wi*n/w, (wi+1)*n/w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			runChunk(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,58 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForChunksCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		var hit [n]atomic.Int32
+		err := ForChunks(n, workers, func(lo, hi int, stopped func() bool) error {
+			for i := lo; i < hi; i++ {
+				hit[i].Add(1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hit {
+			if hit[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, hit[i].Load())
+			}
+		}
+	}
+}
+
+func TestForChunksFirstErrorStopsWork(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int64
+	err := ForChunks(1000, 4, func(lo, hi int, stopped func() bool) error {
+		for i := lo; i < hi; i++ {
+			if stopped() {
+				after.Add(1)
+				return nil
+			}
+			if i == lo { // every chunk fails immediately
+				return boom
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestForChunksEmpty(t *testing.T) {
+	called := false
+	if err := ForChunks(0, 4, func(lo, hi int, stopped func() bool) error {
+		called = true
+		return nil
+	}); err != nil || called {
+		t.Errorf("n=0: err=%v called=%v", err, called)
+	}
+}

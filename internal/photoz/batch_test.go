@@ -1,0 +1,129 @@
+package photoz
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/knn"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+func TestEstimateBatchMatchesSerial(t *testing.T) {
+	tb, ref := fixture(t, 8000)
+	est, err := NewEstimator(ref, "ref.kd", 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mags []vec.Point
+	tb.Scan(func(id table.RowID, r *table.Record) bool {
+		if r.Class == table.Galaxy && !r.HasZ {
+			mags = append(mags, r.Point())
+		}
+		return len(mags) < 50
+	})
+	want := make([]float64, len(mags))
+	for i, m := range mags {
+		z, err := est.Estimate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = z
+	}
+	for _, workers := range []int{1, 3, 4, 0} {
+		got, stats, err := est.EstimateBatch(mags, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d query %d: batch z=%v, serial z=%v", workers, i, got[i], want[i])
+			}
+		}
+		if stats.Queries != len(mags) || stats.RowsExamined == 0 ||
+			stats.Pages.Hits+stats.Pages.Misses == 0 {
+			t.Errorf("workers=%d: implausible batch stats %+v", workers, stats)
+		}
+	}
+}
+
+func TestEvaluateGalaxiesBatchMatchesSerial(t *testing.T) {
+	tb, ref := fixture(t, 8000)
+	est, err := NewEstimator(ref, "ref.kd", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := EvaluateGalaxies(tb, est.Estimate, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, stats, err := EvaluateGalaxiesBatch(tb, est, 120, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(serial) {
+		t.Fatalf("batch produced %d pairs, serial %d", len(batch), len(serial))
+	}
+	for i := range batch {
+		if batch[i] != serial[i] {
+			t.Fatalf("pair %d: batch %+v, serial %+v", i, batch[i], serial[i])
+		}
+	}
+	if stats.Queries != len(batch) {
+		t.Errorf("stats counted %d queries for %d pairs", stats.Queries, len(batch))
+	}
+}
+
+// TestFitFallbackCounted drives the fit seam directly with a
+// neighbourhood whose features are non-finite: the local polynomial
+// cannot produce a usable prediction, so the estimator must fall
+// back to the neighbour mean and count the degradation.
+func TestFitFallbackCounted(t *testing.T) {
+	_, ref := fixture(t, 3000)
+	est, err := NewEstimator(ref, "ref.kd", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan := float32(math.NaN())
+	nbs := make([]knn.Neighbor, 8)
+	for i := range nbs {
+		nbs[i].Rec.Mags = [5]float32{nan, 17, 17, 17, 17}
+		nbs[i].Rec.Redshift = 0.3
+	}
+	z, fellBack, err := est.fitNeighbors(vec.Point{17, 17, 17, 17, 17}, nbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fellBack {
+		t.Error("non-finite neighbourhood did not trigger the mean fallback")
+	}
+	if math.Abs(z-0.3) > 1e-6 {
+		t.Errorf("fallback mean = %v, want 0.3", z)
+	}
+	st := est.Stats()
+	if st.Estimates != 1 || st.FitFallbacks != 1 {
+		t.Errorf("stats = %+v, want 1 estimate / 1 fallback", st)
+	}
+
+	// A healthy batch must count zero fallbacks while the cumulative
+	// counters keep growing.
+	var qs []vec.Point
+	for i := 0; i < 5; i++ {
+		var rec table.Record
+		if err := ref.Get(table.RowID(i*7), &rec); err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, rec.Point())
+	}
+	_, bs, err := est.EstimateBatch(qs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.FitFallbacks != 0 {
+		t.Errorf("healthy batch reported %d fallbacks", bs.FitFallbacks)
+	}
+	st = est.Stats()
+	if st.Estimates != 6 || st.FitFallbacks != 1 {
+		t.Errorf("cumulative stats = %+v, want 6 estimates / 1 fallback", st)
+	}
+}

@@ -27,6 +27,9 @@ package photoz
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/kdtree"
 	"repro/internal/knn"
@@ -71,6 +74,7 @@ func ExtractReference(tb *table.Table, store *pagestore.Store, name string) (*ta
 }
 
 // Estimator is the kNN + local polynomial fit redshift estimator.
+// It is safe for concurrent use.
 type Estimator struct {
 	searcher *knn.Searcher
 	// K is the neighbourhood size.
@@ -78,7 +82,32 @@ type Estimator struct {
 	// Degree is the local polynomial degree (0, 1 or 2; the paper
 	// uses a "local low order polynomial fit").
 	Degree int
+
+	// Cumulative activity counters; see Stats.
+	estimates    atomic.Int64
+	fitFallbacks atomic.Int64
 }
+
+// EstimatorStats counts the estimator's cumulative activity.
+// FitFallbacks is the number of estimates whose local polynomial fit
+// failed (a numerically degenerate neighbourhood — e.g. all k
+// neighbours at one point) and fell back to the neighbour mean; a
+// rising ratio flags regions where the §4.1 method quietly degrades.
+type EstimatorStats struct {
+	Estimates    int64
+	FitFallbacks int64
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (e *Estimator) Stats() EstimatorStats {
+	return EstimatorStats{
+		Estimates:    e.estimates.Load(),
+		FitFallbacks: e.fitFallbacks.Load(),
+	}
+}
+
+// Searcher exposes the underlying kNN searcher (for cost planning).
+func (e *Estimator) Searcher() *knn.Searcher { return e.searcher }
 
 // NewEstimator builds an estimator over the reference table. The
 // kd-tree index is built on the spot (an offline step, as in the
@@ -106,9 +135,18 @@ func (e *Estimator) Estimate(mags vec.Point) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	z, _, err := e.fitNeighbors(mags, nbs)
+	return z, err
+}
+
+// fitNeighbors runs the local polynomial fit over one query's
+// neighbour set, counting the estimate and any fit fallback. The
+// second return reports whether the fit fell back to the mean.
+func (e *Estimator) fitNeighbors(mags vec.Point, nbs []knn.Neighbor) (float64, bool, error) {
 	if len(nbs) == 0 {
-		return 0, fmt.Errorf("photoz: empty reference set")
+		return 0, false, fmt.Errorf("photoz: empty reference set")
 	}
+	e.estimates.Add(1)
 	xs := make([][]float64, len(nbs))
 	ys := make([]float64, len(nbs))
 	for i, nb := range nbs {
@@ -122,16 +160,74 @@ func (e *Estimator) Estimate(mags vec.Point) (float64, error) {
 		ys[i] = float64(nb.Rec.Redshift)
 	}
 	coeffs, deg, err := linalg.PolyFit(xs, ys, e.Degree)
-	if err != nil {
-		// Degenerate neighbourhood: fall back to the neighbour mean.
+	var z float64
+	if err == nil {
+		z = linalg.PolyEval(coeffs, make([]float64, len(mags)), deg)
+	}
+	if err != nil || math.IsNaN(z) || math.IsInf(z, 0) {
+		// Degenerate neighbourhood (failed or non-finite fit): fall
+		// back to the neighbour mean, and count the degradation
+		// instead of swallowing it silently.
+		e.fitFallbacks.Add(1)
 		var mean float64
 		for _, y := range ys {
 			mean += y
 		}
-		return mean / float64(len(ys)), nil
+		return mean / float64(len(ys)), true, nil
 	}
-	z := linalg.PolyEval(coeffs, make([]float64, len(mags)), deg)
-	return clampZ(z), nil
+	return clampZ(z), false, nil
+}
+
+// BatchStats aggregates the cost and quality of one batched
+// estimation run: the summed kNN search cost (scope-exact pages) and
+// the number of polynomial-fit fallbacks inside the batch.
+type BatchStats struct {
+	Queries        int
+	FitFallbacks   int64
+	LeavesExamined int64
+	RowsExamined   int64
+	Pages          pagestore.Stats
+	Duration       time.Duration
+}
+
+// EstimateBatch estimates many objects at once on the batched kNN
+// engine (knn.SearchBatchFunc — worker pool, per-worker scratch,
+// seed-leaf locality): each query's local polynomial is fitted by
+// the worker that fetched its neighbours, so only one neighbour set
+// per worker is live at a time, however large the batch. Results
+// are in input order and identical to calling Estimate per point.
+// workers <= 0 means GOMAXPROCS.
+func (e *Estimator) EstimateBatch(mags []vec.Point, workers int) ([]float64, BatchStats, error) {
+	start := time.Now()
+	stats := BatchStats{Queries: len(mags)}
+	if len(mags) == 0 {
+		return nil, stats, nil
+	}
+	out := make([]float64, len(mags))
+	var fallbacks atomic.Int64
+	var mu sync.Mutex // guards the stats aggregation below
+	err := e.searcher.SearchBatchFunc(mags, e.K, workers, func(i int, nbs []knn.Neighbor, st knn.Stats) error {
+		z, fellBack, err := e.fitNeighbors(mags[i], nbs)
+		if err != nil {
+			return err
+		}
+		if fellBack {
+			fallbacks.Add(1)
+		}
+		out[i] = z
+		mu.Lock()
+		stats.LeavesExamined += int64(st.LeavesExamined)
+		stats.RowsExamined += st.RowsExamined
+		stats.Pages = stats.Pages.Add(st.Pages)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, BatchStats{Queries: len(mags)}, err
+	}
+	stats.FitFallbacks = fallbacks.Load()
+	stats.Duration = time.Since(start)
+	return out, stats, nil
 }
 
 // TemplateFitter is the baseline: grid search over synthetic galaxy
@@ -237,7 +333,8 @@ func ComputeMetrics(pairs []Pair) Metrics {
 // EvaluateGalaxies runs an estimator function over every non-
 // spectroscopic galaxy in the catalog (the paper's "unknown set"),
 // up to limit objects (0 = all), returning the truth/estimate
-// scatter.
+// scatter. For the kNN estimator prefer EvaluateGalaxiesBatch, which
+// runs the same evaluation on the batched engine.
 func EvaluateGalaxies(tb *table.Table, estimate func(vec.Point) (float64, error), limit int) ([]Pair, error) {
 	var pairs []Pair
 	var evalErr error
@@ -257,4 +354,35 @@ func EvaluateGalaxies(tb *table.Table, estimate func(vec.Point) (float64, error)
 		return nil, err
 	}
 	return pairs, evalErr
+}
+
+// EvaluateGalaxiesBatch is EvaluateGalaxies on the batched engine:
+// the unknown set is collected in one scan, then estimated through
+// Estimator.EstimateBatch over the worker pool. Pairs are identical
+// to the serial EvaluateGalaxies(tb, est.Estimate, limit); the
+// returned BatchStats carries the batch's exact search cost and fit
+// fallback count.
+func EvaluateGalaxiesBatch(tb *table.Table, est *Estimator, limit, workers int) ([]Pair, BatchStats, error) {
+	var mags []vec.Point
+	var truths []float64
+	err := tb.Scan(func(id table.RowID, r *table.Record) bool {
+		if r.Class != table.Galaxy || r.HasZ {
+			return true
+		}
+		mags = append(mags, r.Point())
+		truths = append(truths, float64(r.Redshift))
+		return limit <= 0 || len(mags) < limit
+	})
+	if err != nil {
+		return nil, BatchStats{}, err
+	}
+	ests, stats, err := est.EstimateBatch(mags, workers)
+	if err != nil {
+		return nil, stats, err
+	}
+	pairs := make([]Pair, len(ests))
+	for i := range ests {
+		pairs[i] = Pair{True: truths[i], Est: ests[i]}
+	}
+	return pairs, stats, nil
 }

@@ -21,11 +21,9 @@ import (
 // their serial counterparts. The zero value (and a nil *Executor)
 // executes serially.
 //
-// Per-query Pages stats are deltas of the shared store counters —
-// the repo-wide accounting convention — so when several queries run
-// concurrently each report includes the others' page traffic. Row
-// counts and results are always exact; treat page stats as exact
-// only for serially issued queries.
+// Every query runs under its own pagestore accounting scope shared
+// by all its workers, so per-query Pages stats are exact even when
+// several queries run concurrently against the same store.
 type Executor struct {
 	// Workers is the pool size; values below 2 mean serial execution.
 	Workers int
@@ -130,19 +128,19 @@ func (e *Executor) KdQuery(t *kdtree.Tree, tb *table.Table, q vec.Polyhedron) ([
 // (Choice.KdRanges carries the result here).
 func (e *Executor) KdQueryRanges(tb *table.Table, q vec.Polyhedron, ranges []kdtree.Range, walk kdtree.Walk) ([]table.RowID, kdtree.QueryStats, error) {
 	start := time.Now()
-	before := tb.Store().Stats()
+	scope := tb.Store().Scoped()
 	tasks := make([]task, len(ranges))
 	for i, r := range ranges {
 		tasks[i] = task{lo: r.Lo, hi: r.Hi, filter: r.Filter, slot: i}
 	}
-	ids, examined, err := e.runTasks(tb, q, tasks)
+	ids, examined, err := e.runTasks(tb.Scoped(scope), q, tasks)
 	stats := kdtree.QueryStats{
 		NodesVisited:  walk.NodesVisited,
 		LeavesInside:  walk.LeavesInside,
 		LeavesPartial: walk.LeavesPartial,
 		RowsExamined:  examined,
 		RowsReturned:  int64(len(ids)),
-		Pages:         tb.Store().Stats().Sub(before),
+		Pages:         scope.Stats(),
 		Duration:      time.Since(start),
 	}
 	return ids, stats, err
@@ -153,7 +151,7 @@ func (e *Executor) KdQueryRanges(tb *table.Table, q vec.Polyhedron, ranges []kdt
 // engine.FullScanPolyhedron exactly.
 func (e *Executor) FullScan(tb *table.Table, q vec.Polyhedron) ([]table.RowID, engine.QueryStats, error) {
 	start := time.Now()
-	before := tb.Store().Stats()
+	scope := tb.Store().Scoped()
 	rows := table.RowID(tb.NumRows())
 
 	// Chunks are multiples of RecordsPerPage so workers never share a
@@ -172,11 +170,11 @@ func (e *Executor) FullScan(tb *table.Table, q vec.Polyhedron) ([]table.RowID, e
 		}
 		tasks = append(tasks, task{lo: lo, hi: hi, filter: true, slot: len(tasks)})
 	}
-	ids, examined, err := e.runTasks(tb, q, tasks)
+	ids, examined, err := e.runTasks(tb.Scoped(scope), q, tasks)
 	stats := engine.QueryStats{
 		RowsExamined: examined,
 		RowsReturned: int64(len(ids)),
-		Pages:        tb.Store().Stats().Sub(before),
+		Pages:        scope.Stats(),
 		Duration:     time.Since(start),
 	}
 	return ids, stats, err
@@ -188,7 +186,7 @@ func (e *Executor) FullScan(tb *table.Table, q vec.Polyhedron) ([]table.RowID, e
 func (e *Executor) VoronoiQuery(ix *voronoi.Index, q vec.Polyhedron) ([]table.RowID, voronoi.QueryStats, error) {
 	start := time.Now()
 	tb := ix.Table()
-	before := tb.Store().Stats()
+	scope := tb.Store().Scoped()
 	var stats voronoi.QueryStats
 	var tasks []task
 	for cell := range ix.Seeds {
@@ -207,10 +205,10 @@ func (e *Executor) VoronoiQuery(ix *voronoi.Index, q vec.Polyhedron) ([]table.Ro
 			tasks = append(tasks, task{lo: lo, hi: hi, filter: true, slot: len(tasks)})
 		}
 	}
-	ids, examined, err := e.runTasks(tb, q, tasks)
+	ids, examined, err := e.runTasks(tb.Scoped(scope), q, tasks)
 	stats.RowsExamined = examined
 	stats.RowsReturned = int64(len(ids))
-	stats.Pages = tb.Store().Stats().Sub(before)
+	stats.Pages = scope.Stats()
 	stats.Duration = time.Since(start)
 	return ids, stats, err
 }

@@ -87,13 +87,19 @@ type CostModel struct {
 	Node float64
 	// Row is the CPU cost of decoding and testing one row.
 	Row float64
+	// KNNGrowth is the region-growing expansion factor used by
+	// PlanKNN: the expected number of leaves a kNN query examines is
+	// about KNNGrowth times the leaves needed to hold k points (the
+	// grown region spills across faces into neighbouring cells).
+	// Zero means the default.
+	KNNGrowth float64
 }
 
 // DefaultCostModel returns the constants used throughout: crossover
 // at ~0.25 selectivity, CPU terms small but non-zero so degenerate
 // plans (classifying thousands of cells to read ten rows) still pay.
 func DefaultCostModel() CostModel {
-	return CostModel{SeqPage: 1, RandPage: 4, Node: 0.02, Row: 0.002}
+	return CostModel{SeqPage: 1, RandPage: 4, Node: 0.02, Row: 0.002, KNNGrowth: 4}
 }
 
 // Calibrate returns a copy of the model with RandPage interpolated
@@ -299,6 +305,78 @@ func gridBoxMass(ix *grid.Index, bb vec.Box) (float64, bool) {
 	box := vec.Box{Min: bb.Min[:d], Max: bb.Max[:d]}
 	frac, used := ix.EstimateBoxMass(box, 4096)
 	return frac, used > 0
+}
+
+// KNNChoice is the planner's verdict for a k-nearest-neighbour
+// query: region-growing through the kd-tree versus a brute-force
+// scan of the whole table. Mirroring the polyhedron planner's ~0.25
+// selectivity crossover, the index wins while the expected grown
+// region stays a small fraction of the table and loses once k
+// approaches N (the region covers most leaves, paid at scattered-
+// page prices plus per-leaf tree work).
+type KNNChoice struct {
+	// UseIndex is true when region-growing is predicted cheaper.
+	UseIndex bool
+	// CostIndex and CostBrute are the predicted costs in sequential-
+	// page units; CostIndex is +Inf when no kd-tree is built.
+	CostIndex, CostBrute float64
+	// ExpectedLeaves is the model's leaf-examination estimate for the
+	// region-growing path (0 when no kd-tree is built).
+	ExpectedLeaves float64
+	// Reason is a one-line human-readable explanation, surfaced
+	// through core.Report.PlanReason.
+	Reason string
+}
+
+// PlanKNN prices a kNN query with neighbourhood size k against the
+// catalog. The region-growing model: a query must examine enough
+// leaves to hold k points, inflated by the KNNGrowth spill factor;
+// each examined leaf costs its pages at RandPage plus a tree descent
+// (Node per level) plus Row per point examined. Brute force pays one
+// SeqPage per catalog page plus Row per row.
+func (p *Planner) PlanKNN(k int) KNNChoice {
+	m := p.Model
+	if m == (CostModel{}) {
+		m = DefaultCostModel()
+	}
+	if m.KNNGrowth <= 0 {
+		m.KNNGrowth = DefaultCostModel().KNNGrowth
+	}
+	if k < 1 {
+		k = 1
+	}
+	n := float64(p.Catalog.NumRows())
+	catPages := float64(p.Catalog.NumPages())
+
+	c := KNNChoice{
+		CostBrute: catPages*m.SeqPage + n*m.Row,
+		CostIndex: math.Inf(1),
+	}
+	if p.Kd != nil && p.Kd.NumLeaves() > 0 && n > 0 {
+		leaves := float64(p.Kd.NumLeaves())
+		rowsPerLeaf := n / leaves
+		expLeaves := math.Ceil(m.KNNGrowth * (float64(k)/rowsPerLeaf + 1))
+		if expLeaves > leaves {
+			expLeaves = leaves
+		}
+		expRows := expLeaves * rowsPerLeaf
+		// Each admitted leaf costs a root-to-leaf descent worth of
+		// node classifications in the thin-slab walk.
+		nodes := expLeaves * float64(p.Kd.Levels+1)
+		c.ExpectedLeaves = expLeaves
+		c.CostIndex = pagesFor(int64(expRows))*m.RandPage + nodes*m.Node + expRows*m.Row
+	}
+	c.UseIndex = c.CostIndex < c.CostBrute
+	if c.UseIndex {
+		c.Reason = fmt.Sprintf("knn k=%d: region-grow %.1f (≈%.0f leaves) beats bruteforce %.1f",
+			k, c.CostIndex, c.ExpectedLeaves, c.CostBrute)
+	} else if math.IsInf(c.CostIndex, 1) {
+		c.Reason = fmt.Sprintf("knn k=%d: bruteforce %.1f (kd-tree n/a)", k, c.CostBrute)
+	} else {
+		c.Reason = fmt.Sprintf("knn k=%d: bruteforce %.1f beats region-grow %.1f (≈%.0f leaves)",
+			k, c.CostBrute, c.CostIndex, c.ExpectedLeaves)
+	}
+	return c
 }
 
 // pagesFor converts a row count to page reads, rounding up.

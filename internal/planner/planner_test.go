@@ -334,3 +334,78 @@ func assertSameIDs(t *testing.T, name string, got, want []table.RowID) {
 		}
 	}
 }
+
+func TestPlanKNNCrossover(t *testing.T) {
+	w := sharedWorld(t)
+	pl := &Planner{Catalog: w.catalog, Kd: w.tree, KdTable: w.kdTable, Domain: sky.Domain()}
+
+	small := pl.PlanKNN(10)
+	if !small.UseIndex {
+		t.Errorf("k=10 over %d rows should use the index: %s", worldRows, small.Reason)
+	}
+	huge := pl.PlanKNN(worldRows)
+	if huge.UseIndex {
+		t.Errorf("k=N should fall back to brute force: %s", huge.Reason)
+	}
+	if small.CostIndex >= huge.CostIndex {
+		t.Errorf("index cost must grow with k: k=10 cost %.1f, k=N cost %.1f",
+			small.CostIndex, huge.CostIndex)
+	}
+	if small.Reason == "" || huge.Reason == "" {
+		t.Error("PlanKNN must explain its verdict")
+	}
+}
+
+func TestPlanKNNWithoutIndex(t *testing.T) {
+	w := sharedWorld(t)
+	pl := &Planner{Catalog: w.catalog, Domain: sky.Domain()}
+	c := pl.PlanKNN(5)
+	if c.UseIndex {
+		t.Error("no kd-tree: index path must not win")
+	}
+	if !math.IsInf(c.CostIndex, 1) {
+		t.Errorf("no kd-tree: index cost = %v, want +Inf", c.CostIndex)
+	}
+}
+
+// TestExecutorScopedPagesExactUnderConcurrency: with N callers
+// hammering the same store, each query's Pages must still equal the
+// pages that query alone touches (the pre-scope counters attributed
+// every concurrent neighbour's I/O to the measuring query).
+func TestExecutorScopedPagesExactUnderConcurrency(t *testing.T) {
+	w := sharedWorld(t)
+	ex := &Executor{Workers: 2}
+	q := centeredBox(w.catalog, 0.8)
+
+	// Solo reference: touched pages for this query, cache-warm.
+	_, ref, err := ex.FullScan(w.catalog, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTouched := ref.Pages.Hits + ref.Pages.Misses
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				_, st, err := ex.FullScan(w.catalog, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if touched := st.Pages.Hits + st.Pages.Misses; touched != refTouched {
+					errs <- fmt.Errorf("concurrent full scan touched %d pages, solo %d", touched, refTouched)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,11 @@ type Table struct {
 	file  pagestore.FileID
 	name  string
 	rows  uint64
+
+	// scope, when non-nil, routes every page read through a per-caller
+	// accounting scope so the reads are attributed exactly to one
+	// query even under concurrency. Set via Scoped.
+	scope *pagestore.Scope
 }
 
 // Create makes a new empty table backed by the named file.
@@ -70,6 +75,26 @@ func (t *Table) NumPages() int { return int(t.store.NumPages(t.file)) }
 
 // Store exposes the underlying page store (for stats snapshots).
 func (t *Table) Store() *pagestore.Store { return t.store }
+
+// Scoped returns a read-only view of the table whose page accesses
+// are attributed to the given accounting scope (pagestore.Scope) as
+// well as the store-global counters. The view shares the table's
+// storage; it must not be used to append rows, and it snapshots the
+// current row count. Concurrent queries each wrap the shared table in
+// their own scoped view to obtain exact per-query page stats.
+func (t *Table) Scoped(sc *pagestore.Scope) *Table {
+	cp := *t
+	cp.scope = sc
+	return &cp
+}
+
+// getPage fetches one page through the table's scope, if any.
+func (t *Table) getPage(id pagestore.PageID) (*pagestore.Page, error) {
+	if t.scope != nil {
+		return t.scope.Get(id)
+	}
+	return t.store.Get(id)
+}
 
 func pageCount(data []byte) uint32 {
 	return uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24
@@ -160,7 +185,7 @@ func (t *Table) Get(id RowID, out *Record) error {
 	if err != nil {
 		return err
 	}
-	p, err := t.store.Get(pid)
+	p, err := t.getPage(pid)
 	if err != nil {
 		return err
 	}
@@ -190,7 +215,7 @@ func (t *Table) GetMany(ids []RowID, fn func(RowID, *Record) bool) error {
 			if cur != nil {
 				cur.Release()
 			}
-			cur, err = t.store.Get(pid)
+			cur, err = t.getPage(pid)
 			if err != nil {
 				return err
 			}
@@ -231,7 +256,7 @@ func (t *Table) Scan(fn func(RowID, *Record) bool) error {
 	pages := t.store.NumPages(t.file)
 	row := RowID(0)
 	for num := pagestore.PageNum(0); num < pages; num++ {
-		p, err := t.store.Get(pagestore.PageID{File: t.file, Num: num})
+		p, err := t.getPage(pagestore.PageID{File: t.file, Num: num})
 		if err != nil {
 			return err
 		}
@@ -266,7 +291,7 @@ func (t *Table) ScanRange(lo, hi RowID, fn func(RowID, *Record) bool) error {
 		if err != nil {
 			return err
 		}
-		p, err := t.store.Get(pid)
+		p, err := t.getPage(pid)
 		if err != nil {
 			return err
 		}
@@ -293,7 +318,7 @@ func (t *Table) ScanMags(fn func(RowID, *[Dim]float64) bool) error {
 	pages := t.store.NumPages(t.file)
 	row := RowID(0)
 	for num := pagestore.PageNum(0); num < pages; num++ {
-		p, err := t.store.Get(pagestore.PageID{File: t.file, Num: num})
+		p, err := t.getPage(pagestore.PageID{File: t.file, Num: num})
 		if err != nil {
 			return err
 		}
@@ -330,7 +355,7 @@ func (t *Table) ScanMagsRange(lo, hi RowID, fn func(RowID, *[Dim]float64) bool) 
 		if err != nil {
 			return err
 		}
-		p, err := t.store.Get(pid)
+		p, err := t.getPage(pid)
 		if err != nil {
 			return err
 		}
