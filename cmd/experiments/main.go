@@ -57,6 +57,7 @@ var experiments = []experiment{
 	{"codec", "§3.5: vector codec scan overhead (native vs blob vs UDT)", expCodec},
 	{"class", "§2.2: convex-hull similar-object search (quasar retrieval)", expClass},
 	{"outlier", "§4: Voronoi-volume outlier detection", expOutlier},
+	{"coldopen", "lifecycle: cold open of a persisted database vs full rebuild", expColdOpen},
 }
 
 func main() {

@@ -1,15 +1,21 @@
-// Command sdssgen materializes a synthetic SDSS-like catalog on disk
-// as a paged magnitude table, ready for cmd/spatialq and
-// cmd/vizserver:
+// Command sdssgen is the build-once half of the lifecycle: it
+// materializes a synthetic SDSS-like catalog on disk, builds the
+// spatial indexes over it, and persists everything — paged tables,
+// paged index structures, engine catalog, and the checksummed store
+// manifest — so cmd/spatialq and cmd/vizserver can cold-open the
+// directory and serve without any construction:
 //
-//	sdssgen -out /tmp/sdss -n 1000000 -seed 42 -spectro 0.01
+//	sdssgen -dir /tmp/sdss -n 1000000 -seed 42 -spectro 0.01
+//	sdssgen -dir /tmp/sdss -n 1000000 -indexes=false   # catalog only
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/pagestore"
 	"repro/internal/sky"
 	"repro/internal/table"
@@ -17,32 +23,65 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	out := flag.String("out", "", "output directory (required)")
+	dir := flag.String("dir", "", "output directory (required)")
+	out := flag.String("out", "", "alias for -dir (kept for older scripts)")
 	n := flag.Int("n", 1_000_000, "number of objects")
 	seed := flag.Int64("seed", 42, "generator seed")
 	spectro := flag.Float64("spectro", 0.01, "spectroscopic (reference) fraction")
+	indexes := flag.Bool("indexes", true, "build and persist the kd-tree, grid, Voronoi and photo-z structures")
+	knnK := flag.Int("photoz-k", 24, "photo-z neighbourhood size (with -indexes)")
 	flag.Parse()
-	if *out == "" {
-		log.Fatal("sdssgen: -out is required")
+	if *dir == "" {
+		*dir = *out
+	}
+	if *dir == "" {
+		log.Fatal("sdssgen: -dir is required")
 	}
 
-	store, err := pagestore.Open(*out, 4096)
+	db, err := core.Open(core.Config{Dir: *dir})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer store.Close()
-	tb, err := table.Create(store, "magnitude.tbl")
-	if err != nil {
-		log.Fatal(err)
-	}
+	defer db.Close()
+
+	start := time.Now()
 	p := sky.DefaultParams(*n, *seed)
 	p.SpectroFrac = *spectro
-	if err := sky.GenerateTable(tb, p); err != nil {
+	if err := db.IngestSynthetic(p); err != nil {
 		log.Fatal(err)
 	}
-	if err := store.Flush(); err != nil {
+	tb, err := db.Catalog()
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("ingested %s/magnitude.tbl: %d rows, %d pages (%d MiB) in %v\n",
+		*dir, tb.NumRows(), tb.NumPages(), tb.NumPages()*pagestore.PageSize/(1<<20), time.Since(start).Round(time.Millisecond))
+
+	if *indexes {
+		build := func(name string, fn func() error) {
+			t0 := time.Now()
+			if err := fn(); err != nil {
+				log.Fatalf("sdssgen: build %s: %v", name, err)
+			}
+			fmt.Printf("built %-8s in %v\n", name, time.Since(t0).Round(time.Millisecond))
+		}
+		build("kd-tree", func() error { return db.BuildKdIndex(0) })
+		build("grid", func() error { return db.BuildGridIndex(1024, *seed) })
+		build("voronoi", func() error { return db.BuildVoronoiIndex(0, *seed) })
+		build("photo-z", func() error { return db.BuildPhotoZ(*knnK, 1) })
+	}
+
+	t0 := time.Now()
+	if err := db.Persist(); err != nil {
+		log.Fatal(err)
+	}
+	files := db.Engine().Store().ManifestFiles()
+	var pages pagestore.PageNum
+	for _, p := range files {
+		pages += p
+	}
+	fmt.Printf("persisted %d files, %d pages (%d MiB) in %v — serve with spatialq/vizserver -dir %s\n",
+		len(files), pages, int(pages)*pagestore.PageSize/(1<<20), time.Since(t0).Round(time.Millisecond), *dir)
 
 	counts := map[table.Class]uint64{}
 	var spec uint64
@@ -55,8 +94,6 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s/magnitude.tbl: %d rows, %d pages (%d MiB)\n",
-		*out, tb.NumRows(), tb.NumPages(), tb.NumPages()*pagestore.PageSize/(1<<20))
 	for c := table.Star; c < table.NumClasses; c++ {
 		fmt.Printf("  %-8s %9d (%.1f%%)\n", c, counts[c], 100*float64(counts[c])/float64(tb.NumRows()))
 	}

@@ -1,13 +1,16 @@
 // Command spatialq runs Figure 2-style color queries against a
-// catalog written by sdssgen, building the requested spatial index
-// and reporting the paper's cost metrics. The default -plan auto
-// routes each query through the cost-based planner, which estimates
-// its selectivity and picks the cheapest access path; -workers sizes
-// the concurrent range executor.
+// database directory written by sdssgen. The default mode is
+// serve-from-disk: the persisted catalog and index structures are
+// cold-opened through the buffer pool (zero index construction) and
+// the query runs immediately — the build-once / serve-many split of
+// the paper, where indexes persist inside the database. -build
+// constructs any missing index structures from the stored catalog
+// and persists them for the next run.
 //
 //	spatialq -dir /tmp/sdss -q "g - r > 0.4 AND g - r < 1.0 AND r < 19"
 //	spatialq -dir /tmp/sdss -q "r < 22" -plan compare -workers 8
 //	spatialq -dir /tmp/sdss -knn "19.5,18.9,18.2,17.9,17.7" -k 10
+//	spatialq -dir /tmp/sdss -build        # build+persist missing indexes
 package main
 
 import (
@@ -20,154 +23,180 @@ import (
 	"strings"
 
 	"repro/internal/colorsql"
-	"repro/internal/kdtree"
-	"repro/internal/knn"
-	"repro/internal/pagestore"
-	"repro/internal/planner"
-	"repro/internal/sky"
+	"repro/internal/core"
 	"repro/internal/table"
 	"repro/internal/vec"
 )
 
 func main() {
 	log.SetFlags(0)
-	dir := flag.String("dir", "", "catalog directory from sdssgen (required)")
+	dir := flag.String("dir", "", "database directory from sdssgen (required)")
 	query := flag.String("q", "", "WHERE clause over u,g,r,i,z (dered_* aliases accepted)")
 	knnPt := flag.String("knn", "", "comma-separated 5-D point for nearest neighbour search")
 	k := flag.Int("k", 10, "neighbours for -knn")
-	plan := flag.String("plan", "auto", "auto | kdtree | fullscan | compare")
+	plan := flag.String("plan", "auto", "auto | kdtree | voronoi | fullscan | compare")
+	build := flag.Bool("build", false, "build and persist missing index structures instead of failing on them")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "query executor worker pool size")
 	limit := flag.Int("limit", 10, "result rows to print")
+	seed := flag.Int64("seed", 42, "seed for -build index construction")
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("spatialq: -dir is required")
 	}
-	if (*query == "") == (*knnPt == "") {
+	if !*build && (*query == "") == (*knnPt == "") {
 		log.Fatal("spatialq: exactly one of -q or -knn is required")
 	}
 
-	store, err := pagestore.Open(*dir, 4096)
+	db, err := core.OpenExisting(core.Config{Dir: *dir, Workers: *workers})
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("spatialq: %v\n(generate the database first: sdssgen -dir %s)", err, *dir)
 	}
-	defer store.Close()
-	tb, err := table.OpenExisting(store, "magnitude.tbl")
-	if err != nil {
-		log.Fatal(err)
+	defer db.Close()
+	fmt.Printf("opened %s: %d rows", *dir, db.NumRows())
+	if t := db.KdTree(); t != nil {
+		fmt.Printf("; kd-tree %d levels / %d leaves", t.Levels, t.NumLeaves())
 	}
-	fmt.Printf("catalog: %d rows, %d pages\n", tb.NumRows(), tb.NumPages())
+	if v := db.Voronoi(); v != nil {
+		fmt.Printf("; voronoi %d cells", v.NumCells())
+	}
+	fmt.Println()
 
-	needTree := *knnPt != "" || *plan == "auto" || *plan == "kdtree" || *plan == "compare"
-	var tree *kdtree.Tree
-	var clustered *table.Table
-	if needTree {
-		tree, clustered, err = kdtree.Build(tb, "magnitude.kd.tbl", kdtree.BuildParams{Domain: sky.Domain()})
-		if err != nil {
-			log.Fatal(err)
+	if *build {
+		built := false
+		if db.KdTree() == nil {
+			if err := db.BuildKdIndex(0); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("built kd-tree index")
+			built = true
 		}
-		st := tree.Stats()
-		fmt.Printf("kd-tree: %d levels, %d leaves, ~%.0f rows/leaf\n", st.Levels, st.Leaves, st.MeanLeafRows)
+		if db.Voronoi() == nil {
+			if err := db.BuildVoronoiIndex(0, *seed); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("built voronoi index")
+			built = true
+		}
+		if db.Grid() == nil {
+			if err := db.BuildGridIndex(1024, *seed); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("built grid index")
+			built = true
+		}
+		if !db.PhotoZBuilt() {
+			// A catalog generated without spectroscopic rows cannot host
+			// the estimator; that should not abort the other builds.
+			if err := db.BuildPhotoZ(24, 1); err != nil {
+				fmt.Printf("skipping photo-z estimator: %v\n", err)
+			} else {
+				fmt.Println("built photo-z estimator")
+				built = true
+			}
+		}
+		if built {
+			if err := db.Persist(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("persisted index structures")
+		} else {
+			fmt.Println("all indexes already built")
+		}
+		if *query == "" && *knnPt == "" {
+			return
+		}
 	}
 
 	if *knnPt != "" {
-		p, err := parsePoint(*knnPt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		searcher := knn.NewSearcher(tree, clustered)
-		nbs, stats, err := searcher.Search(p, *k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%d nearest neighbours (%d of %d leaves examined, %d rows):\n",
-			len(nbs), stats.LeavesExamined, tree.NumLeaves(), stats.RowsExamined)
-		for i, nb := range nbs {
-			fmt.Printf("  %2d. obj %-9d dist=%.4f class=%-7s z=%.3f\n",
-				i+1, nb.Rec.ObjID, sqrt(nb.Dist2), nb.Rec.Class, nb.Rec.Redshift)
-		}
+		runKnn(db, *knnPt, *k)
 		return
 	}
+	runQuery(db, *query, *plan, *limit)
+}
 
-	u, err := colorsql.Parse(*query, colorsql.DefaultVars(), table.Dim)
+func runKnn(db *core.SpatialDB, raw string, k int) {
+	p, err := parsePoint(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nbs, rep, err := db.NearestNeighbors(p, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d nearest neighbours via %s (%d leaves, %d rows examined, %d disk reads):\n",
+		len(nbs), rep.Plan, rep.LeavesExamined, rep.RowsExamined, rep.DiskReads)
+	for i := range nbs {
+		fmt.Printf("  %2d. obj %-9d dist=%.4f class=%-7s z=%.3f\n",
+			i+1, nbs[i].ObjID, dist(p, &nbs[i]), nbs[i].Class, nbs[i].Redshift)
+	}
+}
+
+func runQuery(db *core.SpatialDB, query, plan string, limit int) {
+	u, err := colorsql.Parse(query, colorsql.DefaultVars(), table.Dim)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !u.IsConvex() {
 		fmt.Printf("query compiles to a union of %d polyhedra; running each clause\n", len(u.Polys))
 	}
-	exec := &planner.Executor{Workers: *workers}
-	runFullScan := func(poly vec.Polyhedron) {
+	store := db.Engine().Store()
+	run := func(poly vec.Polyhedron, p core.Plan) {
+		// Cold-cache execution so the printed page counts mean disk I/O.
 		store.DropCache()
-		ids, stats, err := exec.FullScan(tb, poly)
+		recs, rep, err := db.QueryPolyhedron(poly, p)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("fullscan: %s\n", stats)
-		printRows(tb, ids, *limit)
-	}
-	reportKd := func(ids []table.RowID, stats kdtree.QueryStats) {
-		fmt.Printf("kdtree:   returned=%d examined=%d diskReads=%d insideLeaves=%d partialLeaves=%d dur=%v\n",
-			stats.RowsReturned, stats.RowsExamined, stats.Pages.DiskReads,
-			stats.LeavesInside, stats.LeavesPartial, stats.Duration)
-		printRows(clustered, ids, *limit)
-	}
-	runKdTree := func(poly vec.Polyhedron) {
-		store.DropCache()
-		ids, stats, err := exec.KdQuery(tree, clustered, poly)
-		if err != nil {
-			log.Fatal(err)
+		if rep.PlanReason != "" {
+			fmt.Printf("planner:  %s\n", rep.PlanReason)
 		}
-		reportKd(ids, stats)
+		fmt.Printf("%-9s returned=%d examined=%d diskReads=%d hits=%d\n",
+			rep.Plan.String()+":", rep.RowsReturned, rep.RowsExamined, rep.DiskReads, rep.CacheHits)
+		printRows(recs, limit)
 	}
 	for ci, poly := range u.Polys {
 		if len(u.Polys) > 1 {
 			fmt.Printf("-- clause %d\n", ci+1)
 		}
-		switch *plan {
+		switch plan {
 		case "auto":
-			// The default model prices cold-cache I/O — which is exactly
-			// how the query below executes (DropCache precedes it).
-			pl := &planner.Planner{
-				Catalog: tb, Kd: tree, KdTable: clustered,
-				Domain: sky.Domain(),
-			}
-			choice := pl.Plan(poly)
-			fmt.Printf("planner:  %s\n", choice.Reason)
-			if choice.Path == planner.PathKdTree {
-				store.DropCache()
-				ids, stats, err := exec.KdQueryRanges(clustered, poly, choice.KdRanges, choice.KdWalk)
-				if err != nil {
-					log.Fatal(err)
-				}
-				reportKd(ids, stats)
-			} else {
-				runFullScan(poly)
-			}
+			run(poly, core.PlanAuto)
 		case "fullscan":
-			runFullScan(poly)
+			run(poly, core.PlanFullScan)
 		case "kdtree":
-			runKdTree(poly)
+			run(poly, core.PlanKdTree)
+		case "voronoi":
+			run(poly, core.PlanVoronoi)
 		case "compare":
-			runFullScan(poly)
-			runKdTree(poly)
+			run(poly, core.PlanFullScan)
+			run(poly, core.PlanKdTree)
 		default:
-			log.Fatalf("spatialq: unknown -plan %q", *plan)
+			log.Fatalf("spatialq: unknown -plan %q", plan)
 		}
 	}
 }
 
-func printRows(tb *table.Table, ids []table.RowID, limit int) {
+func printRows(recs []table.Record, limit int) {
 	if limit <= 0 {
 		return
 	}
-	if len(ids) < limit {
-		limit = len(ids)
+	if len(recs) < limit {
+		limit = len(recs)
 	}
-	tb.GetMany(ids[:limit], func(_ table.RowID, r *table.Record) bool {
+	for i := 0; i < limit; i++ {
+		r := &recs[i]
 		fmt.Printf("    obj %-9d u=%.2f g=%.2f r=%.2f i=%.2f z=%.2f class=%s\n",
 			r.ObjID, r.Mags[0], r.Mags[1], r.Mags[2], r.Mags[3], r.Mags[4], r.Class)
-		return true
-	})
+	}
+}
+
+func dist(p vec.Point, r *table.Record) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - float64(r.Mags[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
 }
 
 func parsePoint(s string) (vec.Point, error) {
@@ -184,11 +213,4 @@ func parsePoint(s string) (vec.Point, error) {
 		p[i] = v
 	}
 	return p, nil
-}
-
-func sqrt(v float64) float64 {
-	if v <= 0 {
-		return 0
-	}
-	return math.Sqrt(v)
 }

@@ -12,7 +12,17 @@
 // body carries many query points at once, fanned over the worker
 // pool with per-query exact page accounting.
 //
-//	vizserver -n 200000 -addr :8080 -workers 8
+// Lifecycle: with -dir the server cold-opens a database persisted by
+// sdssgen (or by a previous -build run) and does zero index
+// construction at startup; -build ingests a synthetic catalog into
+// -dir, builds every index, persists, and then serves. Without -dir
+// it builds an ephemeral in-memory database, as before. SIGINT and
+// SIGTERM drain in-flight requests and close the database cleanly
+// (flushing the store manifest).
+//
+//	sdssgen   -dir /srv/sdss -n 1000000
+//	vizserver -dir /srv/sdss -addr :8080 -workers 8
+//	vizserver -dir /srv/sdss -build -n 200000   # build once, then serve
 //	curl 'localhost:8080/points?min=14,14,14&max=24,24,24&n=1000'
 //	curl 'localhost:8080/render?min=10,10,10&max=30,30,30&n=5000'
 //	curl 'localhost:8080/query?where=g-r>0.4+AND+r<19&limit=5'
@@ -22,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,9 +40,12 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/colorsql"
 	"repro/internal/core"
@@ -56,35 +70,34 @@ type server struct {
 func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", ":8080", "listen address")
-	n := flag.Int("n", 200_000, "synthetic catalog size")
+	dir := flag.String("dir", "", "persisted database directory (empty = ephemeral in-memory build)")
+	build := flag.Bool("build", false, "with -dir: ingest a synthetic catalog, build every index, persist, then serve")
+	n := flag.Int("n", 200_000, "synthetic catalog size (ephemeral or -build mode)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	workers := flag.Int("workers", 0, "query executor pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *build && *dir == "" {
+		// Persisting into the ephemeral temp directory would delete the
+		// build on exit — refuse rather than silently waste it.
+		log.Fatal("vizserver: -build requires -dir (the persisted database must outlive the process)")
+	}
 
-	dir, err := os.MkdirTemp("", "vizserver-*")
+	db, cleanup, err := openDB(*dir, *build, *n, *seed, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
-	db, err := core.Open(core.Config{Dir: dir, Workers: *workers})
-	if err != nil {
-		log.Fatal(err)
+	defer cleanup()
+
+	report := func(name string, built bool) string {
+		if built {
+			return name
+		}
+		return name + "(absent)"
 	}
-	defer db.Close()
-	if err := db.IngestSynthetic(sky.DefaultParams(*n, *seed)); err != nil {
-		log.Fatal(err)
-	}
-	if err := db.BuildGridIndex(1024, *seed); err != nil {
-		log.Fatal(err)
-	}
-	if err := db.BuildKdIndex(0); err != nil {
-		log.Fatal(err)
-	}
-	if err := db.BuildPhotoZ(24, 1); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("catalog: %d rows; grid layers: %d; kd leaves: %d",
-		db.NumRows(), db.Grid().NumLayers(), db.KdTree().NumLeaves())
+	log.Printf("catalog: %d rows; indexes: %s %s %s %s",
+		db.NumRows(),
+		report("grid", db.Grid() != nil), report("kdtree", db.KdTree() != nil),
+		report("voronoi", db.Voronoi() != nil), report("photoz", db.PhotoZBuilt()))
 
 	s := &server{db: db}
 	mux := http.NewServeMux()
@@ -94,8 +107,92 @@ func main() {
 	mux.HandleFunc("/knn", s.handleKnn)
 	mux.HandleFunc("/photoz", s.handlePhotoz)
 	mux.HandleFunc("/stats", s.handleStats)
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: mux,
+		// A stuck or malicious client must not hold a connection (and
+		// its goroutine) forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining connections")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		// Close the database after the last request: flushes dirty
+		// pages and rewrites the manifest superblock.
+		if err := db.Close(); err != nil {
+			log.Printf("close database: %v", err)
+		}
+		log.Printf("closed cleanly")
+	}
+}
+
+// openDB resolves the lifecycle mode: cold open a persisted
+// directory (default with -dir), build-once into -dir, or an
+// ephemeral in-memory build. The returned cleanup removes the
+// ephemeral directory.
+func openDB(dir string, build bool, n int, seed int64, workers int) (*core.SpatialDB, func(), error) {
+	cleanup := func() {}
+	switch {
+	case dir != "" && !build:
+		db, err := core.OpenExisting(core.Config{Dir: dir, Workers: workers})
+		if err != nil {
+			return nil, cleanup, fmt.Errorf("%w\n(build it first: sdssgen -dir %s, or vizserver -dir %s -build)", err, dir, dir)
+		}
+		log.Printf("cold-opened %s: no index construction", dir)
+		return db, cleanup, nil
+	case dir == "":
+		tmp, err := os.MkdirTemp("", "vizserver-*")
+		if err != nil {
+			return nil, cleanup, err
+		}
+		cleanup = func() { os.RemoveAll(tmp) }
+		dir = tmp
+	}
+	db, err := core.Open(core.Config{Dir: dir, Workers: workers})
+	if err != nil {
+		return nil, cleanup, err
+	}
+	if err := db.IngestSynthetic(sky.DefaultParams(n, seed)); err != nil {
+		return nil, cleanup, err
+	}
+	if err := db.BuildGridIndex(1024, seed); err != nil {
+		return nil, cleanup, err
+	}
+	if err := db.BuildKdIndex(0); err != nil {
+		return nil, cleanup, err
+	}
+	if err := db.BuildPhotoZ(24, 1); err != nil {
+		return nil, cleanup, err
+	}
+	if build {
+		if err := db.BuildVoronoiIndex(0, seed); err != nil {
+			return nil, cleanup, err
+		}
+		if err := db.Persist(); err != nil {
+			return nil, cleanup, err
+		}
+		log.Printf("built and persisted %s", dir)
+	}
+	return db, cleanup, nil
 }
 
 // pointJSON is one object in the wire format.

@@ -183,7 +183,7 @@ func (db *SpatialDB) IngestSynthetic(p sky.Params) error {
 	if db.catalog != nil {
 		return fmt.Errorf("core: catalog already loaded")
 	}
-	tb, err := db.eng.CreateTable("magnitude.tbl")
+	tb, err := db.eng.CreateTable(catalogTableName)
 	if err != nil {
 		return err
 	}
@@ -201,7 +201,7 @@ func (db *SpatialDB) IngestRecords(recs []table.Record) error {
 	if db.catalog != nil {
 		return fmt.Errorf("core: catalog already loaded")
 	}
-	tb, err := db.eng.CreateTable("magnitude.tbl")
+	tb, err := db.eng.CreateTable(catalogTableName)
 	if err != nil {
 		return err
 	}
@@ -230,7 +230,7 @@ func (db *SpatialDB) BuildKdIndex(levels int) error {
 	if db.catalog == nil {
 		return fmt.Errorf("core: no catalog loaded")
 	}
-	tree, clustered, err := kdtree.Build(db.catalog, "magnitude.kd.tbl", kdtree.BuildParams{
+	tree, clustered, err := kdtree.Build(db.catalog, kdTableName, kdtree.BuildParams{
 		Levels: levels,
 		Domain: db.domain,
 	})
@@ -240,7 +240,7 @@ func (db *SpatialDB) BuildKdIndex(levels int) error {
 	db.kd = tree
 	db.kdTable = clustered
 	db.knnS = knn.NewSearcher(tree, clustered)
-	return db.eng.RegisterTable(clustered)
+	return db.eng.RegisterClusteredTable(clustered, engine.ClusteredKdLeaf)
 }
 
 // KdTree exposes the built kd-tree (nil before BuildKdIndex).
@@ -263,12 +263,12 @@ func (db *SpatialDB) BuildGridIndex(base int, seed int64) error {
 	if base > 0 {
 		p.Base = base
 	}
-	ix, err := grid.Build(db.catalog, "magnitude.grid.tbl", p)
+	ix, err := grid.Build(db.catalog, gridTableName, p)
 	if err != nil {
 		return err
 	}
 	db.grid = ix
-	return db.eng.RegisterTable(ix.Table())
+	return db.eng.RegisterClusteredTable(ix.Table(), engine.ClusteredGridCell)
 }
 
 // Grid exposes the built grid index (nil before BuildGridIndex).
@@ -290,12 +290,12 @@ func (db *SpatialDB) BuildVoronoiIndex(numSeeds int, seed int64) error {
 	if numSeeds > 0 {
 		p.NumSeeds = numSeeds
 	}
-	ix, err := voronoi.Build(db.catalog, "magnitude.vor.tbl", db.domain, p)
+	ix, err := voronoi.Build(db.catalog, vorTableName, db.domain, p)
 	if err != nil {
 		return err
 	}
 	db.vor = ix
-	return db.eng.RegisterTable(ix.Table())
+	return db.eng.RegisterClusteredTable(ix.Table(), engine.ClusteredVoronoiCell)
 }
 
 // Voronoi exposes the built Voronoi index (nil before
@@ -314,12 +314,20 @@ func (db *SpatialDB) BuildPhotoZ(k, degree int) error {
 	if db.catalog == nil {
 		return fmt.Errorf("core: no catalog loaded")
 	}
-	ref, err := photoz.ExtractReference(db.catalog, db.eng.Store(), "reference.tbl")
+	ref, err := photoz.ExtractReference(db.catalog, db.eng.Store(), refTableName)
 	if err != nil {
 		return err
 	}
-	est, err := photoz.NewEstimator(ref, "reference.kd.tbl", k, degree)
+	est, err := photoz.NewEstimator(ref, refKdTableName, k, degree)
 	if err != nil {
+		return err
+	}
+	// Register the reference tables so the persisted catalog covers
+	// them and a reopened process can reassemble the estimator.
+	if err := db.eng.RegisterTable(ref); err != nil {
+		return err
+	}
+	if err := db.eng.RegisterClusteredTable(est.Searcher().Tb, engine.ClusteredKdLeaf); err != nil {
 		return err
 	}
 	db.photoZ = est
@@ -362,6 +370,14 @@ func (db *SpatialDB) EstimateRedshiftBatch(mags []vec.Point) ([]float64, Report,
 		CacheHits:      stats.Pages.Hits,
 		PlanReason:     fmt.Sprintf("photoz batch: %d queries over kNN batch engine", stats.Queries),
 	}, nil
+}
+
+// PhotoZBuilt reports whether the photo-z estimator is available
+// (built in this process or loaded from a persisted database).
+func (db *SpatialDB) PhotoZBuilt() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.photoZ != nil
 }
 
 // PhotoZStats returns the estimator's cumulative counters (zero

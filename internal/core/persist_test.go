@@ -1,0 +1,284 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pagestore"
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// buildFullDB ingests a synthetic catalog, builds every index, and
+// returns the (still open) database.
+func buildFullDB(t testing.TB, dir string, rows int) *SpatialDB {
+	t.Helper()
+	db, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sky.DefaultParams(rows, 42)
+	params.SpectroFrac = 0.15
+	if err := db.IngestSynthetic(params); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildGridIndex(256, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildVoronoiIndex(80, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildPhotoZ(16, 1); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// queryAnswers captures the result of every query path, for
+// byte-identical comparison between the in-memory build and the
+// reopened database.
+type queryAnswers struct {
+	poly    map[Plan][]table.Record
+	knn     []table.Record
+	photoz  []float64
+	sampled int
+}
+
+func collectAnswers(t testing.TB, db *SpatialDB) queryAnswers {
+	t.Helper()
+	const where = "g - r > 0.2 AND r < 20"
+	ans := queryAnswers{poly: make(map[Plan][]table.Record)}
+	for _, plan := range []Plan{PlanFullScan, PlanKdTree, PlanVoronoi, PlanAuto} {
+		recs, _, err := db.QueryWhere(where, plan)
+		if err != nil {
+			t.Fatalf("plan %v: %v", plan, err)
+		}
+		sortRecords(recs)
+		ans.poly[plan] = recs
+	}
+	q := vec.Point{19.2, 18.8, 18.4, 18.2, 18.1}
+	nbs, _, err := db.NearestNeighbors(q, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans.knn = nbs
+	zs, _, err := db.EstimateRedshiftBatch([]vec.Point{q, {20.5, 20.0, 19.6, 19.4, 19.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans.photoz = zs
+	view := vec.NewBox(vec.Point{14, 14, 14}, vec.Point{24, 24, 24})
+	recs, err := db.SampleRegion(view, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans.sampled = len(recs)
+	return ans
+}
+
+func sortRecords(recs []table.Record) {
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].ObjID < recs[j-1].ObjID; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+// TestPersistReopenRoundTrip is the acceptance criterion: a database
+// built, persisted, and reopened returns byte-identical results to
+// the in-memory build for polyhedron (all plans), kNN, and photo-z
+// queries.
+func TestPersistReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := buildFullDB(t, dir, 6000)
+	want := collectAnswers(t, db)
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenExisting(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumRows() != 6000 {
+		t.Fatalf("reopened rows = %d", re.NumRows())
+	}
+	got := collectAnswers(t, re)
+
+	for plan, wrecs := range want.poly {
+		grecs := got.poly[plan]
+		if !reflect.DeepEqual(wrecs, grecs) {
+			t.Errorf("plan %v: reopened results differ (%d vs %d rows)", plan, len(grecs), len(wrecs))
+		}
+	}
+	if !reflect.DeepEqual(want.knn, got.knn) {
+		t.Error("kNN results differ after reopen")
+	}
+	if !reflect.DeepEqual(want.photoz, got.photoz) {
+		t.Errorf("photo-z results differ after reopen: %v vs %v", got.photoz, want.photoz)
+	}
+	if want.sampled != got.sampled {
+		t.Errorf("grid sample returned %d rows, want %d", got.sampled, want.sampled)
+	}
+}
+
+// TestColdOpenDoesZeroConstruction asserts the lifecycle claim via
+// page/alloc stats: opening an existing database allocates nothing,
+// writes nothing, and reads exactly the catalog and index-structure
+// pages — no table page, no scan, no rebuild.
+func TestColdOpenDoesZeroConstruction(t *testing.T) {
+	dir := t.TempDir()
+	db := buildFullDB(t, dir, 6000)
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenExisting(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	stats := re.Engine().Store().Stats()
+	if stats.Allocs != 0 || stats.DiskWrites != 0 {
+		t.Errorf("cold open built something: allocs=%d writes=%d", stats.Allocs, stats.DiskWrites)
+	}
+	// The only reads allowed are the structure files: system.catalog
+	// and the four index streams. Table files must stay untouched.
+	files := re.Engine().Store().ManifestFiles()
+	var structurePages int64
+	for name, pages := range files {
+		if strings.HasSuffix(name, ".idx") || name == "system.catalog" {
+			structurePages += int64(pages)
+		}
+	}
+	if stats.DiskReads != structurePages {
+		t.Errorf("cold open read %d pages, want exactly the %d structure pages (catalog + index files)",
+			stats.DiskReads, structurePages)
+	}
+	if stats.DiskReads == 0 {
+		t.Error("cold open read nothing — structures cannot have been loaded")
+	}
+}
+
+// TestOpenExistingNotBuilt covers the "clear errors" requirements:
+// unbuilt directory, catalog-only database, and per-index not-built
+// errors on forced plans.
+func TestOpenExistingNotBuilt(t *testing.T) {
+	if _, err := OpenExisting(Config{Dir: t.TempDir()}); err == nil || !strings.Contains(err.Error(), "not built") {
+		t.Fatalf("open of empty dir: err = %v, want not-built error", err)
+	}
+
+	// A catalog persisted without indexes opens fine but reports each
+	// index as not built when forced.
+	dir := t.TempDir()
+	db, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.IngestSynthetic(sky.DefaultParams(2000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenExisting(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	poly := vec.BoxPolyhedron(vec.NewBox(vec.Point{14, 14, 14, 14, 14}, vec.Point{22, 22, 22, 22, 22}))
+	if _, _, err := re.QueryPolyhedron(poly, PlanKdTree); err == nil || !strings.Contains(err.Error(), "kd-tree index not built") {
+		t.Errorf("kdtree plan: err = %v", err)
+	}
+	if _, _, err := re.QueryPolyhedron(poly, PlanVoronoi); err == nil || !strings.Contains(err.Error(), "voronoi index not built") {
+		t.Errorf("voronoi plan: err = %v", err)
+	}
+	if _, err := re.SampleRegion(vec.NewBox(vec.Point{14, 14, 14}, vec.Point{24, 24, 24}), 10); err == nil || !strings.Contains(err.Error(), "grid index not built") {
+		t.Errorf("sample: err = %v", err)
+	}
+	if _, err := re.EstimateRedshift(vec.Point{19, 19, 19, 19, 19}); err == nil || !strings.Contains(err.Error(), "BuildPhotoZ") {
+		t.Errorf("photoz: err = %v", err)
+	}
+	// The full scan still works: the catalog is there.
+	if _, _, err := re.QueryPolyhedron(poly, PlanFullScan); err != nil {
+		t.Errorf("fullscan after catalog-only reopen: %v", err)
+	}
+}
+
+// TestCorruptIndexRejected flips one byte inside a persisted index
+// stream: OpenExisting must fail with a checksum error rather than
+// serve a silently corrupt index.
+func TestCorruptIndexRejected(t *testing.T) {
+	dir := t.TempDir()
+	db := buildFullDB(t, dir, 3000)
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "magnitude.kd.idx")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[pagestore.PageSize+200] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenExisting(Config{Dir: dir})
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("open with corrupt index: err = %v, want checksum error", err)
+	}
+}
+
+// TestPersistTwice: persisting again (e.g. after building another
+// index) rewrites the artifacts in place.
+func TestPersistTwice(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.IngestSynthetic(sky.DefaultParams(3000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenExisting(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.KdTree() == nil {
+		t.Fatal("second persist lost the kd-tree")
+	}
+}

@@ -59,7 +59,12 @@ type DB struct {
 
 	mu     sync.RWMutex
 	tables map[string]*table.Table
-	procs  map[string]Proc
+	// clusteredBy records each table's physical-order identity
+	// ("heap" for load order, or the index key the table was rewritten
+	// clustered on). Persisted in the catalog so a reopened process
+	// knows which tables are which without re-deriving them.
+	clusteredBy map[string]string
+	procs       map[string]Proc
 }
 
 // Open creates an engine over a fresh page store rooted at dir with
@@ -70,9 +75,10 @@ func Open(dir string, poolPages int) (*DB, error) {
 		return nil, err
 	}
 	return &DB{
-		store:  s,
-		tables: make(map[string]*table.Table),
-		procs:  make(map[string]Proc),
+		store:       s,
+		tables:      make(map[string]*table.Table),
+		clusteredBy: make(map[string]string),
+		procs:       make(map[string]Proc),
 	}, nil
 }
 
@@ -94,19 +100,39 @@ func (db *DB) CreateTable(name string) (*table.Table, error) {
 		return nil, err
 	}
 	db.tables[name] = t
+	db.clusteredBy[name] = ClusteredHeap
 	return t, nil
 }
 
 // RegisterTable adopts an externally created table (e.g. the result
-// of a clustered Rewrite).
+// of a clustered Rewrite) as a heap.
 func (db *DB) RegisterTable(t *table.Table) error {
+	return db.RegisterClusteredTable(t, ClusteredHeap)
+}
+
+// RegisterClusteredTable adopts an externally created table and
+// records the physical ordering it was rewritten clustered on
+// (e.g. ClusteredKdLeaf). The identity is persisted in the catalog.
+func (db *DB) RegisterClusteredTable(t *table.Table, orderedBy string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.tables[t.Name()]; ok {
 		return fmt.Errorf("engine: table %q already exists", t.Name())
 	}
 	db.tables[t.Name()] = t
+	db.clusteredBy[t.Name()] = orderedBy
 	return nil
+}
+
+// ClusteredBy returns the recorded physical-order identity of a
+// registered table (ClusteredHeap when none was recorded).
+func (db *DB) ClusteredBy(name string) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if c, ok := db.clusteredBy[name]; ok {
+		return c
+	}
+	return ClusteredHeap
 }
 
 // Table looks up a registered table.

@@ -568,11 +568,12 @@ func (ix *Index) inBox(r *table.Record, q vec.Box) bool {
 	return q.Contains(ix.params.Proj(&m))
 }
 
-// Validate checks the structural invariants of the index: layer
-// sizes match the plan, directory ranges tile the table exactly, and
-// every row's stored cell code agrees with its geometry. Tests and
-// the experiment harness call it after building.
-func (ix *Index) Validate() error {
+// ValidateStructure checks the in-memory invariants without any
+// table I/O: layer sizes match the plan and directory ranges cover
+// the table exactly. The cold-open path runs it on every load (a
+// full Validate would scan the whole table, defeating the point of
+// opening without construction I/O).
+func (ix *Index) ValidateStructure() error {
 	total := 0
 	for _, l := range ix.layers {
 		total += l.points
@@ -589,6 +590,17 @@ func (ix *Index) Validate() error {
 	}
 	if covered != ix.tbl.NumRows() {
 		return fmt.Errorf("grid: directory covers %d rows, table has %d", covered, ix.tbl.NumRows())
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of the index: layer
+// sizes match the plan, directory ranges tile the table exactly, and
+// every row's stored cell code agrees with its geometry. Tests and
+// the experiment harness call it after building.
+func (ix *Index) Validate() error {
+	if err := ix.ValidateStructure(); err != nil {
+		return err
 	}
 	// Spot-check stored codes against geometry.
 	var checkErr error

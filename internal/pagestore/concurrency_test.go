@@ -103,7 +103,7 @@ func TestConcurrentWritersDistinctFiles(t *testing.T) {
 	}
 	// Verify all pages round-trip.
 	for w, f := range files {
-		if got := s.NumPages(f); got != 50 {
+		if got, err := s.NumPages(f); err != nil || got != 50 {
 			t.Fatalf("file %d has %d pages", w, got)
 		}
 		for i := 0; i < 50; i++ {

@@ -1,0 +1,239 @@
+package pagestore
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The manifest is the store's superblock: a small checksummed file
+// (named MANIFEST, not itself paged) recording the format version and
+// the directory of paged files with their exact page counts. It is
+// the paper's "indexes are persisted with the database" made
+// explicit: Flush and Close rewrite it, OpenExisting validates it,
+// and any mismatch — version skew, checksum corruption, a truncated
+// or torn paged file — is a descriptive error instead of a silent
+// rebuild or a panic deeper in the stack.
+//
+// Layout (little endian), all covered by the trailing CRC-32 (IEEE):
+//
+//	magic       u32  "SPGM"
+//	version     u32  FormatVersion
+//	fileCount   u32
+//	fileCount × { nameLen u16 | name bytes | pages u32 }
+//	crc32       u32  over every preceding byte
+
+// ManifestName is the superblock's file name within the store dir.
+const ManifestName = "MANIFEST"
+
+// FormatVersion is the on-disk format version stamped into the
+// manifest. Bump it when the page layout or manifest layout changes;
+// OpenExisting refuses any other version.
+const FormatVersion = 1
+
+const manifestMagic = 0x4d475053 // "SPGM" little endian
+
+// encodeManifest serializes a file directory. Entries are sorted by
+// name so the bytes are deterministic.
+func encodeManifest(version uint32, files map[string]PageNum) []byte {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf := make([]byte, 0, 12+len(names)*32)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], manifestMagic)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], version)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(names)))
+	buf = append(buf, tmp[:4]...)
+	for _, n := range names {
+		binary.LittleEndian.PutUint16(tmp[:2], uint16(len(n)))
+		buf = append(buf, tmp[:2]...)
+		buf = append(buf, n...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(files[n]))
+		buf = append(buf, tmp[:4]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.ChecksumIEEE(buf))
+	buf = append(buf, tmp[:4]...)
+	return buf
+}
+
+// decodeManifest parses and validates manifest bytes.
+func decodeManifest(buf []byte) (map[string]PageNum, error) {
+	if len(buf) < 16 {
+		return nil, fmt.Errorf("pagestore: manifest truncated (%d bytes)", len(buf))
+	}
+	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("pagestore: manifest checksum mismatch (stored %08x, computed %08x): superblock is corrupt", sum, got)
+	}
+	if magic := binary.LittleEndian.Uint32(body[0:]); magic != manifestMagic {
+		return nil, fmt.Errorf("pagestore: bad manifest magic %08x (not a page store?)", magic)
+	}
+	if v := binary.LittleEndian.Uint32(body[4:]); v != FormatVersion {
+		return nil, fmt.Errorf("pagestore: manifest format version %d, this binary supports %d", v, FormatVersion)
+	}
+	count := int(binary.LittleEndian.Uint32(body[8:]))
+	files := make(map[string]PageNum, count)
+	off := 12
+	for i := 0; i < count; i++ {
+		if off+2 > len(body) {
+			return nil, fmt.Errorf("pagestore: manifest truncated inside entry %d", i)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+nameLen+4 > len(body) {
+			return nil, fmt.Errorf("pagestore: manifest truncated inside entry %d", i)
+		}
+		name := string(body[off : off+nameLen])
+		off += nameLen
+		files[name] = PageNum(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("pagestore: manifest has %d trailing bytes", len(body)-off)
+	}
+	return files, nil
+}
+
+// writeManifestLocked rewrites the superblock from the current file
+// directory. Caller holds s.mu. The write is atomic and durable:
+// data files are fsynced before the manifest that records them, the
+// temp manifest is fsynced before the rename, and the directory is
+// fsynced after it — a crash at any point leaves either the old or
+// the new manifest intact, never a torn one.
+//
+// A store that performed no writes since its manifest was loaded or
+// last written skips the rewrite entirely, so read-only sessions
+// never touch the superblock (and cannot clobber a manifest written
+// concurrently by a builder process with their stale view).
+func (s *Store) writeManifestLocked() error {
+	if !s.mutated {
+		return nil
+	}
+	for _, f := range s.files {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("pagestore: sync data file: %w", err)
+		}
+	}
+	files := make(map[string]PageNum, len(s.names))
+	for name, id := range s.names {
+		files[name] = s.sizes[id]
+	}
+	// Keep entries for files listed by a loaded manifest but not
+	// (re)opened in this session: they are still part of the database.
+	for name, pages := range s.manifest {
+		if _, open := s.names[name]; !open {
+			files[name] = pages
+		}
+	}
+	buf := encodeManifest(FormatVersion, files)
+	tmp := filepath.Join(s.dir, ManifestName+".tmp")
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("pagestore: write manifest: %w", err)
+	}
+	if _, err := tf.Write(buf); err != nil {
+		tf.Close()
+		return fmt.Errorf("pagestore: write manifest: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("pagestore: sync manifest: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("pagestore: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, ManifestName)); err != nil {
+		return fmt.Errorf("pagestore: install manifest: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	s.manifest = files
+	s.mutated = false
+	return nil
+}
+
+// OpenExisting opens a store previously persisted at dir, validating
+// the manifest superblock: magic, format version, checksum, and that
+// every listed paged file exists on disk with exactly the recorded
+// number of whole pages. Any mismatch is an error — a database that
+// fails validation is never silently rebuilt.
+func OpenExisting(dir string, poolPages int) (*Store, error) {
+	if poolPages < 1 {
+		return nil, fmt.Errorf("pagestore: pool must hold at least 1 page, got %d", poolPages)
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("pagestore: %s has no %s: database not built (or built by a pre-manifest version)", dir, ManifestName)
+		}
+		return nil, fmt.Errorf("pagestore: read manifest: %w", err)
+	}
+	files, err := decodeManifest(buf)
+	if err != nil {
+		return nil, err
+	}
+	for name, pages := range files {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("pagestore: manifest lists %q but it is missing: %w", name, err)
+		}
+		if want := int64(pages) * PageSize; st.Size() != want {
+			return nil, fmt.Errorf("pagestore: %q is %d bytes, manifest records %d pages (%d bytes): truncated or torn file",
+				name, st.Size(), pages, want)
+		}
+	}
+	s := &Store{
+		dir:      dir,
+		capacity: poolPages,
+		names:    make(map[string]FileID),
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+		manifest: files,
+	}
+	return s, nil
+}
+
+// HasFile reports whether the store knows the named paged file —
+// either already open in this session or listed by the manifest it
+// was opened from.
+func (s *Store) HasFile(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.names[name]; ok {
+		return true
+	}
+	_, ok := s.manifest[name]
+	return ok
+}
+
+// ManifestFiles returns the persisted file directory (name → pages)
+// recorded by the manifest the store was opened from, or written by
+// its last Flush/Close. Nil for a fresh store that has never flushed.
+func (s *Store) ManifestFiles() map[string]PageNum {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]PageNum, len(s.manifest))
+	for n, p := range s.manifest {
+		out[n] = p
+	}
+	return out
+}
+
+// FileIDOf returns the id of an open file by name.
+func (s *Store) FileIDOf(name string) (FileID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.names[name]
+	return id, ok
+}

@@ -203,6 +203,15 @@ type Store struct {
 	frames map[PageID]*frame
 	lru    *list.List // unpinned frames, front = least recently used
 	stats  Stats
+
+	// manifest is the persisted file directory (name → pages): loaded
+	// by OpenExisting, rewritten by Flush/Close. Nil until the store
+	// first persists.
+	manifest map[string]PageNum
+	// mutated is set by any write (file creation/truncation, page
+	// alloc, frame write-back) and cleared when the manifest is
+	// rewritten: read-only sessions never rewrite the superblock.
+	mutated bool
 }
 
 // Open creates a Store rooted at dir (created if missing) with a
@@ -239,7 +248,39 @@ func (s *Store) CreateFile(name string) (FileID, error) {
 	s.files = append(s.files, f)
 	s.sizes = append(s.sizes, 0)
 	s.names[name] = id
+	s.mutated = true
 	return id, nil
+}
+
+// TruncateFile discards every page of an open file: resident frames
+// are dropped from the pool (an error if any is pinned) and the OS
+// file is truncated to zero. Persisting code uses it to rewrite an
+// index artifact in place.
+func (s *Store) TruncateFile(f FileID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(f) >= len(s.files) {
+		return fmt.Errorf("pagestore: unknown file %d", f)
+	}
+	for id, fr := range s.frames {
+		if id.File != f {
+			continue
+		}
+		if fr.pins > 0 {
+			return fmt.Errorf("pagestore: cannot truncate file %d: page %v is pinned", f, id)
+		}
+		if fr.lruElem != nil {
+			s.lru.Remove(fr.lruElem)
+			fr.lruElem = nil
+		}
+		delete(s.frames, id)
+	}
+	if err := s.files[f].Truncate(0); err != nil {
+		return fmt.Errorf("pagestore: truncate file %d: %w", f, err)
+	}
+	s.sizes[f] = 0
+	s.mutated = true
+	return nil
 }
 
 // OpenFile opens an existing paged file and returns its id and page
@@ -263,6 +304,11 @@ func (s *Store) OpenFile(name string) (FileID, PageNum, error) {
 		f.Close()
 		return 0, 0, fmt.Errorf("pagestore: %q size %d is not page aligned", name, st.Size())
 	}
+	if want, listed := s.manifest[name]; listed && PageNum(st.Size()/PageSize) != want {
+		f.Close()
+		return 0, 0, fmt.Errorf("pagestore: %q has %d pages, manifest records %d: truncated or torn file",
+			name, st.Size()/PageSize, want)
+	}
 	id := FileID(len(s.files))
 	s.files = append(s.files, f)
 	s.sizes = append(s.sizes, PageNum(st.Size()/PageSize))
@@ -270,11 +316,15 @@ func (s *Store) OpenFile(name string) (FileID, PageNum, error) {
 	return id, s.sizes[id], nil
 }
 
-// NumPages returns the number of pages in the file.
-func (s *Store) NumPages(f FileID) PageNum {
+// NumPages returns the number of pages in the file. An unknown
+// FileID is an error, not a panic, matching Get.
+func (s *Store) NumPages(f FileID) (PageNum, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sizes[f]
+	if int(f) >= len(s.sizes) {
+		return 0, fmt.Errorf("pagestore: unknown file %d", f)
+	}
+	return s.sizes[f], nil
 }
 
 // Alloc appends a zeroed page to the file and returns it pinned and
@@ -284,9 +334,13 @@ func (s *Store) Alloc(f FileID) (*Page, error) { return s.alloc(f, nil) }
 func (s *Store) alloc(f FileID, sc *Scope) (*Page, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if int(f) >= len(s.sizes) {
+		return nil, fmt.Errorf("pagestore: unknown file %d", f)
+	}
 	num := s.sizes[f]
 	s.sizes[f]++
 	s.stats.Allocs++
+	s.mutated = true
 	id := PageID{File: f, Num: num}
 	fr, err := s.takeFrame(id, sc)
 	if err != nil {
@@ -459,13 +513,16 @@ func (s *Store) writeFrame(fr *frame, sc *Scope) error {
 	}
 	fr.dirty = false
 	s.stats.DiskWrites++
+	s.mutated = true
 	if sc != nil {
 		sc.diskWrites.Add(1)
 	}
 	return nil
 }
 
-// Flush writes every dirty frame to disk without evicting anything.
+// Flush writes every dirty frame to disk without evicting anything,
+// then rewrites the manifest superblock so the on-disk state is
+// self-describing and reopenable.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -476,7 +533,7 @@ func (s *Store) Flush() error {
 			}
 		}
 	}
-	return nil
+	return s.writeManifestLocked()
 }
 
 // DropCache flushes and then discards every unpinned frame. Tests
@@ -525,8 +582,8 @@ func (s *Store) PoolSize() int {
 	return len(s.frames)
 }
 
-// Close flushes and closes every file. The Store must not be used
-// afterwards.
+// Close flushes every dirty frame, rewrites the manifest superblock,
+// and closes every file. The Store must not be used afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -537,6 +594,9 @@ func (s *Store) Close() error {
 				firstErr = err
 			}
 		}
+	}
+	if err := s.writeManifestLocked(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	for _, f := range s.files {
 		if err := f.Close(); err != nil && firstErr == nil {

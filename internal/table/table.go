@@ -44,7 +44,11 @@ func Create(store *pagestore.Store, name string) (*Table, error) {
 	return &Table{store: store, file: f, name: name}, nil
 }
 
-// OpenExisting opens a table previously written to the named file.
+// OpenExisting opens a table previously written to the named file,
+// reconstructing the row count from the last page's header (one page
+// read). When the row count is already known — e.g. from the
+// engine's persisted catalog — prefer OpenWithRows, which opens the
+// table without touching any page.
 func OpenExisting(store *pagestore.Store, name string) (*Table, error) {
 	f, pages, err := store.OpenFile(name)
 	if err != nil {
@@ -64,6 +68,24 @@ func OpenExisting(store *pagestore.Store, name string) (*Table, error) {
 	return t, nil
 }
 
+// OpenWithRows opens a previously written table whose row count is
+// externally persisted (the engine catalog): no page is read. The
+// page count on disk must be consistent with the claimed row count,
+// otherwise the open fails instead of serving phantom or missing
+// rows.
+func OpenWithRows(store *pagestore.Store, name string, rows uint64) (*Table, error) {
+	f, pages, err := store.OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	want := pagestore.PageNum((rows + RecordsPerPage - 1) / RecordsPerPage)
+	if pages != want {
+		return nil, fmt.Errorf("table %s: catalog records %d rows (%d pages) but file has %d pages",
+			name, rows, want, pages)
+	}
+	return &Table{store: store, file: f, name: name, rows: rows}, nil
+}
+
 // Name returns the table's file name.
 func (t *Table) Name() string { return t.name }
 
@@ -71,7 +93,15 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) NumRows() uint64 { return t.rows }
 
 // NumPages returns the number of pages the table occupies.
-func (t *Table) NumPages() int { return int(t.store.NumPages(t.file)) }
+func (t *Table) NumPages() int {
+	n, err := t.store.NumPages(t.file)
+	if err != nil {
+		// The table's own file id is valid for the lifetime of the
+		// store; an error here means the store was closed.
+		return 0
+	}
+	return int(n)
+}
 
 // Store exposes the underlying page store (for stats snapshots).
 func (t *Table) Store() *pagestore.Store { return t.store }
@@ -253,7 +283,10 @@ func (t *Table) Update(id RowID, fn func(*Record)) error {
 // Returning false stops the scan early.
 func (t *Table) Scan(fn func(RowID, *Record) bool) error {
 	var rec Record
-	pages := t.store.NumPages(t.file)
+	pages, err := t.store.NumPages(t.file)
+	if err != nil {
+		return err
+	}
 	row := RowID(0)
 	for num := pagestore.PageNum(0); num < pages; num++ {
 		p, err := t.getPage(pagestore.PageID{File: t.file, Num: num})
@@ -315,7 +348,10 @@ func (t *Table) ScanRange(lo, hi RowID, fn func(RowID, *Record) bool) error {
 // between calls.
 func (t *Table) ScanMags(fn func(RowID, *[Dim]float64) bool) error {
 	var mags [Dim]float64
-	pages := t.store.NumPages(t.file)
+	pages, err := t.store.NumPages(t.file)
+	if err != nil {
+		return err
+	}
 	row := RowID(0)
 	for num := pagestore.PageNum(0); num < pages; num++ {
 		p, err := t.getPage(pagestore.PageID{File: t.file, Num: num})

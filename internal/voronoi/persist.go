@@ -1,0 +1,100 @@
+package voronoi
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/kdtree"
+	"repro/internal/pagedio"
+	"repro/internal/pagestore"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// Paged persistence of the Voronoi index: seeds, cell statistics,
+// the cell directory, and the Delaunay adjacency serialized into a
+// paged file next to the cell-clustered table. A serving process
+// reopens the index by reading those pages through the buffer pool;
+// only the tiny in-memory seed locator (a point kd-tree over the
+// ~√N seeds, no table or page I/O) is rebuilt.
+
+const voronoiFormatVersion = 1
+
+// persistedVoronoi is the exported wire form of the index.
+type persistedVoronoi struct {
+	Version int
+	Seeds   []vec.Point
+	Members []int
+	Radius  []float64
+	Domain  vec.Box
+	Ranges  []persistedRange // per cell, same order as Seeds
+	Adj     [][]int
+}
+
+type persistedRange struct {
+	Start uint64
+	Count uint32
+}
+
+// Persist writes the index structure into the named paged file on
+// the clustered table's store.
+func (ix *Index) Persist(name string) error {
+	p := persistedVoronoi{
+		Version: voronoiFormatVersion,
+		Seeds:   ix.Seeds,
+		Members: ix.Members,
+		Radius:  ix.Radius,
+		Domain:  ix.domain.Clone(),
+		Ranges:  make([]persistedRange, len(ix.dir)),
+		Adj:     ix.adj,
+	}
+	for c, r := range ix.dir {
+		p.Ranges[c] = persistedRange{Start: uint64(r.start), Count: r.count}
+	}
+	err := pagedio.WriteGob(ix.tbl.Store(), name, func(enc *gob.Encoder) error { return enc.Encode(p) })
+	if err != nil {
+		return fmt.Errorf("voronoi: persist %s: %w", name, err)
+	}
+	return nil
+}
+
+// OpenExisting reads an index written by Persist and attaches it to
+// its already-opened cell-clustered table. The stream checksum and
+// structural invariants are validated; the seed locator is rebuilt
+// in memory from the deserialized seeds (no page I/O).
+func OpenExisting(store *pagestore.Store, name string, clustered *table.Table) (*Index, error) {
+	var p persistedVoronoi
+	err := pagedio.ReadGob(store, name, func(dec *gob.Decoder) error {
+		if err := dec.Decode(&p); err != nil {
+			return err
+		}
+		if p.Version != voronoiFormatVersion {
+			return fmt.Errorf("index format version %d, this binary supports %d", p.Version, voronoiFormatVersion)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("voronoi: %s: %w", name, err)
+	}
+	searcher, err := kdtree.NewPointSearcher(p.Seeds)
+	if err != nil {
+		return nil, fmt.Errorf("voronoi: %s: rebuild seed locator: %w", name, err)
+	}
+	ix := &Index{
+		Seeds:    p.Seeds,
+		Members:  p.Members,
+		Radius:   p.Radius,
+		tbl:      clustered,
+		dir:      make([]rowRange, len(p.Ranges)),
+		adj:      p.Adj,
+		searcher: searcher,
+		domain:   p.Domain,
+	}
+	for c, rg := range p.Ranges {
+		ix.dir[c] = rowRange{start: table.RowID(rg.Start), count: rg.Count}
+	}
+	if err := ix.ValidateStructure(); err != nil {
+		return nil, fmt.Errorf("voronoi: %s: loaded index is invalid: %w", name, err)
+	}
+	return ix, nil
+}

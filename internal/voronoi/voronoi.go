@@ -430,10 +430,15 @@ func ballVolume(d int, r float64) float64 {
 	return math.Pow(math.Pi, float64(d)/2) / math.Gamma(float64(d)/2+1) * math.Pow(r, float64(d))
 }
 
-// Validate checks the structural invariants: directory tiles the
-// table, stored cell tags match nearest seeds, members/radius agree
-// with the directory.
-func (ix *Index) Validate() error {
+// ValidateStructure checks the in-memory invariants without table
+// I/O: directory ranges agree with member counts and cover the table
+// exactly, and the seed arrays are mutually consistent. The
+// cold-open path runs it on every load.
+func (ix *Index) ValidateStructure() error {
+	if len(ix.Members) != len(ix.Seeds) || len(ix.Radius) != len(ix.Seeds) || len(ix.dir) != len(ix.Seeds) || len(ix.adj) != len(ix.Seeds) {
+		return fmt.Errorf("voronoi: inconsistent arrays: %d seeds, %d members, %d radii, %d ranges, %d adjacency rows",
+			len(ix.Seeds), len(ix.Members), len(ix.Radius), len(ix.dir), len(ix.adj))
+	}
 	var covered uint64
 	for c, r := range ix.dir {
 		if int(r.count) != ix.Members[c] {
@@ -443,6 +448,16 @@ func (ix *Index) Validate() error {
 	}
 	if covered != ix.tbl.NumRows() {
 		return fmt.Errorf("voronoi: directory covers %d of %d rows", covered, ix.tbl.NumRows())
+	}
+	return nil
+}
+
+// Validate checks the structural invariants: directory tiles the
+// table, stored cell tags match nearest seeds, members/radius agree
+// with the directory.
+func (ix *Index) Validate() error {
+	if err := ix.ValidateStructure(); err != nil {
+		return err
 	}
 	var checkErr error
 	err := ix.tbl.Scan(func(id table.RowID, rec *table.Record) bool {
