@@ -80,6 +80,7 @@ func sharedFixture(b *testing.B) *fixture {
 			fixErr = err
 			return
 		}
+		registerBenchDir(dir)
 		s, err := pagestore.Open(dir, 16384)
 		if err != nil {
 			fixErr = err

@@ -217,6 +217,12 @@ func parseView(r *http.Request) (vec.Box, int, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s[%d]: %w", name, i, err)
 			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// ParseFloat accepts "NaN" and "Inf", and the inverted-
+				// box guard below is false for NaN on every axis — a
+				// non-finite box would flow straight into grid.Sample.
+				return nil, fmt.Errorf("%s[%d]: %v is not a finite coordinate", name, i, v)
+			}
 			p[i] = v
 		}
 		return p, nil
@@ -318,13 +324,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = v
 	}
-	// Validate the query string separately so malformed input gets a
-	// 400 while execution failures surface as 500.
-	if _, err := colorsql.Parse(where, colorsql.DefaultVars(), table.Dim); err != nil {
+	// Parse the query string up front — malformed input gets a 400,
+	// execution failures surface as 500 — and execute the union we
+	// parsed instead of parsing it a second time inside QueryWhere.
+	u, err := colorsql.Parse(where, colorsql.DefaultVars(), table.Dim)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	recs, rep, err := s.db.QueryWhere(where, core.PlanAuto)
+	recs, rep, err := s.db.QueryUnion(u, core.PlanAuto)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

@@ -121,6 +121,15 @@ func TestHandlePointsValidation(t *testing.T) {
 		"/points?min=1,2,x&max=3,4,5",     // bad number
 		"/points?min=5,5,5&max=1,1,1",     // inverted
 		"/points?min=1,1,1&max=2,2,2&n=0", // bad n
+		// ParseFloat accepts these spellings, and NaN additionally
+		// defeats the inverted-box guard (min > max is false for NaN):
+		// all must be 400s, not NaN view boxes driven into grid.Sample.
+		"/points?min=NaN,NaN,NaN&max=3,4,5",
+		"/points?min=1,2,nan&max=3,4,5",
+		"/points?min=1,2,3&max=4,5,NaN",
+		"/points?min=-Inf,2,3&max=4,5,6",
+		"/points?min=1,2,3&max=4,5,%2BInf",
+		"/points?min=1,2,3&max=4,5,Infinity",
 	}
 	for _, url := range bad {
 		req := httptest.NewRequest("GET", url, nil)
@@ -129,6 +138,18 @@ func TestHandlePointsValidation(t *testing.T) {
 		if w.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", url, w.Code)
 		}
+	}
+}
+
+// TestHandleRenderRejectsNonFiniteBox pins the same hardening on the
+// second parseView consumer.
+func TestHandleRenderRejectsNonFiniteBox(t *testing.T) {
+	s := newTestServer(t)
+	req := httptest.NewRequest("GET", "/render?min=NaN,NaN,NaN&max=30,30,30", nil)
+	w := httptest.NewRecorder()
+	s.handleRender(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("render with NaN box: status %d, want 400", w.Code)
 	}
 }
 

@@ -36,6 +36,7 @@ func persistedDir(b *testing.B) string {
 			coldOpenDir.err = err
 			return
 		}
+		registerBenchDir(dir)
 		db, err := buildColdOpenDB(dir)
 		if err != nil {
 			coldOpenDir.err = err

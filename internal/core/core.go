@@ -392,18 +392,27 @@ func (db *SpatialDB) PhotoZStats() photoz.EstimatorStats {
 	return est.Stats()
 }
 
-// QueryWhere parses a Figure 2-style WHERE clause and executes it,
-// returning matching records. OR queries execute one polyhedron per
-// DNF clause and union the results; the Report then describes the
-// union: row and page counters sum over clauses, EstimatedSelectivity
-// is the clamped sum of per-clause estimates (an upper bound ignoring
-// overlap), Plan is the last clause's plan, and PlanReason joins the
-// per-clause reasons.
+// QueryWhere parses a Figure 2-style WHERE clause and executes it
+// via QueryUnion, returning matching records.
 func (db *SpatialDB) QueryWhere(where string, plan Plan) ([]table.Record, Report, error) {
 	u, err := colorsql.Parse(where, colorsql.DefaultVars(), table.Dim)
 	if err != nil {
 		return nil, Report{}, err
 	}
+	return db.QueryUnion(u, plan)
+}
+
+// QueryUnion executes an already-parsed DNF union of convex
+// polyhedra — one polyhedron query per clause, results unioned by
+// object identity. Callers that parsed the WHERE clause themselves
+// (vizserver validates queries before accepting them) pass the union
+// here instead of paying a second parse through QueryWhere.
+//
+// The Report describes the union: row and page counters sum over
+// clauses, EstimatedSelectivity is the clamped sum of per-clause
+// estimates (an upper bound ignoring overlap), Plan is the last
+// clause's plan, and PlanReason joins the per-clause reasons.
+func (db *SpatialDB) QueryUnion(u colorsql.Union, plan Plan) ([]table.Record, Report, error) {
 	seen := make(map[int64]bool)
 	var out []table.Record
 	var total Report
@@ -526,7 +535,11 @@ func (db *SpatialDB) QueryPolyhedron(q vec.Polyhedron, plan Plan) ([]table.Recor
 		if err != nil {
 			return nil, Report{}, err
 		}
-		recs, err := materialize(catalog, ids)
+		// Materializing a full scan's matches is a second one-pass
+		// sweep over (at worst) every catalog page: scan-class, like
+		// the scan itself, so an unselective query cannot flush the
+		// pool's hot set on its way out.
+		recs, err := materialize(catalog.ScanClassed(), ids)
 		return recs, report(PlanFullScan, stats.RowsReturned, stats.RowsExamined, stats.Pages), err
 	default:
 		return nil, Report{}, fmt.Errorf("core: unknown plan %v", plan)

@@ -200,7 +200,7 @@ func FullScanPolyhedron(t *table.Table, q vec.Polyhedron) ([]table.RowID, QueryS
 	before := t.Store().Stats()
 	var ids []table.RowID
 	var examined int64
-	err := t.ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
+	err := t.ScanClassed().ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
 		examined++
 		if ContainsMags(q, m) {
 			ids = append(ids, id)
@@ -222,7 +222,7 @@ func CountScanPolyhedron(t *table.Table, q vec.Polyhedron) (int64, QueryStats, e
 	start := time.Now()
 	before := t.Store().Stats()
 	var count, examined int64
-	err := t.ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
+	err := t.ScanClassed().ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
 		examined++
 		if ContainsMags(q, m) {
 			count++

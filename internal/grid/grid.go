@@ -162,7 +162,7 @@ func Build(tb *table.Table, clusteredName string, p Params) (*Index, error) {
 	tags := make([]rowTag, n)
 	var scanErr error
 	i := 0
-	err := tb.ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
+	err := tb.ScanClassed().ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
 		r := rank[i]
 		layer := layerOfRank(r, p.Base, growth, len(layers))
 		proj := p.Proj(m)

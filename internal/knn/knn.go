@@ -330,7 +330,7 @@ func BruteForce(tb *table.Table, p vec.Point, k int) ([]Neighbor, Stats, error) 
 	}
 	start := time.Now()
 	scope := tb.Store().Scoped()
-	stb := tb.Scoped(scope)
+	stb := tb.Scoped(scope).ScanClassed()
 	var stats Stats
 	result := make(resultHeap, 0, k+1)
 	err := stb.Scan(func(id table.RowID, r *table.Record) bool {

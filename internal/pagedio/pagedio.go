@@ -43,15 +43,21 @@ const streamMagic = 0x4f494750 // "PGIO" little endian
 
 // Source yields pinned pages for reading. *pagestore.Store and
 // *pagestore.Scope both satisfy it; passing a Scope attributes the
-// stream's page reads to one accounting scope.
+// stream's page reads to one accounting scope. Streams read through
+// GetScan: a paged stream is consumed in exactly one sequential
+// pass, so its pages are scan-class in the buffer pool —
+// deserializing a large index at cold open must not evict the
+// pool's hot set.
 type Source interface {
-	Get(id pagestore.PageID) (*pagestore.Page, error)
+	GetScan(id pagestore.PageID) (*pagestore.Page, error)
 }
 
-// Sink allocates pinned pages for writing. *pagestore.Store and
-// *pagestore.Scope both satisfy it.
+// Sink allocates pinned pages for writing, scan-class for the same
+// one-pass reason as Source (persisting an index while serving must
+// not flush the hot set). *pagestore.Store and *pagestore.Scope
+// both satisfy it.
 type Sink interface {
-	Alloc(f pagestore.FileID) (*pagestore.Page, error)
+	AllocScan(f pagestore.FileID) (*pagestore.Page, error)
 }
 
 // Writer streams bytes into a paged file. It keeps at most two pages
@@ -70,7 +76,7 @@ type Writer struct {
 
 // NewWriter starts a stream at the beginning of an empty file.
 func NewWriter(sink Sink, file pagestore.FileID) (*Writer, error) {
-	header, err := sink.Alloc(file)
+	header, err := sink.AllocScan(file)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +100,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 				w.cur.Release()
 				w.cur = nil
 			}
-			pg, err := w.sink.Alloc(w.file)
+			pg, err := w.sink.AllocScan(w.file)
 			if err != nil {
 				return written, err
 			}
@@ -168,7 +174,7 @@ type Reader struct {
 // NewReader opens a stream, reading and validating the header page.
 // name is used only in error messages.
 func NewReader(src Source, file pagestore.FileID, name string) (*Reader, error) {
-	header, err := src.Get(pagestore.PageID{File: file, Num: 0})
+	header, err := src.GetScan(pagestore.PageID{File: file, Num: 0})
 	if err != nil {
 		return nil, fmt.Errorf("pagedio: %s: read header: %w", name, err)
 	}
@@ -208,7 +214,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 				r.cur.Release()
 				r.cur = nil
 			}
-			pg, err := r.src.Get(pagestore.PageID{File: r.file, Num: r.nextPage})
+			pg, err := r.src.GetScan(pagestore.PageID{File: r.file, Num: r.nextPage})
 			if err != nil {
 				return total, fmt.Errorf("pagedio: %s: stream truncated at page %d: %w", r.name, r.nextPage, err)
 			}

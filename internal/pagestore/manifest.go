@@ -1,7 +1,6 @@
 package pagestore
 
 import (
-	"container/list"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -115,12 +114,18 @@ func decodeManifest(buf []byte) (map[string]PageNum, error) {
 // never touch the superblock (and cannot clobber a manifest written
 // concurrently by a builder process with their stale view).
 func (s *Store) writeManifestLocked() error {
-	if !s.mutated {
+	// Claim the flag before doing the work: a mutation racing in
+	// after the Swap (an eviction write-back sets mutated outside
+	// every latch) re-sets it and forces the next Flush/Close to
+	// rewrite and re-fsync, instead of being erased by an
+	// unconditional clear at the end and never reaching disk.
+	if !s.mutated.Swap(false) {
 		return nil
 	}
+	restore := func(err error) error { s.mutated.Store(true); return err }
 	for _, f := range s.files {
 		if err := f.Sync(); err != nil {
-			return fmt.Errorf("pagestore: sync data file: %w", err)
+			return restore(fmt.Errorf("pagestore: sync data file: %w", err))
 		}
 	}
 	files := make(map[string]PageNum, len(s.names))
@@ -138,28 +143,27 @@ func (s *Store) writeManifestLocked() error {
 	tmp := filepath.Join(s.dir, ManifestName+".tmp")
 	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("pagestore: write manifest: %w", err)
+		return restore(fmt.Errorf("pagestore: write manifest: %w", err))
 	}
 	if _, err := tf.Write(buf); err != nil {
 		tf.Close()
-		return fmt.Errorf("pagestore: write manifest: %w", err)
+		return restore(fmt.Errorf("pagestore: write manifest: %w", err))
 	}
 	if err := tf.Sync(); err != nil {
 		tf.Close()
-		return fmt.Errorf("pagestore: sync manifest: %w", err)
+		return restore(fmt.Errorf("pagestore: sync manifest: %w", err))
 	}
 	if err := tf.Close(); err != nil {
-		return fmt.Errorf("pagestore: write manifest: %w", err)
+		return restore(fmt.Errorf("pagestore: write manifest: %w", err))
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, ManifestName)); err != nil {
-		return fmt.Errorf("pagestore: install manifest: %w", err)
+		return restore(fmt.Errorf("pagestore: install manifest: %w", err))
 	}
 	if d, err := os.Open(s.dir); err == nil {
 		d.Sync()
 		d.Close()
 	}
 	s.manifest = files
-	s.mutated = false
 	return nil
 }
 
@@ -193,23 +197,15 @@ func OpenExisting(dir string, poolPages int) (*Store, error) {
 				name, st.Size(), pages, want)
 		}
 	}
-	s := &Store{
-		dir:      dir,
-		capacity: poolPages,
-		names:    make(map[string]FileID),
-		frames:   make(map[PageID]*frame),
-		lru:      list.New(),
-		manifest: files,
-	}
-	return s, nil
+	return newStoreState(dir, poolPages, files), nil
 }
 
 // HasFile reports whether the store knows the named paged file —
 // either already open in this session or listed by the manifest it
 // was opened from.
 func (s *Store) HasFile(name string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if _, ok := s.names[name]; ok {
 		return true
 	}
@@ -221,8 +217,8 @@ func (s *Store) HasFile(name string) bool {
 // recorded by the manifest the store was opened from, or written by
 // its last Flush/Close. Nil for a fresh store that has never flushed.
 func (s *Store) ManifestFiles() map[string]PageNum {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make(map[string]PageNum, len(s.manifest))
 	for n, p := range s.manifest {
 		out[n] = p
@@ -232,8 +228,8 @@ func (s *Store) ManifestFiles() map[string]PageNum {
 
 // FileIDOf returns the id of an open file by name.
 func (s *Store) FileIDOf(name string) (FileID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	id, ok := s.names[name]
 	return id, ok
 }

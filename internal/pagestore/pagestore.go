@@ -1,30 +1,52 @@
 // Package pagestore implements the disk substrate the reproduction
-// runs on: fixed-size paged files accessed through a pinning LRU
-// buffer pool with exact I/O accounting.
+// runs on: fixed-size paged files accessed through a pinning,
+// scan-resistant, sharded buffer pool with exact I/O accounting.
 //
 // The paper implements its indexes inside MS SQL Server, where the
 // unit of query cost is the 8 KiB page read from disk into the
 // buffer pool. Reproducing the performance claims therefore needs a
 // substrate that (a) stores tables as pages, (b) caches pages with
-// an LRU policy, and (c) counts precisely how many pages each query
-// touched versus how many came from cache. Statements like "our
-// tests show that practically only points which are actually
-// returned are read from disk into memory" (§3.1) are verified in
-// this repository by asserting on Stats deltas.
+// a replacement policy that behaves under memory pressure, and (c)
+// counts precisely how many pages each query touched versus how many
+// came from cache. Statements like "our tests show that practically
+// only points which are actually returned are read from disk into
+// memory" (§3.1) are verified in this repository by asserting on
+// Stats deltas.
 //
-// The store is safe for concurrent use: pool bookkeeping runs under
-// one latch, but physical reads happen outside it behind a per-frame
-// loading latch, so N concurrent readers overlap their disk I/O and
-// a page requested by several readers at once is read exactly once.
+// The store is safe for concurrent use and designed to keep serving
+// when the dataset is larger than the pool:
+//
+//   - Pool bookkeeping is sharded by PageID hash: each shard has its
+//     own latch, frame map, and replacement lists, so concurrent
+//     readers contend only when their pages land on the same shard.
+//     (Pools too small to split meaningfully stay single-sharded,
+//     preserving exact global LRU order.)
+//   - Physical reads AND eviction write-backs happen outside every
+//     latch, behind per-frame loading/writing states: a page
+//     requested while in flight is pinned and waited on, never read
+//     or written twice, and no caller's I/O stalls the pool's
+//     bookkeeping.
+//   - Replacement is scan-resistant: scan-class accesses (full-table
+//     scans, one-pass index-stream reads) park their pages on a
+//     probationary list that is evicted first, so one sequential
+//     scan recycles a handful of frames instead of wiping the hot
+//     set. See shard.park.
+//
+// One carve-out: concurrently reading a page while the Alloc that
+// creates it is still in flight is the caller's race (the reader may
+// observe the page zeroed rather than with the allocator's content).
+// Appends and index builds are offline batch steps in this system,
+// so no query path hits this.
 package pagestore
 
 import (
-	"container/list"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // PageSize is the size of every page in bytes, matching SQL Server's
@@ -81,6 +103,30 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// statCounters is the store-global Stats as independent atomics, so
+// every shard (and the latch-free eviction write-back path) can
+// count without a shared lock while keeping each event counted
+// exactly once.
+type statCounters struct {
+	diskReads  atomic.Int64
+	diskWrites atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	allocs     atomic.Int64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		DiskReads:  c.diskReads.Load(),
+		DiskWrites: c.diskWrites.Load(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		Allocs:     c.allocs.Load(),
+	}
+}
+
 // Scope is a per-caller accounting handle over a Store. Every page
 // operation issued through the handle tallies into the scope's own
 // counters as well as the store-global ones, so a query's page costs
@@ -92,10 +138,12 @@ func (s Stats) Sub(o Stats) Stats {
 // The invariant: a scope's counters are exactly the pages its handle
 // touched. A page request is a Hit or a Miss for precisely one
 // scope; a physical DiskRead is charged to the scope that issued it
-// (concurrent requesters of an in-flight page record a Hit and wait);
-// Evictions and DiskWrites are charged to the scope whose request
-// forced them. Operations on the bare Store are unscoped: they count
-// only globally.
+// (concurrent requesters of an in-flight page record a Hit and wait,
+// and a waiter whose load FAILS records nothing — the hit is
+// reclassified away, because no page ever arrived); Evictions and
+// DiskWrites are charged to the scope whose request forced them.
+// Operations on the bare Store are unscoped: they count only
+// globally.
 //
 // A Scope may be shared by several goroutines (the batch executor
 // hands one query's scope to all its workers); the counters are
@@ -118,10 +166,18 @@ func (s *Store) Scoped() *Scope { return &Scope{store: s} }
 func (sc *Scope) Store() *Store { return sc.store }
 
 // Get is Store.Get with the activity attributed to the scope.
-func (sc *Scope) Get(id PageID) (*Page, error) { return sc.store.get(id, sc) }
+func (sc *Scope) Get(id PageID) (*Page, error) { return sc.store.get(id, sc, false) }
+
+// GetScan is Store.GetScan with the activity attributed to the
+// scope.
+func (sc *Scope) GetScan(id PageID) (*Page, error) { return sc.store.get(id, sc, true) }
 
 // Alloc is Store.Alloc with the activity attributed to the scope.
-func (sc *Scope) Alloc(f FileID) (*Page, error) { return sc.store.alloc(f, sc) }
+func (sc *Scope) Alloc(f FileID) (*Page, error) { return sc.store.alloc(f, sc, false) }
+
+// AllocScan is Store.AllocScan with the activity attributed to the
+// scope.
+func (sc *Scope) AllocScan(f FileID) (*Page, error) { return sc.store.alloc(f, sc, true) }
 
 // Stats returns a snapshot of the scope's counters.
 func (sc *Scope) Stats() Stats {
@@ -158,7 +214,7 @@ type Page struct {
 
 // MarkDirty records that the page content changed and must reach
 // disk before eviction or Flush.
-func (p *Page) MarkDirty() { p.frame.dirty = true }
+func (p *Page) MarkDirty() { p.frame.dirty.Store(true) }
 
 // Release unpins the page, returning it to eviction candidacy. The
 // Page must not be used afterwards.
@@ -168,50 +224,113 @@ func (p *Page) Release() {
 	p.Data = nil
 }
 
-// frame is a buffer pool slot.
-type frame struct {
-	id    PageID
-	data  [PageSize]byte
-	pins  int
-	dirty bool
-	// lruElem is non-nil exactly while the frame sits on the unpinned
-	// LRU list.
-	lruElem *list.Element
-
-	// loading is non-nil while the frame's content is being read from
-	// disk outside the store latch; it is closed once the read
-	// completes. Concurrent Gets for the same page pin the frame and
-	// wait on it instead of issuing a second read.
-	loading chan struct{}
-	// loadErr records a failed disk read; valid after loading closes.
-	loadErr error
-	// dead marks a frame whose load failed: it has been removed from
-	// the frame map and must never be parked on the LRU list.
-	dead bool
-}
-
-// Store manages a directory of paged files behind one shared buffer
-// pool.
+// Store manages a directory of paged files behind one shared,
+// sharded buffer pool.
 type Store struct {
 	dir      string
 	capacity int
 
-	mu     sync.Mutex
-	files  []*os.File
-	names  map[string]FileID
-	sizes  []PageNum // pages per file
-	frames map[PageID]*frame
-	lru    *list.List // unpinned frames, front = least recently used
-	stats  Stats
+	// mu guards the file metadata: files, names, sizes, manifest.
+	// Frame state lives in the shards, each under its own latch.
+	// The hot Get path takes only the read lock (a bounds check and
+	// a handle fetch), so metadata never serializes readers. Lock
+	// order: mu before any shard latch; eviction write-back holds
+	// neither (frames capture their backing *os.File).
+	mu    sync.RWMutex
+	files []*os.File
+	names map[string]FileID
+	sizes []PageNum // logical pages per file (grows on Alloc)
+	// diskSizes tracks each file's physical high-water mark: pages
+	// known to exist on disk (present at open, or reached by a
+	// write-back, which updates latch-free — hence atomic). A short
+	// read below the mark is real corruption and fails loudly; at or
+	// above it, the page was alloc'd this session and never written,
+	// so its content is zeros by definition. Entries are stable
+	// pointers because the slice only grows under mu.
+	diskSizes []*atomic.Int64
+
+	shards []*shard
+	stats  statCounters
+
+	// allocating counts Allocs that have bumped a file size under mu
+	// but not yet inserted + dirtied their frame (or rolled back).
+	// Flush/Close/DropCache drain it to zero before flushing, so the
+	// manifest never records a page whose data is still only in the
+	// allocating goroutine's hands. quiescing gates NEW allocs out
+	// while a drain is in progress — the drain releases mu while it
+	// waits (an in-flight alloc's rollback needs it), and without
+	// the gate sustained alloc traffic could re-raise the counter
+	// forever and starve the flush.
+	// quiescing is a count, not a flag: overlapping drains (a Flush
+	// racing a Close) must not re-open the gate for each other.
+	allocating atomic.Int64
+	quiescing  atomic.Int64
 
 	// manifest is the persisted file directory (name → pages): loaded
 	// by OpenExisting, rewritten by Flush/Close. Nil until the store
-	// first persists.
+	// first persists. Guarded by mu.
 	manifest map[string]PageNum
 	// mutated is set by any write (file creation/truncation, page
 	// alloc, frame write-back) and cleared when the manifest is
 	// rewritten: read-only sessions never rewrite the superblock.
-	mutated bool
+	// Atomic because eviction write-back sets it outside every latch.
+	mutated atomic.Bool
+
+	// readErrHook / writeErrHook let tests inject physical I/O
+	// failures deterministically. Consulted before the real
+	// ReadAt/WriteAt; must be set before any concurrent use.
+	readErrHook  func(PageID) error
+	writeErrHook func(PageID) error
+}
+
+// minShardPages is the smallest per-shard capacity worth splitting
+// for; pools below 2×this stay single-sharded, which also preserves
+// exact global LRU order for the small pools unit tests reason
+// about.
+const minShardPages = 128
+
+// maxShards bounds the latch fan-out.
+const maxShards = 16
+
+func shardCountFor(pool int) int {
+	n := 1
+	for n < maxShards && pool >= 2*n*minShardPages {
+		n *= 2
+	}
+	return n
+}
+
+// newStoreState assembles a Store with its shards; capacity is
+// spread as evenly as possible (hash imbalance can make a shard
+// evict while another has room — the price of independent latches —
+// so per-shard capacity is a partition, not a copy, of the total).
+func newStoreState(dir string, poolPages int, manifest map[string]PageNum) *Store {
+	s := &Store{
+		dir:      dir,
+		capacity: poolPages,
+		names:    make(map[string]FileID),
+		manifest: manifest,
+	}
+	n := shardCountFor(poolPages)
+	base, extra := poolPages/n, poolPages%n
+	for i := 0; i < n; i++ {
+		c := base
+		if i < extra {
+			c++
+		}
+		s.shards = append(s.shards, newShard(s, c))
+	}
+	return s
+}
+
+// shardOf maps a page to its shard.
+func (s *Store) shardOf(id PageID) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := uint32(id.Num)*0x9e3779b1 ^ uint32(id.File)*0x85ebca77
+	h ^= h >> 16
+	return s.shards[h&uint32(len(s.shards)-1)]
 }
 
 // Open creates a Store rooted at dir (created if missing) with a
@@ -223,13 +342,7 @@ func Open(dir string, poolPages int) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pagestore: create dir: %w", err)
 	}
-	return &Store{
-		dir:      dir,
-		capacity: poolPages,
-		names:    make(map[string]FileID),
-		frames:   make(map[PageID]*frame),
-		lru:      list.New(),
-	}, nil
+	return newStoreState(dir, poolPages, nil), nil
 }
 
 // CreateFile creates (or truncates) a paged file with the given name
@@ -247,39 +360,52 @@ func (s *Store) CreateFile(name string) (FileID, error) {
 	id := FileID(len(s.files))
 	s.files = append(s.files, f)
 	s.sizes = append(s.sizes, 0)
+	s.diskSizes = append(s.diskSizes, &atomic.Int64{})
 	s.names[name] = id
-	s.mutated = true
+	s.mutated.Store(true)
 	return id, nil
 }
 
 // TruncateFile discards every page of an open file: resident frames
-// are dropped from the pool (an error if any is pinned) and the OS
-// file is truncated to zero. Persisting code uses it to rewrite an
-// index artifact in place.
+// are dropped from the pool (an error if any is pinned or mid
+// write-back) and the OS file is truncated to zero. Persisting code
+// uses it to rewrite an index artifact in place; like all writes, it
+// must not race with concurrent access to the same file.
 func (s *Store) TruncateFile(f FileID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if int(f) >= len(s.files) {
 		return fmt.Errorf("pagestore: unknown file %d", f)
 	}
-	for id, fr := range s.frames {
-		if id.File != f {
-			continue
+	// Check and drop under one latch hold per shard, so a frame can
+	// never be pinned between its check and its removal (a dropped
+	// pinned frame would re-park as an orphan on unpin and corrupt
+	// the map). A pinned page in a later shard still refuses the
+	// truncate after earlier shards dropped — like the pre-shard
+	// code's partial iteration, acceptable because persisting must
+	// not race with access to the file it rewrites.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, fr := range sh.frames {
+			if id.File == f && (fr.pins > 0 || fr.writing != nil) {
+				sh.mu.Unlock()
+				return fmt.Errorf("pagestore: cannot truncate file %d: page %v is pinned", f, id)
+			}
 		}
-		if fr.pins > 0 {
-			return fmt.Errorf("pagestore: cannot truncate file %d: page %v is pinned", f, id)
+		for id, fr := range sh.frames {
+			if id.File == f {
+				sh.unpark(fr)
+				delete(sh.frames, id)
+			}
 		}
-		if fr.lruElem != nil {
-			s.lru.Remove(fr.lruElem)
-			fr.lruElem = nil
-		}
-		delete(s.frames, id)
+		sh.mu.Unlock()
 	}
 	if err := s.files[f].Truncate(0); err != nil {
 		return fmt.Errorf("pagestore: truncate file %d: %w", f, err)
 	}
 	s.sizes[f] = 0
-	s.mutated = true
+	s.diskSizes[f].Store(0)
+	s.mutated.Store(true)
 	return nil
 }
 
@@ -312,6 +438,9 @@ func (s *Store) OpenFile(name string) (FileID, PageNum, error) {
 	id := FileID(len(s.files))
 	s.files = append(s.files, f)
 	s.sizes = append(s.sizes, PageNum(st.Size()/PageSize))
+	ds := &atomic.Int64{}
+	ds.Store(st.Size() / PageSize)
+	s.diskSizes = append(s.diskSizes, ds)
 	s.names[name] = id
 	return id, s.sizes[id], nil
 }
@@ -319,8 +448,8 @@ func (s *Store) OpenFile(name string) (FileID, PageNum, error) {
 // NumPages returns the number of pages in the file. An unknown
 // FileID is an error, not a panic, matching Get.
 func (s *Store) NumPages(f FileID) (PageNum, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if int(f) >= len(s.sizes) {
 		return 0, fmt.Errorf("pagestore: unknown file %d", f)
 	}
@@ -329,274 +458,419 @@ func (s *Store) NumPages(f FileID) (PageNum, error) {
 
 // Alloc appends a zeroed page to the file and returns it pinned and
 // dirty.
-func (s *Store) Alloc(f FileID) (*Page, error) { return s.alloc(f, nil) }
+func (s *Store) Alloc(f FileID) (*Page, error) { return s.alloc(f, nil, false) }
 
-func (s *Store) alloc(f FileID, sc *Scope) (*Page, error) {
+// AllocScan is Alloc with the new frame marked scan-class: it parks
+// on the probationary list, so bulk one-pass writes (index stream
+// serialization) recycle a handful of frames instead of flushing the
+// hot set.
+func (s *Store) AllocScan(f FileID) (*Page, error) { return s.alloc(f, nil, true) }
+
+func (s *Store) alloc(f FileID, sc *Scope, scan bool) (*Page, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	for s.quiescing.Load() != 0 {
+		// A Flush/Close drain is waiting for in-flight allocs; hold
+		// new ones at the door so the drain terminates.
+		s.mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+		s.mu.Lock()
+	}
 	if int(f) >= len(s.sizes) {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("pagestore: unknown file %d", f)
 	}
 	num := s.sizes[f]
 	s.sizes[f]++
-	s.stats.Allocs++
-	s.mutated = true
+	file := s.files[f]
+	diskSize := s.diskSizes[f]
+	// Both inside the latch, so a concurrent Flush can never observe
+	// the size bump without the mutated flag that forces a manifest
+	// rewrite, and never finishes its drain of in-flight allocs
+	// (flushLocked) while this page's frame is yet to be inserted
+	// and dirtied — the manifest must not record a page whose data
+	// has not reached the pool.
+	s.mutated.Store(true)
+	s.allocating.Add(1)
+	s.mu.Unlock()
 	id := PageID{File: f, Num: num}
-	fr, err := s.takeFrame(id, sc)
-	if err != nil {
-		s.sizes[f]-- // roll back
-		s.stats.Allocs--
-		return nil, err
-	}
-	if sc != nil {
-		sc.allocs.Add(1)
+	sh := s.shardOf(id)
+
+	sh.mu.Lock()
+	var fr *frame
+	for {
+		got, fresh, err := sh.insertFrame(id, file, diskSize, sc, scan)
+		if err != nil {
+			sh.mu.Unlock()
+			// Roll back the append — but only if nothing was appended
+			// after it (concurrent allocs to one file during an
+			// eviction failure are the caller's race to avoid). The
+			// allocating count is held until the rollback lands, so a
+			// concurrent Flush (whose drain releases s.mu while it
+			// waits) can never persist the un-backed size bump.
+			s.mu.Lock()
+			if s.sizes[f] == num+1 {
+				s.sizes[f]--
+			}
+			s.mu.Unlock()
+			s.allocating.Add(-1)
+			return nil, err
+		}
+		fr = got
+		if fresh {
+			break
+		}
+		// A racing Get faulted the (never-written) page in. Its read
+		// zero-fills past physical EOF and succeeds, so the usual
+		// outcome is a live zeroed frame we take over pinned (zeroing
+		// it again below is a no-op); the loadErr branch covers a
+		// racing read that failed for a real reason. Both channels
+		// are snapshotted under the latch: once we hold the pin no
+		// new load or write-back can start on this frame.
+		sh.pin(fr)
+		loading, writing := fr.loading, fr.writing
+		sh.mu.Unlock()
+		if loading != nil {
+			<-loading
+		}
+		if fr.loadErr == nil {
+			if writing != nil {
+				<-writing // never zero a frame mid write-back
+			}
+			sh.mu.Lock()
+			break
+		}
+		s.unpin(fr)
+		sh.mu.Lock()
 	}
 	for i := range fr.data {
 		fr.data[i] = 0
 	}
-	fr.dirty = true
-	return s.pageFor(fr), nil
+	fr.dirty.Store(true)
+	sh.mu.Unlock()
+	// Only now — frame resident and dirty — may a concurrent Flush
+	// proceed past its in-flight-alloc drain.
+	s.allocating.Add(-1)
+	s.stats.allocs.Add(1)
+	if sc != nil {
+		sc.allocs.Add(1)
+	}
+	return s.pageFromFrame(fr), nil
 }
 
 // Get returns the page pinned, reading it from disk on a pool miss.
 //
-// The store latch is released for the duration of the physical read,
-// so N concurrent readers missing on different pages overlap their
-// disk I/O; readers missing on the same page wait on the frame's
-// loading latch and share the single read.
-func (s *Store) Get(id PageID) (*Page, error) { return s.get(id, nil) }
+// No latch is held for the duration of physical I/O: concurrent
+// readers missing on different pages overlap their disk reads,
+// readers missing on the same page wait on the frame's loading state
+// and share the single read, and a reader requesting a page that an
+// evictor is writing back waits on the writing state (the eviction
+// then aborts — the page was re-referenced).
+func (s *Store) Get(id PageID) (*Page, error) { return s.get(id, nil, false) }
 
-func (s *Store) get(id PageID, sc *Scope) (*Page, error) {
-	s.mu.Lock()
+// GetScan is Get with the access marked scan-class: a frame this
+// access faults in parks on the probationary (evict-first) list, so
+// one sequential scan of a large table cannot wipe the pool's hot
+// set. A second access to the page — scan-class or not — promotes it
+// to the protected list. Full-table scan paths and one-pass stream
+// readers use this; index-driven point and range accesses use Get.
+func (s *Store) GetScan(id PageID) (*Page, error) { return s.get(id, nil, true) }
+
+func (s *Store) get(id PageID, sc *Scope, scan bool) (*Page, error) {
+	s.mu.RLock()
 	if int(id.File) >= len(s.files) {
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		return nil, fmt.Errorf("pagestore: unknown file %d", id.File)
 	}
 	if id.Num >= s.sizes[id.File] {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("pagestore: page %v beyond EOF (%d pages)", id, s.sizes[id.File])
+		n := s.sizes[id.File]
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("pagestore: page %v beyond EOF (%d pages)", id, n)
 	}
-	if fr, ok := s.frames[id]; ok {
-		s.stats.Hits++
-		if sc != nil {
-			sc.hits.Add(1)
-		}
-		s.pin(fr)
-		loading := fr.loading
-		s.mu.Unlock()
-		if loading != nil {
-			<-loading
-			if fr.loadErr != nil {
-				err := fr.loadErr
-				s.unpin(fr)
-				return nil, err
-			}
-		}
-		return s.pagFromFrame(fr), nil
+	file := s.files[id.File]
+	diskSize := s.diskSizes[id.File]
+	s.mu.RUnlock()
+
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	fr, fresh, err := sh.insertFrame(id, file, diskSize, sc, scan)
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, err
 	}
-	s.stats.Misses++
+	if !fresh {
+		// Resident — either found immediately, or faulted in by
+		// another goroutine while an eviction released the shard
+		// latch. Either way, for this request it is a pool hit.
+		return s.finishHit(sh, fr, sc)
+	}
+	s.stats.misses.Add(1)
 	if sc != nil {
 		sc.misses.Add(1)
 	}
-	fr, err := s.takeFrame(id, sc)
-	if err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
 	ch := make(chan struct{})
 	fr.loading = ch
-	file := s.files[id.File]
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
-	_, rerr := file.ReadAt(fr.data[:], int64(id.Num)*PageSize)
+	rerr := s.readPage(fr)
 
-	s.mu.Lock()
+	sh.mu.Lock()
 	fr.loading = nil
 	if rerr != nil {
 		// Frame is invalid; drop it from the pool. Waiters still pin
-		// it, so unpin must not park it on the LRU list.
+		// it, so unpin must not park it on the LRU lists. The Miss is
+		// un-counted for the same reason finishHit un-counts a
+		// waiter's Hit: no page arrived, so nothing may be counted.
 		fr.loadErr = fmt.Errorf("pagestore: read %v: %w", id, rerr)
 		fr.dead = true
-		delete(s.frames, id)
+		delete(sh.frames, id)
+		s.stats.misses.Add(-1)
+		if sc != nil {
+			sc.misses.Add(-1)
+		}
 	} else {
-		s.stats.DiskReads++
+		s.stats.diskReads.Add(1)
 		if sc != nil {
 			sc.diskReads.Add(1)
 		}
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	close(ch)
 	if rerr != nil {
 		err := fr.loadErr
 		s.unpin(fr)
 		return nil, err
 	}
-	return s.pagFromFrame(fr), nil
+	return s.pageFromFrame(fr), nil
 }
 
-// pagFromFrame wraps an already-pinned frame.
-func (s *Store) pagFromFrame(fr *frame) *Page {
-	return &Page{ID: fr.id, Data: fr.data[:], frame: fr, store: s}
-}
-
-func (s *Store) pageFor(fr *frame) *Page { return s.pagFromFrame(fr) }
-
-// takeFrame returns a pinned frame mapped to id, evicting if needed.
-// Caller holds s.mu. The frame content is undefined. Evictions (and
-// the writes they force) are attributed to sc.
-func (s *Store) takeFrame(id PageID, sc *Scope) (*frame, error) {
-	if fr, ok := s.frames[id]; ok {
-		s.pin(fr)
-		return fr, nil
+// finishHit completes a page request that found a resident frame:
+// count the hit, promote the frame out of the probationary class
+// (the LRU-2 "touched twice" rule), pin it, and wait out any
+// in-flight load or eviction write-back. Called with sh.mu held;
+// returns with it released.
+//
+// A waiter whose load fails un-counts its Hit: the invariant is that
+// a scope's counters are exactly the pages its handle touched, and
+// no page ever arrived for this request.
+func (s *Store) finishHit(sh *shard, fr *frame, sc *Scope) (*Page, error) {
+	s.stats.hits.Add(1)
+	if sc != nil {
+		sc.hits.Add(1)
 	}
-	if len(s.frames) >= s.capacity {
-		if err := s.evictOne(sc); err != nil {
+	fr.scan = false
+	sh.pin(fr)
+	loading, writing := fr.loading, fr.writing
+	sh.mu.Unlock()
+	if loading != nil {
+		<-loading
+		if fr.loadErr != nil {
+			err := fr.loadErr
+			s.stats.hits.Add(-1)
+			if sc != nil {
+				sc.hits.Add(-1)
+			}
+			s.unpin(fr)
 			return nil, err
 		}
 	}
-	fr := &frame{id: id, pins: 1}
-	s.frames[id] = fr
-	return fr, nil
+	if writing != nil {
+		<-writing
+	}
+	return s.pageFromFrame(fr), nil
 }
 
-// pin increments the pin count, removing the frame from the LRU list
-// if it was unpinned.
-func (s *Store) pin(fr *frame) {
-	if fr.pins == 0 && fr.lruElem != nil {
-		s.lru.Remove(fr.lruElem)
-		fr.lruElem = nil
-	}
-	fr.pins++
-}
-
-// unpin decrements the pin count and parks fully-unpinned frames on
-// the LRU list.
-func (s *Store) unpin(fr *frame) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if fr.pins <= 0 {
-		panic("pagestore: unpin of unpinned page " + fr.id.String())
-	}
-	fr.pins--
-	if fr.pins == 0 && !fr.dead {
-		fr.lruElem = s.lru.PushBack(fr)
-	}
-}
-
-// evictOne removes the least recently used unpinned frame, writing
-// it out if dirty. Caller holds s.mu.
-func (s *Store) evictOne(sc *Scope) error {
-	el := s.lru.Front()
-	if el == nil {
-		return fmt.Errorf("pagestore: buffer pool exhausted (%d pages, all pinned)", s.capacity)
-	}
-	fr := el.Value.(*frame)
-	s.lru.Remove(el)
-	fr.lruElem = nil
-	if fr.dirty {
-		if err := s.writeFrame(fr, sc); err != nil {
+// readPage performs the physical read for a frame, outside every
+// latch. A page at or above the file's physical high-water mark was
+// allocated this session and never written back — its content is
+// zeros by definition, so the short read zero-fills instead of
+// erroring. A short read BELOW the mark means the file lost bytes
+// it demonstrably had (external truncation, filesystem fault): that
+// stays a loud error, never silent zeros.
+func (s *Store) readPage(fr *frame) error {
+	if hook := s.readErrHook; hook != nil {
+		if err := hook(fr.id); err != nil {
 			return err
 		}
 	}
-	delete(s.frames, fr.id)
-	s.stats.Evictions++
-	if sc != nil {
-		sc.evictions.Add(1)
+	n, err := fr.file.ReadAt(fr.data[:], int64(fr.id.Num)*PageSize)
+	if err == io.EOF && int64(fr.id.Num) >= fr.diskSize.Load() {
+		for i := n; i < len(fr.data); i++ {
+			fr.data[i] = 0
+		}
+		return nil
 	}
-	return nil
+	return err
 }
 
-// writeFrame flushes one frame to disk. Caller holds s.mu.
-func (s *Store) writeFrame(fr *frame, sc *Scope) error {
-	if _, err := s.files[fr.id.File].WriteAt(fr.data[:], int64(fr.id.Num)*PageSize); err != nil {
+// writePage performs the physical write for a frame and counts it,
+// attributed to sc. Callers clear fr.dirty under the shard latch on
+// success. Safe to call with or without the shard latch held: it
+// touches no shard state.
+func (s *Store) writePage(fr *frame, sc *Scope) error {
+	if hook := s.writeErrHook; hook != nil {
+		if err := hook(fr.id); err != nil {
+			return fmt.Errorf("pagestore: write %v: %w", fr.id, err)
+		}
+	}
+	if _, err := fr.file.WriteAt(fr.data[:], int64(fr.id.Num)*PageSize); err != nil {
 		return fmt.Errorf("pagestore: write %v: %w", fr.id, err)
 	}
-	fr.dirty = false
-	s.stats.DiskWrites++
-	s.mutated = true
+	// Raise the file's physical high-water mark (CAS-max: write-backs
+	// race each other latch-free).
+	for {
+		cur := fr.diskSize.Load()
+		if want := int64(fr.id.Num) + 1; cur >= want || fr.diskSize.CompareAndSwap(cur, want) {
+			break
+		}
+	}
+	s.stats.diskWrites.Add(1)
+	s.mutated.Store(true)
 	if sc != nil {
 		sc.diskWrites.Add(1)
 	}
 	return nil
 }
 
-// Flush writes every dirty frame to disk without evicting anything,
-// then rewrites the manifest superblock so the on-disk state is
-// self-describing and reopenable.
+// pageFromFrame wraps an already-pinned frame.
+func (s *Store) pageFromFrame(fr *frame) *Page {
+	return &Page{ID: fr.id, Data: fr.data[:], frame: fr, store: s}
+}
+
+// unpin decrements the pin count and parks fully-unpinned frames on
+// their replacement list.
+func (s *Store) unpin(fr *frame) {
+	sh := s.shardOf(fr.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr.pins <= 0 {
+		panic("pagestore: unpin of unpinned page " + fr.id.String())
+	}
+	fr.pins--
+	if fr.pins == 0 && !fr.dead {
+		sh.park(fr)
+	}
+}
+
+// Flush writes every dirty frame to disk without evicting anything
+// (waiting out in-flight eviction write-backs), then rewrites the
+// manifest superblock so the on-disk state is self-describing and
+// reopenable. A page alloc'd concurrently can never be recorded by
+// the manifest without its data having been flushed (the manifest
+// would describe a file the flush never wrote, which OpenExisting
+// rejects as torn): the quiescing gate holds new allocs at the door
+// while drainAllocsLocked waits out in-flight ones — releasing s.mu
+// during the wait, so other metadata ops can run then — after which
+// s.mu is held continuously through flush and manifest.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, fr := range s.frames {
-		if fr.dirty {
-			if err := s.writeFrame(fr, nil); err != nil {
-				return err
-			}
+	s.drainAllocsLocked()
+	for _, sh := range s.shards {
+		if err := sh.flushDirty(); err != nil {
+			return err
 		}
 	}
 	return s.writeManifestLocked()
 }
 
+// drainAllocsLocked waits until every in-flight Alloc has either
+// inserted and dirtied its frame or rolled its size bump back. The
+// 100µs sleep-poll (here and in alloc's gate) is deliberate: a
+// condition variable would save a handful of wakeups on a path that
+// runs only at persist points, at the cost of signal plumbing on
+// every alloc.
+// Called and returning with s.mu held, but the latch is released
+// while waiting so an alloc's error-path rollback (which needs
+// s.mu) can complete. Once the counter reads zero with the latch
+// held, no alloc is mid-flight and none can start until the caller
+// releases it.
+func (s *Store) drainAllocsLocked() {
+	s.quiescing.Add(1)
+	for s.allocating.Load() != 0 {
+		s.mu.Unlock()
+		// An in-flight alloc may be waiting on eviction disk I/O;
+		// sleep rather than hot-spin through that window.
+		time.Sleep(100 * time.Microsecond)
+		s.mu.Lock()
+	}
+	s.quiescing.Add(-1)
+}
+
 // DropCache flushes and then discards every unpinned frame. Tests
 // and benchmarks use it to measure cold-cache behaviour
-// deterministically.
+// deterministically. Allocs are drained and gated out like Flush,
+// and dropUnpinned itself re-flushes any frame a surviving pin
+// holder dirtied after the flush pass, so a concurrent write is
+// never lost.
 func (s *Store) DropCache() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, fr := range s.frames {
-		if fr.dirty {
-			if err := s.writeFrame(fr, nil); err != nil {
-				return err
-			}
+	s.drainAllocsLocked()
+	for _, sh := range s.shards {
+		if err := sh.flushDirty(); err != nil {
+			return err
 		}
-	}
-	for el := s.lru.Front(); el != nil; {
-		next := el.Next()
-		fr := el.Value.(*frame)
-		s.lru.Remove(el)
-		fr.lruElem = nil
-		delete(s.frames, fr.id)
-		el = next
+		if err := sh.dropUnpinned(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// Stats returns a snapshot of the cumulative counters.
-func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+// Stats returns a snapshot of the cumulative counters. The counters
+// are independent atomics: each event is counted exactly once (the
+// exactness every test diffs on), but a snapshot taken mid-traffic
+// is not a single point in time across counters — e.g. a burst may
+// land between the Hits and Misses loads. Snapshot at quiescent
+// points, or diff pairs of snapshots around the work being measured,
+// as every caller in this repository does.
+func (s *Store) Stats() Stats { return s.stats.snapshot() }
 
 // ResetStats zeroes the counters (snapshot diffing is usually
 // preferable; this exists for long benchmark loops).
 func (s *Store) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = Stats{}
+	s.stats.diskReads.Store(0)
+	s.stats.diskWrites.Store(0)
+	s.stats.hits.Store(0)
+	s.stats.misses.Store(0)
+	s.stats.evictions.Store(0)
+	s.stats.allocs.Store(0)
 }
 
 // PoolSize returns the number of frames currently resident.
 func (s *Store) PoolSize() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.frames)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
+// NumShards reports the pool's latch fan-out (1 for small pools).
+func (s *Store) NumShards() int { return len(s.shards) }
+
 // Close flushes every dirty frame, rewrites the manifest superblock,
-// and closes every file. The Store must not be used afterwards.
+// and closes every file, with the store latch held across flush and
+// manifest like Flush. The Store must not be used afterwards.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var firstErr error
-	for _, fr := range s.frames {
-		if fr.dirty {
-			if err := s.writeFrame(fr, nil); err != nil && firstErr == nil {
-				firstErr = err
-			}
+	s.mu.Lock()
+	s.drainAllocsLocked()
+	for _, sh := range s.shards {
+		if err := sh.flushDirty(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	if err := s.writeManifestLocked(); err != nil && firstErr == nil {
-		firstErr = err
+	// Never install a manifest over a failed flush: stranded dirty
+	// pages behind a clean-validating superblock would be served
+	// silently stale on reopen. Leaving the old manifest makes the
+	// next OpenExisting fail loudly on the size mismatch instead.
+	if firstErr == nil {
+		if err := s.writeManifestLocked(); err != nil {
+			firstErr = err
+		}
 	}
 	for _, f := range s.files {
 		if err := f.Close(); err != nil && firstErr == nil {
@@ -604,7 +878,13 @@ func (s *Store) Close() error {
 		}
 	}
 	s.files = nil
-	s.frames = make(map[PageID]*frame)
-	s.lru = list.New()
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.frames = make(map[PageID]*frame)
+		sh.old.Init()
+		sh.young.Init()
+		sh.mu.Unlock()
+	}
 	return firstErr
 }

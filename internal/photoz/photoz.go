@@ -51,7 +51,7 @@ func ExtractReference(tb *table.Table, store *pagestore.Store, name string) (*ta
 	a := ref.NewAppender()
 	defer a.Close()
 	var appendErr error
-	err = tb.Scan(func(id table.RowID, r *table.Record) bool {
+	err = tb.ScanClassed().Scan(func(id table.RowID, r *table.Record) bool {
 		if !r.HasZ {
 			return true
 		}
@@ -338,7 +338,7 @@ func ComputeMetrics(pairs []Pair) Metrics {
 func EvaluateGalaxies(tb *table.Table, estimate func(vec.Point) (float64, error), limit int) ([]Pair, error) {
 	var pairs []Pair
 	var evalErr error
-	err := tb.Scan(func(id table.RowID, r *table.Record) bool {
+	err := tb.ScanClassed().Scan(func(id table.RowID, r *table.Record) bool {
 		if r.Class != table.Galaxy || r.HasZ {
 			return true
 		}
@@ -365,7 +365,7 @@ func EvaluateGalaxies(tb *table.Table, estimate func(vec.Point) (float64, error)
 func EvaluateGalaxiesBatch(tb *table.Table, est *Estimator, limit, workers int) ([]Pair, BatchStats, error) {
 	var mags []vec.Point
 	var truths []float64
-	err := tb.Scan(func(id table.RowID, r *table.Record) bool {
+	err := tb.ScanClassed().Scan(func(id table.RowID, r *table.Record) bool {
 		if r.Class != table.Galaxy || r.HasZ {
 			return true
 		}

@@ -170,7 +170,9 @@ func (e *Executor) FullScan(tb *table.Table, q vec.Polyhedron) ([]table.RowID, e
 		}
 		tasks = append(tasks, task{lo: lo, hi: hi, filter: true, slot: len(tasks)})
 	}
-	ids, examined, err := e.runTasks(tb.Scoped(scope), q, tasks)
+	// Full-scan chunks are scan-class: the whole-table pass must not
+	// evict the hot index pages of concurrent queries.
+	ids, examined, err := e.runTasks(tb.Scoped(scope).ScanClassed(), q, tasks)
 	stats := engine.QueryStats{
 		RowsExamined: examined,
 		RowsReturned: int64(len(ids)),

@@ -33,6 +33,10 @@ type Table struct {
 	// accounting scope so the reads are attributed exactly to one
 	// query even under concurrency. Set via Scoped.
 	scope *pagestore.Scope
+	// scanClass marks the view's page reads as scan-class in the
+	// buffer pool (probationary replacement — a full scan through
+	// this view cannot wipe the pool's hot set). Set via ScanClassed.
+	scanClass bool
 }
 
 // Create makes a new empty table backed by the named file.
@@ -118,12 +122,51 @@ func (t *Table) Scoped(sc *pagestore.Scope) *Table {
 	return &cp
 }
 
-// getPage fetches one page through the table's scope, if any.
-func (t *Table) getPage(id pagestore.PageID) (*pagestore.Page, error) {
+// ScanClassed returns a view of the table whose page reads are
+// marked scan-class in the buffer pool: pages it faults in park on
+// the probationary (evict-first) list, so scanning the whole table
+// recycles a handful of frames instead of evicting the hot set.
+// Full-scan query paths wrap their (usually already Scoped) view in
+// this; index-driven point and range reads do not.
+func (t *Table) ScanClassed() *Table {
+	cp := *t
+	cp.scanClass = true
+	return &cp
+}
+
+// pageBackend is the page-access surface shared by *pagestore.Store
+// and *pagestore.Scope; the table resolves one backend (its scope if
+// set) and then branches only on access class.
+type pageBackend interface {
+	Get(pagestore.PageID) (*pagestore.Page, error)
+	GetScan(pagestore.PageID) (*pagestore.Page, error)
+	Alloc(pagestore.FileID) (*pagestore.Page, error)
+	AllocScan(pagestore.FileID) (*pagestore.Page, error)
+}
+
+func (t *Table) backend() pageBackend {
 	if t.scope != nil {
-		return t.scope.Get(id)
+		return t.scope
 	}
-	return t.store.Get(id)
+	return t.store
+}
+
+// getPage fetches one page through the table's scope and access
+// class, if any.
+func (t *Table) getPage(id pagestore.PageID) (*pagestore.Page, error) {
+	if t.scanClass {
+		return t.backend().GetScan(id)
+	}
+	return t.backend().Get(id)
+}
+
+// allocPage appends a page through the table's scope and access
+// class, if any.
+func (t *Table) allocPage() (*pagestore.Page, error) {
+	if t.scanClass {
+		return t.backend().AllocScan(t.file)
+	}
+	return t.backend().Alloc(t.file)
 }
 
 func pageCount(data []byte) uint32 {
@@ -138,15 +181,21 @@ func setPageCount(data []byte, n uint32) {
 }
 
 // Appender bulk-loads records, keeping the tail page pinned between
-// appends. Close it to flush the final page.
+// appends. Close it to flush the final page. Its page traffic is
+// scan-class: a bulk load is a one-pass sweep, and writing a table
+// must not evict a serving pool's hot set (mirroring pagedio's
+// stream writer).
 type Appender struct {
-	t    *Table
+	t *Table
+	// view is t with the scan class applied; row bookkeeping goes
+	// through t, page I/O through view.
+	view *Table
 	page *pagestore.Page
 }
 
 // NewAppender returns a bulk loader positioned at the end of the
 // table.
-func (t *Table) NewAppender() *Appender { return &Appender{t: t} }
+func (t *Table) NewAppender() *Appender { return &Appender{t: t, view: t.ScanClassed()} }
 
 // Append adds one record to the table.
 func (a *Appender) Append(r *Record) error {
@@ -157,7 +206,7 @@ func (a *Appender) Append(r *Record) error {
 			a.page.Release()
 			a.page = nil
 		}
-		p, err := a.t.store.Alloc(a.t.file)
+		p, err := a.view.allocPage()
 		if err != nil {
 			return err
 		}
@@ -165,7 +214,7 @@ func (a *Appender) Append(r *Record) error {
 	} else if a.page == nil {
 		// Resuming an append into a partially filled tail page.
 		num := pagestore.PageNum(a.t.rows / RecordsPerPage)
-		p, err := a.t.store.Get(pagestore.PageID{File: a.t.file, Num: num})
+		p, err := a.view.getPage(pagestore.PageID{File: a.t.file, Num: num})
 		if err != nil {
 			return err
 		}
@@ -265,7 +314,7 @@ func (t *Table) Update(id RowID, fn func(*Record)) error {
 	if err != nil {
 		return err
 	}
-	p, err := t.store.Get(pid)
+	p, err := t.getPage(pid)
 	if err != nil {
 		return err
 	}
@@ -416,7 +465,9 @@ func (t *Table) ScanMagsRange(lo, hi RowID, fn func(RowID, *[Dim]float64) bool) 
 // is an offline batch step).
 func (t *Table) AllPoints() ([]vec.Point, error) {
 	pts := make([]vec.Point, 0, t.rows)
-	err := t.ScanMags(func(_ RowID, m *[Dim]float64) bool {
+	// One pass over every page: scan-class, so an offline build does
+	// not flush a serving pool's hot set.
+	err := t.ScanClassed().ScanMags(func(_ RowID, m *[Dim]float64) bool {
 		p := make(vec.Point, Dim)
 		copy(p, m[:])
 		pts = append(pts, p)

@@ -169,7 +169,7 @@ func Build(tb *table.Table, clusteredName string, domain vec.Box, p Params) (*In
 
 	// 3. Tag every row with its nearest seed and gather cell stats.
 	cellOf := make([]uint32, n)
-	err = tb.ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
+	err = tb.ScanClassed().ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
 		p := make(vec.Point, table.Dim)
 		copy(p, m[:])
 		c := searcher.NearestOne(p)
@@ -225,7 +225,7 @@ func Build(tb *table.Table, clusteredName string, domain vec.Box, p Params) (*In
 			stride = n / p.DataWitnesses
 		}
 		i := 0
-		err = clustered.ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
+		err = clustered.ScanClassed().ScanMags(func(id table.RowID, m *[table.Dim]float64) bool {
 			if i%stride == 0 {
 				w := make(vec.Point, table.Dim)
 				copy(w, m[:])
