@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkTopKQuery measures the streaming statement pipeline's
+// work-bounded top-k: ORDER BY over a selective color cut with a
+// LIMIT keeps a k-row heap instead of sorting every match, so the
+// cost is one pass over the selection plus O(match · log k)
+// comparisons. The fixture is the persisted churn database
+// (catalog + kd-tree), cold-opened once.
+func BenchmarkTopKQuery(b *testing.B) {
+	churnOnce.Do(func() { churnDir, churnPages, churnErr = buildChurnDB() })
+	if churnErr != nil {
+		b.Fatal(churnErr)
+	}
+	db, err := core.OpenExisting(core.Config{Dir: churnDir, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+
+	for _, k := range []int{10, 100} {
+		src := fmt.Sprintf("SELECT * WHERE g - r > 0.2 AND r < 21 ORDER BY g - r LIMIT %d", k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var rows int64
+			for i := 0; i < b.N; i++ {
+				cur, err := db.QueryStatement(context.Background(), src, core.PlanAuto)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := int64(0)
+				for cur.Next() {
+					n++
+				}
+				if err := cur.Err(); err != nil {
+					b.Fatal(err)
+				}
+				cur.Close()
+				rows = n
+			}
+			b.ReportMetric(float64(rows), "rows")
+		})
+	}
+}
+
+// BenchmarkLimitPushdown contrasts the pushed-down LIMIT (the scan
+// stops at the page holding the k-th match) against draining the
+// same selection in full — the first-rows-fast behavior interactive
+// exploration rides on.
+func BenchmarkLimitPushdown(b *testing.B) {
+	churnOnce.Do(func() { churnDir, churnPages, churnErr = buildChurnDB() })
+	if churnErr != nil {
+		b.Fatal(churnErr)
+	}
+	db, err := core.OpenExisting(core.Config{Dir: churnDir, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+
+	for _, src := range []struct{ name, q string }{
+		{"limit=10", "SELECT * WHERE g - r > 0.2 AND r < 21 LIMIT 10"},
+		{"unlimited", "SELECT * WHERE g - r > 0.2 AND r < 21"},
+	} {
+		b.Run(src.name, func(b *testing.B) {
+			var pages int64
+			for i := 0; i < b.N; i++ {
+				cur, err := db.QueryStatement(context.Background(), src.q, core.PlanAuto)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for cur.Next() {
+				}
+				if err := cur.Err(); err != nil {
+					b.Fatal(err)
+				}
+				rep := cur.Stats()
+				cur.Close()
+				pages = rep.DiskReads + rep.CacheHits
+			}
+			b.ReportMetric(float64(pages), "pages/query")
+		})
+	}
+}

@@ -7,17 +7,28 @@
 // constructs any missing index structures from the stored catalog
 // and persists them for the next run.
 //
+// Full SELECT statements stream through the cursor pipeline: rows
+// print as the scan produces them (first row long before a large
+// result completes), LIMIT stops the scan at the page holding the
+// last row, ORDER BY keeps a bounded top-k heap, and Ctrl-C cancels
+// the scan mid-flight. -format ndjson emits one JSON object per row.
+//
 //	spatialq -dir /tmp/sdss -q "g - r > 0.4 AND g - r < 1.0 AND r < 19"
 //	spatialq -dir /tmp/sdss -q "r < 22" -plan compare -workers 8
+//	spatialq -dir /tmp/sdss -q "SELECT objid,g,r WHERE g-r>0.4 ORDER BY r LIMIT 20"
+//	spatialq -dir /tmp/sdss -q "SELECT * ORDER BY dist(19.5,18.9,18.2,17.9,17.7) LIMIT 5" -format ndjson
 //	spatialq -dir /tmp/sdss -knn "19.5,18.9,18.2,17.9,17.7" -k 10
 //	spatialq -dir /tmp/sdss -build        # build+persist missing indexes
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
@@ -31,7 +42,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	dir := flag.String("dir", "", "database directory from sdssgen (required)")
-	query := flag.String("q", "", "WHERE clause over u,g,r,i,z (dered_* aliases accepted)")
+	query := flag.String("q", "", "WHERE clause or full SELECT statement over u,g,r,i,z (dered_* aliases accepted)")
+	format := flag.String("format", "table", "statement output: table | ndjson")
 	knnPt := flag.String("knn", "", "comma-separated 5-D point for nearest neighbour search")
 	k := flag.Int("k", 10, "neighbours for -knn")
 	plan := flag.String("plan", "auto", "auto | kdtree | voronoi | fullscan | compare")
@@ -111,7 +123,90 @@ func main() {
 		runKnn(db, *knnPt, *k)
 		return
 	}
+	if isStatement(*query) {
+		// A SELECT carries its own LIMIT clause; silently ignoring an
+		// explicit -limit would surprise users of the legacy form.
+		limitSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "limit" {
+				limitSet = true
+			}
+		})
+		if limitSet {
+			log.Fatal("spatialq: -limit does not apply to SELECT statements; use a LIMIT clause in the statement")
+		}
+		runStatement(db, *query, *plan, *format)
+		return
+	}
 	runQuery(db, *query, *plan, *limit)
+}
+
+// isStatement distinguishes a full SELECT from a bare predicate.
+func isStatement(q string) bool {
+	fields := strings.Fields(q)
+	return len(fields) > 0 && strings.EqualFold(fields[0], "SELECT")
+}
+
+// runStatement executes a SELECT through the streaming cursor
+// pipeline, printing rows as the scan produces them. Ctrl-C cancels
+// the query mid-scan.
+func runStatement(db *core.SpatialDB, src, plan, format string) {
+	var p core.Plan
+	switch plan {
+	case "auto":
+		p = core.PlanAuto
+	case "fullscan":
+		p = core.PlanFullScan
+	case "kdtree":
+		p = core.PlanKdTree
+	case "voronoi":
+		p = core.PlanVoronoi
+	default:
+		log.Fatalf("spatialq: -plan %q not supported for SELECT statements (use auto/fullscan/kdtree/voronoi)", plan)
+	}
+	stmt, err := colorsql.ParseStatement(src, colorsql.DefaultVars(), table.Dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cur, err := db.ExecStatement(ctx, stmt, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cur.Close()
+
+	cols := stmt.OutputColumns()
+	for cur.Next() {
+		printStatementRow(format, cols, cur.Record())
+	}
+	rep := cur.Stats()
+	if err := cur.Err(); err != nil {
+		log.Fatalf("spatialq: %v (after %d rows)", err, rep.RowsReturned)
+	}
+	if rep.PlanReason != "" {
+		fmt.Fprintf(os.Stderr, "planner:  %s\n", rep.PlanReason)
+	}
+	fmt.Fprintf(os.Stderr, "%-9s returned=%d examined=%d diskReads=%d hits=%d\n",
+		rep.Plan.String()+":", rep.RowsReturned, rep.RowsExamined, rep.DiskReads, rep.CacheHits)
+}
+
+// printStatementRow writes one row in the chosen format: an NDJSON
+// object of the projected columns, or an aligned name=value line.
+// Column values render through core.AppendColumnValue, the same
+// serializer vizserver's NDJSON uses.
+func printStatementRow(format string, cols []colorsql.Column, rec *table.Record) {
+	if format == "ndjson" {
+		out := core.AppendRowJSON(make([]byte, 0, 128), cols, rec)
+		out = append(out, '\n')
+		os.Stdout.Write(out)
+		return
+	}
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("%s=%s", c.Name, string(core.AppendColumnValue(nil, c, rec)))
+	}
+	fmt.Println(strings.Join(parts, " "))
 }
 
 func runKnn(db *core.SpatialDB, raw string, k int) {

@@ -3,9 +3,13 @@
 // axis-aligned view box and a point budget, the server answers from
 // the layered uniform grid (§3.1) with n distribution-following
 // points — the request shape of Figure 11's Producer plugins. The
-// /query endpoint additionally serves Figure 2-style color-cut
-// queries through the cost-based planner, reporting the chosen
-// access path and its estimated selectivity alongside the rows.
+// /query endpoint serves full colorsql statements — SELECT with
+// projection, WHERE color cuts, ORDER BY (including dist() for
+// nearest-first), LIMIT — through the cost-based planner and the
+// streaming cursor pipeline: format=ndjson streams rows with chunked
+// encoding as the scan produces them, a LIMIT bounds the pages read
+// (not just the rows encoded), and a dropped connection cancels the
+// scan mid-flight through the request context.
 //
 // The /knn and /photoz endpoints serve the §3.3 and §4.1
 // applications from the batched concurrent kNN engine: a POST /knn
@@ -26,6 +30,8 @@
 //	curl 'localhost:8080/points?min=14,14,14&max=24,24,24&n=1000'
 //	curl 'localhost:8080/render?min=10,10,10&max=30,30,30&n=5000'
 //	curl 'localhost:8080/query?where=g-r>0.4+AND+r<19&limit=5'
+//	curl 'localhost:8080/query?format=ndjson' --data-urlencode 'q=SELECT objid,g,r WHERE g-r>0.4 AND r<19 ORDER BY r LIMIT 20' -G
+//	curl 'localhost:8080/query?format=ndjson' --data-urlencode 'q=SELECT * ORDER BY dist(19.5,18.9,18.2,17.9,17.7) LIMIT 5' -G
 //	curl -d '{"points":[[18.2,17.9,17.7,17.6,17.5]],"k":5}' 'localhost:8080/knn'
 //	curl 'localhost:8080/photoz?mags=18.2,17.9,17.7,17.6,17.5'
 //	curl 'localhost:8080/stats'
@@ -260,7 +266,7 @@ func (s *server) handlePoints(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	recs, err := s.db.SampleRegion(view, n)
+	recs, _, err := s.db.SampleRegion(view, n)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -290,7 +296,7 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	recs, err := s.db.SampleRegion(view, n)
+	recs, _, err := s.db.SampleRegion(view, n)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -307,34 +313,91 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, viz.AsciiRenderer{W: 100, H: 32}.Render(g, view))
 }
 
-// handleQuery serves a WHERE-clause query through the cost-based
-// planner and reports how it was executed.
+// handleQuery serves colorsql queries through the streaming cursor
+// pipeline. Two input forms:
+//
+//	/query?q=SELECT+g,r+WHERE+g-r>0.4+ORDER+BY+r+LIMIT+20
+//	/query?where=g-r>0.4&limit=20        (legacy: SELECT * + limit)
+//
+// format=ndjson streams one JSON object per row with chunked
+// encoding — the first row is on the wire while the scan is still
+// running, and closing the connection cancels the scan via the
+// request context — followed by a final {"summary": ...} line.
+// The default JSON response collects the rows first but still
+// executes through the cursor, so a LIMIT bounds the pages read,
+// not just the rows encoded.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	where := r.URL.Query().Get("where")
-	if where == "" {
-		http.Error(w, "missing where parameter", http.StatusBadRequest)
+	src := r.URL.Query().Get("q")
+	legacy := false
+	if src == "" {
+		src = r.URL.Query().Get("where")
+		legacy = true
+	}
+	if src == "" {
+		http.Error(w, "missing q (full SELECT statement) or where (predicate) parameter", http.StatusBadRequest)
 		return
 	}
-	limit := 100
-	if ls := r.URL.Query().Get("limit"); ls != "" {
-		v, err := strconv.Atoi(ls)
-		if err != nil || v < 0 {
-			http.Error(w, fmt.Sprintf("bad limit %q", ls), http.StatusBadRequest)
-			return
-		}
-		limit = v
-	}
-	// Parse the query string up front — malformed input gets a 400,
-	// execution failures surface as 500 — and execute the union we
-	// parsed instead of parsing it a second time inside QueryWhere.
-	u, err := colorsql.Parse(where, colorsql.DefaultVars(), table.Dim)
+	stmt, err := colorsql.ParseStatement(src, colorsql.DefaultVars(), table.Dim)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	recs, rep, err := s.db.QueryUnion(u, core.PlanAuto)
+	if legacy {
+		// The where form has no LIMIT clause; the limit parameter (default
+		// 100) caps it, and is now pushed into the scan rather than
+		// applied after materializing every match.
+		limit := 100
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			v, err := strconv.Atoi(ls)
+			if err != nil || v < 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", ls), http.StatusBadRequest)
+				return
+			}
+			limit = v
+		}
+		stmt.Limit = limit
+	}
+
+	cur, err := s.db.ExecStatement(r.Context(), stmt, core.PlanAuto)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer cur.Close()
+
+	cols := stmt.OutputColumns()
+	if r.URL.Query().Get("format") == "ndjson" {
+		s.streamNDJSON(w, cur, cols)
+		return
+	}
+
+	rows := make([]json.RawMessage, 0, 64)
+	points := []pointJSON{}
+	var buf []byte
+	for cur.Next() {
+		rec := cur.Record()
+		buf = core.AppendRowJSON(buf[:0], cols, rec)
+		rows = append(rows, json.RawMessage(append([]byte(nil), buf...)))
+		if stmt.Star {
+			// Legacy pointJSON view for SELECT * responses, built
+			// straight from the record so values match the old endpoint
+			// bit for bit.
+			points = append(points, pointJSON{
+				X:        float64(rec.Mags[0]),
+				Y:        float64(rec.Mags[1]),
+				Z:        float64(rec.Mags[2]),
+				Class:    rec.Class.String(),
+				Redshift: rec.Redshift,
+			})
+		}
+	}
+	rep := cur.Stats()
+	if err := cur.Err(); err != nil {
+		status := http.StatusInternalServerError
+		if r.Context().Err() != nil {
+			status = http.StatusRequestTimeout
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	s.mu.Lock()
@@ -342,19 +405,6 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.returned += rep.RowsReturned
 	s.mu.Unlock()
 
-	if limit > len(recs) {
-		limit = len(recs)
-	}
-	out := make([]pointJSON, limit)
-	for i := 0; i < limit; i++ {
-		out[i] = pointJSON{
-			X:        float64(recs[i].Mags[0]),
-			Y:        float64(recs[i].Mags[1]),
-			Z:        float64(recs[i].Mags[2]),
-			Class:    recs[i].Class.String(),
-			Redshift: recs[i].Redshift,
-		}
-	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"plan":                 rep.Plan.String(),
@@ -363,8 +413,58 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		"rowsReturned":         rep.RowsReturned,
 		"rowsExamined":         rep.RowsExamined,
 		"diskReads":            rep.DiskReads,
-		"points":               out,
+		"rows":                 rows,
+		"points":               points,
 	})
+}
+
+// streamNDJSON writes one JSON object per row, flushing as it goes
+// so first-row latency is decoupled from result cardinality, then a
+// final summary line with the cursor's exact stats.
+func (s *server) streamNDJSON(w http.ResponseWriter, cur core.Cursor, cols []colorsql.Column) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	flusher, _ := w.(http.Flusher)
+	var buf []byte
+	n := 0
+	for cur.Next() {
+		buf = core.AppendRowJSON(buf[:0], cols, cur.Record())
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			// Client went away; the deferred Close cancels the scan.
+			return
+		}
+		n++
+		if flusher != nil && (n <= 16 || n%64 == 0) {
+			// Early rows flush individually (first-row latency); later
+			// ones in batches.
+			flusher.Flush()
+		}
+	}
+	rep := cur.Stats()
+	if err := cur.Err(); err != nil {
+		fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.requests++
+	s.returned += rep.RowsReturned
+	s.mu.Unlock()
+	summary, _ := json.Marshal(map[string]any{
+		"summary": map[string]any{
+			"plan":                 rep.Plan.String(),
+			"planReason":           rep.PlanReason,
+			"estimatedSelectivity": rep.EstimatedSelectivity,
+			"rowsReturned":         rep.RowsReturned,
+			"rowsExamined":         rep.RowsExamined,
+			"diskReads":            rep.DiskReads,
+			"cacheHits":            rep.CacheHits,
+		},
+	})
+	w.Write(append(summary, '\n'))
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // parseMags parses one "m1,m2,m3,m4,m5" magnitude vector.

@@ -13,6 +13,13 @@
 // made operational — then executes the winner over a concurrent
 // worker pool.
 //
+// Execution is streaming end to end: every path emits rows through
+// a Volcano-style pull cursor (core.Cursor) with exact per-cursor
+// page stats, colorsql parses full SELECT / WHERE / ORDER BY /
+// LIMIT statements with limit and projection pushdown, and a
+// context.Context threads from the HTTP handlers into the table
+// scans so a disconnected client stops page I/O mid-flight.
+//
 // The public entry point is internal/core.SpatialDB; see README.md
 // for the architecture, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured

@@ -52,7 +52,7 @@ func main() {
 	// (the paper demos 1K/10K/100K; two levels suffice on a terminal).
 	voronoiLevels := make([]*viz.VoronoiLevel, 0, 2)
 	for _, n := range []int{60, 600} {
-		sample, err := db.SampleRegion(dom3, n)
+		sample, _, err := db.SampleRegion(dom3, n)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -96,7 +96,7 @@ func TestEndToEndSystem(t *testing.T) {
 
 	// Adaptive sampling respects the box and the budget.
 	dom3 := vec.NewBox(db.Domain().Min[:3], db.Domain().Max[:3])
-	sample, err := db.SampleRegion(dom3, 500)
+	sample, _, err := db.SampleRegion(dom3, 500)
 	if err != nil {
 		t.Fatal(err)
 	}

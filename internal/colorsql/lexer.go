@@ -13,6 +13,15 @@
 // expanded to disjunctive normal form, so any query compiles into a
 // union of convex polyhedra — "in practice these can be broken down
 // into polyhedron queries" (§1).
+//
+// On top of the predicate fragment, ParseStatement accepts full
+// statements for the streaming execution pipeline:
+//
+//	SELECT <cols|*> [WHERE <pred>] [ORDER BY <expr|dist(...)> [ASC|DESC]] [LIMIT n]
+//
+// with projection over the magnitude columns plus objid / ra / dec /
+// redshift / class, linear or distance-to-point orderings, and row
+// limits (see statement.go).
 package colorsql
 
 import (
@@ -38,6 +47,7 @@ const (
 	tokGreater // > or >=
 	tokAnd
 	tokOr
+	tokComma
 )
 
 type token struct {
@@ -86,6 +96,9 @@ func lex(src string) ([]token, error) {
 			i++
 		case c == ')':
 			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
 			i++
 		case c == '<':
 			n := 1

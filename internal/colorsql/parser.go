@@ -60,12 +60,18 @@ func Parse(src string, vars map[string]int, dim int) (Union, error) {
 	if p.peek().kind != tokEOF {
 		return Union{}, fmt.Errorf("colorsql: trailing input at %v", p.peek())
 	}
+	return compileUnion(node), nil
+}
+
+// compileUnion expands the boolean tree to DNF and builds one convex
+// polyhedron per clause.
+func compileUnion(node *boolNode) Union {
 	dnf := node.toDNF()
 	u := Union{Polys: make([]vec.Polyhedron, len(dnf))}
 	for i, clause := range dnf {
 		u.Polys[i] = vec.NewPolyhedron(clause...)
 	}
-	return u, nil
+	return u
 }
 
 // MustParse is Parse panicking on error, for tests and fixed

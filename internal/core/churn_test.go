@@ -113,6 +113,12 @@ func TestEvictionChurnMatrix(t *testing.T) {
 					t.Errorf("plan %v: answers differ under churn (%d vs %d rows)", plan, len(got.poly[plan]), len(wrecs))
 				}
 			}
+			for i, wrecs := range want.stmts {
+				if !reflect.DeepEqual(wrecs, got.stmts[i]) {
+					t.Errorf("statement %q: cursor answers differ under churn (%d vs %d rows)",
+						stmtQueries[i], len(got.stmts[i]), len(wrecs))
+				}
+			}
 			if !reflect.DeepEqual(want.knn, got.knn) {
 				t.Error("kNN answers differ under churn")
 			}
@@ -174,7 +180,7 @@ func TestEvictionChurnMatrix(t *testing.T) {
 				defer wg.Done()
 				view := vec.NewBox(vec.Point{14, 14, 14}, vec.Point{24, 24, 24})
 				for i := 0; i < 5; i++ {
-					recs, err := re.SampleRegion(view, 200)
+					recs, _, err := re.SampleRegion(view, 200)
 					if err != nil {
 						errs <- err.Error()
 						return

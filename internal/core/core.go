@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -31,7 +32,6 @@ import (
 	"repro/internal/kdtree"
 	"repro/internal/knn"
 	"repro/internal/outlier"
-	"repro/internal/pagestore"
 	"repro/internal/parallel"
 	"repro/internal/photoz"
 	"repro/internal/planner"
@@ -70,6 +70,9 @@ const (
 	PlanFullScan
 	PlanKdTree
 	PlanVoronoi
+	// PlanGrid is reported by grid-served sampling queries
+	// (SampleRegion); it is not selectable for polyhedron retrieval.
+	PlanGrid
 )
 
 // String names the plan.
@@ -83,6 +86,8 @@ func (p Plan) String() string {
 		return "kdtree"
 	case PlanVoronoi:
 		return "voronoi"
+	case PlanGrid:
+		return "grid"
 	}
 	return fmt.Sprintf("Plan(%d)", int(p))
 }
@@ -408,41 +413,17 @@ func (db *SpatialDB) QueryWhere(where string, plan Plan) ([]table.Record, Report
 // (vizserver validates queries before accepting them) pass the union
 // here instead of paying a second parse through QueryWhere.
 //
-// The Report describes the union: row and page counters sum over
-// clauses, EstimatedSelectivity is the clamped sum of per-clause
-// estimates (an upper bound ignoring overlap), Plan is the last
-// clause's plan, and PlanReason joins the per-clause reasons.
+// It is a collect-all wrapper over QueryUnionCursor. The Report
+// describes the union: row and page counters sum over clauses,
+// EstimatedSelectivity is the clamped sum of per-clause estimates
+// (an upper bound ignoring overlap), Plan is the last clause's plan,
+// and PlanReason joins the per-clause reasons.
 func (db *SpatialDB) QueryUnion(u colorsql.Union, plan Plan) ([]table.Record, Report, error) {
-	seen := make(map[int64]bool)
-	var out []table.Record
-	var total Report
-	for _, poly := range u.Polys {
-		recs, rep, err := db.QueryPolyhedron(poly, plan)
-		if err != nil {
-			return nil, total, err
-		}
-		total.Plan = rep.Plan
-		total.EstimatedSelectivity += rep.EstimatedSelectivity
-		if total.EstimatedSelectivity > 1 {
-			total.EstimatedSelectivity = 1
-		}
-		if total.PlanReason == "" {
-			total.PlanReason = rep.PlanReason
-		} else if rep.PlanReason != "" {
-			total.PlanReason += " | " + rep.PlanReason
-		}
-		total.RowsExamined += rep.RowsExamined
-		total.DiskReads += rep.DiskReads
-		total.CacheHits += rep.CacheHits
-		for i := range recs {
-			if !seen[recs[i].ObjID] {
-				seen[recs[i].ObjID] = true
-				out = append(out, recs[i])
-			}
-		}
+	cur, err := db.QueryUnionCursor(context.Background(), u, plan)
+	if err != nil {
+		return nil, Report{}, err
 	}
-	total.RowsReturned = int64(len(out))
-	return out, total, nil
+	return Collect(cur)
 }
 
 // Planner returns a cost-based planner over the currently built
@@ -464,86 +445,25 @@ func (db *SpatialDB) Planner() (*planner.Planner, error) {
 }
 
 // QueryPolyhedron executes one convex polyhedron query under the
-// chosen plan and returns the matching records. PlanAuto consults
-// the cost-based planner; every path runs through the concurrent
-// executor sized by Config.Workers.
+// chosen plan and returns the matching records — a collect-all
+// wrapper over QueryPolyhedronCursor. PlanAuto consults the
+// cost-based planner; every path streams through the executor's
+// exchange sized by Config.Workers, emitting records in a single
+// pass over the candidate ranges (the old materialize-by-rowid
+// second sweep is gone).
 func (db *SpatialDB) QueryPolyhedron(q vec.Polyhedron, plan Plan) ([]table.Record, Report, error) {
-	pl, err := db.Planner()
+	cur, err := db.QueryPolyhedronCursor(context.Background(), q, plan)
 	if err != nil {
 		return nil, Report{}, err
 	}
-	catalog, kd, kdTable, vor := pl.Catalog, pl.Kd, pl.KdTable, pl.Vor
-	resolved := plan
-	var est float64
-	var why string
-	var choice *planner.Choice
-	if plan == PlanAuto {
-		ch := pl.Plan(q)
-		choice = &ch
-		est, why = ch.Est.Selectivity, ch.Reason
-		switch ch.Path {
-		case planner.PathKdTree:
-			resolved = PlanKdTree
-		case planner.PathVoronoi:
-			resolved = PlanVoronoi
-		default:
-			resolved = PlanFullScan
-		}
+	recs, rep, err := Collect(cur)
+	if err != nil {
+		return nil, Report{}, err
 	}
-	report := func(plan Plan, returned, examined int64, pages pagestore.Stats) Report {
-		return Report{
-			Plan:                 plan,
-			RowsReturned:         returned,
-			RowsExamined:         examined,
-			DiskReads:            pages.DiskReads,
-			CacheHits:            pages.Hits,
-			EstimatedSelectivity: est,
-			PlanReason:           why,
-		}
+	if recs == nil {
+		recs = []table.Record{}
 	}
-	switch resolved {
-	case PlanKdTree:
-		if kd == nil {
-			return nil, Report{}, fmt.Errorf("core: kd-tree index not built")
-		}
-		var ids []table.RowID
-		var stats kdtree.QueryStats
-		var err error
-		if choice != nil && choice.KdRanges != nil {
-			// Reuse the classification the planner already ran.
-			ids, stats, err = db.exec.KdQueryRanges(kdTable, q, choice.KdRanges, choice.KdWalk)
-		} else {
-			ids, stats, err = db.exec.KdQuery(kd, kdTable, q)
-		}
-		if err != nil {
-			return nil, Report{}, err
-		}
-		recs, err := materialize(kdTable, ids)
-		return recs, report(PlanKdTree, stats.RowsReturned, stats.RowsExamined, stats.Pages), err
-	case PlanVoronoi:
-		if vor == nil {
-			return nil, Report{}, fmt.Errorf("core: voronoi index not built")
-		}
-		ids, stats, err := db.exec.VoronoiQuery(vor, q)
-		if err != nil {
-			return nil, Report{}, err
-		}
-		recs, err := materialize(vor.Table(), ids)
-		return recs, report(PlanVoronoi, stats.RowsReturned, stats.RowsExamined, stats.Pages), err
-	case PlanFullScan:
-		ids, stats, err := db.exec.FullScan(catalog, q)
-		if err != nil {
-			return nil, Report{}, err
-		}
-		// Materializing a full scan's matches is a second one-pass
-		// sweep over (at worst) every catalog page: scan-class, like
-		// the scan itself, so an unselective query cannot flush the
-		// pool's hot set on its way out.
-		recs, err := materialize(catalog.ScanClassed(), ids)
-		return recs, report(PlanFullScan, stats.RowsReturned, stats.RowsExamined, stats.Pages), err
-	default:
-		return nil, Report{}, fmt.Errorf("core: unknown plan %v", plan)
-	}
+	return recs, rep, nil
 }
 
 // knnPlan prices the kNN query and snapshots the structures it
@@ -662,16 +582,27 @@ func (db *SpatialDB) bruteForceBatch(catalog *table.Table, ps []vec.Point, k int
 
 // SampleRegion returns at least n points of the catalog whose first
 // three magnitudes fall in the 3-D view box, following the
-// underlying distribution (§3.1).
-func (db *SpatialDB) SampleRegion(view vec.Box, n int) ([]table.Record, error) {
+// underlying distribution (§3.1). The Report carries the sample's
+// exact cost under its own accounting scope — the same visibility
+// every other query path has.
+func (db *SpatialDB) SampleRegion(view vec.Box, n int) ([]table.Record, Report, error) {
 	db.mu.RLock()
 	g := db.grid
 	db.mu.RUnlock()
 	if g == nil {
-		return nil, fmt.Errorf("core: grid index not built")
+		return nil, Report{}, fmt.Errorf("core: grid index not built")
 	}
-	recs, _, err := g.Sample(view, n)
-	return recs, err
+	recs, st, err := g.Sample(view, n)
+	rep := Report{
+		Plan:         PlanGrid,
+		RowsReturned: int64(st.Returned),
+		RowsExamined: st.RowsExamined,
+		DiskReads:    st.Pages.DiskReads,
+		CacheHits:    st.Pages.Hits,
+		PlanReason: fmt.Sprintf("grid sample: %d layers, %d cells scanned",
+			st.LayersUsed, st.CellsScanned),
+	}
+	return recs, rep, err
 }
 
 // FindSimilar implements the §2.2 "convex hull around the training
@@ -776,7 +707,8 @@ func (db *SpatialDB) registerProcs() {
 		if !ok {
 			return nil, fmt.Errorf("SampleRegion: want int, got %T", args[1])
 		}
-		return db.SampleRegion(view, n)
+		recs, _, err := db.SampleRegion(view, n)
+		return recs, err
 	}))
 	must(db.eng.RegisterProc("EstimateRedshift", func(args ...any) (any, error) {
 		if len(args) != 1 {

@@ -62,7 +62,7 @@ func TestEmptyDBErrors(t *testing.T) {
 	if _, _, err := db.NearestNeighbors(vec.Point{1, 2, 3, 4, 5}, 3); err == nil {
 		t.Error("kNN without index should fail")
 	}
-	if _, err := db.SampleRegion(vec.UnitBox(3), 5); err == nil {
+	if _, _, err := db.SampleRegion(vec.UnitBox(3), 5); err == nil {
 		t.Error("sample without grid should fail")
 	}
 	if _, err := db.EstimateRedshift(vec.Point{1, 2, 3, 4, 5}); err == nil {
@@ -200,7 +200,7 @@ func TestConcurrentQueries(t *testing.T) {
 					errs <- err
 					return
 				}
-				if _, err := db.SampleRegion(dom3, 50); err != nil {
+				if _, _, err := db.SampleRegion(dom3, 50); err != nil {
 					errs <- err
 					return
 				}
@@ -274,13 +274,67 @@ func TestSampleRegionThroughFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	dom3 := vec.NewBox(db.Domain().Min[:3], db.Domain().Max[:3])
-	recs, err := db.SampleRegion(dom3, 300)
+	recs, rep, err := db.SampleRegion(dom3, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(recs) < 300 {
 		t.Errorf("sampled %d points", len(recs))
 	}
+	// The sampling path reports its cost like every other query path.
+	if rep.Plan != PlanGrid || rep.RowsReturned != int64(len(recs)) ||
+		rep.RowsExamined < rep.RowsReturned || rep.PlanReason == "" {
+		t.Errorf("sample report not populated: %+v", rep)
+	}
+	if rep.DiskReads+rep.CacheHits == 0 {
+		t.Error("sample report shows zero page accesses")
+	}
+}
+
+// TestSampleRegionScopedStats pins the accounting fix: a sample's
+// reported pages are its own, not a diff of store-global counters
+// that concurrent queries also move.
+func TestSampleRegionScopedStats(t *testing.T) {
+	db := openDB(t, 5000)
+	if err := db.BuildGridIndex(256, 7); err != nil {
+		t.Fatal(err)
+	}
+	dom3 := vec.NewBox(db.Domain().Min[:3], db.Domain().Max[:3])
+	_, ref, err := db.SampleRegion(dom3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the store from concurrent samplers; the measured sample's
+	// report must not absorb their page traffic.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := db.SampleRegion(dom3, 200); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		_, rep, err := db.SampleRegion(dom3, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := rep.DiskReads+rep.CacheHits, ref.DiskReads+ref.CacheHits; got != want {
+			t.Fatalf("concurrent sample reported %d pages, isolated run %d: scope leaked", got, want)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestPhotoZThroughFacade(t *testing.T) {

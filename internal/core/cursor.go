@@ -1,0 +1,592 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/colorsql"
+	"repro/internal/kdtree"
+	"repro/internal/pagestore"
+	"repro/internal/planner"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// Cursor is the streaming face of every query path: a Volcano-style
+// pull iterator whose Stats are exact for this cursor alone —
+// whatever pages the cursor's scan actually touched, under its own
+// accounting scope, even when it was closed early. The eager
+// QueryWhere/QueryUnion/QueryPolyhedron APIs are collect-all
+// wrappers over cursors.
+//
+// A Cursor is single-goroutine. Close is idempotent, stops any
+// in-flight page I/O, and must be called unless Next already
+// returned false after a full drain (calling it then is still
+// safe). Record returns a buffer that may be reused by the next
+// Next; copy to retain.
+type Cursor interface {
+	Next() bool
+	Record() *table.Record
+	Err() error
+	Close() error
+	Stats() Report
+}
+
+// Collect drains the cursor into a slice — the bridge from the
+// streaming API back to the eager one. The returned Report is the
+// cursor's final stats.
+func Collect(c Cursor) ([]table.Record, Report, error) {
+	var out []table.Record
+	for c.Next() {
+		out = append(out, *c.Record())
+	}
+	// Close before reading Stats: on a failed parallel stream the
+	// workers keep moving the scope counters until Close reaps them.
+	c.Close()
+	if err := c.Err(); err != nil {
+		return nil, c.Stats(), err
+	}
+	return out, c.Stats(), nil
+}
+
+// cursorOpts configures cursor construction.
+type cursorOpts struct {
+	// cols are the columns decoded into emitted records (filter and
+	// order requirements are OR-ed in by the layers that need them).
+	cols table.ColumnSet
+	// stopAfter >= 0 pushes a row bound into the scan itself: the
+	// stream runs serially and stops reading pages at the one holding
+	// the last emitted row. -1 means unbounded.
+	stopAfter int64
+}
+
+// polyCursor streams one convex polyhedron query: an executor
+// RowStream over the chosen access path's candidate ranges, plus the
+// per-cursor accounting scope and the planner's verdict.
+type polyCursor struct {
+	stream  *planner.RowStream
+	scope   *pagestore.Scope
+	base    Report
+	emitted int64
+}
+
+func (c *polyCursor) Next() bool {
+	if c.stream.Next() {
+		c.emitted++
+		return true
+	}
+	return false
+}
+
+func (c *polyCursor) Record() *table.Record { return c.stream.Record() }
+func (c *polyCursor) Err() error            { return c.stream.Err() }
+
+func (c *polyCursor) Close() error {
+	c.stream.Close()
+	return nil
+}
+
+func (c *polyCursor) Stats() Report {
+	r := c.base
+	r.RowsReturned = c.emitted
+	r.RowsExamined = c.stream.RowsExamined()
+	st := c.scope.Stats()
+	r.DiskReads = st.DiskReads
+	r.CacheHits = st.Hits
+	return r
+}
+
+// polyhedronCursor builds the streaming plan for one convex
+// polyhedron: resolve the access path (PlanAuto consults the
+// cost-based planner, reusing its kd classification), collect the
+// candidate ranges without table I/O, and open a RowStream over them
+// under a fresh accounting scope.
+func (db *SpatialDB) polyhedronCursor(ctx context.Context, q vec.Polyhedron, plan Plan, opts cursorOpts) (*polyCursor, error) {
+	pl, err := db.Planner()
+	if err != nil {
+		return nil, err
+	}
+	catalog, kd, kdTable, vor := pl.Catalog, pl.Kd, pl.KdTable, pl.Vor
+	resolved := plan
+	var est float64
+	var why string
+	var choice *planner.Choice
+	if plan == PlanAuto {
+		ch := pl.Plan(q)
+		choice = &ch
+		est, why = ch.Est.Selectivity, ch.Reason
+		switch ch.Path {
+		case planner.PathKdTree:
+			resolved = PlanKdTree
+		case planner.PathVoronoi:
+			resolved = PlanVoronoi
+		default:
+			resolved = PlanFullScan
+		}
+	}
+
+	var tb *table.Table
+	var tasks []planner.ScanTask
+	scope := db.eng.Store().Scoped()
+	switch resolved {
+	case PlanKdTree:
+		if kd == nil {
+			return nil, fmt.Errorf("core: kd-tree index not built")
+		}
+		var ranges []kdtree.Range
+		if choice != nil && choice.KdRanges != nil {
+			// Reuse the classification the planner already ran.
+			ranges = choice.KdRanges
+		} else {
+			ranges, _ = kd.CollectRanges(q, kdtree.PruneTightBounds)
+		}
+		tasks = make([]planner.ScanTask, len(ranges))
+		for i, r := range ranges {
+			tasks[i] = planner.ScanTask{Lo: r.Lo, Hi: r.Hi, Filter: r.Filter}
+		}
+		tb = kdTable.Scoped(scope)
+	case PlanVoronoi:
+		if vor == nil {
+			return nil, fmt.Errorf("core: voronoi index not built")
+		}
+		ranges, _ := vor.CollectRanges(q)
+		tasks = make([]planner.ScanTask, len(ranges))
+		for i, r := range ranges {
+			tasks[i] = planner.ScanTask{Lo: r.Lo, Hi: r.Hi, Filter: r.Filter}
+		}
+		tb = vor.Table().Scoped(scope)
+	case PlanFullScan:
+		rows := table.RowID(catalog.NumRows())
+		if opts.stopAfter >= 0 {
+			// The serial fast path walks one contiguous range and stops
+			// exactly at the n-th match; chunking would buy nothing.
+			tasks = []planner.ScanTask{{Lo: 0, Hi: rows, Filter: true}}
+		} else {
+			tasks = db.exec.FullScanTasks(rows)
+		}
+		// Scan-class, like the eager full scan: an unselective stream
+		// must not flush the pool's hot set.
+		tb = catalog.Scoped(scope).ScanClassed()
+	default:
+		return nil, fmt.Errorf("core: unknown plan %v", plan)
+	}
+	stream := db.exec.Stream(tb, q, tasks, planner.StreamOpts{
+		Ctx:       ctx,
+		Cols:      opts.cols,
+		StopAfter: opts.stopAfter,
+	})
+	return &polyCursor{
+		stream: stream,
+		scope:  scope,
+		base:   Report{Plan: resolved, EstimatedSelectivity: est, PlanReason: why},
+	}, nil
+}
+
+// unionCursor streams a DNF union clause by clause, deduplicating by
+// object identity exactly like the eager QueryUnion: a row is
+// emitted the first time its ObjID appears. Clause cursors are built
+// lazily, so an early Close never plans or scans the remaining
+// clauses.
+type unionCursor struct {
+	db    *SpatialDB
+	ctx   context.Context
+	polys []vec.Polyhedron
+	plan  Plan
+	opts  cursorOpts
+
+	idx     int
+	cur     *polyCursor
+	seen    map[int64]bool
+	agg     Report
+	emitted int64
+	err     error
+	closed  bool
+}
+
+func (db *SpatialDB) newUnionCursor(ctx context.Context, polys []vec.Polyhedron, plan Plan, opts cursorOpts) *unionCursor {
+	// Dedup needs the object identity decoded whatever the
+	// projection asked for.
+	opts.cols |= table.ColObjID
+	return &unionCursor{
+		db: db, ctx: ctx, polys: polys, plan: plan, opts: opts,
+		seen: make(map[int64]bool),
+	}
+}
+
+func (c *unionCursor) Next() bool {
+	if c.closed || c.err != nil {
+		return false
+	}
+	for {
+		if c.cur == nil {
+			if c.idx >= len(c.polys) {
+				return false
+			}
+			cur, err := c.db.polyhedronCursor(c.ctx, c.polys[c.idx], c.plan, c.opts)
+			if err != nil {
+				c.err = err
+				return false
+			}
+			c.idx++
+			c.cur = cur
+		}
+		for c.cur.Next() {
+			rec := c.cur.Record()
+			if c.seen[rec.ObjID] {
+				continue
+			}
+			c.seen[rec.ObjID] = true
+			c.emitted++
+			return true
+		}
+		if err := c.cur.Err(); err != nil {
+			c.err = err
+			c.foldCurrent()
+			return false
+		}
+		c.foldCurrent()
+	}
+}
+
+// foldCurrent closes the current clause cursor and merges its final
+// stats into the union aggregate (legacy QueryUnion semantics).
+// Close-before-Stats matters: an early-terminated parallel stream
+// still has workers moving the scope counters until Close reaps
+// them, and the cursor contract keeps Stats readable after Close.
+func (c *unionCursor) foldCurrent() {
+	c.cur.Close()
+	mergeReport(&c.agg, c.cur.Stats())
+	c.cur = nil
+}
+
+func (c *unionCursor) Record() *table.Record {
+	if c.cur == nil {
+		return nil
+	}
+	return c.cur.Record()
+}
+
+func (c *unionCursor) Err() error { return c.err }
+
+func (c *unionCursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.cur != nil {
+		c.foldCurrent()
+	}
+	return nil
+}
+
+func (c *unionCursor) Stats() Report {
+	r := c.agg
+	if c.cur != nil {
+		mergeReport(&r, c.cur.Stats())
+	}
+	r.RowsReturned = c.emitted
+	return r
+}
+
+// mergeReport folds one clause report into a union total: row and
+// page counters sum, EstimatedSelectivity is the clamped sum (an
+// upper bound ignoring overlap), Plan is the last clause's, and
+// PlanReason joins the per-clause reasons.
+func mergeReport(total *Report, rep Report) {
+	total.Plan = rep.Plan
+	total.EstimatedSelectivity += rep.EstimatedSelectivity
+	if total.EstimatedSelectivity > 1 {
+		total.EstimatedSelectivity = 1
+	}
+	if total.PlanReason == "" {
+		total.PlanReason = rep.PlanReason
+	} else if rep.PlanReason != "" {
+		total.PlanReason += " | " + rep.PlanReason
+	}
+	total.RowsExamined += rep.RowsExamined
+	total.DiskReads += rep.DiskReads
+	total.CacheHits += rep.CacheHits
+	total.LeavesExamined += rep.LeavesExamined
+	total.FitFallbacks += rep.FitFallbacks
+}
+
+// limitCursor truncates its child after n rows, closing it as soon
+// as the bound is reached so any remaining page I/O stops. When the
+// bound was also pushed into the scan (convex fast path) the child
+// simply runs dry first and the wrapper never truncates.
+type limitCursor struct {
+	child   Cursor
+	n       int64
+	emitted int64
+	done    bool
+	final   Report
+}
+
+func (c *limitCursor) finish() {
+	if !c.done {
+		c.done = true
+		// Close first: a truncated parallel scan's workers keep moving
+		// the scope counters until Close reaps them, and Stats must be
+		// exact and final.
+		c.child.Close()
+		c.final = c.child.Stats()
+		c.final.RowsReturned = c.emitted
+	}
+}
+
+func (c *limitCursor) Next() bool {
+	if c.done {
+		return false
+	}
+	if c.emitted >= c.n || !c.child.Next() {
+		c.finish()
+		return false
+	}
+	c.emitted++
+	return true
+}
+
+func (c *limitCursor) Record() *table.Record { return c.child.Record() }
+func (c *limitCursor) Err() error            { return c.child.Err() }
+
+func (c *limitCursor) Close() error {
+	c.finish()
+	return nil
+}
+
+func (c *limitCursor) Stats() Report {
+	if c.done {
+		return c.final
+	}
+	r := c.child.Stats()
+	r.RowsReturned = c.emitted
+	return r
+}
+
+// topkItem carries the ordering key plus the arrival sequence that
+// breaks ties, making the output deterministic across worker counts.
+type topkItem struct {
+	key float64
+	seq int64
+	rec table.Record
+}
+
+// topkCursor implements ORDER BY: it drains its child on the first
+// Next, keeping either everything (no LIMIT: sort-all) or a bounded
+// heap of the best k rows (LIMIT k: top-k, O(k) memory however many
+// rows match), then emits in order. The scan cost is unavoidable —
+// an ordering must see every matching row — but the memory bound is
+// not, which is the point of pushing LIMIT beneath the sort.
+type topkCursor struct {
+	child Cursor
+	key   func(*table.Record) float64
+	desc  bool
+	limit int // -1 = keep everything
+
+	drained bool
+	items   []topkItem
+	pos     int
+	started bool
+	final   Report
+	err     error
+}
+
+func newTopKCursor(child Cursor, key func(*table.Record) float64, desc bool, limit int) *topkCursor {
+	return &topkCursor{child: child, key: key, desc: desc, limit: limit}
+}
+
+// worse reports whether a ranks after b in the output order.
+func (c *topkCursor) worse(a, b *topkItem) bool {
+	if a.key != b.key {
+		if c.desc {
+			return a.key < b.key
+		}
+		return a.key > b.key
+	}
+	return a.seq > b.seq
+}
+
+// topkHeap orders the kept set worst-first so the root is the
+// eviction candidate.
+type topkHeap struct {
+	c     *topkCursor
+	items []topkItem
+}
+
+func (h *topkHeap) Len() int           { return len(h.items) }
+func (h *topkHeap) Less(i, j int) bool { return h.c.worse(&h.items[i], &h.items[j]) }
+func (h *topkHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *topkHeap) Push(x any)         { h.items = append(h.items, x.(topkItem)) }
+func (h *topkHeap) Pop() any           { n := len(h.items); x := h.items[n-1]; h.items = h.items[:n-1]; return x }
+
+func (c *topkCursor) drain() {
+	c.drained = true
+	defer func() {
+		// Close before Stats: on the error/cancellation path the
+		// child's workers may still be live until Close reaps them.
+		c.child.Close()
+		c.final = c.child.Stats()
+	}()
+	var seq int64
+	if c.limit < 0 {
+		for c.child.Next() {
+			rec := c.child.Record()
+			c.items = append(c.items, topkItem{key: c.key(rec), seq: seq, rec: *rec})
+			seq++
+		}
+	} else {
+		h := &topkHeap{c: c}
+		for c.child.Next() {
+			rec := c.child.Record()
+			it := topkItem{key: c.key(rec), seq: seq, rec: *rec}
+			seq++
+			if len(h.items) < c.limit {
+				heap.Push(h, it)
+			} else if c.worse(&h.items[0], &it) {
+				h.items[0] = it
+				heap.Fix(h, 0)
+			}
+		}
+		c.items = h.items
+	}
+	if err := c.child.Err(); err != nil {
+		c.err = err
+		c.items = nil
+		return
+	}
+	sort.Slice(c.items, func(i, j int) bool { return c.worse(&c.items[j], &c.items[i]) })
+}
+
+func (c *topkCursor) Next() bool {
+	if !c.started {
+		c.started = true
+		c.drain()
+	}
+	if c.err != nil || c.pos >= len(c.items) {
+		return false
+	}
+	c.pos++
+	return true
+}
+
+func (c *topkCursor) Record() *table.Record {
+	if c.pos == 0 || c.pos > len(c.items) {
+		return nil
+	}
+	return &c.items[c.pos-1].rec
+}
+
+func (c *topkCursor) Err() error { return c.err }
+
+func (c *topkCursor) Close() error {
+	if !c.started {
+		// Never pulled: release the child before reading its final
+		// stats (its prefetch may already have started).
+		c.started, c.drained = true, true
+		c.child.Close()
+		c.final = c.child.Stats()
+	}
+	return nil
+}
+
+func (c *topkCursor) Stats() Report {
+	if !c.drained {
+		return c.child.Stats()
+	}
+	r := c.final
+	r.RowsReturned = int64(c.pos)
+	return r
+}
+
+// sliceCursor serves pre-materialized rows (the kNN reuse path and
+// the LIMIT 0 short-circuit) through the Cursor interface.
+type sliceCursor struct {
+	recs []table.Record
+	rep  Report
+	pos  int
+}
+
+func (c *sliceCursor) Next() bool {
+	if c.pos >= len(c.recs) {
+		return false
+	}
+	c.pos++
+	return true
+}
+
+func (c *sliceCursor) Record() *table.Record {
+	if c.pos == 0 || c.pos > len(c.recs) {
+		return nil
+	}
+	return &c.recs[c.pos-1]
+}
+
+func (c *sliceCursor) Err() error   { return nil }
+func (c *sliceCursor) Close() error { return nil }
+
+func (c *sliceCursor) Stats() Report {
+	r := c.rep
+	r.RowsReturned = int64(c.pos)
+	return r
+}
+
+// fullCatalogCursor streams the whole catalog in physical order with
+// no predicate — the WHERE-less statement path.
+func (db *SpatialDB) fullCatalogCursor(ctx context.Context, opts cursorOpts) (*polyCursor, error) {
+	db.mu.RLock()
+	catalog := db.catalog
+	db.mu.RUnlock()
+	if catalog == nil {
+		return nil, fmt.Errorf("core: no catalog loaded")
+	}
+	scope := db.eng.Store().Scoped()
+	rows := table.RowID(catalog.NumRows())
+	var tasks []planner.ScanTask
+	if opts.stopAfter >= 0 {
+		tasks = []planner.ScanTask{{Lo: 0, Hi: rows}}
+	} else {
+		tasks = db.exec.FullScanTasks(rows)
+		for i := range tasks {
+			tasks[i].Filter = false
+		}
+	}
+	stream := db.exec.Stream(catalog.Scoped(scope).ScanClassed(), vec.Polyhedron{}, tasks, planner.StreamOpts{
+		Ctx:       ctx,
+		Cols:      opts.cols,
+		StopAfter: opts.stopAfter,
+	})
+	return &polyCursor{
+		stream: stream,
+		scope:  scope,
+		base: Report{
+			Plan:                 PlanFullScan,
+			EstimatedSelectivity: 1,
+			PlanReason:           "no predicate: sequential catalog scan",
+		},
+	}, nil
+}
+
+// columnSet maps a statement's projection onto the table's partial
+// decode bitmask.
+func columnSet(cols []colorsql.Column) table.ColumnSet {
+	var s table.ColumnSet
+	for _, c := range cols {
+		switch c.Kind {
+		case colorsql.ColMag:
+			s |= table.ColMags
+		case colorsql.ColObjID:
+			s |= table.ColObjID
+		case colorsql.ColRa:
+			s |= table.ColRa
+		case colorsql.ColDec:
+			s |= table.ColDec
+		case colorsql.ColRedshift:
+			s |= table.ColRedshift
+		case colorsql.ColClass:
+			s |= table.ColClass
+		}
+	}
+	return s
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/colorsql"
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+func mustStatement(t *testing.T, src string) colorsql.Statement {
+	t.Helper()
+	stmt, err := colorsql.ParseStatement(src, colorsql.DefaultVars(), table.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+func collectStatement(t *testing.T, db *SpatialDB, src string, plan Plan) ([]table.Record, Report) {
+	t.Helper()
+	cur, err := db.ExecStatement(context.Background(), mustStatement(t, src), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, rep, err := Collect(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, rep
+}
+
+// TestStatementMatchesLegacyAcrossWorkers pins the statement
+// pipeline to the legacy slice API, serial and parallel: SELECT *
+// over a predicate must reproduce QueryWhere byte-for-byte at every
+// worker count, for every plan.
+func TestStatementMatchesLegacyAcrossWorkers(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		db, err := Open(Config{Dir: t.TempDir(), Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if err := db.IngestSynthetic(sky.DefaultParams(4000, 42)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.BuildKdIndex(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.BuildVoronoiIndex(60, 7); err != nil {
+			t.Fatal(err)
+		}
+		const where = "g - r > 0.3 AND r < 20 OR r < 15"
+		for _, plan := range []Plan{PlanFullScan, PlanKdTree, PlanVoronoi, PlanAuto} {
+			want, wantRep, err := db.QueryWhere(where, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotRep := collectStatement(t, db, where, plan)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("workers=%d plan=%v: statement rows diverge from QueryWhere (%d vs %d)",
+					workers, plan, len(got), len(want))
+			}
+			if wantRep.RowsReturned != gotRep.RowsReturned || wantRep.Plan != gotRep.Plan {
+				t.Errorf("workers=%d plan=%v: reports differ: %+v vs %+v", workers, plan, gotRep, wantRep)
+			}
+		}
+	}
+}
+
+// TestLimitPushdownBoundsPages is the acceptance criterion: a LIMIT
+// k query over a selection matching M >> k rows must read strictly
+// fewer pages than the unlimited query, proven with the cursor's
+// exact per-cursor stats — at a RAM-sized pool and at a starved one.
+func TestLimitPushdownBoundsPages(t *testing.T) {
+	dir := t.TempDir()
+	db := buildFullDB(t, dir, 8000)
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	var totalPages int64
+	for _, pages := range db.Engine().Store().ManifestFiles() {
+		totalPages += int64(pages)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A broad cut: most of the catalog matches.
+	const where = "r < 24"
+	pools := []struct {
+		name  string
+		pages int
+	}{
+		{"ram", 0}, // default: whole database resident
+		{"10pct", int(totalPages / 10)},
+	}
+	for _, pool := range pools {
+		t.Run(pool.name, func(t *testing.T) {
+			db, err := OpenExisting(Config{Dir: dir, PoolPages: pool.pages})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			unlimited, unRep := collectStatement(t, db, "SELECT * WHERE "+where, PlanAuto)
+			limited, liRep := collectStatement(t, db, "SELECT * WHERE "+where+" LIMIT 5", PlanAuto)
+			if len(limited) != 5 || len(unlimited) < 100 {
+				t.Fatalf("limited %d rows, unlimited %d: the selection does not dominate the limit",
+					len(limited), len(unlimited))
+			}
+			if !reflect.DeepEqual(limited, unlimited[:5]) {
+				t.Error("limited rows are not the prefix of the unlimited result")
+			}
+			unPages := unRep.DiskReads + unRep.CacheHits
+			liPages := liRep.DiskReads + liRep.CacheHits
+			if liPages >= unPages {
+				t.Errorf("LIMIT 5 read %d pages, unlimited read %d: limit did not bound pages", liPages, unPages)
+			}
+			// The pushed-down scan stops at the page holding the 5th
+			// match; on a broad cut that is the first page or two.
+			if liPages > 2 {
+				t.Errorf("LIMIT 5 on a broad cut read %d pages, want <= 2", liPages)
+			}
+			if liRep.RowsExamined >= unRep.RowsExamined {
+				t.Errorf("LIMIT 5 examined %d rows, unlimited %d", liRep.RowsExamined, unRep.RowsExamined)
+			}
+		})
+	}
+}
+
+// TestStatementLimitZero: LIMIT 0 is valid, returns nothing, and
+// touches no pages at all.
+func TestStatementLimitZero(t *testing.T) {
+	db := openDB(t, 2000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	recs, rep := collectStatement(t, db, "SELECT * WHERE r < 24 LIMIT 0", PlanAuto)
+	if len(recs) != 0 || rep.RowsReturned != 0 {
+		t.Errorf("LIMIT 0 returned %d rows", len(recs))
+	}
+	if rep.DiskReads+rep.CacheHits != 0 || rep.RowsExamined != 0 {
+		t.Errorf("LIMIT 0 touched pages: %+v", rep)
+	}
+}
+
+// TestCursorCancellationStopsPageIO: cancelling the context after a
+// few rows must stop the scan's page reads mid-flight, and the
+// cursor's exact stats prove how much work was actually done.
+func TestCursorCancellationStopsPageIO(t *testing.T) {
+	db := openDB(t, 20000)
+	_, full, err := db.QueryWhere("r < 30", PlanFullScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullPages := full.DiskReads + full.CacheHits
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cur, err := db.ExecStatement(ctx, mustStatement(t, "SELECT * WHERE r < 30"), PlanFullScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for i := 0; i < 3; i++ {
+		if !cur.Next() {
+			t.Fatalf("cursor dry after %d rows: %v", i, cur.Err())
+		}
+	}
+	cancel()
+	for cur.Next() {
+	}
+	if cur.Err() == nil {
+		t.Fatal("cancelled cursor reports no error")
+	}
+	got := cur.Stats()
+	if pages := got.DiskReads + got.CacheHits; pages >= fullPages/2 {
+		t.Errorf("cancelled scan still touched %d of %d pages", pages, fullPages)
+	}
+}
+
+// TestTopKMatchesSortAll: ORDER BY + LIMIT through the bounded heap
+// must equal sorting the full result and truncating.
+func TestTopKMatchesSortAll(t *testing.T) {
+	db := openDB(t, 4000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	const where = "g - r > 0.2 AND r < 21"
+	all, _ := collectStatement(t, db, "SELECT * WHERE "+where+" ORDER BY g - r", PlanAuto)
+	if len(all) < 100 {
+		t.Fatalf("only %d rows matched", len(all))
+	}
+	// Sorted ascending by g - r.
+	key := func(r *table.Record) float64 { return float64(r.Mags[1]) - float64(r.Mags[2]) }
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return key(&all[i]) < key(&all[j]) }) {
+		t.Error("ORDER BY output not sorted")
+	}
+	topk, rep := collectStatement(t, db, "SELECT * WHERE "+where+" ORDER BY g - r LIMIT 10", PlanAuto)
+	if !reflect.DeepEqual(topk, all[:10]) {
+		t.Error("top-k differs from sort-all prefix")
+	}
+	if rep.RowsReturned != 10 {
+		t.Errorf("top-k report says %d rows", rep.RowsReturned)
+	}
+	desc, _ := collectStatement(t, db, "SELECT * WHERE "+where+" ORDER BY g - r DESC LIMIT 10", PlanAuto)
+	rev := make([]table.Record, 10)
+	for i := range rev {
+		rev[i] = all[len(all)-1-i]
+	}
+	if !reflect.DeepEqual(desc, rev) {
+		t.Error("DESC top-k differs from reversed sort-all suffix")
+	}
+}
+
+// TestOrderByDistReusesKnn: an ascending dist() ordering with a
+// LIMIT and no predicate is served by the kNN searcher and must
+// return exactly NearestNeighbors' records, in distance order.
+func TestOrderByDistReusesKnn(t *testing.T) {
+	db := openDB(t, 4000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	q := vec.Point{19.2, 18.8, 18.4, 18.2, 18.1}
+	want, _, err := db.NearestNeighbors(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep := collectStatement(t, db,
+		"SELECT * ORDER BY dist(19.2, 18.8, 18.4, 18.2, 18.1) LIMIT 7", PlanAuto)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("dist cursor returned %d rows, kNN %d (or contents differ)", len(got), len(want))
+	}
+	if rep.Plan != PlanKdTree {
+		t.Errorf("dist cursor plan = %v, want the kNN index path", rep.Plan)
+	}
+	// The scan-and-sort fallback (DESC, or with a predicate) must
+	// agree with the brute-force ordering too.
+	farthestFirst, _ := collectStatement(t, db,
+		"SELECT * ORDER BY dist(19.2, 18.8, 18.4, 18.2, 18.1) DESC LIMIT 3", PlanAuto)
+	if len(farthestFirst) != 3 {
+		t.Fatalf("DESC dist returned %d rows", len(farthestFirst))
+	}
+	d2 := func(r *table.Record) float64 {
+		var s float64
+		for i := range q {
+			d := q[i] - float64(r.Mags[i])
+			s += d * d
+		}
+		return s
+	}
+	if d2(&farthestFirst[0]) < d2(&want[len(want)-1]) {
+		t.Error("DESC dist did not return far records first")
+	}
+}
+
+// TestProjectionPushdown: a projected statement decodes only the
+// requested columns (plus what the pipeline itself needs).
+func TestProjectionPushdown(t *testing.T) {
+	db := openDB(t, 2000)
+	// No WHERE, no ORDER BY: nothing but the projection is decoded.
+	recs, _ := collectStatement(t, db, "SELECT g, r LIMIT 20", PlanAuto)
+	if len(recs) != 20 {
+		t.Fatalf("returned %d rows", len(recs))
+	}
+	cat, _ := db.Catalog()
+	var full table.Record
+	if err := cat.Get(0, &full); err != nil {
+		t.Fatal(err)
+	}
+	r0 := recs[0]
+	if r0.Mags != full.Mags {
+		t.Error("projected magnitudes differ from the stored row")
+	}
+	if r0.ObjID != 0 || r0.Ra != 0 || r0.Dec != 0 || r0.Class != 0 || r0.LeafID != 0 {
+		t.Errorf("unprojected columns were decoded: %+v", r0)
+	}
+	// With a WHERE the dedup layer decodes ObjID as well — but still
+	// not the rest.
+	recs, _ = collectStatement(t, db, "SELECT g WHERE r < 30 LIMIT 5", PlanAuto)
+	if len(recs) != 5 {
+		t.Fatalf("returned %d rows", len(recs))
+	}
+	if recs[0].ObjID == 0 && recs[1].ObjID == 0 {
+		t.Error("dedup layer did not decode object ids")
+	}
+	if recs[0].Ra != 0 || recs[0].Class != 0 {
+		t.Errorf("unprojected columns were decoded: %+v", recs[0])
+	}
+	// Magnitudes decoded only for the predicate test must not leak
+	// into the output, and the answer must look the same whether a
+	// row came from an inside or a partial range of any plan.
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, plan := range []Plan{PlanFullScan, PlanKdTree} {
+		cur, err := db.ExecStatement(context.Background(),
+			mustStatement(t, "SELECT objid WHERE r < 22"), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, _, err := Collect(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range recs {
+			if recs[i].Mags != ([table.Dim]float32{}) {
+				t.Fatalf("plan %v row %d: filter-only magnitudes leaked into the projection: %+v",
+					plan, i, recs[i])
+			}
+		}
+	}
+}
+
+// TestUnionLimitTruncation: LIMIT over a DNF union truncates the
+// deduplicated stream at exactly the legacy prefix and stops the
+// remaining clauses early.
+func TestUnionLimitTruncation(t *testing.T) {
+	db := openDB(t, 3000)
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	const where = "r < 16 OR r > 22"
+	all, _, err := db.QueryWhere(where, PlanKdTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 30 {
+		t.Fatalf("only %d rows matched", len(all))
+	}
+	got, rep := collectStatement(t, db, "SELECT * WHERE "+where+" LIMIT 12", PlanKdTree)
+	if !reflect.DeepEqual(got, all[:12]) {
+		t.Error("union LIMIT is not the prefix of the unlimited union")
+	}
+	if rep.RowsReturned != 12 {
+		t.Errorf("report says %d rows", rep.RowsReturned)
+	}
+}
+
+// TestStatementValidation: execution-time errors surface at
+// ExecStatement, before any rows stream.
+func TestStatementValidation(t *testing.T) {
+	db := openDB(t, 500)
+	if _, err := db.ExecStatement(context.Background(),
+		mustStatement(t, "SELECT * WHERE r < 19"), PlanKdTree); err == nil {
+		t.Error("forced kd plan without a kd-tree should fail upfront")
+	}
+	if _, err := db.ExecStatement(context.Background(),
+		mustStatement(t, "SELECT * WHERE r < 19"), PlanVoronoi); err == nil {
+		t.Error("forced voronoi plan without the index should fail upfront")
+	}
+	empty, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer empty.Close()
+	if _, err := empty.ExecStatement(context.Background(),
+		mustStatement(t, "SELECT *"), PlanAuto); err == nil {
+		t.Error("statement on an empty database should fail upfront")
+	}
+}

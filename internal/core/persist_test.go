@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/colorsql"
 	"repro/internal/pagestore"
 	"repro/internal/sky"
 	"repro/internal/table"
@@ -46,22 +48,92 @@ func buildFullDB(t testing.TB, dir string, rows int) *SpatialDB {
 // reopened database.
 type queryAnswers struct {
 	poly    map[Plan][]table.Record
+	stmts   [][]table.Record
 	knn     []table.Record
 	photoz  []float64
 	sampled int
+}
+
+// stmtQueries exercises the streaming statement pipeline across its
+// shapes — top-k ORDER BY, pushed-down LIMIT, DNF union dedup,
+// WHERE-less projection — with deterministic answers, so the churn
+// matrix and the reopen round trip can require byte-identical rows
+// from every pool size.
+var stmtQueries = []string{
+	"SELECT * WHERE g - r > 0.2 AND r < 20 ORDER BY r LIMIT 50",
+	"SELECT objid, g, r WHERE g - r > 0.2 AND r < 20 LIMIT 40",
+	"SELECT * WHERE r < 15 OR r > 22",
+	"SELECT g, r ORDER BY g - r DESC LIMIT 25",
+}
+
+// eagerPolyhedron is the legacy materialize-everything execution —
+// the executor's eager parallel range scan plus row-id
+// materialization — kept as the byte-equivalence reference for the
+// streaming cursor.
+func eagerPolyhedron(db *SpatialDB, q vec.Polyhedron, plan Plan) ([]table.Record, error) {
+	switch plan {
+	case PlanKdTree:
+		ids, _, err := db.exec.KdQuery(db.kd, db.kdTable, q)
+		if err != nil {
+			return nil, err
+		}
+		return materialize(db.kdTable, ids)
+	case PlanVoronoi:
+		ids, _, err := db.exec.VoronoiQuery(db.vor, q)
+		if err != nil {
+			return nil, err
+		}
+		return materialize(db.vor.Table(), ids)
+	default:
+		ids, _, err := db.exec.FullScan(db.catalog, q)
+		if err != nil {
+			return nil, err
+		}
+		return materialize(db.catalog.ScanClassed(), ids)
+	}
 }
 
 func collectAnswers(t testing.TB, db *SpatialDB) queryAnswers {
 	t.Helper()
 	const where = "g - r > 0.2 AND r < 20"
 	ans := queryAnswers{poly: make(map[Plan][]table.Record)}
+	poly := colorsql.MustParse(where, colorsql.DefaultVars(), table.Dim).Single()
 	for _, plan := range []Plan{PlanFullScan, PlanKdTree, PlanVoronoi, PlanAuto} {
 		recs, _, err := db.QueryWhere(where, plan)
 		if err != nil {
 			t.Fatalf("plan %v: %v", plan, err)
 		}
+		// The streaming cursor must reproduce the legacy eager
+		// executor's rows byte-for-byte, in physical order, at whatever
+		// pool size this helper runs under (the churn matrix calls it
+		// at the pin floor and at 10%).
+		if plan != PlanAuto {
+			eager, err := eagerPolyhedron(db, poly, plan)
+			if err != nil {
+				t.Fatalf("plan %v eager reference: %v", plan, err)
+			}
+			streamed, _, err := db.QueryPolyhedron(poly, plan)
+			if err != nil {
+				t.Fatalf("plan %v cursor: %v", plan, err)
+			}
+			if !reflect.DeepEqual(eager, streamed) {
+				t.Fatalf("plan %v: cursor rows diverge from eager executor (%d vs %d rows)",
+					plan, len(streamed), len(eager))
+			}
+		}
 		sortRecords(recs)
 		ans.poly[plan] = recs
+	}
+	for _, src := range stmtQueries {
+		cur, err := db.QueryStatement(context.Background(), src, PlanAuto)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		recs, _, err := Collect(cur)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		ans.stmts = append(ans.stmts, recs)
 	}
 	q := vec.Point{19.2, 18.8, 18.4, 18.2, 18.1}
 	nbs, _, err := db.NearestNeighbors(q, 12)
@@ -75,7 +147,7 @@ func collectAnswers(t testing.TB, db *SpatialDB) queryAnswers {
 	}
 	ans.photoz = zs
 	view := vec.NewBox(vec.Point{14, 14, 14}, vec.Point{24, 24, 24})
-	recs, err := db.SampleRegion(view, 200)
+	recs, _, err := db.SampleRegion(view, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,6 +193,9 @@ func TestPersistReopenRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(wrecs, grecs) {
 			t.Errorf("plan %v: reopened results differ (%d vs %d rows)", plan, len(grecs), len(wrecs))
 		}
+	}
+	if !reflect.DeepEqual(want.stmts, got.stmts) {
+		t.Error("statement cursor results differ after reopen")
 	}
 	if !reflect.DeepEqual(want.knn, got.knn) {
 		t.Error("kNN results differ after reopen")
@@ -210,7 +285,7 @@ func TestOpenExistingNotBuilt(t *testing.T) {
 	if _, _, err := re.QueryPolyhedron(poly, PlanVoronoi); err == nil || !strings.Contains(err.Error(), "voronoi index not built") {
 		t.Errorf("voronoi plan: err = %v", err)
 	}
-	if _, err := re.SampleRegion(vec.NewBox(vec.Point{14, 14, 14}, vec.Point{24, 24, 24}), 10); err == nil || !strings.Contains(err.Error(), "grid index not built") {
+	if _, _, err := re.SampleRegion(vec.NewBox(vec.Point{14, 14, 14}, vec.Point{24, 24, 24}), 10); err == nil || !strings.Contains(err.Error(), "grid index not built") {
 		t.Errorf("sample: err = %v", err)
 	}
 	if _, err := re.EstimateRedshift(vec.Point{19, 19, 19, 19, 19}); err == nil || !strings.Contains(err.Error(), "BuildPhotoZ") {

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/colorsql"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// This file executes parsed colorsql statements through the
+// streaming cursor pipeline:
+//
+//	SELECT <cols|*> [WHERE <pred>] [ORDER BY <expr|dist(...)>] [LIMIT n]
+//
+// Pushdown rules:
+//
+//   - LIMIT with no ORDER BY over a convex predicate (or none) is
+//     pushed into the scan itself: the stream runs serially and the
+//     index walk / scan stops at the page holding the n-th matching
+//     row. Pages read are bounded by the limit, not the selection.
+//   - LIMIT under a DNF union cannot cross the dedup boundary (a
+//     clause cannot know which of its rows earlier clauses already
+//     emitted), so it truncates above the union — but reaching the
+//     bound closes the union early, which stops the remaining
+//     clauses before they are even planned.
+//   - ORDER BY must see every matching row, so no scan bound exists;
+//     LIMIT instead bounds the sort's memory to a k-row heap.
+//   - ORDER BY dist(p) LIMIT k with no WHERE is exactly kNN: it is
+//     served by the §3.3 region-growing searcher (planner-priced
+//     against brute force) instead of a catalog-wide sort.
+//   - Projection is pushed to the page bytes: only the selected
+//     columns are decoded (plus magnitudes when a filter or ordering
+//     needs them, and the object id under a union's dedup).
+//
+// LIMIT pushdown assumes the catalog invariant that ObjIDs are
+// unique (dedup can then never shrink a convex clause's output).
+
+// QueryStatement parses and executes a full colorsql statement,
+// returning a streaming cursor. The context cancels the query
+// mid-scan: page I/O stops at the next page boundary.
+func (db *SpatialDB) QueryStatement(ctx context.Context, src string, plan Plan) (Cursor, error) {
+	stmt, err := colorsql.ParseStatement(src, colorsql.DefaultVars(), table.Dim)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStatement(ctx, stmt, plan)
+}
+
+// ExecStatement executes an already-parsed statement through the
+// cursor pipeline. The caller must Close the cursor; its Stats are
+// exact for the work this statement actually did, including under
+// early termination.
+func (db *SpatialDB) ExecStatement(ctx context.Context, stmt colorsql.Statement, plan Plan) (Cursor, error) {
+	if err := db.validatePlan(stmt, plan); err != nil {
+		return nil, err
+	}
+
+	// LIMIT 0 short-circuits before any planning or I/O.
+	if stmt.Limit == 0 {
+		return &sliceCursor{rep: Report{Plan: plan, PlanReason: "LIMIT 0: no rows requested"}}, nil
+	}
+
+	// kNN reuse: an ascending distance ordering with a row budget and
+	// no predicate is a nearest-neighbour query. This path is the one
+	// exception to mid-scan cancellation: the region-growing search
+	// is not context-aware, but its I/O is bounded by the k-point
+	// neighbourhood rather than the catalog, so the exposure a
+	// cancelled caller can leave behind is O(k), not O(N).
+	if o := stmt.Order; o != nil && o.Dist != nil && !o.Desc && !stmt.HasWhere && stmt.Limit > 0 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		recs, rep, err := db.NearestNeighbors(o.Dist, stmt.Limit)
+		if err != nil {
+			return nil, err
+		}
+		rep.PlanReason = "ORDER BY dist LIMIT k served as kNN: " + rep.PlanReason
+		return &sliceCursor{recs: recs, rep: rep}, nil
+	}
+
+	opts := cursorOpts{cols: db.statementCols(stmt), stopAfter: -1}
+	pushdown := stmt.Order == nil && stmt.Limit > 0 &&
+		(!stmt.HasWhere || len(stmt.Where.Polys) == 1)
+	if pushdown {
+		opts.stopAfter = int64(stmt.Limit)
+	}
+
+	var cur Cursor
+	var err error
+	if stmt.HasWhere {
+		cur = db.newUnionCursor(ctx, stmt.Where.Polys, plan, opts)
+	} else {
+		cur, err = db.fullCatalogCursor(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if stmt.Order != nil {
+		cur = newTopKCursor(cur, orderKey(stmt.Order), stmt.Order.Desc, stmt.Limit)
+	} else if stmt.Limit > 0 {
+		cur = &limitCursor{child: cur, n: int64(stmt.Limit)}
+	}
+	return cur, nil
+}
+
+// statementCols resolves the decode set for a statement's emitted
+// records: the projection, plus the magnitudes when an ordering
+// evaluates them.
+func (db *SpatialDB) statementCols(stmt colorsql.Statement) table.ColumnSet {
+	if stmt.Star {
+		return table.ColAll
+	}
+	cols := columnSet(stmt.Cols)
+	if stmt.Order != nil {
+		cols |= table.ColMags
+	}
+	return cols
+}
+
+// validatePlan surfaces a missing index before any rows stream, so
+// servers can turn it into an error response instead of a truncated
+// stream.
+func (db *SpatialDB) validatePlan(stmt colorsql.Statement, plan Plan) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.catalog == nil {
+		return fmt.Errorf("core: no catalog loaded")
+	}
+	if stmt.HasWhere {
+		switch plan {
+		case PlanKdTree:
+			if db.kd == nil {
+				return fmt.Errorf("core: kd-tree index not built")
+			}
+		case PlanVoronoi:
+			if db.vor == nil {
+				return fmt.Errorf("core: voronoi index not built")
+			}
+		}
+	}
+	return nil
+}
+
+// orderKey compiles the ORDER BY expression into a per-record key.
+func orderKey(o *colorsql.OrderBy) func(*table.Record) float64 {
+	return func(r *table.Record) float64 {
+		var m [table.Dim]float64
+		for i, v := range r.Mags {
+			m[i] = float64(v)
+		}
+		return o.Key(m[:])
+	}
+}
+
+// AppendColumnValue renders one projected column of a record as its
+// JSON value. It is the single serializer behind vizserver's NDJSON
+// rows and spatialq's statement output, so the CLI and HTTP answers
+// for the same statement can never disagree per column. Float32
+// fields format at float32 precision (shortest round-tripping
+// decimal).
+func AppendColumnValue(dst []byte, c colorsql.Column, rec *table.Record) []byte {
+	switch c.Kind {
+	case colorsql.ColMag:
+		return strconv.AppendFloat(dst, float64(rec.Mags[c.Axis]), 'g', -1, 32)
+	case colorsql.ColObjID:
+		return strconv.AppendInt(dst, rec.ObjID, 10)
+	case colorsql.ColRa:
+		return strconv.AppendFloat(dst, float64(rec.Ra), 'g', -1, 32)
+	case colorsql.ColDec:
+		return strconv.AppendFloat(dst, float64(rec.Dec), 'g', -1, 32)
+	case colorsql.ColRedshift:
+		return strconv.AppendFloat(dst, float64(rec.Redshift), 'g', -1, 32)
+	case colorsql.ColClass:
+		return strconv.AppendQuote(dst, rec.Class.String())
+	}
+	return dst
+}
+
+// AppendRowJSON encodes one record as a JSON object holding exactly
+// the projected columns, in projection order — the row shape shared
+// by vizserver's NDJSON stream and spatialq's statement output.
+func AppendRowJSON(dst []byte, cols []colorsql.Column, rec *table.Record) []byte {
+	dst = append(dst, '{')
+	for i, c := range cols {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendQuote(dst, c.Name)
+		dst = append(dst, ':')
+		dst = AppendColumnValue(dst, c, rec)
+	}
+	return append(dst, '}')
+}
+
+// QueryPolyhedronCursor streams one convex polyhedron query under
+// the chosen plan with full records, without the union dedup layer.
+// It is QueryPolyhedron's streaming core.
+func (db *SpatialDB) QueryPolyhedronCursor(ctx context.Context, q vec.Polyhedron, plan Plan) (Cursor, error) {
+	return db.polyhedronCursor(ctx, q, plan, cursorOpts{cols: table.ColAll, stopAfter: -1})
+}
+
+// QueryUnionCursor streams an already-parsed DNF union with the
+// object-identity dedup of QueryUnion.
+func (db *SpatialDB) QueryUnionCursor(ctx context.Context, u colorsql.Union, plan Plan) (Cursor, error) {
+	db.mu.RLock()
+	loaded := db.catalog != nil
+	db.mu.RUnlock()
+	if !loaded {
+		return nil, fmt.Errorf("core: no catalog loaded")
+	}
+	return db.newUnionCursor(ctx, u.Polys, plan, cursorOpts{cols: table.ColAll, stopAfter: -1}), nil
+}

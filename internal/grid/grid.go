@@ -448,7 +448,11 @@ func (ix *Index) Sample(q vec.Box, n int) ([]table.Record, SampleStats, error) {
 		return nil, SampleStats{}, fmt.Errorf("grid: query box dim %d != ProjDim %d", q.Dim(), ix.params.ProjDim)
 	}
 	start := time.Now()
-	before := ix.tbl.Store().Stats()
+	// Per-call accounting scope: the reported pages are exactly this
+	// sample's, not a diff of store-global counters that concurrent
+	// queries also move.
+	scope := ix.tbl.Store().Scoped()
+	tbl := ix.tbl.Scoped(scope)
 	var out []table.Record
 	var stats SampleStats
 
@@ -471,7 +475,7 @@ func (ix *Index) Sample(q vec.Box, n int) ([]table.Record, SampleStats, error) {
 			cb := cellBox(code, ix.params.Domain, res, ix.params.ProjDim)
 			wholeCell := q.ContainsBox(cb)
 			stats.CellsScanned++
-			err := ix.tbl.ScanRange(rng.start, rng.start+table.RowID(rng.count), func(id table.RowID, r *table.Record) bool {
+			err := tbl.ScanRange(rng.start, rng.start+table.RowID(rng.count), func(id table.RowID, r *table.Record) bool {
 				stats.RowsExamined++
 				if wholeCell || ix.inBox(r, q) {
 					out = append(out, *r)
@@ -495,7 +499,7 @@ func (ix *Index) Sample(q vec.Box, n int) ([]table.Record, SampleStats, error) {
 	}
 
 	stats.Returned = len(out)
-	stats.Pages = ix.tbl.Store().Stats().Sub(before)
+	stats.Pages = scope.Stats()
 	stats.Duration = time.Since(start)
 	return out, stats, nil
 }
@@ -512,7 +516,10 @@ func (ix *Index) SampleStream(q vec.Box, n int, yield func(*table.Record) bool) 
 		return SampleStats{}, fmt.Errorf("grid: query box dim %d != ProjDim %d", q.Dim(), ix.params.ProjDim)
 	}
 	start := time.Now()
-	before := ix.tbl.Store().Stats()
+	// Same per-call scope as Sample: exact pages even when other
+	// queries run concurrently, and exact under a cancelled stream.
+	scope := ix.tbl.Store().Scoped()
+	tbl := ix.tbl.Scoped(scope)
 	var stats SampleStats
 	delivered := 0
 	cancelled := false
@@ -529,7 +536,7 @@ func (ix *Index) SampleStream(q vec.Box, n int, yield func(*table.Record) bool) 
 			cb := cellBox(code, ix.params.Domain, res, ix.params.ProjDim)
 			wholeCell := q.ContainsBox(cb)
 			stats.CellsScanned++
-			err := ix.tbl.ScanRange(rng.start, rng.start+table.RowID(rng.count), func(id table.RowID, r *table.Record) bool {
+			err := tbl.ScanRange(rng.start, rng.start+table.RowID(rng.count), func(id table.RowID, r *table.Record) bool {
 				stats.RowsExamined++
 				if wholeCell || ix.inBox(r, q) {
 					if !yield(r) {
@@ -554,7 +561,7 @@ func (ix *Index) SampleStream(q vec.Box, n int, yield func(*table.Record) bool) 
 	}
 
 	stats.Returned = delivered
-	stats.Pages = ix.tbl.Store().Stats().Sub(before)
+	stats.Pages = scope.Stats()
 	stats.Duration = time.Since(start)
 	return stats, nil
 }

@@ -154,21 +154,10 @@ func (e *Executor) FullScan(tb *table.Table, q vec.Polyhedron) ([]table.RowID, e
 	scope := tb.Store().Scoped()
 	rows := table.RowID(tb.NumRows())
 
-	// Chunks are multiples of RecordsPerPage so workers never share a
-	// page, and several per worker so stragglers balance out.
-	chunk := table.RowID(table.RecordsPerPage)
-	if w := table.RowID(e.workers()); w > 0 {
-		if per := (rows + w*4 - 1) / (w * 4); per > chunk {
-			chunk = (per + chunk - 1) / chunk * chunk
-		}
-	}
-	var tasks []task
-	for lo := table.RowID(0); lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		tasks = append(tasks, task{lo: lo, hi: hi, filter: true, slot: len(tasks)})
+	chunks := e.FullScanTasks(rows)
+	tasks := make([]task, len(chunks))
+	for i, c := range chunks {
+		tasks[i] = task{lo: c.Lo, hi: c.Hi, filter: true, slot: i}
 	}
 	// Full-scan chunks are scan-class: the whole-table pass must not
 	// evict the hot index pages of concurrent queries.
@@ -190,22 +179,13 @@ func (e *Executor) VoronoiQuery(ix *voronoi.Index, q vec.Polyhedron) ([]table.Ro
 	tb := ix.Table()
 	scope := tb.Store().Scoped()
 	var stats voronoi.QueryStats
-	var tasks []task
-	for cell := range ix.Seeds {
-		lo, hi := ix.CellRows(cell)
-		if lo == hi {
-			continue
-		}
-		switch q.ClassifySphere(ix.Seeds[cell], ix.Radius[cell]) {
-		case vec.Outside:
-			stats.CellsOutside++
-		case vec.Inside:
-			stats.CellsInside++
-			tasks = append(tasks, task{lo: lo, hi: hi, slot: len(tasks)})
-		case vec.Partial:
-			stats.CellsPartial++
-			tasks = append(tasks, task{lo: lo, hi: hi, filter: true, slot: len(tasks)})
-		}
+	ranges, walk := ix.CollectRanges(q)
+	stats.CellsInside = walk.CellsInside
+	stats.CellsOutside = walk.CellsOutside
+	stats.CellsPartial = walk.CellsPartial
+	tasks := make([]task, len(ranges))
+	for i, r := range ranges {
+		tasks[i] = task{lo: r.Lo, hi: r.Hi, filter: r.Filter, slot: i}
 	}
 	ids, examined, err := e.runTasks(tb.Scoped(scope), q, tasks)
 	stats.RowsExamined = examined

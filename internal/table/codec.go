@@ -106,16 +106,37 @@ func (BlobCodec) Encode(dst []byte, r *Record) ([]byte, error) {
 }
 
 // Decode implements Codec: only Mags are populated; other fields are
-// zeroed.
+// zeroed. It is PartialCodec fixed to the magnitude columns.
 func (BlobCodec) Decode(src []byte, r *Record) ([]byte, error) {
+	return PartialCodec{Cols: ColMags}.Decode(src, r)
+}
+
+// PartialCodec generalizes the blob trick to any column subset: the
+// on-disk form is the native layout, but Decode materializes only
+// the selected columns — the codec face of projection pushdown. The
+// streaming cursor uses the same DecodeCols path per row, so a
+// SELECT naming two columns pays for two field decodes, not
+// thirteen.
+type PartialCodec struct {
+	Cols ColumnSet
+}
+
+// Name implements Codec.
+func (c PartialCodec) Name() string { return fmt.Sprintf("partial(%04x)", uint16(c.Cols)) }
+
+// Encode implements Codec. The on-disk form is identical to
+// NativeCodec: partial decoding is a read-side choice, not a storage
+// format.
+func (PartialCodec) Encode(dst []byte, r *Record) ([]byte, error) {
+	return NativeCodec{}.Encode(dst, r)
+}
+
+// Decode implements Codec: only the selected columns are populated;
+// other fields are zeroed.
+func (c PartialCodec) Decode(src []byte, r *Record) ([]byte, error) {
 	if len(src) < RecordSize {
-		return nil, fmt.Errorf("table: blob decode: short buffer (%d bytes)", len(src))
+		return nil, fmt.Errorf("table: partial decode: short buffer (%d bytes)", len(src))
 	}
-	var mags [Dim]float64
-	DecodeMags(src[:RecordSize], &mags)
-	*r = Record{}
-	for i, v := range mags {
-		r.Mags[i] = float32(v)
-	}
+	r.DecodeCols(src[:RecordSize], c.Cols)
 	return src[RecordSize:], nil
 }

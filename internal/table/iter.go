@@ -1,0 +1,91 @@
+package table
+
+import (
+	"context"
+
+	"repro/internal/pagestore"
+)
+
+// Iter is a pull-style range scanner: the Volcano-cursor counterpart
+// of the callback ScanRange. It keeps the current page pinned
+// between Next calls, decodes only the requested columns, and checks
+// its context at every page boundary so a cancelled query stops
+// issuing page I/O mid-range rather than running to completion.
+//
+// An Iter is single-goroutine; Close releases the pinned page and is
+// required unless Next has already returned false (exhaustion
+// releases it too, and Close stays safe to call either way).
+type Iter struct {
+	t    *Table
+	ctx  context.Context
+	cols ColumnSet
+
+	row, hi RowID
+	page    *pagestore.Page
+	off     int // byte offset of row within page
+	err     error
+}
+
+// IterRange starts a pull scan of rows [lo, hi) in physical order,
+// decoding only cols into the caller's record. A nil ctx means no
+// cancellation. hi is clamped to the row count, mirroring ScanRange.
+func (t *Table) IterRange(ctx context.Context, lo, hi RowID, cols ColumnSet) *Iter {
+	if hi > RowID(t.rows) {
+		hi = RowID(t.rows)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &Iter{t: t, ctx: ctx, cols: cols, row: lo, hi: hi}
+}
+
+// Next advances to the next row, decoding it into rec. It returns
+// false at the end of the range, on error, or when the context is
+// cancelled; check Err to distinguish.
+func (it *Iter) Next(rec *Record) bool {
+	if it.err != nil || it.row >= it.hi {
+		it.release()
+		return false
+	}
+	if it.page == nil {
+		if it.ctx != nil {
+			if err := it.ctx.Err(); err != nil {
+				it.err = err
+				return false
+			}
+		}
+		pid, off, err := it.t.rowPage(it.row)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		p, err := it.t.getPage(pid)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.page, it.off = p, off
+	}
+	rec.DecodeCols(it.page.Data[it.off:it.off+RecordSize], it.cols)
+	it.row++
+	it.off += RecordSize
+	if uint64(it.row)%RecordsPerPage == 0 || it.row >= it.hi {
+		it.release()
+	}
+	return true
+}
+
+// Err returns the first error the iterator hit (context cancellation
+// surfaces here), or nil after a clean exhaustion.
+func (it *Iter) Err() error { return it.err }
+
+// Close releases the pinned page. Safe to call multiple times and
+// after exhaustion.
+func (it *Iter) Close() { it.release() }
+
+func (it *Iter) release() {
+	if it.page != nil {
+		it.page.Release()
+		it.page = nil
+	}
+}

@@ -1,0 +1,174 @@
+package table
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// fillTable loads n random records and returns them.
+func fillTable(t *testing.T, tb *Table, n int) []Record {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = randomRecord(rng, int64(i))
+	}
+	if err := tb.AppendAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestDecodeColsMatchesFullDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	groups := []struct {
+		cols  ColumnSet
+		check func(a, b *Record) bool
+	}{
+		{ColObjID, func(a, b *Record) bool { return a.ObjID == b.ObjID }},
+		{ColMags, func(a, b *Record) bool { return a.Mags == b.Mags }},
+		{ColRa | ColDec, func(a, b *Record) bool { return a.Ra == b.Ra && a.Dec == b.Dec }},
+		{ColRedshift | ColHasZ, func(a, b *Record) bool { return a.Redshift == b.Redshift && a.HasZ == b.HasZ }},
+		{ColClass, func(a, b *Record) bool { return a.Class == b.Class }},
+		{ColIndexCols, func(a, b *Record) bool {
+			return a.Layer == b.Layer && a.RandomID == b.RandomID &&
+				a.ContainedBy == b.ContainedBy && a.CellID == b.CellID && a.LeafID == b.LeafID
+		}},
+	}
+	for i := 0; i < 50; i++ {
+		rec := randomRecord(rng, int64(i))
+		var buf [RecordSize]byte
+		rec.Encode(buf[:])
+		var full Record
+		full.Decode(buf[:])
+		for _, g := range groups {
+			var partial Record
+			// Pre-poison the buffer: DecodeCols must zero unselected fields.
+			partial = randomRecord(rng, 999)
+			partial.DecodeCols(buf[:], g.cols)
+			if !g.check(&partial, &full) {
+				t.Fatalf("cols %04x: selected fields differ: %+v vs %+v", uint16(g.cols), partial, full)
+			}
+			// Everything outside the set must be zero.
+			zeroed := partial
+			zeroed.DecodeCols(buf[:], 0)
+			if zeroed != (Record{}) {
+				t.Fatalf("cols 0: record not zeroed: %+v", zeroed)
+			}
+		}
+		// ColAll is exactly Decode.
+		var all Record
+		all.DecodeCols(buf[:], ColAll)
+		if all != full {
+			t.Fatalf("ColAll differs from Decode: %+v vs %+v", all, full)
+		}
+	}
+}
+
+func TestIterRangeMatchesScanRange(t *testing.T) {
+	tb := newTable(t, 64)
+	want := fillTable(t, tb, 500)
+
+	for _, rng := range [][2]RowID{{0, 500}, {3, 130}, {126, 128}, {127, 254}, {490, 600}, {200, 200}} {
+		var got []Record
+		it := tb.IterRange(nil, rng[0], rng[1], ColAll)
+		var rec Record
+		for it.Next(&rec) {
+			got = append(got, rec)
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		it.Close()
+
+		var ref []Record
+		if err := tb.ScanRange(rng[0], rng[1], func(_ RowID, r *Record) bool {
+			ref = append(ref, *r)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("range %v: iter %d rows, scan %d rows (or contents differ)", rng, len(got), len(ref))
+		}
+	}
+	_ = want
+}
+
+func TestIterRangePartialColumns(t *testing.T) {
+	tb := newTable(t, 64)
+	want := fillTable(t, tb, 200)
+	it := tb.IterRange(nil, 0, 200, ColObjID|ColMags)
+	var rec Record
+	i := 0
+	for it.Next(&rec) {
+		if rec.ObjID != want[i].ObjID || rec.Mags != want[i].Mags {
+			t.Fatalf("row %d: selected columns differ", i)
+		}
+		if rec.Ra != 0 || rec.Class != 0 || rec.LeafID != 0 {
+			t.Fatalf("row %d: unselected columns decoded: %+v", i, rec)
+		}
+		i++
+	}
+	if err := it.Err(); err != nil || i != 200 {
+		t.Fatalf("iterated %d rows, err %v", i, err)
+	}
+}
+
+func TestIterCancellationStopsPageReads(t *testing.T) {
+	tb := newTable(t, 64)
+	fillTable(t, tb, 1000)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	scope := tb.Store().Scoped()
+	it := tb.Scoped(scope).IterRange(ctx, 0, 1000, ColAll)
+	defer it.Close()
+	var rec Record
+	for i := 0; i < 5; i++ {
+		if !it.Next(&rec) {
+			t.Fatal("iterator dry before cancellation")
+		}
+	}
+	cancel()
+	// The current page may finish; the next boundary must stop.
+	n := 0
+	for it.Next(&rec) {
+		n++
+	}
+	if it.Err() == nil {
+		t.Fatal("cancelled iterator reports no error")
+	}
+	if n > RecordsPerPage {
+		t.Fatalf("iterator delivered %d rows after cancel (more than one page)", n)
+	}
+	st := scope.Stats()
+	if got := st.DiskReads + st.Hits; got > 2 {
+		t.Fatalf("cancelled scan touched %d pages, want <= 2", got)
+	}
+}
+
+func TestPartialCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rec := randomRecord(rng, 42)
+	c := PartialCodec{Cols: ColObjID | ColClass}
+	buf, err := c.Encode(nil, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	rest, err := c.Decode(buf, &got)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: err=%v rest=%d", err, len(rest))
+	}
+	if got.ObjID != rec.ObjID || got.Class != rec.Class {
+		t.Errorf("selected columns lost: %+v", got)
+	}
+	if got.Mags != ([Dim]float32{}) || got.Ra != 0 {
+		t.Errorf("unselected columns decoded: %+v", got)
+	}
+	if _, err := c.Decode(buf[:10], &got); err == nil {
+		t.Error("short buffer must fail")
+	}
+}

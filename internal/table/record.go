@@ -157,3 +157,71 @@ func DecodeMags(buf []byte, dst *[Dim]float64) {
 		dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[8+4*i:])))
 	}
 }
+
+// ColumnSet selects which record fields a partial decode
+// materializes — the generalization of the DecodeMags trick that
+// projection pushdown rides on: a SELECT naming two columns decodes
+// two fields per row, not thirteen.
+type ColumnSet uint16
+
+// Decodable column groups. Fields not named by the set are left
+// zero. ColMags covers all five magnitudes: they are contiguous on
+// disk and nearly always wanted together (predicate filters and
+// ORDER BY expressions both need the full vector).
+const (
+	ColObjID ColumnSet = 1 << iota
+	ColMags
+	ColRa
+	ColDec
+	ColRedshift
+	ColHasZ
+	ColClass
+	ColIndexCols
+
+	// ColAll decodes every field, equivalently to Decode.
+	ColAll = ColObjID | ColMags | ColRa | ColDec | ColRedshift | ColHasZ | ColClass | ColIndexCols
+)
+
+// Has reports whether every column of o is in s.
+func (s ColumnSet) Has(o ColumnSet) bool { return s&o == o }
+
+// DecodeCols deserializes only the selected columns from buf into r,
+// zeroing the rest. With ColAll it is exactly Decode.
+func (r *Record) DecodeCols(buf []byte, cols ColumnSet) {
+	if cols == ColAll {
+		r.Decode(buf)
+		return
+	}
+	_ = buf[RecordSize-1]
+	*r = Record{}
+	if cols&ColObjID != 0 {
+		r.ObjID = int64(binary.LittleEndian.Uint64(buf[0:]))
+	}
+	if cols&ColMags != 0 {
+		for i := range r.Mags {
+			r.Mags[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[8+4*i:]))
+		}
+	}
+	if cols&ColRa != 0 {
+		r.Ra = math.Float32frombits(binary.LittleEndian.Uint32(buf[28:]))
+	}
+	if cols&ColDec != 0 {
+		r.Dec = math.Float32frombits(binary.LittleEndian.Uint32(buf[32:]))
+	}
+	if cols&ColRedshift != 0 {
+		r.Redshift = math.Float32frombits(binary.LittleEndian.Uint32(buf[36:]))
+	}
+	if cols&ColClass != 0 {
+		r.Class = Class(buf[40])
+	}
+	if cols&ColHasZ != 0 {
+		r.HasZ = buf[41] != 0
+	}
+	if cols&ColIndexCols != 0 {
+		r.Layer = binary.LittleEndian.Uint16(buf[42:])
+		r.RandomID = binary.LittleEndian.Uint32(buf[44:])
+		r.ContainedBy = binary.LittleEndian.Uint32(buf[48:])
+		r.CellID = binary.LittleEndian.Uint32(buf[52:])
+		r.LeafID = binary.LittleEndian.Uint32(buf[56:])
+	}
+}

@@ -306,6 +306,52 @@ func (ix *Index) CellRows(cell int) (lo, hi table.RowID) {
 	return r.start, r.start + table.RowID(r.count)
 }
 
+// Range is one candidate clustered row interval produced by
+// classifying the cell bounding spheres against a query polyhedron,
+// with no table I/O. Ranges are emitted in cell (= clustered row)
+// order; Filter marks partially overlapping cells whose rows need
+// the per-point test.
+type Range struct {
+	Lo, Hi table.RowID
+	Filter bool
+}
+
+// Walk summarizes the in-memory classification pass behind
+// CollectRanges. Empty cells are skipped before classification and
+// counted nowhere, matching the executor's historical behavior.
+type Walk struct {
+	CellsInside  int
+	CellsOutside int
+	CellsPartial int
+}
+
+// CollectRanges classifies every cell's bounding sphere against the
+// polyhedron entirely in memory and returns the candidate clustered
+// row ranges — the Voronoi counterpart of kdtree.CollectRanges. The
+// parallel executor fans the ranges across its pool; the streaming
+// cursor pulls rows from them in order.
+func (ix *Index) CollectRanges(q vec.Polyhedron) ([]Range, Walk) {
+	var out []Range
+	var w Walk
+	for cell := range ix.Seeds {
+		lo, hi := ix.CellRows(cell)
+		if lo == hi {
+			continue
+		}
+		switch q.ClassifySphere(ix.Seeds[cell], ix.Radius[cell]) {
+		case vec.Outside:
+			w.CellsOutside++
+		case vec.Inside:
+			w.CellsInside++
+			out = append(out, Range{Lo: lo, Hi: hi})
+		case vec.Partial:
+			w.CellsPartial++
+			out = append(out, Range{Lo: lo, Hi: hi, Filter: true})
+		}
+	}
+	return out, w
+}
+
 // DirectedWalk locates the cell containing p by walking the Delaunay
 // graph from the start cell, always moving to the neighbour whose
 // seed is closest to p, halting at a local minimum — the paper's
