@@ -1,0 +1,115 @@
+// Command loadgen drives the T1–T5 workload mixes against a running
+// vizserver with an open-loop arrival process and writes
+// BENCH_loadgen.json: achieved QPS, p50/p95/p99 latency from
+// scheduled arrival, shed/error/dropped counts and pages read per
+// operation, per mix. See internal/loadgen for the driver's
+// methodology (coordinated-omission-resistant measurement, honest
+// client-capacity accounting).
+//
+//	vizserver -dir /srv/sdss -addr :8080 &
+//	loadgen -url http://localhost:8080 -rate 200 -duration 30s -mix all
+//	loadgen -url http://localhost:8080 -rate 1000 -duration 10s -mix t5 -out BENCH_loadgen.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	baseURL := flag.String("url", "http://localhost:8080", "target vizserver base URL")
+	rate := flag.Float64("rate", 200, "open-loop arrival rate, requests/second")
+	duration := flag.Duration("duration", 10*time.Second, "run length per mix")
+	inFlight := flag.Int("inflight", 256, "max outstanding requests (simulated client fleet size)")
+	mixArg := flag.String("mix", "all", "comma-separated mixes: t1,t2,t3,t4,t5 or all")
+	seed := flag.Int64("seed", 42, "request-sequence seed")
+	out := flag.String("out", "BENCH_loadgen.json", "output JSON path (empty = stdout only)")
+	flag.Parse()
+
+	var mixes []loadgen.Mix
+	if strings.EqualFold(*mixArg, "all") {
+		mixes = loadgen.StandardMixes()
+	} else {
+		for _, name := range strings.Split(*mixArg, ",") {
+			m, ok := loadgen.MixByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("loadgen: unknown mix %q (want t1..t5 or all)", name)
+			}
+			mixes = append(mixes, m)
+		}
+	}
+
+	// One warm-up probe: fail fast with a useful message when the
+	// server is not there, instead of reporting a run of errors.
+	if resp, err := http.Get(*baseURL + "/stats"); err != nil {
+		log.Fatalf("loadgen: target unreachable: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	results := make([]loadgen.MixResult, 0, len(mixes))
+	for _, mix := range mixes {
+		log.Printf("%-13s %s: %g req/s for %v ...", mix.Name, mix.Description, *rate, *duration)
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			BaseURL:     *baseURL,
+			Rate:        *rate,
+			Duration:    *duration,
+			MaxInFlight: *inFlight,
+			Seed:        *seed,
+		}, mix)
+		if err != nil {
+			log.Fatalf("loadgen: %s: %v", mix.Name, err)
+		}
+		results = append(results, res)
+		if ctx.Err() != nil {
+			log.Printf("interrupted; reporting completed mixes")
+			break
+		}
+	}
+
+	fmt.Printf("%-13s %9s %9s %8s %8s %8s %8s %8s %8s %8s\n",
+		"mix", "target", "achieved", "p50ms", "p95ms", "p99ms", "shed", "errors", "dropped", "pages/op")
+	for _, r := range results {
+		fmt.Printf("%-13s %9.1f %9.1f %8.2f %8.2f %8.2f %8d %8d %8d %8.2f\n",
+			r.Mix, r.TargetQPS, r.AchievedQPS,
+			r.Latency.P50Ms, r.Latency.P95Ms, r.Latency.P99Ms,
+			r.Shed, r.Errors, r.Dropped, r.PagesReadPerOp)
+	}
+
+	report := map[string]any{
+		"url":         *baseURL,
+		"rate":        *rate,
+		"durationSec": duration.Seconds(),
+		"inFlight":    *inFlight,
+		"seed":        *seed,
+		"timestamp":   time.Now().UTC().Format(time.RFC3339),
+		"results":     results,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	} else {
+		fmt.Println(string(blob))
+	}
+}

@@ -1,18 +1,28 @@
 package repro
 
 import (
+	"context"
+	"encoding/json"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kdtree"
 	"repro/internal/knn"
+	"repro/internal/loadgen"
 	"repro/internal/pagestore"
 	"repro/internal/sky"
 	"repro/internal/table"
 	"repro/internal/vec"
+	"repro/internal/vizhttp"
 )
 
 // TestEndToEndSystem drives the full Figure 3 stack through the
@@ -120,6 +130,187 @@ func TestEndToEndSystem(t *testing.T) {
 	}
 	if got := out.([]table.Record); len(got) != 10 || got[0].ObjID != nbs[0].ObjID {
 		t.Error("stored procedure disagrees with direct call")
+	}
+}
+
+// buildPersistedDB builds a small catalog with every serving index
+// into dir and persists it, then closes — the sdssgen side of the
+// build-once / serve-many lifecycle.
+func buildPersistedDB(t *testing.T, dir string, rows int) {
+	t.Helper()
+	db, err := core.Open(core.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.IngestSynthetic(sky.DefaultParams(rows, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildGridIndex(512, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildPhotoZ(16, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// serveColdOpen cold-opens the persisted directory and mounts the
+// real vizhttp mux on an httptest server, exactly what `vizserver
+// -dir` serves.
+func serveColdOpen(t *testing.T, dir string) *httptest.Server {
+	t.Helper()
+	db, err := core.OpenExisting(core.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ts := httptest.NewServer(vizhttp.New(db, vizhttp.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// TestServingNDJSONAgainstColdOpen is the former CI shell smoke as a
+// race-detectable test: cold-open a persisted database, stream a
+// color-cut query as NDJSON, and check the stream's shape against the
+// legacy JSON endpoint — first line a row object, last line a
+// summary, row count identical.
+func TestServingNDJSONAgainstColdOpen(t *testing.T) {
+	dir := t.TempDir()
+	buildPersistedDB(t, dir, 20_000)
+	ts := serveColdOpen(t, dir)
+
+	var legacy struct {
+		RowsReturned int64 `json:"rowsReturned"`
+	}
+	legacyURL := ts.URL + "/query?where=" + url.QueryEscape("g - r > 0.4 AND r < 19") + "&limit=1000000"
+	if err := json.Unmarshal([]byte(httpGet(t, legacyURL)), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.RowsReturned == 0 {
+		t.Fatal("legacy query returned nothing")
+	}
+
+	ndURL := ts.URL + "/query?format=ndjson&q=" + url.QueryEscape("SELECT objid, g, r WHERE g - r > 0.4 AND r < 19")
+	lines := strings.Split(strings.TrimSuffix(httpGet(t, ndURL), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("ndjson stream has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], `"objid"`) {
+		t.Errorf("first ndjson line is not a row: %q", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], `"summary"`) {
+		t.Errorf("last ndjson line is not the summary: %q", lines[len(lines)-1])
+	}
+	if rows := int64(len(lines) - 1); rows != legacy.RowsReturned {
+		t.Errorf("ndjson rows %d != legacy rowsReturned %d", rows, legacy.RowsReturned)
+	}
+
+	// Top-k ORDER BY through the same stream.
+	topkURL := ts.URL + "/query?format=ndjson&q=" + url.QueryEscape("SELECT * ORDER BY dist(19.5,18.9,18.2,17.9,17.7) LIMIT 5")
+	topk := strings.Split(strings.TrimSuffix(httpGet(t, topkURL), "\n"), "\n")
+	if len(topk) != 6 {
+		t.Errorf("top-5 stream has %d lines, want 5 rows + summary", len(topk))
+	}
+	if !strings.Contains(topk[0], `"class"`) {
+		t.Errorf("top-k first line missing class: %q", topk[0])
+	}
+}
+
+// TestServingColdOpenDeterministic: two fresh cold opens of the same
+// persisted directory serve byte-identical query responses — the
+// serve-many half of the lifecycle, formerly asserted by diffing
+// spatialq output in CI shell.
+func TestServingColdOpenDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	buildPersistedDB(t, dir, 20_000)
+
+	query := "/query?q=" + url.QueryEscape("SELECT objid, g, r WHERE g - r > 0.4 AND r < 19 ORDER BY r LIMIT 500")
+	knnBody := `{"points": [[19.5,18.9,18.2,17.9,17.7]], "k": 5}`
+	serve := func() (string, string) {
+		ts := serveColdOpen(t, dir)
+		resp, err := http.Post(ts.URL+"/knn", "application/json", strings.NewReader(knnBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		knnOut, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("knn: status %d: %s", resp.StatusCode, knnOut)
+		}
+		return httpGet(t, ts.URL+query), string(knnOut)
+	}
+	q1, k1 := serve()
+	q2, k2 := serve()
+	if q1 != q2 {
+		t.Error("two cold opens served different query responses")
+	}
+	if k1 != k2 {
+		t.Error("two cold opens served different knn responses")
+	}
+}
+
+// TestServingUnderLoadgenBurst closes the loop tentpole-to-harness: a
+// short open-loop T5 burst against a cold-opened in-process server
+// must complete with zero transport/5xx errors and clean accounting.
+// Structural assertions only — no wall-clock latency expectations.
+func TestServingUnderLoadgenBurst(t *testing.T) {
+	dir := t.TempDir()
+	buildPersistedDB(t, dir, 20_000)
+	ts := serveColdOpen(t, dir)
+
+	mix, ok := loadgen.MixByName("t5")
+	if !ok {
+		t.Fatal("t5 mix missing")
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     ts.URL,
+		Rate:        300,
+		Duration:    200 * time.Millisecond,
+		MaxInFlight: 128,
+		Seed:        42,
+	}, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Errorf("%d errors during burst: %+v", res.Errors, res)
+	}
+	if res.Completed == 0 {
+		t.Error("burst completed zero requests")
+	}
+	if res.Sent != res.Completed+res.Shed+res.Errors+res.Dropped {
+		t.Errorf("accounting leak: %+v", res)
+	}
+	if res.Latency.Count != res.Completed {
+		t.Errorf("histogram count %d != completed %d", res.Latency.Count, res.Completed)
 	}
 }
 

@@ -2,6 +2,7 @@ package colorsql
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/vec"
 )
@@ -60,18 +61,21 @@ func Parse(src string, vars map[string]int, dim int) (Union, error) {
 	if p.peek().kind != tokEOF {
 		return Union{}, fmt.Errorf("colorsql: trailing input at %v", p.peek())
 	}
-	return compileUnion(node), nil
+	return compileUnion(node)
 }
 
 // compileUnion expands the boolean tree to DNF and builds one convex
 // polyhedron per clause.
-func compileUnion(node *boolNode) Union {
-	dnf := node.toDNF()
+func compileUnion(node *boolNode) (Union, error) {
+	dnf, err := node.toDNF()
+	if err != nil {
+		return Union{}, err
+	}
 	u := Union{Polys: make([]vec.Polyhedron, len(dnf))}
 	for i, clause := range dnf {
 		u.Polys[i] = vec.NewPolyhedron(clause...)
 	}
-	return u
+	return u, nil
 }
 
 // MustParse is Parse panicking on error, for tests and fixed
@@ -93,19 +97,39 @@ type boolNode struct {
 	left, right *boolNode
 }
 
-// toDNF expands the tree into a list of AND-clauses of halfspaces.
-// Query log predicates are shallow (Figure 2 has ~10 terms), so the
-// potential exponential blowup of DNF is not a practical concern; a
-// guard below still caps pathological inputs.
-func (n *boolNode) toDNF() [][]vec.Halfspace {
+// maxDNFClauses caps the disjunctive normal form's clause count.
+// Query log predicates are shallow (Figure 2 has ~10 terms) and
+// expand to a handful of clauses; the cap only trips on adversarial
+// inputs like (a<1 OR b<1) AND-ed with itself n times, whose DNF
+// doubles per conjunction.
+const maxDNFClauses = 256
+
+// toDNF expands the tree into a list of AND-clauses of halfspaces,
+// rejecting expansions past maxDNFClauses. The size check runs before
+// each product is materialized, so a pathological input fails fast
+// instead of exhausting memory first.
+func (n *boolNode) toDNF() ([][]vec.Halfspace, error) {
 	if n.leaf != nil {
-		return [][]vec.Halfspace{{*n.leaf}}
+		return [][]vec.Halfspace{{*n.leaf}}, nil
 	}
-	l, r := n.left.toDNF(), n.right.toDNF()
+	l, err := n.left.toDNF()
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.right.toDNF()
+	if err != nil {
+		return nil, err
+	}
 	if n.op == "or" {
-		return append(l, r...)
+		if len(l)+len(r) > maxDNFClauses {
+			return nil, fmt.Errorf("colorsql: predicate expands to more than %d DNF clauses", maxDNFClauses)
+		}
+		return append(l, r...), nil
 	}
 	// AND: cartesian product of clauses.
+	if len(l)*len(r) > maxDNFClauses {
+		return nil, fmt.Errorf("colorsql: predicate expands to more than %d DNF clauses", maxDNFClauses)
+	}
 	out := make([][]vec.Halfspace, 0, len(l)*len(r))
 	for _, a := range l {
 		for _, b := range r {
@@ -115,7 +139,7 @@ func (n *boolNode) toDNF() [][]vec.Halfspace {
 			out = append(out, clause)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // linExpr is a linear expression c·x + k accumulated during parsing.
@@ -151,12 +175,39 @@ func (e linExpr) isConst() bool {
 	return true
 }
 
+func (e linExpr) isFinite() bool {
+	for _, c := range e.coeffs {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return false
+		}
+	}
+	return !(math.IsNaN(e.k) || math.IsInf(e.k, 0))
+}
+
 type parser struct {
 	toks []token
 	pos  int
 	vars map[string]int
 	dim  int
+	// depth counts live recursive descents (parenthesis nesting); it
+	// bounds stack growth on adversarial inputs like "((((((…".
+	depth int
 }
+
+// maxParseDepth bounds recursive-descent nesting. Real queries nest a
+// few levels; the guard exists so a fuzzer's kilobyte of open parens
+// errors out instead of growing the goroutine stack without bound.
+const maxParseDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("colorsql: expression nests deeper than %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
 
@@ -215,6 +266,10 @@ func (p *parser) parseAnd() (*boolNode, error) {
 // expression that begins a comparison. It resolves it by attempting
 // the comparison parse first and backtracking.
 func (p *parser) parseBoolAtom() (*boolNode, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	save := p.pos
 	cmp, cmpErr := p.parseComparison()
 	if cmpErr == nil {
@@ -257,6 +312,12 @@ func (p *parser) parseComparison() (*boolNode, error) {
 	}
 	if diff.isConst() {
 		return nil, fmt.Errorf("colorsql: comparison at position %d has no magnitude variables", op.pos)
+	}
+	if !diff.isFinite() {
+		// Overflowed arithmetic (e.g. 1e308 + 1e308) yields ±Inf or NaN
+		// coefficients; a NaN halfspace matches nothing and an Inf one
+		// matches everything, both silently. Reject instead.
+		return nil, fmt.Errorf("colorsql: comparison at position %d has non-finite coefficients", op.pos)
 	}
 	h := vec.NewHalfspace(vec.Point(diff.coeffs), -diff.k)
 	return &boolNode{leaf: &h}, nil
@@ -335,6 +396,10 @@ func (p *parser) parseTerm() (linExpr, error) {
 
 // parseFactor: number | ident | '-' factor | '+' factor | '(' linear ')'
 func (p *parser) parseFactor() (linExpr, error) {
+	if err := p.enter(); err != nil {
+		return linExpr{}, err
+	}
+	defer p.leave()
 	t := p.next()
 	switch t.kind {
 	case tokNumber:

@@ -258,7 +258,7 @@ func (p *parser) parseUnion() (Union, error) {
 	if err != nil {
 		return Union{}, err
 	}
-	return compileUnion(node), nil
+	return compileUnion(node)
 }
 
 // parseOrderExpr: dist '(' n1 ',' ... ')' | linear expression.
@@ -292,6 +292,9 @@ func (p *parser) parseOrderExpr() (*OrderBy, error) {
 	}
 	if e.isConst() {
 		return nil, fmt.Errorf("colorsql: ORDER BY expression has no magnitude variables")
+	}
+	if !e.isFinite() {
+		return nil, fmt.Errorf("colorsql: ORDER BY expression has non-finite coefficients")
 	}
 	return &OrderBy{Coeffs: vec.Point(e.coeffs), K: e.k}, nil
 }

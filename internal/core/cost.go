@@ -1,0 +1,99 @@
+package core
+
+import (
+	"repro/internal/colorsql"
+	"repro/internal/planner"
+)
+
+// This file prices requests BEFORE they execute, for admission
+// control: every estimate is the cost-based planner's zero-I/O
+// prediction in sequential-page units, so a server under overload can
+// decide to shed an expensive query without spending anything beyond
+// the estimate itself (an in-memory index walk at worst). The same
+// numbers drive plan selection, so the shed order and the executor
+// agree about what "expensive" means.
+
+// EstimateStatementCost predicts the execution cost of a parsed
+// statement in sequential-page units without touching the table. A
+// statement the system cannot price (no catalog loaded — the
+// subsequent execution will fail with a real error anyway) costs 0 so
+// admission never masks the error with a 429.
+func (db *SpatialDB) EstimateStatementCost(stmt colorsql.Statement) float64 {
+	if stmt.Limit == 0 {
+		return 0
+	}
+	// ORDER BY dist LIMIT k with no predicate executes as kNN.
+	if o := stmt.Order; o != nil && o.Dist != nil && !o.Desc && !stmt.HasWhere && stmt.Limit > 0 {
+		return db.EstimateKNNCost(stmt.Limit, 1)
+	}
+	pl, err := db.Planner()
+	if err != nil {
+		return 0
+	}
+	if !stmt.HasWhere {
+		// Full-catalog scan: priced like the planner's fullscan path.
+		m := planner.DefaultCostModel()
+		cost := float64(pl.Catalog.NumPages())*m.SeqPage + float64(pl.Catalog.NumRows())*m.Row
+		return boundByLimit(cost, float64(pl.Catalog.NumRows()), stmt)
+	}
+	// A DNF union runs one polyhedron query per clause; the union's
+	// price is their sum (dedup is in-memory).
+	var cost, rows float64
+	for _, q := range stmt.Where.Polys {
+		c := pl.Plan(q)
+		cost += c.BestCost()
+		rows += c.Est.Rows
+	}
+	return boundByLimit(cost, rows, stmt)
+}
+
+// boundByLimit scales a statement's scan cost by the fraction of the
+// predicted rows a pushed-down LIMIT lets it stop at. Only statements
+// the executor actually bounds qualify (no ORDER BY, at most one
+// clause — the pushdown rules in statement.go); an ORDER BY must see
+// every row regardless of LIMIT.
+func boundByLimit(cost, estRows float64, stmt colorsql.Statement) float64 {
+	pushdown := stmt.Order == nil && stmt.Limit > 0 &&
+		(!stmt.HasWhere || len(stmt.Where.Polys) == 1)
+	if !pushdown || estRows <= 0 {
+		return cost
+	}
+	if frac := float64(stmt.Limit) / estRows; frac < 1 {
+		return cost * frac
+	}
+	return cost
+}
+
+// EstimateKNNCost predicts the cost of numPoints k-nearest-neighbour
+// queries in sequential-page units, zero-I/O.
+func (db *SpatialDB) EstimateKNNCost(k, numPoints int) float64 {
+	db.mu.RLock()
+	catalog, kd, kdTable := db.catalog, db.kd, db.kdTable
+	db.mu.RUnlock()
+	if catalog == nil {
+		return 0
+	}
+	if numPoints < 1 {
+		numPoints = 1
+	}
+	pl := &planner.Planner{Catalog: catalog, Kd: kd, KdTable: kdTable, Domain: db.domain}
+	return pl.PlanKNN(k).BestCost() * float64(numPoints)
+}
+
+// EstimatePhotoZCost predicts the cost of a photometric-redshift
+// batch of numPoints objects: each is a k-neighbour search on the
+// spectroscopic reference table, priced by the same kNN model.
+func (db *SpatialDB) EstimatePhotoZCost(numPoints int) float64 {
+	db.mu.RLock()
+	est := db.photoZ
+	db.mu.RUnlock()
+	if est == nil {
+		return 0
+	}
+	if numPoints < 1 {
+		numPoints = 1
+	}
+	s := est.Searcher()
+	pl := &planner.Planner{Catalog: s.Tb, Kd: s.Tree, KdTable: s.Tb, Domain: db.domain}
+	return pl.PlanKNN(est.K).BestCost() * float64(numPoints)
+}

@@ -1,0 +1,191 @@
+// Package loadgen is the open-loop workload driver for vizserver: it
+// fires requests at a configured arrival rate regardless of how fast
+// the server answers, the way real SkyServer traffic arrives. Latency
+// is measured from each request's *scheduled* arrival time, not from
+// when a client thread got around to sending it, so a slow server
+// cannot hide queueing delay by slowing the generator down — the
+// classic coordinated-omission error of closed-loop harnesses.
+//
+// The driver is honest about its own capacity too: arrivals beyond
+// MaxInFlight outstanding requests are counted as dropped rather than
+// silently deferred, so the report distinguishes "the server shed
+// load" from "the generator ran out of sockets".
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/qos"
+)
+
+// Config drives one mix run.
+type Config struct {
+	// BaseURL of the target vizserver, e.g. "http://localhost:8080".
+	BaseURL string
+	// Rate is the open-loop arrival rate in requests per second.
+	Rate float64
+	// Duration of the run; arrivals stop after it, in-flight requests
+	// drain.
+	Duration time.Duration
+	// MaxInFlight bounds outstanding requests (the simulated client
+	// fleet size). Arrivals past it are dropped and counted. <= 0
+	// means 256.
+	MaxInFlight int
+	// Seed makes the request sequence reproducible.
+	Seed int64
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+// MixResult is one mix's section of BENCH_loadgen.json.
+type MixResult struct {
+	Mix         string  `json:"mix"`
+	TargetQPS   float64 `json:"targetQps"`
+	AchievedQPS float64 `json:"achievedQps"`
+	DurationSec float64 `json:"durationSec"`
+	// Sent = Completed + Shed + Errors + Dropped, always.
+	Sent      int64 `json:"sent"`
+	Completed int64 `json:"completed"`
+	// Shed counts 429 responses (server admission control working).
+	Shed int64 `json:"shed"`
+	// Errors counts transport failures and non-2xx/non-429 statuses.
+	Errors int64 `json:"errors"`
+	// Dropped counts arrivals the generator itself could not carry
+	// (MaxInFlight exceeded).
+	Dropped int64 `json:"dropped"`
+	// PagesReadPerOp is the server's diskReads delta over the run
+	// divided by completed requests (0 when /stats was unreachable).
+	PagesReadPerOp float64 `json:"pagesReadPerOp"`
+	// Latency distribution of completed (2xx) requests, measured from
+	// scheduled arrival.
+	Latency qos.HistogramSnapshot `json:"latency"`
+}
+
+// Run drives one mix at the configured rate until the duration
+// elapses or ctx is canceled, then drains and reports.
+func Run(ctx context.Context, cfg Config, mix Mix) (MixResult, error) {
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 256
+	}
+	if cfg.Rate <= 0 {
+		return MixResult{}, fmt.Errorf("loadgen: rate %v must be positive", cfg.Rate)
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	n := int(cfg.Duration / interval)
+	if n < 1 {
+		n = 1
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sem := make(chan struct{}, maxInFlight)
+	hist := &qos.Histogram{}
+	var completed, shed, errs, dropped atomic.Int64
+	var wg sync.WaitGroup
+
+	readsBefore, statsOK := diskReads(client, cfg.BaseURL)
+	start := time.Now()
+	var sent int64
+arrivals:
+	for i := 0; i < n; i++ {
+		sched := start.Add(time.Duration(i) * interval)
+		if d := time.Until(sched); d > 0 {
+			select {
+			case <-ctx.Done():
+				break arrivals
+			case <-time.After(d):
+			}
+		} else if ctx.Err() != nil {
+			break arrivals
+		}
+		// The generator's rng is single-threaded: requests are built in
+		// the dispatch loop, only the send runs on a worker goroutine.
+		req, err := mix.Make(cfg.BaseURL, rng)
+		if err != nil {
+			return MixResult{}, fmt.Errorf("loadgen: building %s request: %w", mix.Name, err)
+		}
+		sent++
+		select {
+		case sem <- struct{}{}:
+		default:
+			dropped.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func(req *http.Request, sched time.Time) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp, err := client.Do(req.WithContext(ctx))
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusTooManyRequests:
+				shed.Add(1)
+			case resp.StatusCode >= 200 && resp.StatusCode < 300:
+				// Latency counts only admitted, completed work, from the
+				// scheduled arrival — shed requests answer fast by design
+				// and would flatter the distribution.
+				hist.Record(time.Since(sched))
+				completed.Add(1)
+			default:
+				errs.Add(1)
+			}
+		}(req, sched)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := MixResult{
+		Mix:         mix.Name,
+		TargetQPS:   cfg.Rate,
+		AchievedQPS: float64(completed.Load()) / elapsed.Seconds(),
+		DurationSec: elapsed.Seconds(),
+		Sent:        sent,
+		Completed:   completed.Load(),
+		Shed:        shed.Load(),
+		Errors:      errs.Load(),
+		Dropped:     dropped.Load(),
+		Latency:     hist.Snapshot(),
+	}
+	if readsAfter, ok := diskReads(client, cfg.BaseURL); ok && statsOK && res.Completed > 0 {
+		res.PagesReadPerOp = float64(readsAfter-readsBefore) / float64(res.Completed)
+	}
+	return res, nil
+}
+
+// diskReads fetches the server's cumulative diskReads counter;
+// ok=false when /stats is unreachable (the run still proceeds,
+// pages-per-op just reports 0).
+func diskReads(client *http.Client, base string) (int64, bool) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		DiskReads int64 `json:"diskReads"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return 0, false
+	}
+	return stats.DiskReads, true
+}

@@ -1,0 +1,154 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sky"
+	"repro/internal/vizhttp"
+)
+
+// newTarget builds an in-process vizserver over a small catalog.
+func newTarget(t *testing.T, cfg vizhttp.Config) (*vizhttp.Server, *httptest.Server) {
+	t.Helper()
+	db, err := core.Open(core.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.IngestSynthetic(sky.DefaultParams(3000, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildGridIndex(256, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildPhotoZ(16, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := vizhttp.New(db, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// conservation asserts the accounting identity every run must
+// satisfy, whatever the timing: each arrival is counted exactly once.
+func conservation(t *testing.T, r MixResult) {
+	t.Helper()
+	if r.Sent != r.Completed+r.Shed+r.Errors+r.Dropped {
+		t.Errorf("%s: sent %d != completed %d + shed %d + errors %d + dropped %d",
+			r.Mix, r.Sent, r.Completed, r.Shed, r.Errors, r.Dropped)
+	}
+	if r.Latency.Count != r.Completed {
+		t.Errorf("%s: histogram count %d != completed %d", r.Mix, r.Latency.Count, r.Completed)
+	}
+}
+
+// TestRunAllMixes drives each mix briefly against a healthy server.
+// Assertions are structural (conservation, no errors, JSON validity),
+// never about wall-clock latency values.
+func TestRunAllMixes(t *testing.T) {
+	_, ts := newTarget(t, vizhttp.Config{})
+	for _, mix := range StandardMixes() {
+		res, err := Run(context.Background(), Config{
+			BaseURL:     ts.URL,
+			Rate:        400,
+			Duration:    150 * time.Millisecond,
+			MaxInFlight: 128,
+			Seed:        1,
+		}, mix)
+		if err != nil {
+			t.Fatalf("%s: %v", mix.Name, err)
+		}
+		conservation(t, res)
+		if res.Errors > 0 {
+			t.Errorf("%s: %d errors against a healthy unloaded server", mix.Name, res.Errors)
+		}
+		if res.Completed == 0 {
+			t.Errorf("%s: no requests completed", mix.Name)
+		}
+		if res.PagesReadPerOp < 0 {
+			t.Errorf("%s: negative pagesReadPerOp %v", mix.Name, res.PagesReadPerOp)
+		}
+		out, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("%s: result does not marshal: %v", mix.Name, err)
+		}
+		var back MixResult
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("%s: result does not round-trip: %v", mix.Name, err)
+		}
+	}
+}
+
+// TestRunCountsShedDeterministically saturates the server's query
+// limiter by holding its only slot, so every T2 arrival the generator
+// carries is shed with 429 — no timing involved.
+func TestRunCountsShedDeterministically(t *testing.T) {
+	s, ts := newTarget(t, vizhttp.Config{MaxConcurrent: 1, MaxQueue: -1, QueueTimeout: time.Second})
+	release, err := s.Limiter("query").Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	mix, ok := MixByName("t2")
+	if !ok {
+		t.Fatal("t2 mix missing")
+	}
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Rate:        300,
+		Duration:    100 * time.Millisecond,
+		MaxInFlight: 64,
+		Seed:        2,
+	}, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conservation(t, res)
+	if res.Completed != 0 {
+		t.Errorf("completed = %d with the only slot held", res.Completed)
+	}
+	if res.Shed+res.Dropped != res.Sent || res.Shed == 0 {
+		t.Errorf("want every carried arrival shed: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Errorf("shed must be 429, not 5xx: %d errors", res.Errors)
+	}
+}
+
+// TestRunCancellation: a canceled context stops the arrival loop and
+// the run still reports consistent accounting.
+func TestRunCancellation(t *testing.T) {
+	_, ts := newTarget(t, vizhttp.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mix, _ := MixByName("t5")
+	res, err := Run(ctx, Config{BaseURL: ts.URL, Rate: 100, Duration: time.Hour, MaxInFlight: 8, Seed: 3}, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conservation(t, res)
+	if res.Sent > 1 {
+		t.Errorf("canceled run sent %d arrivals", res.Sent)
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"t1", "T2", "T3-topk", "t4", "T5-MIXED"} {
+		if _, ok := MixByName(name); !ok {
+			t.Errorf("MixByName(%q) not found", name)
+		}
+	}
+	if _, ok := MixByName("t9"); ok {
+		t.Error("MixByName(t9) unexpectedly found")
+	}
+}

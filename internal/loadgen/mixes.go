@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Mix is one workload class: a name and a request factory. Make runs
+// on the dispatch loop's goroutine, so it may use the shared rng.
+type Mix struct {
+	Name        string
+	Description string
+	Make        func(base string, rng *rand.Rand) (*http.Request, error)
+}
+
+// randMags samples a plausible 5-band magnitude vector: a base
+// brightness in the catalog's populated range with small per-band
+// color offsets, so kNN and photo-z probes land in dense regions
+// rather than empty space.
+func randMags(rng *rand.Rand) [5]float64 {
+	base := 14 + rng.Float64()*8
+	var m [5]float64
+	for i := range m {
+		m[i] = base + rng.NormFloat64()*0.6
+	}
+	return m
+}
+
+func queryReq(base, stmt string) (*http.Request, error) {
+	return http.NewRequest("GET", base+"/query?q="+url.QueryEscape(stmt), nil)
+}
+
+// StandardMixes is the T1–T5 workload matrix from the QoS experiment:
+// point lookups, range scans, top-k orderings, projection-heavy
+// selects, and the mixed traffic a real SkyServer front end produces.
+func StandardMixes() []Mix {
+	t1 := Mix{
+		Name:        "T1-point",
+		Description: "single-point k=1 nearest-neighbour lookup (POST /knn)",
+		Make: func(base string, rng *rand.Rand) (*http.Request, error) {
+			m := randMags(rng)
+			body := fmt.Sprintf(`{"points": [[%g,%g,%g,%g,%g]], "k": 1}`, m[0], m[1], m[2], m[3], m[4])
+			return http.NewRequest("POST", base+"/knn", strings.NewReader(body))
+		},
+	}
+	t2 := Mix{
+		Name:        "T2-range",
+		Description: "color-cut range query with a row cap (GET /query)",
+		Make: func(base string, rng *rand.Rand) (*http.Request, error) {
+			cut := 0.2 + rng.Float64()*0.6
+			rmax := 16 + rng.Float64()*4
+			return queryReq(base, fmt.Sprintf("SELECT objid, g, r WHERE g - r > %.3f AND r < %.2f LIMIT 100", cut, rmax))
+		},
+	}
+	t3 := Mix{
+		Name:        "T3-topk",
+		Description: "nearest-first top-k ordering served as kNN (GET /query)",
+		Make: func(base string, rng *rand.Rand) (*http.Request, error) {
+			m := randMags(rng)
+			return queryReq(base, fmt.Sprintf("SELECT * ORDER BY dist(%.3f, %.3f, %.3f, %.3f, %.3f) LIMIT 10", m[0], m[1], m[2], m[3], m[4]))
+		},
+	}
+	t4 := Mix{
+		Name:        "T4-projection",
+		Description: "wide-projection SELECT over a broad cut (GET /query)",
+		Make: func(base string, rng *rand.Rand) (*http.Request, error) {
+			rmax := 19 + rng.Float64()*3
+			return queryReq(base, fmt.Sprintf("SELECT objid, u, g, r, i, z, ra, dec, redshift, class WHERE r < %.2f LIMIT 200", rmax))
+		},
+	}
+	t5 := Mix{
+		Name:        "T5-mixed",
+		Description: "weighted interactive mix: 40% point, 25% range, 20% top-k, 15% projection",
+		Make: func(base string, rng *rand.Rand) (*http.Request, error) {
+			switch p := rng.Float64(); {
+			case p < 0.40:
+				return t1.Make(base, rng)
+			case p < 0.65:
+				return t2.Make(base, rng)
+			case p < 0.85:
+				return t3.Make(base, rng)
+			default:
+				return t4.Make(base, rng)
+			}
+		},
+	}
+	return []Mix{t1, t2, t3, t4, t5}
+}
+
+// MixByName finds a mix by its short name ("T1-point") or prefix
+// ("t1"), case-insensitively.
+func MixByName(name string) (Mix, bool) {
+	for _, m := range StandardMixes() {
+		if strings.EqualFold(m.Name, name) ||
+			strings.EqualFold(strings.SplitN(m.Name, "-", 2)[0], name) {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}

@@ -851,6 +851,24 @@ func (s *Store) PoolSize() int {
 // NumShards reports the pool's latch fan-out (1 for small pools).
 func (s *Store) NumShards() int { return len(s.shards) }
 
+// PinnedPages counts the frames currently pinned by some caller. At
+// any quiescent point — no query in flight, every cursor closed — it
+// must read zero; leak tests assert exactly that around every error,
+// shed and cancellation path.
+func (s *Store) PinnedPages() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.pins > 0 {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // Close flushes every dirty frame, rewrites the manifest superblock,
 // and closes every file, with the store latch held across flush and
 // manifest like Flush. The Store must not be used afterwards.

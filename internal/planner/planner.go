@@ -152,6 +152,11 @@ type Choice struct {
 	KdWalk   kdtree.Walk
 }
 
+// BestCost returns the chosen path's predicted cost in sequential-
+// page units — the number admission control compares against its
+// degradation threshold before any execution happens.
+func (c Choice) BestCost() float64 { return c.Cost[c.Path] }
+
 // Planner prices polyhedron queries against the indexes it is given.
 // Nil index fields simply exclude the corresponding paths. The zero
 // Model is replaced by DefaultCostModel.
@@ -326,6 +331,15 @@ type KNNChoice struct {
 	// Reason is a one-line human-readable explanation, surfaced
 	// through core.Report.PlanReason.
 	Reason string
+}
+
+// BestCost returns the chosen path's predicted cost in sequential-
+// page units, the pre-admission price of the query.
+func (c KNNChoice) BestCost() float64 {
+	if c.UseIndex {
+		return c.CostIndex
+	}
+	return c.CostBrute
 }
 
 // PlanKNN prices a kNN query with neighbourhood size k against the

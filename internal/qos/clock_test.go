@@ -1,0 +1,89 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+var testEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFakeClockTimerFiresOnAdvance(t *testing.T) {
+	c := NewFakeClock(testEpoch)
+	tm := c.NewTimer(50 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	c.Advance(49 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	if got := c.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", got)
+	}
+	c.Advance(1 * time.Millisecond)
+	select {
+	case at := <-tm.C():
+		if !at.Equal(testEpoch.Add(50 * time.Millisecond)) {
+			t.Fatalf("fired at %v, want %v", at, testEpoch.Add(50*time.Millisecond))
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	if got := c.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers after fire = %d, want 0", got)
+	}
+}
+
+func TestFakeClockZeroDurationFiresImmediately(t *testing.T) {
+	c := NewFakeClock(testEpoch)
+	tm := c.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("zero-duration timer did not fire immediately")
+	}
+}
+
+func TestFakeClockStopPreventsFire(t *testing.T) {
+	c := NewFakeClock(testEpoch)
+	tm := c.NewTimer(10 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on armed timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	if got := c.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers after Stop = %d, want 0", got)
+	}
+	c.Advance(time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestFakeClockFiresInDeadlineOrder(t *testing.T) {
+	c := NewFakeClock(testEpoch)
+	late := c.NewTimer(30 * time.Millisecond)
+	early := c.NewTimer(10 * time.Millisecond)
+	c.Advance(time.Second)
+	at1 := <-early.C()
+	at2 := <-late.C()
+	if at1.After(at2) || at1.IsZero() || at2.IsZero() {
+		t.Fatalf("timers fired out of order: early at %v, late at %v", at1, at2)
+	}
+}
+
+func TestFakeClockNow(t *testing.T) {
+	c := NewFakeClock(testEpoch)
+	c.Advance(90 * time.Second)
+	if got := c.Now(); !got.Equal(testEpoch.Add(90 * time.Second)) {
+		t.Fatalf("Now = %v, want %v", got, testEpoch.Add(90*time.Second))
+	}
+}

@@ -1,0 +1,144 @@
+package qos
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a streaming latency histogram with HDR-style
+// log-linear buckets: values (microseconds) are bucketed by their
+// power-of-two magnitude, each magnitude split into histSubBuckets
+// linear sub-buckets, giving a bounded relative error of about
+// 1/histSubBuckets (~3%) at every scale from 1µs to ~1h. Recording
+// is a single atomic increment, so hundreds of concurrent loadgen
+// clients (or server handlers) share one histogram without locks.
+//
+// The zero Histogram is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // microseconds
+	max    atomic.Int64 // microseconds
+}
+
+const (
+	histSubBits   = 5 // 32 sub-buckets per power of two
+	histSubCount  = 1 << histSubBits
+	histMagCount  = 32 // magnitudes: up to 2^32 µs ≈ 71 min
+	histBuckets   = histMagCount * histSubCount
+	histMaxMicros = int64(1)<<histMagCount - 1
+)
+
+// bucketIndex maps a microsecond value to its bucket.
+func bucketIndex(us int64) int {
+	if us < histSubCount {
+		// The first magnitude is exact: one bucket per microsecond.
+		return int(us)
+	}
+	mag := bits.Len64(uint64(us)) - 1 // position of the top bit, >= histSubBits
+	sub := (us >> (uint(mag) - histSubBits)) & (histSubCount - 1)
+	return (mag-histSubBits+1)*histSubCount + int(sub)
+}
+
+// bucketValue returns the representative microsecond value of a
+// bucket — its inclusive upper edge, so quantiles never under-report.
+func bucketValue(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	mag := idx/histSubCount + histSubBits - 1
+	sub := int64(idx%histSubCount) | histSubCount
+	return (sub+1)<<(uint(mag)-histSubBits) - 1
+}
+
+// Record adds one observation. Durations are clamped to [0, ~71min].
+func (h *Histogram) Record(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	if us > histMaxMicros {
+		us = histMaxMicros
+	}
+	h.counts[bucketIndex(us)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+	for {
+		cur := h.max.Load()
+		if us <= cur || h.max.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean recorded latency.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load()/n) * time.Microsecond
+}
+
+// Max returns the largest recorded latency (bucket-exact).
+func (h *Histogram) Max() time.Duration {
+	return time.Duration(h.max.Load()) * time.Microsecond
+}
+
+// Quantile returns the latency at quantile q in [0, 1], with the
+// bucket scheme's ~3% relative resolution. Zero observations yield 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(bucketValue(i)) * time.Microsecond
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot freezes the distribution into the summary the loadgen
+// report serializes.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// Snapshot summarizes the histogram. Concurrent Records during the
+// snapshot may or may not be included; snapshot at quiescent points
+// for exact totals.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return HistogramSnapshot{
+		Count:  h.Count(),
+		MeanMs: ms(h.Mean()),
+		P50Ms:  ms(h.Quantile(0.50)),
+		P95Ms:  ms(h.Quantile(0.95)),
+		P99Ms:  ms(h.Quantile(0.99)),
+		MaxMs:  ms(h.Max()),
+	}
+}

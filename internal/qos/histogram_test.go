@@ -1,0 +1,123 @@
+package qos
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// bucketValue(bucketIndex(v)) must be >= v (upper edge) and within
+	// the scheme's relative resolution (1/histSubCount per magnitude).
+	for _, us := range []int64{0, 1, 5, 31, 32, 33, 63, 64, 100, 1000, 12345, 1 << 20, histMaxMicros} {
+		idx := bucketIndex(us)
+		edge := bucketValue(idx)
+		if edge < us {
+			t.Errorf("bucketValue(bucketIndex(%d)) = %d < value", us, edge)
+		}
+		if us >= histSubCount {
+			maxEdge := us + us/histSubCount + 1
+			if edge > maxEdge {
+				t.Errorf("bucket edge for %d is %d, beyond resolution bound %d", us, edge, maxEdge)
+			}
+		} else if edge != us {
+			t.Errorf("sub-32µs bucket should be exact: value %d got edge %d", us, edge)
+		}
+	}
+}
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for us := int64(0); us < 1<<14; us++ {
+		idx := bucketIndex(us)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %dµs: %d < %d", us, idx, prev)
+		}
+		if idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", us, idx)
+		}
+		prev = idx
+	}
+	if idx := bucketIndex(histMaxMicros); idx >= histBuckets {
+		t.Fatalf("bucketIndex(max) = %d out of range", idx)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// Uniform 1..1000 ms: quantile q should land near q*1000 ms.
+	for ms := 1; ms <= 1000; ms++ {
+		h.Record(time.Duration(ms) * time.Millisecond)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("Count = %d, want 1000", got)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{1.00, 1000 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		relErr := math.Abs(float64(got-tc.want)) / float64(tc.want)
+		if relErr > 0.05 {
+			t.Errorf("Quantile(%v) = %v, want within 5%% of %v", tc.q, got, tc.want)
+		}
+	}
+	mean := h.Mean()
+	if mean < 495*time.Millisecond || mean > 505*time.Millisecond {
+		t.Errorf("Mean = %v, want ~500ms", mean)
+	}
+	if max := h.Max(); max != 1000*time.Millisecond {
+		t.Errorf("Max = %v, want 1s", max)
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Record(-time.Second) // clamps to 0
+	h.Record(100 * time.Hour)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	if got := h.Max(); got != time.Duration(histMaxMicros)*time.Microsecond {
+		t.Fatalf("overflow Record should clamp: Max = %v", got)
+	}
+	if got := h.Quantile(0.01); got != 0 {
+		t.Fatalf("Quantile(0.01) = %v, want 0 for the clamped negative", got)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Record(time.Duration(1+(w*perWorker+i)%997) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", got, workers*perWorker)
+	}
+	snap := h.Snapshot()
+	// Quantiles report bucket upper edges so they may exceed the
+	// exactly tracked max by up to the bucket resolution.
+	if snap.Count != workers*perWorker || snap.P50Ms <= 0 || snap.P99Ms < snap.P50Ms ||
+		snap.MaxMs*(1+1.0/histSubCount) < snap.P99Ms {
+		t.Fatalf("inconsistent snapshot: %+v", snap)
+	}
+}

@@ -1,0 +1,193 @@
+package qos
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures one endpoint's admission control.
+type Options struct {
+	// MaxConcurrent bounds the queries executing at once. <= 0
+	// disables the limiter entirely (Admit always succeeds).
+	MaxConcurrent int
+	// MaxQueue bounds the requests waiting for a slot; arrivals
+	// beyond it are shed immediately.
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits before it
+	// is shed. Zero means queued requests never time out (they still
+	// honor their context).
+	QueueTimeout time.Duration
+	// ExpensiveCost is the graceful-degradation threshold in the
+	// planner's sequential-page cost units: a request whose estimated
+	// cost reaches it is not allowed to queue — it is admitted only
+	// when a slot is free the moment it arrives, and shed otherwise.
+	// The decision is made before any execution, from the zero-I/O
+	// cost estimate, so under overload the expensive tail is turned
+	// away for free while cheap queries ride out the burst in the
+	// queue. Zero means no cost-based degradation.
+	ExpensiveCost float64
+	// Clock defaults to RealClock.
+	Clock Clock
+}
+
+// ShedError reports a request turned away by admission control.
+// Servers map it to 429 Too Many Requests with the Retry-After hint.
+type ShedError struct {
+	// Reason is "queue-full", "queue-timeout" or "expensive".
+	Reason string
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("qos: request shed (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Counters is a snapshot of a limiter's cumulative and gauge
+// counters, all read atomically.
+type Counters struct {
+	Admitted      int64 `json:"admitted"`
+	ShedQueueFull int64 `json:"shedQueueFull"`
+	ShedTimeout   int64 `json:"shedTimeout"`
+	ShedExpensive int64 `json:"shedExpensive"`
+	Canceled      int64 `json:"canceled"`
+	InFlight      int64 `json:"inFlight"`
+	Queued        int64 `json:"queued"`
+}
+
+// Shed sums the rejection counters.
+func (c Counters) Shed() int64 { return c.ShedQueueFull + c.ShedTimeout + c.ShedExpensive }
+
+// Limiter is one endpoint's admission controller: a semaphore of
+// MaxConcurrent slots fronted by a bounded, timed wait queue.
+// Admit/release pairs may be called from any number of goroutines.
+type Limiter struct {
+	opts  Options
+	clock Clock
+	sem   chan struct{}
+
+	admitted      atomic.Int64
+	shedQueueFull atomic.Int64
+	shedTimeout   atomic.Int64
+	shedExpensive atomic.Int64
+	canceled      atomic.Int64
+	queued        atomic.Int64
+}
+
+// NewLimiter builds a limiter from opts. A nil result means
+// admission control is disabled (MaxConcurrent <= 0); Limiter
+// methods are nil-safe and admit everything in that case.
+func NewLimiter(opts Options) *Limiter {
+	if opts.MaxConcurrent <= 0 {
+		return nil
+	}
+	if opts.MaxQueue < 0 {
+		opts.MaxQueue = 0
+	}
+	if opts.Clock == nil {
+		opts.Clock = RealClock{}
+	}
+	return &Limiter{
+		opts:  opts,
+		clock: opts.Clock,
+		sem:   make(chan struct{}, opts.MaxConcurrent),
+	}
+}
+
+// retryAfter is the backoff hint for shed responses: the queue
+// timeout (the horizon after which a queued peer's slot will have
+// freed or timed out), floored at one second.
+func (l *Limiter) retryAfter() time.Duration {
+	d := l.opts.QueueTimeout
+	if d < time.Second {
+		d = time.Second
+	}
+	return d.Round(time.Second)
+}
+
+// Admit asks for an execution slot for a request with the given
+// estimated cost. On success it returns a release function that MUST
+// be called exactly once when the request finishes. On overload it
+// returns a *ShedError (map to 429); if ctx is done first it returns
+// ctx.Err().
+func (l *Limiter) Admit(ctx context.Context, cost float64) (release func(), err error) {
+	if l == nil {
+		return func() {}, nil
+	}
+	// Fast path: free slot, no queueing.
+	select {
+	case l.sem <- struct{}{}:
+		l.admitted.Add(1)
+		return l.releaseFunc(), nil
+	default:
+	}
+	// Saturated. Expensive requests do not queue: the estimate
+	// already says this query would hold a slot for a long time, so
+	// turning it away now (for free) keeps the queue's wait bounded
+	// for the cheap majority.
+	if l.opts.ExpensiveCost > 0 && (cost >= l.opts.ExpensiveCost || math.IsInf(cost, 1)) {
+		l.shedExpensive.Add(1)
+		return nil, &ShedError{Reason: "expensive", RetryAfter: l.retryAfter()}
+	}
+	// Bounded queue entry.
+	if int(l.queued.Add(1)) > l.opts.MaxQueue {
+		l.queued.Add(-1)
+		l.shedQueueFull.Add(1)
+		return nil, &ShedError{Reason: "queue-full", RetryAfter: l.retryAfter()}
+	}
+	defer l.queued.Add(-1)
+
+	var timeout <-chan time.Time
+	if l.opts.QueueTimeout > 0 {
+		t := l.clock.NewTimer(l.opts.QueueTimeout)
+		defer t.Stop()
+		timeout = t.C()
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case l.sem <- struct{}{}:
+		l.admitted.Add(1)
+		return l.releaseFunc(), nil
+	case <-timeout:
+		l.shedTimeout.Add(1)
+		return nil, &ShedError{Reason: "queue-timeout", RetryAfter: l.retryAfter()}
+	case <-done:
+		l.canceled.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the slot exactly once however many times it is
+// called, so a handler's defer and an explicit early release cannot
+// double-free a slot.
+func (l *Limiter) releaseFunc() func() {
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			<-l.sem
+		}
+	}
+}
+
+// Counters snapshots the limiter's counters (zero value when
+// admission control is disabled).
+func (l *Limiter) Counters() Counters {
+	if l == nil {
+		return Counters{}
+	}
+	return Counters{
+		Admitted:      l.admitted.Load(),
+		ShedQueueFull: l.shedQueueFull.Load(),
+		ShedTimeout:   l.shedTimeout.Load(),
+		ShedExpensive: l.shedExpensive.Load(),
+		Canceled:      l.canceled.Load(),
+		InFlight:      int64(len(l.sem)),
+		Queued:        l.queued.Load(),
+	}
+}

@@ -1,0 +1,55 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// WriteShed renders a ShedError as 429 Too Many Requests with a
+// Retry-After hint, the server-side contract for load shedding.
+func WriteShed(w http.ResponseWriter, shed *ShedError) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int(shed.RetryAfter.Seconds())))
+	http.Error(w, shed.Error(), http.StatusTooManyRequests)
+}
+
+// HandleAdmit runs the admission decision for an HTTP request and
+// writes the rejection response when the request is not admitted:
+// 429 + Retry-After for sheds, 408 when the client gave up while
+// queued. On success the caller owns the returned release and MUST
+// call it when the request finishes.
+func HandleAdmit(l *Limiter, w http.ResponseWriter, r *http.Request, cost float64) (release func(), ok bool) {
+	release, err := l.Admit(r.Context(), cost)
+	if err == nil {
+		return release, true
+	}
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		WriteShed(w, shed)
+	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		http.Error(w, "client canceled while queued", http.StatusRequestTimeout)
+	} else {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
+	return nil, false
+}
+
+// Middleware wraps a handler with admission control at a fixed cost —
+// the wiring for endpoints whose price does not depend on the request
+// (the request-independent sampling endpoints). Cost-aware endpoints
+// call HandleAdmit in-handler instead, after pricing the parsed
+// request.
+func Middleware(l *Limiter, cost float64, next http.Handler) http.Handler {
+	if l == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, ok := HandleAdmit(l, w, r, cost)
+		if !ok {
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}

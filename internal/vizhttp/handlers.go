@@ -1,0 +1,489 @@
+package vizhttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/colorsql"
+	"repro/internal/core"
+	"repro/internal/table"
+	"repro/internal/vec"
+	"repro/internal/viz"
+)
+
+// pointJSON is one object in the wire format.
+type pointJSON struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Z        float64 `json:"z"`
+	Class    string  `json:"class"`
+	Redshift float32 `json:"redshift"`
+}
+
+// parseView extracts the 3-D query box and point budget.
+func parseView(r *http.Request) (vec.Box, int, error) {
+	parse3 := func(name string) (vec.Point, error) {
+		parts := strings.Split(r.URL.Query().Get(name), ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s must be three comma-separated numbers", name)
+		}
+		p := make(vec.Point, 3)
+		for i, part := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s[%d]: %w", name, i, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// ParseFloat accepts "NaN" and "Inf", and the inverted-
+				// box guard below is false for NaN on every axis — a
+				// non-finite box would flow straight into grid.Sample.
+				return nil, fmt.Errorf("%s[%d]: %v is not a finite coordinate", name, i, v)
+			}
+			p[i] = v
+		}
+		return p, nil
+	}
+	min, err := parse3("min")
+	if err != nil {
+		return vec.Box{}, 0, err
+	}
+	max, err := parse3("max")
+	if err != nil {
+		return vec.Box{}, 0, err
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return vec.Box{}, 0, fmt.Errorf("inverted box on axis %d", i)
+		}
+	}
+	n := 1000
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return vec.Box{}, 0, fmt.Errorf("bad n %q", s)
+		}
+		n = v
+	}
+	if n > 1_000_000 {
+		n = 1_000_000
+	}
+	return vec.NewBox(min, max), n, nil
+}
+
+func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
+	view, n, err := parseView(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	recs, _, err := s.db.SampleRegion(view, n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.countRequest(int64(len(recs)))
+
+	out := make([]pointJSON, len(recs))
+	for i := range recs {
+		out[i] = pointJSON{
+			X:        float64(recs[i].Mags[0]),
+			Y:        float64(recs[i].Mags[1]),
+			Z:        float64(recs[i].Mags[2]),
+			Class:    recs[i].Class.String(),
+			Redshift: recs[i].Redshift,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"count": len(out), "points": out})
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	view, n, err := parseView(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	recs, _, err := s.db.SampleRegion(view, n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	g := &viz.GeometrySet{}
+	for i := range recs {
+		g.Points = append(g.Points, viz.Point{
+			Pos: viz.P3{float64(recs[i].Mags[0]), float64(recs[i].Mags[1]), float64(recs[i].Mags[2])},
+			Tag: uint8(recs[i].Class),
+		})
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%d points in %v\n", len(recs), view)
+	fmt.Fprint(w, viz.AsciiRenderer{W: 100, H: 32}.Render(g, view))
+}
+
+// handleQuery serves colorsql queries through the streaming cursor
+// pipeline. Two input forms:
+//
+//	/query?q=SELECT+g,r+WHERE+g-r>0.4+ORDER+BY+r+LIMIT+20
+//	/query?where=g-r>0.4&limit=20        (legacy: SELECT * + limit)
+//
+// format=ndjson streams one JSON object per row with chunked
+// encoding — the first row is on the wire while the scan is still
+// running, and closing the connection cancels the scan via the
+// request context — followed by a final {"summary": ...} line.
+// The default JSON response collects the rows first but still
+// executes through the cursor, so a LIMIT bounds the pages read,
+// not just the rows encoded.
+//
+// Admission happens after parsing (rejecting malformed input must not
+// consume a slot) and is priced by the planner's zero-I/O estimate of
+// this statement, so under saturation an expensive statement is shed
+// before it costs the server anything.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("q")
+	legacy := false
+	if src == "" {
+		src = r.URL.Query().Get("where")
+		legacy = true
+	}
+	if src == "" {
+		http.Error(w, "missing q (full SELECT statement) or where (predicate) parameter", http.StatusBadRequest)
+		return
+	}
+	stmt, err := colorsql.ParseStatement(src, colorsql.DefaultVars(), table.Dim)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if legacy {
+		// The where form has no LIMIT clause; the limit parameter (default
+		// 100) caps it, and is now pushed into the scan rather than
+		// applied after materializing every match.
+		limit := 100
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			v, err := strconv.Atoi(ls)
+			if err != nil || v < 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", ls), http.StatusBadRequest)
+				return
+			}
+			limit = v
+		}
+		stmt.Limit = limit
+	}
+
+	release, ok := s.admit("query", w, r, s.db.EstimateStatementCost(stmt))
+	if !ok {
+		return
+	}
+	defer release()
+
+	cur, err := s.db.ExecStatement(r.Context(), stmt, core.PlanAuto)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer cur.Close()
+
+	cols := stmt.OutputColumns()
+	if r.URL.Query().Get("format") == "ndjson" {
+		s.streamNDJSON(w, cur, cols)
+		return
+	}
+
+	rows := make([]json.RawMessage, 0, 64)
+	points := []pointJSON{}
+	var buf []byte
+	for cur.Next() {
+		rec := cur.Record()
+		buf = core.AppendRowJSON(buf[:0], cols, rec)
+		rows = append(rows, json.RawMessage(append([]byte(nil), buf...)))
+		if stmt.Star {
+			// Legacy pointJSON view for SELECT * responses, built
+			// straight from the record so values match the old endpoint
+			// bit for bit.
+			points = append(points, pointJSON{
+				X:        float64(rec.Mags[0]),
+				Y:        float64(rec.Mags[1]),
+				Z:        float64(rec.Mags[2]),
+				Class:    rec.Class.String(),
+				Redshift: rec.Redshift,
+			})
+		}
+	}
+	rep := cur.Stats()
+	if err := cur.Err(); err != nil {
+		status := http.StatusInternalServerError
+		if r.Context().Err() != nil {
+			status = http.StatusRequestTimeout
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.countRequest(rep.RowsReturned)
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"plan":                 rep.Plan.String(),
+		"planReason":           rep.PlanReason,
+		"estimatedSelectivity": rep.EstimatedSelectivity,
+		"rowsReturned":         rep.RowsReturned,
+		"rowsExamined":         rep.RowsExamined,
+		"diskReads":            rep.DiskReads,
+		"rows":                 rows,
+		"points":               points,
+	})
+}
+
+// streamNDJSON writes one JSON object per row, flushing as it goes
+// so first-row latency is decoupled from result cardinality, then a
+// final summary line with the cursor's exact stats.
+//
+// Backpressure contract: every write refreshes a rolling deadline of
+// Config.StreamWriteTimeout. A consumer that stops reading makes the
+// next Write fail when the deadline fires, the handler returns, and
+// the deferred cursor Close releases the scan's pins — a stalled
+// client holds an admission slot and pool pages for at most one
+// deadline, not forever. (The per-request http.Server.WriteTimeout
+// cannot express this: it caps the whole response, killing legitimate
+// long streams, while saying nothing about per-write progress.)
+func (s *Server) streamNDJSON(w http.ResponseWriter, cur core.Cursor, cols []colorsql.Column) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	// Clear the server-wide absolute write timeout for this response:
+	// the stream's progress guarantee is the rolling per-write
+	// deadline. Recorders and exotic writers may not support
+	// deadlines; the stream then simply runs without them.
+	deadline := func() {
+		if s.cfg.StreamWriteTimeout > 0 {
+			rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+		}
+	}
+	deadline()
+	var buf []byte
+	n := 0
+	for cur.Next() {
+		buf = core.AppendRowJSON(buf[:0], cols, cur.Record())
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			// Client went away or stalled past the write deadline; the
+			// deferred Close cancels the scan.
+			return
+		}
+		n++
+		if flusher != nil && (n <= 16 || n%64 == 0) {
+			// Early rows flush individually (first-row latency); later
+			// ones in batches.
+			flusher.Flush()
+		}
+		deadline()
+	}
+	rep := cur.Stats()
+	if err := cur.Err(); err != nil {
+		fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+		return
+	}
+	s.countRequest(rep.RowsReturned)
+	summary, _ := json.Marshal(map[string]any{
+		"summary": map[string]any{
+			"plan":                 rep.Plan.String(),
+			"planReason":           rep.PlanReason,
+			"estimatedSelectivity": rep.EstimatedSelectivity,
+			"rowsReturned":         rep.RowsReturned,
+			"rowsExamined":         rep.RowsExamined,
+			"diskReads":            rep.DiskReads,
+			"cacheHits":            rep.CacheHits,
+		},
+	})
+	w.Write(append(summary, '\n'))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// parseMags parses one "m1,m2,m3,m4,m5" magnitude vector.
+func parseMags(raw string) (vec.Point, error) {
+	parts := strings.Split(raw, ",")
+	if len(parts) != table.Dim {
+		return nil, fmt.Errorf("mags needs %d comma-separated numbers, got %q", table.Dim, raw)
+	}
+	p := make(vec.Point, table.Dim)
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("mags[%d]: %w", i, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// A NaN query breaks every distance comparison and would
+			// return k arbitrary records as a 200.
+			return nil, fmt.Errorf("mags[%d]: %v is not a finite magnitude", i, v)
+		}
+		p[i] = v
+	}
+	return p, nil
+}
+
+// neighborJSON is one /knn result record: unlike the 3-D viz
+// pointJSON it carries the object identity and all five magnitudes,
+// so callers can identify the returned objects and verify the 5-D
+// ordering themselves.
+type neighborJSON struct {
+	ObjID    int64      `json:"objId"`
+	Mags     [5]float64 `json:"mags"`
+	Class    string     `json:"class"`
+	Redshift float32    `json:"redshift"`
+}
+
+// knnResultJSON is one query's slice of the /knn response.
+type knnResultJSON struct {
+	Neighbors      []neighborJSON `json:"neighbors"`
+	LeavesExamined int64          `json:"leavesExamined"`
+	RowsExamined   int64          `json:"rowsExamined"`
+	DiskReads      int64          `json:"diskReads"`
+}
+
+// handleKnn serves batched nearest-neighbour queries: POST a JSON
+// body {"points": [[5 mags]...], "k": n} and get, per query in input
+// order, the k neighbours plus that query's exact cost report from
+// the batch engine. Admission is priced per batch — points × the
+// planner's per-query kNN estimate — so a 10k-point k=1000 monster
+// sheds under saturation while single-point probes queue.
+func (s *Server) handleKnn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON body {\"points\": [[m1..m5]...], \"k\": n}", http.StatusMethodNotAllowed)
+		return
+	}
+	var in struct {
+		Points [][]float64 `json:"points"`
+		K      int         `json:"k"`
+	}
+	// 10k points × 5 coordinates fit comfortably in 4 MiB; cap the
+	// body before decoding so an oversized request cannot exhaust
+	// memory.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&in); err != nil {
+		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if in.K == 0 {
+		in.K = 10
+	}
+	if in.K < 1 || in.K > 1000 {
+		http.Error(w, fmt.Sprintf("k %d out of [1,1000]", in.K), http.StatusBadRequest)
+		return
+	}
+	if len(in.Points) == 0 || len(in.Points) > 10_000 {
+		http.Error(w, fmt.Sprintf("points count %d out of [1,10000]", len(in.Points)), http.StatusBadRequest)
+		return
+	}
+	qs := make([]vec.Point, len(in.Points))
+	for i, p := range in.Points {
+		if len(p) != table.Dim {
+			http.Error(w, fmt.Sprintf("points[%d] has %d coordinates, want %d", i, len(p), table.Dim), http.StatusBadRequest)
+			return
+		}
+		qs[i] = vec.Point(p)
+	}
+
+	release, ok := s.admit("knn", w, r, s.db.EstimateKNNCost(in.K, len(qs)))
+	if !ok {
+		return
+	}
+	defer release()
+
+	recs, reports, err := s.db.NearestNeighborsBatch(qs, in.K)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	results := make([]knnResultJSON, len(recs))
+	var leaves, rows, returned int64
+	for i, nbs := range recs {
+		out := make([]neighborJSON, len(nbs))
+		for j := range nbs {
+			nj := neighborJSON{
+				ObjID:    nbs[j].ObjID,
+				Class:    nbs[j].Class.String(),
+				Redshift: nbs[j].Redshift,
+			}
+			for d := 0; d < 5; d++ {
+				nj.Mags[d] = float64(nbs[j].Mags[d])
+			}
+			out[j] = nj
+		}
+		results[i] = knnResultJSON{
+			Neighbors:      out,
+			LeavesExamined: reports[i].LeavesExamined,
+			RowsExamined:   reports[i].RowsExamined,
+			DiskReads:      reports[i].DiskReads,
+		}
+		leaves += reports[i].LeavesExamined
+		rows += reports[i].RowsExamined
+		returned += reports[i].RowsReturned
+	}
+	s.countRequest(returned)
+	s.knnQueries.Add(int64(len(qs)))
+	s.knnLeaves.Add(leaves)
+	s.knnRows.Add(rows)
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"k":          in.K,
+		"queries":    len(qs),
+		"plan":       reports[0].Plan.String(),
+		"planReason": reports[0].PlanReason,
+		"results":    results,
+	})
+}
+
+// handlePhotoz serves photometric redshift estimates: repeat the
+// mags parameter for a batch, e.g. /photoz?mags=18,17,17,16,16&mags=...
+// The batch runs on the batched kNN engine; the response includes
+// the batch's fit-fallback count (degenerate neighbourhoods).
+func (s *Server) handlePhotoz(w http.ResponseWriter, r *http.Request) {
+	raws := r.URL.Query()["mags"]
+	if len(raws) == 0 {
+		http.Error(w, "missing mags parameter (m1,m2,m3,m4,m5; repeatable)", http.StatusBadRequest)
+		return
+	}
+	if len(raws) > 10_000 {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds 10000", len(raws)), http.StatusBadRequest)
+		return
+	}
+	qs := make([]vec.Point, len(raws))
+	for i, raw := range raws {
+		p, err := parseMags(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		qs[i] = p
+	}
+
+	release, ok := s.admit("photoz", w, r, s.db.EstimatePhotoZCost(len(qs)))
+	if !ok {
+		return
+	}
+	defer release()
+
+	zs, rep, err := s.db.EstimateRedshiftBatch(qs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.countRequest(int64(len(zs)))
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"redshifts":      zs,
+		"queries":        len(zs),
+		"fitFallbacks":   rep.FitFallbacks,
+		"leavesExamined": rep.LeavesExamined,
+		"rowsExamined":   rep.RowsExamined,
+		"diskReads":      rep.DiskReads,
+	})
+}

@@ -1,0 +1,296 @@
+package vizhttp
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qos"
+	"repro/internal/sky"
+)
+
+// newQoSTestServer builds a server with explicit admission limits.
+// MaxQueue 0 makes every saturated-arrival decision immediate, so
+// overload behaviour is asserted deterministically — no clocks, no
+// sleeps: the test itself occupies the slots.
+func newQoSTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	db, err := core.Open(core.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.IngestSynthetic(sky.DefaultParams(5000, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildGridIndex(256, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildPhotoZ(16, 1); err != nil {
+		t.Fatal(err)
+	}
+	return New(db, cfg)
+}
+
+func get(t *testing.T, s *Server, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("GET", target, nil))
+	return w
+}
+
+// TestQuerySheds429WhenSaturated: with every execution slot occupied
+// and no queue, a query is shed with 429 + Retry-After; freeing the
+// slots admits the same query. Deterministic: the test holds the
+// slots itself.
+func TestQuerySheds429WhenSaturated(t *testing.T) {
+	s := newQoSTestServer(t, Config{MaxConcurrent: 2, MaxQueue: -1, QueueTimeout: time.Second})
+	lim := s.Limiter("query")
+	r1, err := lim.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := lim.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := get(t, s, "/query?where=r+%3C+16&limit=5")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated query: status %d, want 429 (body %q)", w.Code, w.Body)
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After")
+	}
+
+	// Parse errors must not consume a slot and must stay 400, not 429:
+	// rejecting malformed input is cheaper than queueing it.
+	if w := get(t, s, "/query?where=r+%3C"); w.Code != http.StatusBadRequest {
+		t.Errorf("parse error under saturation: status %d, want 400", w.Code)
+	}
+	// /stats stays reachable under overload.
+	if w := get(t, s, "/stats"); w.Code != http.StatusOK {
+		t.Errorf("/stats under overload: status %d, want 200", w.Code)
+	}
+
+	r1()
+	r2()
+	if w := get(t, s, "/query?where=r+%3C+16&limit=5"); w.Code != http.StatusOK {
+		t.Fatalf("query after release: status %d, want 200 (body %q)", w.Code, w.Body)
+	}
+
+	// The shed is visible in /stats under qos.query.
+	var stats struct {
+		QoS map[string]qos.Counters `json:"qos"`
+	}
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	q := stats.QoS["query"]
+	if q.ShedQueueFull < 1 || q.Admitted < 1 {
+		t.Errorf("qos.query counters = %+v, want >=1 shed and >=1 admitted", q)
+	}
+}
+
+// TestExpensiveShedsBeforeCheap pins the graceful-degradation order:
+// under saturation a statement the planner prices above the threshold
+// is shed as "expensive" even though the queue has room, while a
+// cheap statement is only turned away by queue capacity.
+func TestExpensiveShedsBeforeCheap(t *testing.T) {
+	// ExpensiveCost 10: on the 5000-row catalog a LIMIT-1 point probe
+	// prices ~4, an unbounded full-catalog SELECT ~50.
+	s := newQoSTestServer(t, Config{MaxConcurrent: 1, MaxQueue: -1, QueueTimeout: time.Second, ExpensiveCost: 10})
+	release, err := s.Limiter("query").Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	w := get(t, s, "/query?q="+url.QueryEscape("SELECT *"))
+	if w.Code != http.StatusTooManyRequests || !strings.Contains(w.Body.String(), "expensive") {
+		t.Errorf("expensive statement: status %d body %q, want 429 shed (expensive)", w.Code, w.Body)
+	}
+	w = get(t, s, "/query?q="+url.QueryEscape("SELECT * WHERE u < 14 LIMIT 1"))
+	if w.Code != http.StatusTooManyRequests || !strings.Contains(w.Body.String(), "queue-full") {
+		t.Errorf("cheap statement: status %d body %q, want 429 shed (queue-full)", w.Code, w.Body)
+	}
+
+	var stats struct {
+		QoS map[string]qos.Counters `json:"qos"`
+	}
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	q := stats.QoS["query"]
+	if q.ShedExpensive != 1 || q.ShedQueueFull != 1 {
+		t.Errorf("qos.query counters = %+v, want ShedExpensive=1 ShedQueueFull=1", q)
+	}
+}
+
+// TestKnnAndPhotozShed429: the cost-aware POST endpoints shed like
+// /query does.
+func TestKnnAndPhotozShed429(t *testing.T) {
+	s := newQoSTestServer(t, Config{MaxConcurrent: 1, MaxQueue: -1, QueueTimeout: time.Second})
+	for _, ep := range []string{"knn", "photoz"} {
+		release, err := s.Limiter(ep).Admit(context.Background(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w *httptest.ResponseRecorder
+		if ep == "knn" {
+			w = httptest.NewRecorder()
+			req := httptest.NewRequest("POST", "/knn", strings.NewReader(`{"points": [[18,17,17,16,16]], "k": 3}`))
+			s.Handler().ServeHTTP(w, req)
+		} else {
+			w = get(t, s, "/photoz?mags=18,17,17,16,16")
+		}
+		if w.Code != http.StatusTooManyRequests || w.Header().Get("Retry-After") == "" {
+			t.Errorf("%s saturated: status %d, want 429 with Retry-After", ep, w.Code)
+		}
+		release()
+	}
+}
+
+// pinned returns the buffer pool's currently pinned frame count.
+func pinned(s *Server) int { return s.db.Engine().Store().PinnedPages() }
+
+// TestNoPinLeaksOnErrorPaths drives every rejection, error and
+// cancellation path of the cost-aware endpoints and asserts, via the
+// pool's pin counters, that no path leaves a page pinned or an
+// admission slot held. This is the class of bug backpressure can
+// introduce: an early return that skips a cursor Close.
+func TestNoPinLeaksOnErrorPaths(t *testing.T) {
+	s := newQoSTestServer(t, Config{MaxConcurrent: 2, MaxQueue: -1, QueueTimeout: time.Second})
+	check := func(label string, wantCode int, do func() *httptest.ResponseRecorder) {
+		t.Helper()
+		w := do()
+		if w.Code != wantCode {
+			t.Errorf("%s: status %d, want %d (body %q)", label, w.Code, wantCode, w.Body)
+		}
+		if n := pinned(s); n != 0 {
+			t.Errorf("%s: %d pages still pinned after response", label, n)
+		}
+		for _, ep := range limitedEndpoints {
+			if c := s.Limiter(ep).Counters(); c.InFlight != 0 || c.Queued != 0 {
+				t.Errorf("%s: limiter %s not drained: %+v", label, ep, c)
+			}
+		}
+	}
+
+	check("query ok", 200, func() *httptest.ResponseRecorder {
+		return get(t, s, "/query?where=r+%3C+16&limit=5")
+	})
+	check("query ndjson ok", 200, func() *httptest.ResponseRecorder {
+		return get(t, s, "/query?format=ndjson&q="+url.QueryEscape("SELECT objid WHERE r < 16 LIMIT 5"))
+	})
+	check("query parse error", 400, func() *httptest.ResponseRecorder {
+		return get(t, s, "/query?where=r+%3C")
+	})
+	check("query canceled before execution", 408, func() *httptest.ResponseRecorder {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		w := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "/query?where=r+%3C+16&limit=5", nil).WithContext(ctx)
+		s.Handler().ServeHTTP(w, req)
+		return w
+	})
+	check("query ndjson client disconnect", 200, func() *httptest.ResponseRecorder {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		req := httptest.NewRequest("GET", "/query?format=ndjson&q="+url.QueryEscape("SELECT * WHERE r < 30"), nil).WithContext(ctx)
+		w := &cancelingRecorder{ResponseRecorder: httptest.NewRecorder(), cancel: cancel}
+		s.Handler().ServeHTTP(w, req)
+		return w.ResponseRecorder
+	})
+	check("query shed", 429, func() *httptest.ResponseRecorder {
+		r1, _ := s.Limiter("query").Admit(context.Background(), 0)
+		r2, _ := s.Limiter("query").Admit(context.Background(), 0)
+		defer r1()
+		defer r2()
+		return get(t, s, "/query?where=r+%3C+16&limit=5")
+	})
+	check("knn bad body", 400, func() *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest("POST", "/knn", strings.NewReader("{not json")))
+		return w
+	})
+	check("knn ok", 200, func() *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest("POST", "/knn", strings.NewReader(`{"points": [[18,17,17,16,16]], "k": 3}`)))
+		return w
+	})
+	check("photoz bad mags", 400, func() *httptest.ResponseRecorder {
+		return get(t, s, "/photoz?mags=NaN,1,2,3,4")
+	})
+	check("photoz ok", 200, func() *httptest.ResponseRecorder {
+		return get(t, s, "/photoz?mags=18,17,17,16,16")
+	})
+}
+
+// TestStatsRaceFree hammers /stats while queries, kNN batches and
+// photo-z batches run concurrently. Under -race this pins the fix for
+// the old server struct's lock-juggled counters: every counter the
+// snapshot reads is now an atomic.
+func TestStatsRaceFree(t *testing.T) {
+	s := newQoSTestServer(t, Config{MaxConcurrent: 8, MaxQueue: 64, QueueTimeout: 5 * time.Second})
+	h := s.Handler()
+	const rounds = 25
+	var wg sync.WaitGroup
+	work := []func(i int) *http.Request{
+		func(i int) *http.Request {
+			return httptest.NewRequest("GET", "/query?where=r+%3C+16&limit=5", nil)
+		},
+		func(i int) *http.Request {
+			return httptest.NewRequest("POST", "/knn", strings.NewReader(`{"points": [[18,17,17,16,16]], "k": 3}`))
+		},
+		func(i int) *http.Request {
+			return httptest.NewRequest("GET", "/photoz?mags=18,17,17,16,16", nil)
+		},
+		func(i int) *http.Request {
+			return httptest.NewRequest("GET", "/points?min=10,10,10&max=30,30,30&n=50", nil)
+		},
+		func(i int) *http.Request {
+			return httptest.NewRequest("GET", "/stats", nil)
+		},
+	}
+	for _, mk := range work {
+		wg.Add(1)
+		go func(mk func(int) *http.Request) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, mk(i))
+				if w.Code >= 500 {
+					t.Errorf("%s: status %d: %s", mk(i).URL, w.Code, w.Body)
+					return
+				}
+			}
+		}(mk)
+	}
+	wg.Wait()
+	if n := pinned(s); n != 0 {
+		t.Errorf("%d pages pinned after drain", n)
+	}
+	var stats struct {
+		Requests int64 `json:"requests"`
+		Pinned   int   `json:"pinnedPages"`
+	}
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	// 4 serving endpoints × rounds requests all succeeded (queue is
+	// deep enough that nothing sheds).
+	if stats.Requests != 4*rounds {
+		t.Errorf("requests = %d, want %d", stats.Requests, 4*rounds)
+	}
+}

@@ -1,0 +1,181 @@
+// Package vizhttp implements vizserver's HTTP surface as an
+// importable package: the /points, /render, /query, /knn, /photoz and
+// /stats handlers over a core.SpatialDB, wired through per-endpoint
+// QoS admission control (internal/qos). Command vizserver is a thin
+// flag-and-lifecycle shell around it; tests — including the root
+// integration tests — mount the same mux on httptest.Server.
+//
+// Admission control happens before execution, priced by the
+// cost-based planner's zero-I/O estimate: each endpoint has a bounded
+// concurrent-query semaphore with a bounded, timed wait queue, and
+// requests that cannot be admitted are shed with 429 + Retry-After.
+// Under saturation, requests whose estimated cost exceeds the
+// degradation threshold are shed immediately (they never queue), so
+// the expensive tail cannot convoy the cheap majority. NDJSON
+// streaming writes carry a rolling write deadline, so one stalled
+// consumer cannot pin cursors and pool pages forever.
+package vizhttp
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/planner"
+	"repro/internal/qos"
+)
+
+// Config tunes the server's QoS. The zero value enables admission
+// control with defaults sized for a small host.
+type Config struct {
+	// MaxConcurrent bounds concurrently executing requests per
+	// endpoint. 0 means 2×GOMAXPROCS; negative disables admission
+	// control entirely.
+	MaxConcurrent int
+	// MaxQueue bounds the per-endpoint wait queue. 0 means
+	// 8×MaxConcurrent.
+	MaxQueue int
+	// QueueTimeout bounds a queued request's wait. 0 means 2s.
+	QueueTimeout time.Duration
+	// ExpensiveCost is the graceful-degradation threshold in planner
+	// cost units: under saturation, requests priced at or above it are
+	// shed instead of queued. 0 means 8× the cost of a full catalog
+	// scan; negative disables cost-based shedding.
+	ExpensiveCost float64
+	// StreamWriteTimeout is the rolling per-write deadline on NDJSON
+	// streaming responses. 0 means 30s; negative disables it.
+	StreamWriteTimeout time.Duration
+	// Clock drives queue timeouts; tests inject a qos.FakeClock.
+	// Nil means the real clock.
+	Clock qos.Clock
+}
+
+// Server serves the visualization and query endpoints over one
+// SpatialDB. All counters are atomics: /stats snapshots them without
+// taking any lock that handlers contend on.
+type Server struct {
+	db  *core.SpatialDB
+	cfg Config
+
+	// Cumulative serving counters, all atomic (the /stats snapshot
+	// must be race-free while handlers run).
+	requests   atomic.Int64
+	returned   atomic.Int64
+	knnQueries atomic.Int64
+	knnLeaves  atomic.Int64
+	knnRows    atomic.Int64
+
+	// Per-endpoint admission controllers; nil entries admit
+	// everything.
+	limiters map[string]*qos.Limiter
+}
+
+// limitedEndpoints are the endpoint names under admission control.
+// /stats is deliberately absent: the overload dashboard must stay
+// readable while everything else sheds.
+var limitedEndpoints = []string{"points", "render", "query", "knn", "photoz"}
+
+// New assembles a Server over db. See Config for the QoS defaults.
+func New(db *core.SpatialDB, cfg Config) *Server {
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 8 * cfg.MaxConcurrent
+	}
+	if cfg.QueueTimeout == 0 {
+		cfg.QueueTimeout = 2 * time.Second
+	}
+	if cfg.ExpensiveCost == 0 {
+		cfg.ExpensiveCost = defaultExpensiveCost(db)
+	}
+	if cfg.StreamWriteTimeout == 0 {
+		cfg.StreamWriteTimeout = 30 * time.Second
+	}
+	s := &Server{db: db, cfg: cfg, limiters: make(map[string]*qos.Limiter)}
+	for _, name := range limitedEndpoints {
+		s.limiters[name] = qos.NewLimiter(qos.Options{
+			MaxConcurrent: cfg.MaxConcurrent,
+			MaxQueue:      cfg.MaxQueue,
+			QueueTimeout:  cfg.QueueTimeout,
+			ExpensiveCost: max(cfg.ExpensiveCost, 0),
+			Clock:         cfg.Clock,
+		})
+	}
+	return s
+}
+
+// defaultExpensiveCost prices "expensive" relative to the loaded
+// catalog: eight full sequential scans. Every sane T1–T5 request
+// prices far below it; a 10k-point k=1000 kNN batch prices far above.
+// Falls back to a large constant when no catalog is loaded yet.
+func defaultExpensiveCost(db *core.SpatialDB) float64 {
+	pl, err := db.Planner()
+	if err != nil {
+		return 1 << 20
+	}
+	m := planner.DefaultCostModel()
+	full := float64(pl.Catalog.NumPages())*m.SeqPage + float64(pl.Catalog.NumRows())*m.Row
+	if full <= 0 {
+		return 1 << 20
+	}
+	return 8 * full
+}
+
+// Limiter exposes the endpoint's admission controller ("points",
+// "render", "query", "knn", "photoz"), nil when admission control is
+// disabled. Tests use it to saturate an endpoint deterministically.
+func (s *Server) Limiter(endpoint string) *qos.Limiter { return s.limiters[endpoint] }
+
+// admit runs admission for a cost-aware endpoint; on rejection the
+// response has already been written.
+func (s *Server) admit(endpoint string, w http.ResponseWriter, r *http.Request, cost float64) (func(), bool) {
+	return qos.HandleAdmit(s.limiters[endpoint], w, r, cost)
+}
+
+// Handler builds the route table. The sampling endpoints, whose cost
+// is bounded by the point-budget cap rather than the request, sit
+// behind the fixed-cost admission middleware; the cost-aware
+// endpoints admit in-handler after pricing the parsed request.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/points", qos.Middleware(s.limiters["points"], 0, http.HandlerFunc(s.handlePoints)))
+	mux.Handle("/render", qos.Middleware(s.limiters["render"], 0, http.HandlerFunc(s.handleRender)))
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/knn", s.handleKnn)
+	mux.HandleFunc("/photoz", s.handlePhotoz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// countRequest tallies one served request.
+func (s *Server) countRequest(rowsReturned int64) {
+	s.requests.Add(1)
+	s.returned.Add(rowsReturned)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	pages := s.db.Engine().Store().Stats()
+	pz := s.db.PhotoZStats()
+	qosStats := make(map[string]qos.Counters, len(s.limiters))
+	for name, l := range s.limiters {
+		qosStats[name] = l.Counters()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"requests":           s.requests.Load(),
+		"pointsReturned":     s.returned.Load(),
+		"diskReads":          pages.DiskReads,
+		"poolHits":           pages.Hits,
+		"pinnedPages":        s.db.Engine().Store().PinnedPages(),
+		"knnQueries":         s.knnQueries.Load(),
+		"knnLeavesExamined":  s.knnLeaves.Load(),
+		"knnRowsExamined":    s.knnRows.Load(),
+		"photozEstimates":    pz.Estimates,
+		"photozFitFallbacks": pz.FitFallbacks,
+		"qos":                qosStats,
+	})
+}

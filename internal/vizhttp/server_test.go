@@ -1,4 +1,4 @@
-package main
+package vizhttp
 
 import (
 	"encoding/json"
@@ -11,7 +11,7 @@ import (
 	"repro/internal/sky"
 )
 
-func newTestServer(t *testing.T) *server {
+func newTestServer(t *testing.T) *Server {
 	t.Helper()
 	db, err := core.Open(core.Config{Dir: t.TempDir()})
 	if err != nil {
@@ -30,7 +30,7 @@ func newTestServer(t *testing.T) *server {
 	if err := db.BuildPhotoZ(16, 1); err != nil {
 		t.Fatal(err)
 	}
-	return &server{db: db}
+	return New(db, Config{})
 }
 
 func TestHandleQuery(t *testing.T) {

@@ -1,4 +1,4 @@
-package main
+package vizhttp
 
 import (
 	"context"
@@ -159,7 +159,7 @@ func TestNDJSONClientDisconnectStopsPageReads(t *testing.T) {
 	if err := db.IngestSynthetic(sky.DefaultParams(20000, 42)); err != nil {
 		t.Fatal(err)
 	}
-	s := &server{db: db}
+	s := New(db, Config{})
 
 	cat, err := db.Catalog()
 	if err != nil {
