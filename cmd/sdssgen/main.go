@@ -83,6 +83,34 @@ func main() {
 	fmt.Printf("persisted %d files, %d pages (%d MiB) in %v — serve with spatialq/vizserver -dir %s\n",
 		len(files), pages, int(pages)*pagestore.PageSize/(1<<20), time.Since(t0).Round(time.Millisecond), *dir)
 
+	if zm := tb.ZoneMaps(); zm != nil {
+		// Zone tightness summary: mean per-page span of each magnitude
+		// relative to its full catalog range. Tight zones (small
+		// fractions) are what make pruning effective; the heap catalog's
+		// zones are wide, the kd-clustered copy's tight.
+		var span, lo, hi [table.Dim]float64
+		for d := 0; d < table.Dim; d++ {
+			lo[d], hi[d] = +1e300, -1e300
+		}
+		for pg := 0; pg < zm.NumPages(); pg++ {
+			z, _ := zm.Page(pg)
+			for d := 0; d < table.Dim; d++ {
+				span[d] += z.Max[d] - z.Min[d]
+				lo[d] = min(lo[d], z.Min[d])
+				hi[d] = max(hi[d], z.Max[d])
+			}
+		}
+		fmt.Printf("zone maps: %d pages; mean span / range per band:", zm.NumPages())
+		for d := 0; d < table.Dim; d++ {
+			frac := 0.0
+			if hi[d] > lo[d] {
+				frac = span[d] / float64(zm.NumPages()) / (hi[d] - lo[d])
+			}
+			fmt.Printf(" %.2f", frac)
+		}
+		fmt.Println()
+	}
+
 	counts := map[table.Class]uint64{}
 	var spec uint64
 	if err := tb.Scan(func(_ table.RowID, r *table.Record) bool {

@@ -46,7 +46,7 @@ func main() {
 	format := flag.String("format", "table", "statement output: table | ndjson")
 	knnPt := flag.String("knn", "", "comma-separated 5-D point for nearest neighbour search")
 	k := flag.Int("k", 10, "neighbours for -knn")
-	plan := flag.String("plan", "auto", "auto | kdtree | voronoi | fullscan | compare")
+	plan := flag.String("plan", "auto", "auto | kdtree | voronoi | pruned | fullscan | compare")
 	build := flag.Bool("build", false, "build and persist missing index structures instead of failing on them")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "query executor worker pool size")
 	limit := flag.Int("limit", 10, "result rows to print")
@@ -161,8 +161,10 @@ func runStatement(db *core.SpatialDB, src, plan, format string) {
 		p = core.PlanKdTree
 	case "voronoi":
 		p = core.PlanVoronoi
+	case "pruned":
+		p = core.PlanPrunedScan
 	default:
-		log.Fatalf("spatialq: -plan %q not supported for SELECT statements (use auto/fullscan/kdtree/voronoi)", plan)
+		log.Fatalf("spatialq: -plan %q not supported for SELECT statements (use auto/fullscan/kdtree/voronoi/pruned)", plan)
 	}
 	stmt, err := colorsql.ParseStatement(src, colorsql.DefaultVars(), table.Dim)
 	if err != nil {
@@ -189,6 +191,10 @@ func runStatement(db *core.SpatialDB, src, plan, format string) {
 	}
 	fmt.Fprintf(os.Stderr, "%-9s returned=%d examined=%d diskReads=%d hits=%d\n",
 		rep.Plan.String()+":", rep.RowsReturned, rep.RowsExamined, rep.DiskReads, rep.CacheHits)
+	if rep.PagesSkipped > 0 || rep.PagesScanned > 0 {
+		fmt.Fprintf(os.Stderr, "zones:    skipped=%d scanned=%d stripsDecoded=%d\n",
+			rep.PagesSkipped, rep.PagesScanned, rep.StripsDecoded)
+	}
 }
 
 // printStatementRow writes one row in the chosen format: an NDJSON
@@ -247,6 +253,10 @@ func runQuery(db *core.SpatialDB, query, plan string, limit int) {
 		}
 		fmt.Printf("%-9s returned=%d examined=%d diskReads=%d hits=%d\n",
 			rep.Plan.String()+":", rep.RowsReturned, rep.RowsExamined, rep.DiskReads, rep.CacheHits)
+		if rep.PagesSkipped > 0 || rep.PagesScanned > 0 {
+			fmt.Printf("zones:    skipped=%d scanned=%d stripsDecoded=%d\n",
+				rep.PagesSkipped, rep.PagesScanned, rep.StripsDecoded)
+		}
 		printRows(recs, limit)
 	}
 	for ci, poly := range u.Polys {
@@ -262,9 +272,12 @@ func runQuery(db *core.SpatialDB, query, plan string, limit int) {
 			run(poly, core.PlanKdTree)
 		case "voronoi":
 			run(poly, core.PlanVoronoi)
+		case "pruned":
+			run(poly, core.PlanPrunedScan)
 		case "compare":
 			run(poly, core.PlanFullScan)
 			run(poly, core.PlanKdTree)
+			run(poly, core.PlanPrunedScan)
 		default:
 			log.Fatalf("spatialq: unknown -plan %q", plan)
 		}

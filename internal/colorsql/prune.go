@@ -1,0 +1,26 @@
+package colorsql
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// PagePredicates compiles each DNF clause of the query into a
+// zone-map page predicate: u.Polys[i] becomes the i-th predicate, so
+// the executor can test one clause's halfspaces against a page's
+// per-column bounds and skip pages that cannot satisfy that clause.
+// A page survives the whole union when any clause's predicate keeps
+// it; the cursor layer takes the per-clause view because it already
+// runs one scan per clause.
+func (u Union) PagePredicates() ([]*table.PagePred, error) {
+	preds := make([]*table.PagePred, len(u.Polys))
+	for i, q := range u.Polys {
+		p, err := table.CompilePagePred(q.Planes)
+		if err != nil {
+			return nil, fmt.Errorf("colorsql: clause %d: %w", i, err)
+		}
+		preds[i] = p
+	}
+	return preds, nil
+}

@@ -73,6 +73,10 @@ const (
 	// PlanGrid is reported by grid-served sampling queries
 	// (SampleRegion); it is not selectable for polyhedron retrieval.
 	PlanGrid
+	// PlanPrunedScan forces the zone-map-pruned sequential scan:
+	// pages whose per-column bounds cannot intersect the query are
+	// skipped without a read. Requires a table with zone maps.
+	PlanPrunedScan
 )
 
 // String names the plan.
@@ -88,6 +92,8 @@ func (p Plan) String() string {
 		return "voronoi"
 	case PlanGrid:
 		return "grid"
+	case PlanPrunedScan:
+		return "pruned-scan"
 	}
 	return fmt.Sprintf("Plan(%d)", int(p))
 }
@@ -101,6 +107,15 @@ type Report struct {
 	RowsExamined int64
 	DiskReads    int64
 	CacheHits    int64
+
+	// PagesSkipped counts pages the zone maps proved empty of matches
+	// and eliminated without a read; PagesScanned counts pages a
+	// zone-pruned scan did read; StripsDecoded counts the per-column
+	// magnitude strips its vectorized filter decoded. All zero for
+	// plans without zone-map pruning.
+	PagesSkipped  int64
+	PagesScanned  int64
+	StripsDecoded int64
 
 	// LeavesExamined counts kd-tree leaves scanned by the §3.3
 	// region-growing kNN (zero for polyhedron queries).

@@ -127,12 +127,14 @@ func TestAutoPlanSelectiveQueryUsesIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A narrow color cut returns a tiny fraction of the catalog; the
-	// cost-based planner must route it through the kd-tree.
+	// cost-based planner must route it through an index path — the
+	// kd-tree walk or the zone-map-pruned scan over the kd-clustered
+	// table — never the full scan.
 	_, rep, err := db.QueryWhere("r < 16", PlanAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Plan != PlanKdTree {
+	if rep.Plan != PlanKdTree && rep.Plan != PlanPrunedScan {
 		t.Errorf("auto plan = %v (reason %q)", rep.Plan, rep.PlanReason)
 	}
 	if rep.PlanReason == "" {
@@ -402,7 +404,7 @@ func TestFindSimilarThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Plan != PlanKdTree {
+	if rep.Plan != PlanKdTree && rep.Plan != PlanPrunedScan {
 		t.Errorf("plan = %v", rep.Plan)
 	}
 	if len(recs) < len(training) {
@@ -451,9 +453,12 @@ func TestQueryWhereParseError(t *testing.T) {
 }
 
 func TestPlanString(t *testing.T) {
-	for _, p := range []Plan{PlanAuto, PlanFullScan, PlanKdTree, PlanVoronoi} {
+	for _, p := range []Plan{PlanAuto, PlanFullScan, PlanKdTree, PlanVoronoi, PlanGrid, PlanPrunedScan} {
 		if p.String() == "" {
 			t.Error("empty plan name")
 		}
+	}
+	if got := PlanPrunedScan.String(); got != "pruned-scan" {
+		t.Errorf("PlanPrunedScan.String() = %q", got)
 	}
 }

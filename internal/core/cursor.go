@@ -60,6 +60,9 @@ type cursorOpts struct {
 	// stream runs serially and stops reading pages at the one holding
 	// the last emitted row. -1 means unbounded.
 	stopAfter int64
+	// pred is a pre-compiled zone-map page predicate for the query's
+	// halfspaces; nil makes the pruned-scan path compile its own.
+	pred *table.PagePred
 }
 
 // polyCursor streams one convex polyhedron query: an executor
@@ -92,6 +95,7 @@ func (c *polyCursor) Stats() Report {
 	r := c.base
 	r.RowsReturned = c.emitted
 	r.RowsExamined = c.stream.RowsExamined()
+	r.PagesSkipped, r.PagesScanned, r.StripsDecoded = c.stream.ZoneStats()
 	st := c.scope.Stats()
 	r.DiskReads = st.DiskReads
 	r.CacheHits = st.Hits
@@ -122,6 +126,8 @@ func (db *SpatialDB) polyhedronCursor(ctx context.Context, q vec.Polyhedron, pla
 			resolved = PlanKdTree
 		case planner.PathVoronoi:
 			resolved = PlanVoronoi
+		case planner.PathPrunedScan:
+			resolved = PlanPrunedScan
 		default:
 			resolved = PlanFullScan
 		}
@@ -129,6 +135,7 @@ func (db *SpatialDB) polyhedronCursor(ctx context.Context, q vec.Polyhedron, pla
 
 	var tb *table.Table
 	var tasks []planner.ScanTask
+	var pred *table.PagePred
 	scope := db.eng.Store().Scoped()
 	switch resolved {
 	case PlanKdTree:
@@ -169,6 +176,30 @@ func (db *SpatialDB) polyhedronCursor(ctx context.Context, q vec.Polyhedron, pla
 		// Scan-class, like the eager full scan: an unselective stream
 		// must not flush the pool's hot set.
 		tb = catalog.Scoped(scope).ScanClassed()
+	case PlanPrunedScan:
+		src := pl.PrunedScanSource()
+		if src == nil {
+			return nil, fmt.Errorf("core: pruned scan requires a table with zone maps (rebuild or reingest the catalog)")
+		}
+		pred = opts.pred
+		if pred == nil {
+			p, err := table.CompilePagePred(q.Planes)
+			if err != nil {
+				return nil, fmt.Errorf("core: pruned scan: %w", err)
+			}
+			pred = p
+		}
+		rows := table.RowID(src.NumRows())
+		if opts.stopAfter >= 0 {
+			// Single contiguous range keeps the stop exact; the iterator
+			// still zone-skips page by page inside it.
+			tasks = []planner.ScanTask{{Lo: 0, Hi: rows, Filter: true}}
+		} else {
+			tasks = db.exec.FullScanTasks(rows)
+		}
+		// Sequential like a full scan, so it takes the scan class too:
+		// a mostly-pruned pass must not evict the hot set either.
+		tb = src.Scoped(scope).ScanClassed()
 	default:
 		return nil, fmt.Errorf("core: unknown plan %v", plan)
 	}
@@ -176,6 +207,7 @@ func (db *SpatialDB) polyhedronCursor(ctx context.Context, q vec.Polyhedron, pla
 		Ctx:       ctx,
 		Cols:      opts.cols,
 		StopAfter: opts.stopAfter,
+		Pred:      pred,
 	})
 	return &polyCursor{
 		stream: stream,
@@ -193,6 +225,9 @@ type unionCursor struct {
 	db    *SpatialDB
 	ctx   context.Context
 	polys []vec.Polyhedron
+	// preds, when non-nil, holds one pre-compiled page predicate per
+	// clause (same indexing as polys) for zone-map pruning.
+	preds []*table.PagePred
 	plan  Plan
 	opts  cursorOpts
 
@@ -205,12 +240,20 @@ type unionCursor struct {
 	closed  bool
 }
 
-func (db *SpatialDB) newUnionCursor(ctx context.Context, polys []vec.Polyhedron, plan Plan, opts cursorOpts) *unionCursor {
+func (db *SpatialDB) newUnionCursor(ctx context.Context, u colorsql.Union, plan Plan, opts cursorOpts) *unionCursor {
 	// Dedup needs the object identity decoded whatever the
 	// projection asked for.
 	opts.cols |= table.ColObjID
+	// Compile each clause's zone-map predicate up front so a
+	// pruned-scan clause never re-derives it; a clause that cannot
+	// compile (wrong dimensionality) just forgoes pruning here and
+	// surfaces its error if the pruned path is actually taken.
+	preds, err := u.PagePredicates()
+	if err != nil {
+		preds = nil
+	}
 	return &unionCursor{
-		db: db, ctx: ctx, polys: polys, plan: plan, opts: opts,
+		db: db, ctx: ctx, polys: u.Polys, preds: preds, plan: plan, opts: opts,
 		seen: make(map[int64]bool),
 	}
 }
@@ -224,7 +267,11 @@ func (c *unionCursor) Next() bool {
 			if c.idx >= len(c.polys) {
 				return false
 			}
-			cur, err := c.db.polyhedronCursor(c.ctx, c.polys[c.idx], c.plan, c.opts)
+			opts := c.opts
+			if c.preds != nil {
+				opts.pred = c.preds[c.idx]
+			}
+			cur, err := c.db.polyhedronCursor(c.ctx, c.polys[c.idx], c.plan, opts)
 			if err != nil {
 				c.err = err
 				return false
@@ -308,6 +355,9 @@ func mergeReport(total *Report, rep Report) {
 	total.RowsExamined += rep.RowsExamined
 	total.DiskReads += rep.DiskReads
 	total.CacheHits += rep.CacheHits
+	total.PagesSkipped += rep.PagesSkipped
+	total.PagesScanned += rep.PagesScanned
+	total.StripsDecoded += rep.StripsDecoded
 	total.LeavesExamined += rep.LeavesExamined
 	total.FitFallbacks += rep.FitFallbacks
 }

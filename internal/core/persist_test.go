@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -64,6 +65,9 @@ var stmtQueries = []string{
 	"SELECT objid, g, r WHERE g - r > 0.2 AND r < 20 LIMIT 40",
 	"SELECT * WHERE r < 15 OR r > 22",
 	"SELECT g, r ORDER BY g - r DESC LIMIT 25",
+	// LIMIT-free selective cut: the auto plan may serve this through
+	// the zone-map-pruned scan, whose rows must match everywhere.
+	"SELECT objid, g, r WHERE g - r > 0.2 AND r < 18",
 }
 
 // eagerPolyhedron is the legacy materialize-everything execution —
@@ -84,6 +88,23 @@ func eagerPolyhedron(db *SpatialDB, q vec.Polyhedron, plan Plan) ([]table.Record
 			return nil, err
 		}
 		return materialize(db.vor.Table(), ids)
+	case PlanPrunedScan:
+		// The eager reference for the pruned scan is an unpruned full
+		// scan over the same zone-mapped source table: pruning must be
+		// invisible in the answer.
+		pl, err := db.Planner()
+		if err != nil {
+			return nil, err
+		}
+		src := pl.PrunedScanSource()
+		if src == nil {
+			return nil, fmt.Errorf("no zone-mapped table for pruned scan")
+		}
+		ids, _, err := db.exec.FullScan(src, q)
+		if err != nil {
+			return nil, err
+		}
+		return materialize(src.ScanClassed(), ids)
 	default:
 		ids, _, err := db.exec.FullScan(db.catalog, q)
 		if err != nil {
@@ -98,7 +119,7 @@ func collectAnswers(t testing.TB, db *SpatialDB) queryAnswers {
 	const where = "g - r > 0.2 AND r < 20"
 	ans := queryAnswers{poly: make(map[Plan][]table.Record)}
 	poly := colorsql.MustParse(where, colorsql.DefaultVars(), table.Dim).Single()
-	for _, plan := range []Plan{PlanFullScan, PlanKdTree, PlanVoronoi, PlanAuto} {
+	for _, plan := range []Plan{PlanFullScan, PlanKdTree, PlanVoronoi, PlanPrunedScan, PlanAuto} {
 		recs, _, err := db.QueryWhere(where, plan)
 		if err != nil {
 			t.Fatalf("plan %v: %v", plan, err)
@@ -231,12 +252,13 @@ func TestColdOpenDoesZeroConstruction(t *testing.T) {
 	if stats.Allocs != 0 || stats.DiskWrites != 0 {
 		t.Errorf("cold open built something: allocs=%d writes=%d", stats.Allocs, stats.DiskWrites)
 	}
-	// The only reads allowed are the structure files: system.catalog
-	// and the four index streams. Table files must stay untouched.
+	// The only reads allowed are the structure files: system.catalog,
+	// the four index streams, and the per-table zone-map sidecars.
+	// Table files must stay untouched.
 	files := re.Engine().Store().ManifestFiles()
 	var structurePages int64
 	for name, pages := range files {
-		if strings.HasSuffix(name, ".idx") || name == "system.catalog" {
+		if strings.HasSuffix(name, ".idx") || strings.HasSuffix(name, ".zones") || name == "system.catalog" {
 			structurePages += int64(pages)
 		}
 	}

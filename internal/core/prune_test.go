@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/colorsql"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// TestPrunedScanExactPageStats is the acceptance pin for zone-map
+// pruning: a LIMIT-free selective color cut served by the pruned
+// scan must read exactly the pages its zone maps could not exclude —
+// counted three independent ways. The expected overlap is computed
+// here by classifying the zones directly; the query's PagesScanned,
+// its PagesSkipped complement, and the accounting scope's physical
+// page touches (DiskReads + CacheHits) must all agree with it.
+func TestPrunedScanExactPageStats(t *testing.T) {
+	db := buildFullDB(t, t.TempDir(), 6000)
+	defer db.Close()
+
+	const stmt = "SELECT objid, g, r WHERE g - r > 0.2 AND r < 18"
+	u, err := colorsql.Parse("g - r > 0.2 AND r < 18", colorsql.DefaultVars(), table.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := table.CompilePagePred(u.Single().Planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pl, err := db.Planner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := pl.PrunedScanSource()
+	if src == nil {
+		t.Fatal("no zone-mapped pruned-scan source")
+	}
+	zm := src.ZoneMaps()
+	total := zm.NumPages()
+	overlap := 0
+	for pg := 0; pg < total; pg++ {
+		z, ok := zm.Page(pg)
+		if !ok {
+			t.Fatalf("no zone for page %d", pg)
+		}
+		if pred.Classify(&z) != vec.Outside {
+			overlap++
+		}
+	}
+	if overlap >= total {
+		t.Fatalf("cut is not selective on this catalog: %d of %d pages overlap", overlap, total)
+	}
+
+	cur, err := db.QueryStatement(context.Background(), stmt, PlanPrunedScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, rep, err := Collect(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan != PlanPrunedScan {
+		t.Fatalf("plan = %v", rep.Plan)
+	}
+	if rep.PagesScanned != int64(overlap) {
+		t.Errorf("PagesScanned = %d, zone classification says %d pages overlap", rep.PagesScanned, overlap)
+	}
+	if rep.PagesSkipped != int64(total-overlap) {
+		t.Errorf("PagesSkipped = %d, want %d (= %d total - %d overlap)", rep.PagesSkipped, total-overlap, total, overlap)
+	}
+	// Physical accounting must agree: the scan pins each non-pruned
+	// page exactly once (tasks are page-aligned), and nothing else.
+	if touched := rep.DiskReads + rep.CacheHits; touched != int64(overlap) {
+		t.Errorf("scan touched %d pages (%d reads + %d hits), want exactly the %d overlapping pages",
+			touched, rep.DiskReads, rep.CacheHits, overlap)
+	}
+	if rep.DiskReads > int64(overlap) {
+		t.Errorf("DiskReads = %d exceeds the %d-page overlap", rep.DiskReads, overlap)
+	}
+	if rep.StripsDecoded == 0 {
+		t.Error("vectorized filter decoded no strips over partially overlapping pages")
+	}
+	// Examined counts the in-range rows of scanned pages only — under
+	// pruning it must be strictly fewer than the table.
+	if rep.RowsExamined >= int64(src.NumRows()) {
+		t.Errorf("RowsExamined = %d, want < %d (pruning should shrink it)", rep.RowsExamined, src.NumRows())
+	}
+
+	// Pruning must be invisible in the answer: the full scan over the
+	// heap catalog returns the same row set.
+	cur, err = db.QueryStatement(context.Background(), stmt, PlanFullScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, frep, err := Collect(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortRecords(pruned)
+	sortRecords(full)
+	if !reflect.DeepEqual(pruned, full) {
+		t.Fatalf("pruned scan returned %d rows, full scan %d: pruning changed the answer", len(pruned), len(full))
+	}
+	if frep.PagesSkipped != 0 || frep.PagesScanned != 0 || frep.StripsDecoded != 0 {
+		t.Errorf("full scan reported zone counters %d/%d/%d, want zeros",
+			frep.PagesSkipped, frep.PagesScanned, frep.StripsDecoded)
+	}
+}
+
+// TestForcedPrunedScanWithoutZones: forcing the plan on a database
+// with no zone-mapped table is a descriptive error before any rows
+// stream.
+func TestForcedPrunedScanWithoutZones(t *testing.T) {
+	empty, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer empty.Close()
+	_, err = empty.QueryStatement(context.Background(), "SELECT * WHERE r < 16", PlanPrunedScan)
+	if err == nil {
+		t.Fatal("forced pruned scan with no catalog succeeded")
+	}
+}

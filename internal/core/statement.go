@@ -93,7 +93,7 @@ func (db *SpatialDB) ExecStatement(ctx context.Context, stmt colorsql.Statement,
 	var cur Cursor
 	var err error
 	if stmt.HasWhere {
-		cur = db.newUnionCursor(ctx, stmt.Where.Polys, plan, opts)
+		cur = db.newUnionCursor(ctx, stmt.Where, plan, opts)
 	} else {
 		cur, err = db.fullCatalogCursor(ctx, opts)
 		if err != nil {
@@ -142,9 +142,28 @@ func (db *SpatialDB) validatePlan(stmt colorsql.Statement, plan Plan) error {
 			if db.vor == nil {
 				return fmt.Errorf("core: voronoi index not built")
 			}
+		case PlanPrunedScan:
+			if !db.hasZoneSourceLocked() {
+				return fmt.Errorf("core: pruned scan requires a table with zone maps (rebuild or reingest the catalog)")
+			}
 		}
 	}
 	return nil
+}
+
+// hasZoneSourceLocked reports whether some queryable table carries
+// zone maps covering it exactly — the same eligibility rule as
+// planner.PrunedScanSource. Caller holds db.mu.
+func (db *SpatialDB) hasZoneSourceLocked() bool {
+	for _, t := range []*table.Table{db.kdTable, db.catalog} {
+		if t == nil || t.NumRows() == 0 {
+			continue
+		}
+		if zm := t.ZoneMaps(); zm != nil && zm.NumPages() == t.NumPages() {
+			return true
+		}
+	}
+	return false
 }
 
 // orderKey compiles the ORDER BY expression into a per-record key.
@@ -214,5 +233,5 @@ func (db *SpatialDB) QueryUnionCursor(ctx context.Context, u colorsql.Union, pla
 	if !loaded {
 		return nil, fmt.Errorf("core: no catalog loaded")
 	}
-	return db.newUnionCursor(ctx, u.Polys, plan, cursorOpts{cols: table.ColAll, stopAfter: -1}), nil
+	return db.newUnionCursor(ctx, u, plan, cursorOpts{cols: table.ColAll, stopAfter: -1}), nil
 }

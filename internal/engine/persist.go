@@ -11,17 +11,36 @@ import (
 )
 
 // Catalog persistence: the engine's table directory — each table's
-// name, schema (record size), exact row count, and clustered-order
-// identity — serialized into the paged system.catalog file. A
-// reopened engine reads the catalog once and opens every table
-// without touching a single table page (the row counts come from the
-// catalog, not from re-reading page headers), which is what makes
-// cold open cost manifest + catalog + index pages only.
+// name, schema (record size), exact row count, clustered-order
+// identity, and whether a zone-map sidecar exists — serialized into
+// the paged system.catalog file. A reopened engine reads the catalog
+// once and opens every table without touching a single table page
+// (the row counts come from the catalog, not from re-reading page
+// headers), which is what makes cold open cost manifest + catalog +
+// index + sidecar pages only.
 
 // CatalogFileName is the paged file holding the persisted catalog.
 const CatalogFileName = "system.catalog"
 
-const catalogFormatVersion = 1
+// catalogFormatVersion 2 is the columnar-page era: table files hold
+// column strips (table/colpage.go) and each table may carry a
+// zone-map sidecar. Version 1 databases hold row-major 64-byte record
+// pages; the formats share nothing below the page store, so opening
+// across the boundary is refused with a descriptive error rather
+// than misreading pages.
+const catalogFormatVersion = 2
+
+// catalogVersionMeaning names what each known on-disk version stored,
+// for the skew error message.
+func catalogVersionMeaning(v int) string {
+	switch v {
+	case 1:
+		return "row-major record pages"
+	case 2:
+		return "columnar strip pages with zone-map sidecars"
+	}
+	return "unknown layout"
+}
 
 // Clustered-order identities recorded per table.
 const (
@@ -37,6 +56,9 @@ type TableMeta struct {
 	Rows        uint64
 	RecordSize  int
 	ClusteredBy string
+	// HasZones records that a zone-map sidecar (<name>.zones) was
+	// persisted alongside the table.
+	HasZones bool
 }
 
 type persistedCatalog struct {
@@ -44,13 +66,26 @@ type persistedCatalog struct {
 	Tables  []TableMeta
 }
 
+// persistedZones is the gob payload of one zone-map sidecar.
+type persistedZones struct {
+	Table string
+	Rows  uint64
+	Zones []table.PageZone
+}
+
+// zoneFileName names a table's zone-map sidecar file.
+func zoneFileName(tableName string) string { return tableName + ".zones" }
+
 // PersistCatalog writes the catalog of registered tables into
-// system.catalog. Call it before Store.Flush/Close so the manifest
-// covers the catalog file.
+// system.catalog, and each table's zone maps into a checksummed
+// paged sidecar. Call it before Store.Flush/Close so the manifest
+// covers the catalog and sidecar files.
 func (db *DB) PersistCatalog() error {
 	db.mu.RLock()
 	cat := persistedCatalog{Version: catalogFormatVersion}
+	tables := make(map[string]*table.Table, len(db.tables))
 	for name, t := range db.tables {
+		tables[name] = t
 		clustered := db.clusteredBy[name]
 		if clustered == "" {
 			clustered = ClusteredHeap
@@ -60,10 +95,30 @@ func (db *DB) PersistCatalog() error {
 			Rows:        t.NumRows(),
 			RecordSize:  table.RecordSize,
 			ClusteredBy: clustered,
+			HasZones:    t.ZoneMaps() != nil,
 		})
 	}
 	db.mu.RUnlock()
 	sort.Slice(cat.Tables, func(i, j int) bool { return cat.Tables[i].Name < cat.Tables[j].Name })
+
+	for i := range cat.Tables {
+		m := &cat.Tables[i]
+		if !m.HasZones {
+			continue
+		}
+		t := tables[m.Name]
+		zm := t.ZoneMaps()
+		// A sidecar that does not cover the table exactly would misprune
+		// queries after reopen; refuse to persist it.
+		if err := zm.Validate(t.NumPages()); err != nil {
+			return fmt.Errorf("engine: persist zone maps for %q: %w", m.Name, err)
+		}
+		pz := persistedZones{Table: m.Name, Rows: m.Rows, Zones: zm.Snapshot()}
+		err := pagedio.WriteGob(db.store, zoneFileName(m.Name), func(enc *gob.Encoder) error { return enc.Encode(pz) })
+		if err != nil {
+			return fmt.Errorf("engine: persist zone maps for %q: %w", m.Name, err)
+		}
+	}
 
 	err := pagedio.WriteGob(db.store, CatalogFileName, func(enc *gob.Encoder) error { return enc.Encode(cat) })
 	if err != nil {
@@ -74,10 +129,11 @@ func (db *DB) PersistCatalog() error {
 
 // OpenExisting opens a previously persisted engine at dir: the page
 // store is validated against its manifest, the catalog is read from
-// system.catalog, and every cataloged table is opened with its
-// persisted row count and clustered-order identity — no table page
-// is read. Version skew, checksum corruption, and schema mismatches
-// are descriptive errors.
+// system.catalog, every cataloged table is opened with its persisted
+// row count and clustered-order identity — no table page is read —
+// and each table's zone-map sidecar is loaded and validated against
+// the table it describes. Version skew, checksum corruption, and
+// schema mismatches are descriptive errors, never silent fallbacks.
 func OpenExisting(dir string, poolPages int) (*DB, error) {
 	s, err := pagestore.OpenExisting(dir, poolPages)
 	if err != nil {
@@ -99,7 +155,8 @@ func OpenExisting(dir string, poolPages int) (*DB, error) {
 			return err
 		}
 		if cat.Version != catalogFormatVersion {
-			return fmt.Errorf("catalog format version %d, this binary supports %d", cat.Version, catalogFormatVersion)
+			return fmt.Errorf("catalog format version %d (%s), this binary supports only version %d (%s): rebuild the data directory with sdssgen",
+				cat.Version, catalogVersionMeaning(cat.Version), catalogFormatVersion, catalogVersionMeaning(catalogFormatVersion))
 		}
 		return nil
 	})
@@ -118,8 +175,38 @@ func OpenExisting(dir string, poolPages int) (*DB, error) {
 			s.Close()
 			return nil, fmt.Errorf("engine: open cataloged table: %w", err)
 		}
+		if m.HasZones {
+			if err := loadZoneSidecar(s, t, m); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
 		db.tables[m.Name] = t
 		db.clusteredBy[m.Name] = m.ClusteredBy
 	}
 	return db, nil
+}
+
+// loadZoneSidecar reads, validates, and attaches one table's zone
+// maps. Any inconsistency between sidecar and table — missing file,
+// row-count skew, page-count skew, non-finite bounds — fails the
+// open: a wrong zone map would silently drop rows from query answers.
+func loadZoneSidecar(s *pagestore.Store, t *table.Table, m TableMeta) error {
+	name := zoneFileName(m.Name)
+	if !s.HasFile(name) {
+		return fmt.Errorf("engine: table %q: catalog records a zone-map sidecar but %s is missing", m.Name, name)
+	}
+	var pz persistedZones
+	err := pagedio.ReadGob(s, name, func(dec *gob.Decoder) error { return dec.Decode(&pz) })
+	if err != nil {
+		return fmt.Errorf("engine: zone maps for %q: %w", m.Name, err)
+	}
+	if pz.Table != m.Name || pz.Rows != m.Rows {
+		return fmt.Errorf("engine: zone sidecar %s describes table %q with %d rows, catalog says %q with %d rows: stale sidecar",
+			name, pz.Table, pz.Rows, m.Name, m.Rows)
+	}
+	if err := t.AttachZoneMaps(table.ZoneMapsFrom(pz.Zones)); err != nil {
+		return fmt.Errorf("engine: zone maps for %q: %w", m.Name, err)
+	}
+	return nil
 }

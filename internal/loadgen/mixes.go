@@ -33,9 +33,10 @@ func queryReq(base, stmt string) (*http.Request, error) {
 	return http.NewRequest("GET", base+"/query?q="+url.QueryEscape(stmt), nil)
 }
 
-// StandardMixes is the T1–T5 workload matrix from the QoS experiment:
+// StandardMixes is the T1–T6 workload matrix from the QoS experiment:
 // point lookups, range scans, top-k orderings, projection-heavy
-// selects, and the mixed traffic a real SkyServer front end produces.
+// selects, the mixed traffic a real SkyServer front end produces, and
+// the LIMIT-free selective color cut that exercises zone-map pruning.
 func StandardMixes() []Mix {
 	t1 := Mix{
 		Name:        "T1-point",
@@ -87,7 +88,19 @@ func StandardMixes() []Mix {
 			}
 		},
 	}
-	return []Mix{t1, t2, t3, t4, t5}
+	t6 := Mix{
+		Name:        "T6-selcut",
+		Description: "LIMIT-free selective color cut: zone-map pruning bounds pages read per op (GET /query)",
+		Make: func(base string, rng *rand.Rand) (*http.Request, error) {
+			// No LIMIT: the scan must visit every page the zone maps
+			// cannot exclude, so pages-read-per-op measures pruning
+			// itself rather than early termination.
+			cut := 0.2 + rng.Float64()*0.4
+			rmax := 15.5 + rng.Float64()*1.5
+			return queryReq(base, fmt.Sprintf("SELECT objid, g, r WHERE g - r > %.3f AND r < %.2f", cut, rmax))
+		},
+	}
+	return []Mix{t1, t2, t3, t4, t5, t6}
 }
 
 // MixByName finds a mix by its short name ("T1-point") or prefix

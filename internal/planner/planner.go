@@ -56,6 +56,13 @@ const (
 	PathFullScan Path = iota
 	PathKdTree
 	PathVoronoi
+	// PathPrunedScan is a sequential scan that consults the per-page
+	// zone maps: pages whose magnitude bounds cannot intersect the
+	// query are never read. It runs over the most color-clustered
+	// table available (the kd-leaf-ordered copy when built, whose
+	// zones are tight), paying SeqPage for overlap pages instead of
+	// the kd path's RandPage for scattered ranges.
+	PathPrunedScan
 	numPaths
 )
 
@@ -68,6 +75,8 @@ func (p Path) String() string {
 		return "kdtree"
 	case PathVoronoi:
 		return "voronoi"
+	case PathPrunedScan:
+		return "pruned-scan"
 	}
 	return fmt.Sprintf("Path(%d)", int(p))
 }
@@ -150,6 +159,11 @@ type Choice struct {
 	// classifies the tree exactly once.
 	KdRanges []kdtree.Range
 	KdWalk   kdtree.Walk
+	// PrunedPages and PrunedTotal are the zone-map consultation's
+	// verdict while pricing the pruned-scan path: how many of the
+	// pruned source table's pages the query can possibly touch, out of
+	// how many. Computed entirely in memory — no page I/O.
+	PrunedPages, PrunedTotal int
 }
 
 // BestCost returns the chosen path's predicted cost in sequential-
@@ -223,6 +237,20 @@ func (p *Planner) Plan(q vec.Polyhedron) Choice {
 		}
 		cand := vorInsideRows + vorPartialRows
 		c.Cost[PathVoronoi] = pagesFor(cand)*m.RandPage + float64(cells)*m.Node + float64(cand)*m.Row
+	}
+
+	// Pruned scan: classify every page's zone map against the query —
+	// pure CPU, no I/O — then price the surviving pages sequentially.
+	// On the kd-clustered table the zones are tight, so a selective
+	// cut's overlap set is a small fraction of the file read at
+	// SeqPage, versus the kd path's scattered ranges at RandPage.
+	if src := p.PrunedScanSource(); src != nil && len(q.Planes) > 0 {
+		if pred, err := table.CompilePagePred(q.Planes); err == nil {
+			zm := src.ZoneMaps()
+			pages, rows := prunedOverlap(zm, src.NumRows(), pred)
+			c.PrunedPages, c.PrunedTotal = pages, zm.NumPages()
+			c.Cost[PathPrunedScan] = float64(pages)*m.SeqPage + float64(zm.NumPages())*m.Node + float64(rows)*m.Row
+		}
 	}
 
 	c.Est = p.estimate(q, kdRanges, vorInsideRows, vorPartialRows, n)
@@ -391,6 +419,45 @@ func (p *Planner) PlanKNN(k int) KNNChoice {
 			k, c.CostBrute, c.CostIndex, c.ExpectedLeaves)
 	}
 	return c
+}
+
+// PrunedScanSource returns the table a pruned scan would run over:
+// the kd-leaf-clustered copy when it is built and carries complete
+// zone maps (clustering in color space makes zones tight), otherwise
+// the catalog itself, otherwise nil (no zone maps available — e.g. a
+// database persisted without sidecars). The executor must use the
+// same selection so the plan's pricing matches what runs.
+func (p *Planner) PrunedScanSource() *table.Table {
+	for _, t := range []*table.Table{p.KdTable, p.Catalog} {
+		if t == nil || t.NumRows() == 0 {
+			continue
+		}
+		if zm := t.ZoneMaps(); zm != nil && zm.NumPages() == t.NumPages() {
+			return t
+		}
+	}
+	return nil
+}
+
+// prunedOverlap classifies every page zone against the predicate and
+// returns how many pages survive and how many rows they hold.
+func prunedOverlap(zm *table.ZoneMaps, rows uint64, pred *table.PagePred) (pages int, overlapRows int64) {
+	total := zm.NumPages()
+	for pg := 0; pg < total; pg++ {
+		z, ok := zm.Page(pg)
+		if !ok || pred.Classify(&z) == vec.Outside {
+			continue
+		}
+		pages++
+		inPage := int64(table.RecordsPerPage)
+		if pg == total-1 {
+			if last := int64(rows) - int64(pg)*table.RecordsPerPage; last < inPage {
+				inPage = last
+			}
+		}
+		overlapRows += inPage
+	}
+	return pages, overlapRows
 }
 
 // pagesFor converts a row count to page reads, rounding up.

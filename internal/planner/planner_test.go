@@ -196,8 +196,12 @@ func TestPlanCrossover(t *testing.T) {
 	if s := trueSelectivity(t, w.catalog, narrow); s > 0.05 {
 		t.Fatalf("narrow query selectivity %0.3f, want < 0.05", s)
 	}
-	if c := pl.Plan(narrow); c.Path != PathKdTree {
-		t.Errorf("narrow query path = %v (%s)", c.Path, c.Reason)
+	// Either index-style path is acceptable for the selective query —
+	// with zone maps attached, a pruned sequential scan over the
+	// kd-clustered table can legitimately underprice the kd walk. The
+	// pinned behavior is "not a full scan".
+	if c := pl.Plan(narrow); c.Path != PathKdTree && c.Path != PathPrunedScan {
+		t.Errorf("narrow query path = %v (%s), want an index path", c.Path, c.Reason)
 	}
 }
 

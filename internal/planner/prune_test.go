@@ -1,0 +1,90 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/sky"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// TestPlanPrunedScanCrossover pins the pruned scan's place in the
+// cost model across the selectivity sweep:
+//
+//   - selective-but-not-tiny queries: the zone-map-pruned sequential
+//     scan over the kd-clustered table reads only the few overlapping
+//     leaf pages without the kd walk's random-page penalty, so the
+//     planner must pick it and price it under the kd walk;
+//   - wide queries: pruning excludes almost nothing, the per-page
+//     classification is pure overhead, and the plain full scan must
+//     both win and price under the pruned scan.
+func TestPlanPrunedScanCrossover(t *testing.T) {
+	w := sharedWorld(t)
+	pl := &Planner{Catalog: w.catalog, Kd: w.tree, KdTable: w.kdTable, Domain: sky.Domain()}
+
+	src := pl.PrunedScanSource()
+	if src == nil {
+		t.Fatal("no zone-mapped pruned-scan source")
+	}
+	if src != w.kdTable {
+		t.Error("pruned-scan source should prefer the kd-clustered table (tight zones in color space)")
+	}
+
+	q := centeredBox(w.kdTable, 0.4)
+	c := pl.Plan(q)
+	if c.Path != PathPrunedScan {
+		t.Fatalf("selective query path = %v (%s), want pruned-scan", c.Path, c.Reason)
+	}
+	if c.Cost[PathPrunedScan] >= c.Cost[PathKdTree] {
+		t.Errorf("pruned scan chosen but priced %.1f >= kd %.1f", c.Cost[PathPrunedScan], c.Cost[PathKdTree])
+	}
+	if c.PrunedPages <= 0 || c.PrunedPages >= c.PrunedTotal {
+		t.Errorf("pruning ineffective: %d of %d pages overlap", c.PrunedPages, c.PrunedTotal)
+	}
+
+	// The planner's pruned-page count is a zero-I/O consultation of
+	// the zone maps; it must equal a direct classification.
+	pred, err := table.CompilePagePred(q.Planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zm := src.ZoneMaps()
+	overlap := 0
+	for pg := 0; pg < zm.NumPages(); pg++ {
+		z, ok := zm.Page(pg)
+		if !ok {
+			t.Fatalf("no zone for page %d", pg)
+		}
+		if pred.Classify(&z) != vec.Outside {
+			overlap++
+		}
+	}
+	if c.PrunedPages != overlap {
+		t.Errorf("planner counted %d overlapping pages, direct classification %d", c.PrunedPages, overlap)
+	}
+
+	wide := centeredBox(w.kdTable, 12.8)
+	cw := pl.Plan(wide)
+	if cw.Path != PathFullScan {
+		t.Errorf("wide query path = %v (%s), want fullscan", cw.Path, cw.Reason)
+	}
+	if cw.Cost[PathPrunedScan] <= cw.Cost[PathFullScan] {
+		t.Errorf("wide query: pruned scan priced %.1f <= fullscan %.1f; the classification overhead should make it strictly worse",
+			cw.Cost[PathPrunedScan], cw.Cost[PathFullScan])
+	}
+}
+
+// TestPrunedScanSourceRequiresCoverage: a table whose zone maps do
+// not cover it exactly is not eligible — mispruning a partially
+// covered table would drop rows.
+func TestPrunedScanSourceRequiresCoverage(t *testing.T) {
+	w := sharedWorld(t)
+	pl := &Planner{Catalog: w.catalog, Domain: sky.Domain()}
+	if src := pl.PrunedScanSource(); src != w.catalog {
+		t.Fatalf("heap catalog with zones should be eligible, got %v", src)
+	}
+	none := &Planner{Domain: sky.Domain()}
+	if src := none.PrunedScanSource(); src != nil {
+		t.Error("planner with no tables returned a pruned-scan source")
+	}
+}

@@ -55,6 +55,12 @@ type StreamOpts struct {
 	// beyond the one holding the last emitted row is read. -1 means
 	// unbounded.
 	StopAfter int64
+	// Pred, when non-nil, pushes the filter of Filter-marked tasks
+	// down into the table iterator: pages proven empty by their zone
+	// maps are skipped without a read, and surviving pages run the
+	// vectorized strip filter instead of the per-row test. The emitted
+	// row set is identical to the per-row path's.
+	Pred *table.PagePred
 }
 
 // batchRows is the parallel mode's handoff granularity; small enough
@@ -76,6 +82,7 @@ func (e *Executor) Stream(tb *table.Table, q vec.Polyhedron, tasks []ScanTask, o
 		cols:      opts.Cols,
 		keepMags:  opts.Cols&table.ColMags != 0,
 		remaining: opts.StopAfter,
+		pred:      opts.Pred,
 	}
 	if w := e.workers(); w > 1 && len(tasks) > 1 && opts.StopAfter < 0 {
 		s.startParallel(w)
@@ -120,6 +127,10 @@ type RowStream struct {
 	// emitting, so a projected query's records look the same whether
 	// a row came from an inside or a partial range.
 	keepMags bool
+	// pred is the pushed-down page predicate; when set, Filter tasks
+	// scan through zone-map-aware iterators that count into zc.
+	pred *table.PagePred
+	zc   table.ScanCounters
 
 	examined atomic.Int64
 	rec      *table.Record
@@ -127,9 +138,12 @@ type RowStream struct {
 	err      error
 
 	// Serial state.
-	ti        int
-	it        *table.Iter
-	itFilter  bool
+	ti       int
+	it       *table.Iter
+	itFilter bool
+	// itPred marks the current iterator as predicate-pushed: it has
+	// already filtered and counted its rows.
+	itPred    bool
 	buf       table.Record
 	remaining int64 // StopAfter countdown; -1 = unbounded
 
@@ -146,9 +160,18 @@ type RowStream struct {
 	bi       int
 }
 
-// RowsExamined returns the rows decoded and tested so far. It is
-// exact once the stream is drained or closed.
-func (s *RowStream) RowsExamined() int64 { return s.examined.Load() }
+// RowsExamined returns the rows decoded and tested so far (for
+// predicate-pushed scans: rows of pages the zone maps could not
+// prune). It is exact once the stream is drained or closed.
+func (s *RowStream) RowsExamined() int64 { return s.examined.Load() + s.zc.Examined.Load() }
+
+// ZoneStats returns the zone-map pruning counters of a
+// predicate-pushed scan: pages skipped without a read, pages
+// scanned, and magnitude strips decoded by the filter loop. All zero
+// when no page predicate was pushed down.
+func (s *RowStream) ZoneStats() (pagesSkipped, pagesScanned, stripsDecoded int64) {
+	return s.zc.PagesSkipped.Load(), s.zc.PagesScanned.Load(), s.zc.StripsDecoded.Load()
+}
 
 // Record returns the row the last successful Next positioned on. The
 // buffer may be reused by subsequent Next calls; copy to retain.
@@ -226,15 +249,25 @@ func (s *RowStream) nextSerial() bool {
 			}
 			t := s.tasks[s.ti]
 			s.ti++
-			cols := s.cols
-			if t.Filter {
-				cols |= table.ColMags
+			if t.Filter && s.pred != nil {
+				// Predicate pushdown: the iterator zone-skips pages and
+				// runs the vectorized strip filter; emitted rows are
+				// already matches with exactly the requested columns.
+				s.it = s.tb.IterRangePred(s.ctx, t.Lo, t.Hi, s.cols, s.pred, &s.zc)
+				s.itFilter, s.itPred = false, true
+			} else {
+				cols := s.cols
+				if t.Filter {
+					cols |= table.ColMags
+				}
+				s.it = s.tb.IterRange(s.ctx, t.Lo, t.Hi, cols)
+				s.itFilter, s.itPred = t.Filter, false
 			}
-			s.it = s.tb.IterRange(s.ctx, t.Lo, t.Hi, cols)
-			s.itFilter = t.Filter
 		}
 		for s.it.Next(&s.buf) {
-			s.examined.Add(1)
+			if !s.itPred {
+				s.examined.Add(1)
+			}
 			if s.itFilter {
 				if !s.matches(&s.buf) {
 					continue
@@ -321,11 +354,17 @@ func (s *RowStream) startParallel(workers int) {
 func (s *RowStream) scanTask(ctx context.Context, i int) {
 	defer close(s.slots[i])
 	t := s.tasks[i]
-	cols := s.cols
-	if t.Filter {
-		cols |= table.ColMags
+	var it *table.Iter
+	pred := t.Filter && s.pred != nil
+	if pred {
+		it = s.tb.IterRangePred(ctx, t.Lo, t.Hi, s.cols, s.pred, &s.zc)
+	} else {
+		cols := s.cols
+		if t.Filter {
+			cols |= table.ColMags
+		}
+		it = s.tb.IterRange(ctx, t.Lo, t.Hi, cols)
 	}
-	it := s.tb.IterRange(ctx, t.Lo, t.Hi, cols)
 	defer it.Close()
 	batch := make([]table.Record, 0, batchRows)
 	flush := func() bool {
@@ -342,13 +381,15 @@ func (s *RowStream) scanTask(ctx context.Context, i int) {
 	}
 	var rec table.Record
 	for it.Next(&rec) {
-		s.examined.Add(1)
-		if t.Filter {
-			if !s.matches(&rec) {
-				continue
-			}
-			if !s.keepMags {
-				rec.Mags = [table.Dim]float32{}
+		if !pred {
+			s.examined.Add(1)
+			if t.Filter {
+				if !s.matches(&rec) {
+					continue
+				}
+				if !s.keepMags {
+					rec.Mags = [table.Dim]float32{}
+				}
 			}
 		}
 		batch = append(batch, rec)

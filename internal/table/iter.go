@@ -2,8 +2,10 @@ package table
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/pagestore"
+	"repro/internal/vec"
 )
 
 // Iter is a pull-style range scanner: the Volcano-cursor counterpart
@@ -11,6 +13,16 @@ import (
 // between Next calls, decodes only the requested columns, and checks
 // its context at every page boundary so a cancelled query stops
 // issuing page I/O mid-range rather than running to completion.
+//
+// With a page predicate attached (IterRangePred) the iterator is
+// zone-map-aware: before fetching a page it classifies the page's
+// zone against the predicate. Outside pages are skipped without any
+// page read; Inside pages emit every row with no per-row test; only
+// Partial pages (and tables without zone maps) run the vectorized
+// strip filter, which evaluates the predicate over the page's
+// contiguous magnitude strips and leaves a match mask the emit loop
+// consumes. The emitted row set is exactly the predicate's — pruning
+// trades I/O, never answers.
 //
 // An Iter is single-goroutine; Close releases the pinned page and is
 // required unless Next has already returned false (exhaustion
@@ -20,57 +32,134 @@ type Iter struct {
 	ctx  context.Context
 	cols ColumnSet
 
-	row, hi RowID
-	page    *pagestore.Page
-	off     int // byte offset of row within page
-	err     error
+	pred     *PagePred
+	counters *ScanCounters
+	scratch  *stripScratch
+
+	row, hi  RowID
+	page     *pagestore.Page
+	filtered bool
+	match    [RecordsPerPage]bool
+	err      error
 }
 
 // IterRange starts a pull scan of rows [lo, hi) in physical order,
 // decoding only cols into the caller's record. A nil ctx means no
 // cancellation. hi is clamped to the row count, mirroring ScanRange.
 func (t *Table) IterRange(ctx context.Context, lo, hi RowID, cols ColumnSet) *Iter {
+	return t.IterRangePred(ctx, lo, hi, cols, nil, nil)
+}
+
+// IterRangePred is IterRange with a compiled page predicate: only
+// rows satisfying pred are emitted, pages whose zone map proves them
+// empty are never read, and the pruning counters accumulate into
+// counters (which may be shared across iterators and goroutines; nil
+// means don't count). A nil pred degrades to the plain IterRange.
+func (t *Table) IterRangePred(ctx context.Context, lo, hi RowID, cols ColumnSet, pred *PagePred, counters *ScanCounters) *Iter {
 	if hi > RowID(t.rows) {
 		hi = RowID(t.rows)
 	}
 	if lo > hi {
 		lo = hi
 	}
-	return &Iter{t: t, ctx: ctx, cols: cols, row: lo, hi: hi}
+	it := &Iter{t: t, ctx: ctx, cols: cols, row: lo, hi: hi, pred: pred, counters: counters}
+	if pred != nil {
+		it.scratch = &stripScratch{}
+	}
+	return it
 }
 
-// Next advances to the next row, decoding it into rec. It returns
-// false at the end of the range, on error, or when the context is
-// cancelled; check Err to distinguish.
+// Next advances to the next (matching) row, decoding it into rec. It
+// returns false at the end of the range, on error, or when the
+// context is cancelled; check Err to distinguish.
 func (it *Iter) Next(rec *Record) bool {
-	if it.err != nil || it.row >= it.hi {
-		it.release()
-		return false
-	}
-	if it.page == nil {
-		if it.ctx != nil {
-			if err := it.ctx.Err(); err != nil {
-				it.err = err
+	for {
+		if it.err != nil || it.row >= it.hi {
+			it.release()
+			return false
+		}
+		if it.page == nil && !it.loadPage() {
+			if it.err != nil {
 				return false
 			}
+			continue // page pruned by its zone; row advanced past it
 		}
-		pid, off, err := it.t.rowPage(it.row)
-		if err != nil {
-			it.err = err
-			return false
+		slot := int(uint64(it.row) % RecordsPerPage)
+		if it.filtered && !it.match[slot] {
+			it.row++
+			if uint64(it.row)%RecordsPerPage == 0 {
+				it.release()
+			}
+			continue
 		}
-		p, err := it.t.getPage(pid)
-		if err != nil {
-			it.err = err
-			return false
+		decodeRecordColsAt(it.page.Data, slot, it.cols, rec)
+		it.row++
+		if uint64(it.row)%RecordsPerPage == 0 || it.row >= it.hi {
+			it.release()
 		}
-		it.page, it.off = p, off
+		return true
 	}
-	rec.DecodeCols(it.page.Data[it.off:it.off+RecordSize], it.cols)
-	it.row++
-	it.off += RecordSize
-	if uint64(it.row)%RecordsPerPage == 0 || it.row >= it.hi {
-		it.release()
+}
+
+// loadPage positions the iterator on the page holding it.row. True
+// means the page is pinned (it.page set); false with nil it.err means
+// the page was pruned by its zone and it.row advanced past it (the
+// caller retries); false with it.err set is a failure.
+func (it *Iter) loadPage() bool {
+	if it.ctx != nil {
+		if err := it.ctx.Err(); err != nil {
+			it.err = err
+			return false
+		}
+	}
+	pg := uint64(it.row) / RecordsPerPage
+	pageEnd := RowID((pg + 1) * RecordsPerPage)
+	if pageEnd > it.hi {
+		pageEnd = it.hi
+	}
+
+	// Zone classification: one verdict drives both the skip and the
+	// inside-page fast path. Partial is the conservative default for
+	// tables without zone maps.
+	rel := vec.Partial
+	if it.pred != nil {
+		if z, ok := it.t.zoneOf(int(pg)); ok {
+			rel = it.pred.Classify(&z)
+		}
+		if rel == vec.Outside {
+			if it.counters != nil {
+				it.counters.PagesSkipped.Add(1)
+			}
+			it.row = pageEnd
+			return false
+		}
+	}
+
+	p, err := it.t.getPage(pagestore.PageID{File: it.t.file, Num: pagestore.PageNum(pg)})
+	if err != nil {
+		it.err = err
+		return false
+	}
+	n, err := colPageRows(p.Data)
+	if err != nil {
+		p.Release()
+		it.err = fmt.Errorf("table %s: %w", it.t.name, err)
+		return false
+	}
+	it.page = p
+	it.filtered = false
+	if it.counters != nil {
+		it.counters.PagesScanned.Add(1)
+		it.counters.Examined.Add(int64(pageEnd - it.row))
+	}
+	if it.pred != nil && rel != vec.Inside {
+		// Partial overlap (or no zone to consult): vectorized strip
+		// filter over the page's rows.
+		strips := it.pred.evalStrips(p.Data, n, it.scratch, it.match[:n])
+		if it.counters != nil {
+			it.counters.StripsDecoded.Add(int64(strips))
+		}
+		it.filtered = true
 	}
 	return true
 }

@@ -11,23 +11,26 @@ import (
 // RowID / RecordsPerPage, slot = RowID % RecordsPerPage.
 type RowID uint64
 
-// RecordsPerPage is how many fixed-width records fit on one page
-// after the 4-byte row-count header.
-const RecordsPerPage = (pagestore.PageSize - pageHeaderSize) / RecordSize
-
-const pageHeaderSize = 4
-
-// Table is a heap file of Records on a page store. Rows are
-// addressed by dense RowIDs; the physical order of rows is the
-// clustered order, which the indexes exploit by rewriting the table
-// sorted by their key (the paper's clustered index over the Voronoi
-// cell tag, and the post-order leaf numbering of the kd-tree whose
-// leaves become BETWEEN ranges).
+// Table is a heap file of Records on a page store, laid out
+// column-major within each page (see colpage.go). Rows are addressed
+// by dense RowIDs; the physical order of rows is the clustered order,
+// which the indexes exploit by rewriting the table sorted by their
+// key (the paper's clustered index over the Voronoi cell tag, and the
+// post-order leaf numbering of the kd-tree whose leaves become
+// BETWEEN ranges). Every table additionally carries per-page zone
+// maps over the magnitudes (zonemap.go), maintained as rows are
+// appended.
 type Table struct {
 	store *pagestore.Store
 	file  pagestore.FileID
 	name  string
 	rows  uint64
+
+	// zones are the per-page magnitude zone maps, shared by every
+	// Scoped/ScanClassed view (pointer copy). Nil on tables reopened
+	// without a persisted sidecar: pruning is then unavailable, never
+	// wrong.
+	zones *ZoneMaps
 
 	// scope, when non-nil, routes every page read through a per-caller
 	// accounting scope so the reads are attributed exactly to one
@@ -39,20 +42,22 @@ type Table struct {
 	scanClass bool
 }
 
-// Create makes a new empty table backed by the named file.
+// Create makes a new empty table backed by the named file. Freshly
+// created tables maintain zone maps from the first append.
 func Create(store *pagestore.Store, name string) (*Table, error) {
 	f, err := store.CreateFile(name)
 	if err != nil {
 		return nil, err
 	}
-	return &Table{store: store, file: f, name: name}, nil
+	return &Table{store: store, file: f, name: name, zones: NewZoneMaps()}, nil
 }
 
 // OpenExisting opens a table previously written to the named file,
 // reconstructing the row count from the last page's header (one page
 // read). When the row count is already known — e.g. from the
 // engine's persisted catalog — prefer OpenWithRows, which opens the
-// table without touching any page.
+// table without touching any page. Zone maps are not rebuilt here;
+// attach a persisted sidecar via AttachZoneMaps.
 func OpenExisting(store *pagestore.Store, name string) (*Table, error) {
 	f, pages, err := store.OpenFile(name)
 	if err != nil {
@@ -65,8 +70,11 @@ func OpenExisting(store *pagestore.Store, name string) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		lastCount := pageCount(last.Data)
+		lastCount, err := colPageRows(last.Data)
 		last.Release()
+		if err != nil {
+			return nil, fmt.Errorf("table %s: %w", name, err)
+		}
 		t.rows = uint64(pages-1)*RecordsPerPage + uint64(lastCount)
 	}
 	return t, nil
@@ -109,6 +117,28 @@ func (t *Table) NumPages() int {
 
 // Store exposes the underlying page store (for stats snapshots).
 func (t *Table) Store() *pagestore.Store { return t.store }
+
+// ZoneMaps returns the table's per-page zone maps, or nil when none
+// are maintained (a table reopened without its sidecar).
+func (t *Table) ZoneMaps() *ZoneMaps { return t.zones }
+
+// AttachZoneMaps installs persisted zone maps after validating them
+// against the table's page count — the sidecar cold-open path.
+func (t *Table) AttachZoneMaps(z *ZoneMaps) error {
+	if err := z.Validate(t.NumPages()); err != nil {
+		return fmt.Errorf("table %s: %w", t.name, err)
+	}
+	t.zones = z
+	return nil
+}
+
+// zoneOf returns one page's zone when zone maps are available.
+func (t *Table) zoneOf(pg int) (PageZone, bool) {
+	if t.zones == nil {
+		return PageZone{}, false
+	}
+	return t.zones.Page(pg)
+}
 
 // Scoped returns a read-only view of the table whose page accesses
 // are attributed to the given accounting scope (pagestore.Scope) as
@@ -169,22 +199,12 @@ func (t *Table) allocPage() (*pagestore.Page, error) {
 	return t.backend().Alloc(t.file)
 }
 
-func pageCount(data []byte) uint32 {
-	return uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24
-}
-
-func setPageCount(data []byte, n uint32) {
-	data[0] = byte(n)
-	data[1] = byte(n >> 8)
-	data[2] = byte(n >> 16)
-	data[3] = byte(n >> 24)
-}
-
 // Appender bulk-loads records, keeping the tail page pinned between
 // appends. Close it to flush the final page. Its page traffic is
 // scan-class: a bulk load is a one-pass sweep, and writing a table
 // must not evict a serving pool's hot set (mirroring pagedio's
-// stream writer).
+// stream writer). The appender also maintains the table's zone maps:
+// every appended row widens its page's magnitude bounds.
 type Appender struct {
 	t *Table
 	// view is t with the scan class applied; row bookkeeping goes
@@ -199,7 +219,8 @@ func (t *Table) NewAppender() *Appender { return &Appender{t: t, view: t.ScanCla
 
 // Append adds one record to the table.
 func (a *Appender) Append(r *Record) error {
-	slot := a.t.rows % RecordsPerPage
+	slot := int(a.t.rows % RecordsPerPage)
+	pg := int(a.t.rows / RecordsPerPage)
 	if slot == 0 {
 		// Previous page (if any) is full; start a new one.
 		if a.page != nil {
@@ -213,17 +234,22 @@ func (a *Appender) Append(r *Record) error {
 		a.page = p
 	} else if a.page == nil {
 		// Resuming an append into a partially filled tail page.
-		num := pagestore.PageNum(a.t.rows / RecordsPerPage)
-		p, err := a.view.getPage(pagestore.PageID{File: a.t.file, Num: num})
+		p, err := a.view.getPage(pagestore.PageID{File: a.t.file, Num: pagestore.PageNum(pg)})
 		if err != nil {
 			return err
 		}
+		if _, err := colPageRows(p.Data); err != nil {
+			p.Release()
+			return fmt.Errorf("table %s: %w", a.t.name, err)
+		}
 		a.page = p
 	}
-	off := pageHeaderSize + int(slot)*RecordSize
-	r.Encode(a.page.Data[off : off+RecordSize])
-	setPageCount(a.page.Data, uint32(slot)+1)
+	encodeRecordAt(a.page.Data, slot, r)
+	setColPageMeta(a.page.Data, slot+1)
 	a.page.MarkDirty()
+	if a.t.zones != nil {
+		a.t.zones.widen(pg, &r.Mags)
+	}
 	a.t.rows++
 	return nil
 }
@@ -249,18 +275,18 @@ func (t *Table) AppendAll(recs []Record) error {
 	return nil
 }
 
-// rowPage maps a RowID to its page and byte offset.
+// rowPage maps a RowID to its page and slot.
 func (t *Table) rowPage(id RowID) (pagestore.PageID, int, error) {
 	if uint64(id) >= t.rows {
 		return pagestore.PageID{}, 0, fmt.Errorf("table %s: row %d out of range (%d rows)", t.name, id, t.rows)
 	}
 	return pagestore.PageID{File: t.file, Num: pagestore.PageNum(uint64(id) / RecordsPerPage)},
-		pageHeaderSize + int(uint64(id)%RecordsPerPage)*RecordSize, nil
+		int(uint64(id) % RecordsPerPage), nil
 }
 
 // Get reads one record.
 func (t *Table) Get(id RowID, out *Record) error {
-	pid, off, err := t.rowPage(id)
+	pid, slot, err := t.rowPage(id)
 	if err != nil {
 		return err
 	}
@@ -268,7 +294,7 @@ func (t *Table) Get(id RowID, out *Record) error {
 	if err != nil {
 		return err
 	}
-	out.Decode(p.Data[off : off+RecordSize])
+	decodeRecordColsAt(p.Data, slot, ColAll, out)
 	p.Release()
 	return nil
 }
@@ -286,7 +312,7 @@ func (t *Table) GetMany(ids []RowID, fn func(RowID, *Record) bool) error {
 		}
 	}()
 	for _, id := range ids {
-		pid, off, err := t.rowPage(id)
+		pid, slot, err := t.rowPage(id)
 		if err != nil {
 			return err
 		}
@@ -300,7 +326,7 @@ func (t *Table) GetMany(ids []RowID, fn func(RowID, *Record) bool) error {
 			}
 			curNum = pid.Num
 		}
-		rec.Decode(cur.Data[off : off+RecordSize])
+		decodeRecordColsAt(cur.Data, slot, ColAll, &rec)
 		if !fn(id, &rec) {
 			return nil
 		}
@@ -308,9 +334,12 @@ func (t *Table) GetMany(ids []RowID, fn func(RowID, *Record) bool) error {
 	return nil
 }
 
-// Update rewrites one record in place via fn.
+// Update rewrites one record in place via fn. The page's zone map is
+// widened to cover the new magnitudes — widening is always sound
+// (zones may only overapproximate), and the index builders that call
+// Update only touch index columns anyway.
 func (t *Table) Update(id RowID, fn func(*Record)) error {
-	pid, off, err := t.rowPage(id)
+	pid, slot, err := t.rowPage(id)
 	if err != nil {
 		return err
 	}
@@ -319,11 +348,14 @@ func (t *Table) Update(id RowID, fn func(*Record)) error {
 		return err
 	}
 	var rec Record
-	rec.Decode(p.Data[off : off+RecordSize])
+	decodeRecordColsAt(p.Data, slot, ColAll, &rec)
 	fn(&rec)
-	rec.Encode(p.Data[off : off+RecordSize])
+	encodeRecordAt(p.Data, slot, &rec)
 	p.MarkDirty()
 	p.Release()
+	if t.zones != nil {
+		t.zones.widen(int(pid.Num), &rec.Mags)
+	}
 	return nil
 }
 
@@ -342,10 +374,13 @@ func (t *Table) Scan(fn func(RowID, *Record) bool) error {
 		if err != nil {
 			return err
 		}
-		n := int(pageCount(p.Data))
+		n, err := colPageRows(p.Data)
+		if err != nil {
+			p.Release()
+			return fmt.Errorf("table %s: %w", t.name, err)
+		}
 		for slot := 0; slot < n; slot++ {
-			off := pageHeaderSize + slot*RecordSize
-			rec.Decode(p.Data[off : off+RecordSize])
+			decodeRecordColsAt(p.Data, slot, ColAll, &rec)
 			if !fn(row, &rec) {
 				p.Release()
 				return nil
@@ -369,7 +404,7 @@ func (t *Table) ScanRange(lo, hi RowID, fn func(RowID, *Record) bool) error {
 	var rec Record
 	row := lo
 	for row < hi {
-		pid, off, err := t.rowPage(row)
+		pid, slot, err := t.rowPage(row)
 		if err != nil {
 			return err
 		}
@@ -377,14 +412,12 @@ func (t *Table) ScanRange(lo, hi RowID, fn func(RowID, *Record) bool) error {
 		if err != nil {
 			return err
 		}
-		slotsLeft := RecordsPerPage - int(uint64(row)%RecordsPerPage)
-		for s := 0; s < slotsLeft && row < hi; s++ {
-			rec.Decode(p.Data[off : off+RecordSize])
+		for ; slot < RecordsPerPage && row < hi; slot++ {
+			decodeRecordColsAt(p.Data, slot, ColAll, &rec)
 			if !fn(row, &rec) {
 				p.Release()
 				return nil
 			}
-			off += RecordSize
 			row++
 		}
 		p.Release()
@@ -393,8 +426,8 @@ func (t *Table) ScanRange(lo, hi RowID, fn func(RowID, *Record) bool) error {
 }
 
 // ScanMags iterates every record decoding only the magnitude vector
-// — the fast binary-blob path of §3.5. fn receives a buffer reused
-// between calls.
+// — the fast binary-blob path of §3.5, now a strip gather per row.
+// fn receives a buffer reused between calls.
 func (t *Table) ScanMags(fn func(RowID, *[Dim]float64) bool) error {
 	var mags [Dim]float64
 	pages, err := t.store.NumPages(t.file)
@@ -407,10 +440,13 @@ func (t *Table) ScanMags(fn func(RowID, *[Dim]float64) bool) error {
 		if err != nil {
 			return err
 		}
-		n := int(pageCount(p.Data))
+		n, err := colPageRows(p.Data)
+		if err != nil {
+			p.Release()
+			return fmt.Errorf("table %s: %w", t.name, err)
+		}
 		for slot := 0; slot < n; slot++ {
-			off := pageHeaderSize + slot*RecordSize
-			DecodeMags(p.Data[off:off+RecordSize], &mags)
+			decodeMagsAt(p.Data, slot, &mags)
 			if !fn(row, &mags) {
 				p.Release()
 				return nil
@@ -436,7 +472,7 @@ func (t *Table) ScanMagsRange(lo, hi RowID, fn func(RowID, *[Dim]float64) bool) 
 	var mags [Dim]float64
 	row := lo
 	for row < hi {
-		pid, off, err := t.rowPage(row)
+		pid, slot, err := t.rowPage(row)
 		if err != nil {
 			return err
 		}
@@ -444,14 +480,12 @@ func (t *Table) ScanMagsRange(lo, hi RowID, fn func(RowID, *[Dim]float64) bool) 
 		if err != nil {
 			return err
 		}
-		slotsLeft := RecordsPerPage - int(uint64(row)%RecordsPerPage)
-		for s := 0; s < slotsLeft && row < hi; s++ {
-			DecodeMags(p.Data[off:off+RecordSize], &mags)
+		for ; slot < RecordsPerPage && row < hi; slot++ {
+			decodeMagsAt(p.Data, slot, &mags)
 			if !fn(row, &mags) {
 				p.Release()
 				return nil
 			}
-			off += RecordSize
 			row++
 		}
 		p.Release()
@@ -479,7 +513,9 @@ func (t *Table) AllPoints() ([]vec.Point, error) {
 // Rewrite writes a new table under newName containing this table's
 // rows permuted so that new row i is old row perm[i]. This is how
 // clustered orderings are installed (sort by LeafID or CellID, then
-// Rewrite). perm must be a permutation of [0, NumRows).
+// Rewrite). perm must be a permutation of [0, NumRows). The rewritten
+// table gets fresh zone maps from its appender — on a color-clustered
+// ordering they come out much tighter than the source's.
 func (t *Table) Rewrite(newName string, perm []RowID) (*Table, error) {
 	if uint64(len(perm)) != t.rows {
 		return nil, fmt.Errorf("table %s: permutation length %d != %d rows", t.name, len(perm), t.rows)

@@ -1,0 +1,227 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/vec"
+)
+
+// Zone maps: one min/max box over the five magnitudes per page,
+// maintained at append time. A linear predicate can classify a page
+// against its zone exactly like the kd-tree classifies a leaf's tight
+// bounds (Figure 4's three-way verdict): pages whose zone lies
+// entirely outside the query are skipped without being read, pages
+// entirely inside are emitted without a per-row test, and only
+// partially overlapped pages run the strip filter. On a table
+// clustered in color space (the kd-leaf ordering) zones are tight and
+// most pages of a selective cut fall in the first bucket.
+
+// PageZone is the per-page bounding box over the magnitude columns.
+type PageZone struct {
+	Min, Max [Dim]float64
+}
+
+// widen grows the zone to cover one magnitude vector.
+func (z *PageZone) widen(mags *[Dim]float32) {
+	for i, v := range mags {
+		f := float64(v)
+		if f < z.Min[i] {
+			z.Min[i] = f
+		}
+		if f > z.Max[i] {
+			z.Max[i] = f
+		}
+	}
+}
+
+// emptyZone is the identity under widen.
+func emptyZone() PageZone {
+	var z PageZone
+	for i := range z.Min {
+		z.Min[i] = math.Inf(1)
+		z.Max[i] = math.Inf(-1)
+	}
+	return z
+}
+
+// ZoneMaps holds a table's per-page zones. It is maintained by the
+// Appender (and widened, never shrunk, by in-place Updates), shared
+// by all Scoped/ScanClassed views of the table, and persisted as a
+// paged sidecar by the engine catalog. Like the table's row count it
+// is not synchronized against concurrent appends; build first, then
+// serve.
+type ZoneMaps struct {
+	zones []PageZone
+}
+
+// NewZoneMaps returns an empty zone set (a freshly created table).
+func NewZoneMaps() *ZoneMaps { return &ZoneMaps{} }
+
+// ZoneMapsFrom adopts persisted zones (the sidecar load path).
+func ZoneMapsFrom(zones []PageZone) *ZoneMaps {
+	return &ZoneMaps{zones: zones}
+}
+
+// NumPages returns how many pages have zones.
+func (z *ZoneMaps) NumPages() int { return len(z.zones) }
+
+// Page returns the zone of one page.
+func (z *ZoneMaps) Page(pg int) (PageZone, bool) {
+	if pg < 0 || pg >= len(z.zones) {
+		return PageZone{}, false
+	}
+	return z.zones[pg], true
+}
+
+// Snapshot copies the zones for persistence.
+func (z *ZoneMaps) Snapshot() []PageZone {
+	out := make([]PageZone, len(z.zones))
+	copy(out, z.zones)
+	return out
+}
+
+// widen covers one appended or updated row's magnitudes, creating the
+// page's zone on first touch.
+func (z *ZoneMaps) widen(pg int, mags *[Dim]float32) {
+	for len(z.zones) <= pg {
+		z.zones = append(z.zones, emptyZone())
+	}
+	z.zones[pg].widen(mags)
+}
+
+// Validate checks the zone set against a table's page count: exactly
+// one finite, ordered zone per page. Run on every sidecar load so a
+// stale or truncated sidecar fails loudly instead of silently
+// mispruning.
+func (z *ZoneMaps) Validate(pages int) error {
+	if len(z.zones) != pages {
+		return fmt.Errorf("zone maps cover %d pages, table has %d", len(z.zones), pages)
+	}
+	for pg := range z.zones {
+		for i := 0; i < Dim; i++ {
+			lo, hi := z.zones[pg].Min[i], z.zones[pg].Max[i]
+			if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || lo > hi {
+				return fmt.Errorf("zone maps: page %d axis %d has invalid bounds [%g, %g]", pg, i, lo, hi)
+			}
+		}
+	}
+	return nil
+}
+
+// PagePred is a compiled conjunction of halfspaces ready for page
+// classification and strip evaluation: one DNF clause of a colorsql
+// WHERE, lowered to the storage layer.
+type PagePred struct {
+	planes []vec.Halfspace
+}
+
+// CompilePagePred compiles a clause's halfspaces. Every plane must be
+// Dim-dimensional (the parser guarantees this for colorsql input).
+func CompilePagePred(planes []vec.Halfspace) (*PagePred, error) {
+	for i := range planes {
+		if len(planes[i].A) != Dim {
+			return nil, fmt.Errorf("table: page predicate plane %d has dimension %d, want %d", i, len(planes[i].A), Dim)
+		}
+	}
+	return &PagePred{planes: planes}, nil
+}
+
+// Classify returns the three-way verdict of the zone box against the
+// predicate. The accumulation order per plane matches the per-row
+// strip loop (ascending axis), and float multiply/add are monotone,
+// so a page classified Outside provably contains no matching row and
+// an Inside page contains only matching rows — pruning is exact, not
+// approximate.
+func (p *PagePred) Classify(z *PageZone) vec.Relation {
+	inside := true
+	for i := range p.planes {
+		h := &p.planes[i]
+		var lo, hi float64
+		for d, a := range h.A {
+			if a >= 0 {
+				lo += a * z.Min[d]
+				hi += a * z.Max[d]
+			} else {
+				lo += a * z.Max[d]
+				hi += a * z.Min[d]
+			}
+		}
+		if lo > h.B {
+			return vec.Outside
+		}
+		if hi > h.B {
+			inside = false
+		}
+	}
+	if inside {
+		return vec.Inside
+	}
+	return vec.Partial
+}
+
+// evalStrips evaluates the predicate over a page's magnitude strips:
+// for each plane, accumulate a·x across the referenced strips into
+// acc, then AND the comparison into the match mask. The inner loops
+// are simple index-free range loops over contiguous float64 slices —
+// no per-row branching until the mask is consumed. Returns the number
+// of strips decoded. match and the scratch must hold n entries.
+func (p *PagePred) evalStrips(data []byte, n int, sc *stripScratch, match []bool) int {
+	for j := range match {
+		match[j] = true
+	}
+	var loaded [Dim]bool
+	decoded := 0
+	for i := range p.planes {
+		h := &p.planes[i]
+		acc := sc.acc[:n]
+		for j := range acc {
+			acc[j] = 0
+		}
+		for axis := 0; axis < Dim; axis++ {
+			a := h.A[axis]
+			if a == 0 {
+				continue
+			}
+			if !loaded[axis] {
+				decodeMagStrip(data, axis, sc.mags[axis][:n])
+				loaded[axis] = true
+				decoded++
+			}
+			strip := sc.mags[axis][:n]
+			for j, v := range strip {
+				acc[j] += a * v
+			}
+		}
+		b := h.B
+		for j, s := range acc {
+			match[j] = match[j] && s <= b
+		}
+	}
+	return decoded
+}
+
+// stripScratch is the per-iterator working set of the strip filter:
+// decoded magnitude strips and the accumulator, sized to one page.
+type stripScratch struct {
+	mags [Dim][RecordsPerPage]float64
+	acc  [RecordsPerPage]float64
+}
+
+// ScanCounters aggregates the zone-map effect of one streaming scan.
+// All fields are atomics: the parallel executor's workers share one
+// counter set across their per-task iterators.
+type ScanCounters struct {
+	// Examined counts rows of scanned (non-skipped) pages within the
+	// requested ranges: partial pages test them all in the strip loop,
+	// inside pages emit them without a test.
+	Examined atomic.Int64
+	// PagesSkipped counts pages pruned by their zone without a read.
+	PagesSkipped atomic.Int64
+	// PagesScanned counts pages actually fetched by predicate scans.
+	PagesScanned atomic.Int64
+	// StripsDecoded counts magnitude strips materialized by the
+	// filter loop (inside pages decode none).
+	StripsDecoded atomic.Int64
+}

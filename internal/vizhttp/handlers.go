@@ -224,6 +224,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.countRequest(rep.RowsReturned)
+	s.countZoneStats(rep)
 
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
@@ -233,6 +234,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		"rowsReturned":         rep.RowsReturned,
 		"rowsExamined":         rep.RowsExamined,
 		"diskReads":            rep.DiskReads,
+		"pagesSkipped":         rep.PagesSkipped,
+		"pagesScanned":         rep.PagesScanned,
+		"stripsDecoded":        rep.StripsDecoded,
 		"rows":                 rows,
 		"points":               points,
 	})
@@ -289,6 +293,7 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, cur core.Cursor, cols []col
 		return
 	}
 	s.countRequest(rep.RowsReturned)
+	s.countZoneStats(rep)
 	summary, _ := json.Marshal(map[string]any{
 		"summary": map[string]any{
 			"plan":                 rep.Plan.String(),
@@ -298,6 +303,9 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, cur core.Cursor, cols []col
 			"rowsExamined":         rep.RowsExamined,
 			"diskReads":            rep.DiskReads,
 			"cacheHits":            rep.CacheHits,
+			"pagesSkipped":         rep.PagesSkipped,
+			"pagesScanned":         rep.PagesScanned,
+			"stripsDecoded":        rep.StripsDecoded,
 		},
 	})
 	w.Write(append(summary, '\n'))

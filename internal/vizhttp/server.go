@@ -68,6 +68,13 @@ type Server struct {
 	knnLeaves  atomic.Int64
 	knnRows    atomic.Int64
 
+	// Zone-map pruning totals across served queries: pages skipped
+	// without a read, pages the pruned scans did read, and magnitude
+	// strips their vectorized filters decoded.
+	zonePagesSkipped  atomic.Int64
+	zonePagesScanned  atomic.Int64
+	zoneStripsDecoded atomic.Int64
+
 	// Per-endpoint admission controllers; nil entries admit
 	// everything.
 	limiters map[string]*qos.Limiter
@@ -157,6 +164,14 @@ func (s *Server) countRequest(rowsReturned int64) {
 	s.returned.Add(rowsReturned)
 }
 
+// countZoneStats folds one query report's zone-map pruning counters
+// into the serving totals.
+func (s *Server) countZoneStats(rep core.Report) {
+	s.zonePagesSkipped.Add(rep.PagesSkipped)
+	s.zonePagesScanned.Add(rep.PagesScanned)
+	s.zoneStripsDecoded.Add(rep.StripsDecoded)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	pages := s.db.Engine().Store().Stats()
 	pz := s.db.PhotoZStats()
@@ -174,6 +189,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"knnQueries":         s.knnQueries.Load(),
 		"knnLeavesExamined":  s.knnLeaves.Load(),
 		"knnRowsExamined":    s.knnRows.Load(),
+		"zonePagesSkipped":   s.zonePagesSkipped.Load(),
+		"zonePagesScanned":   s.zonePagesScanned.Load(),
+		"zoneStripsDecoded":  s.zoneStripsDecoded.Load(),
 		"photozEstimates":    pz.Estimates,
 		"photozFitFallbacks": pz.FitFallbacks,
 		"qos":                qosStats,
