@@ -1,8 +1,9 @@
-// Command loadgen drives the T1–T6 workload mixes against a running
+// Command loadgen drives the T1–T7 workload mixes against a running
 // vizserver with an open-loop arrival process and writes
 // BENCH_loadgen.json: achieved QPS, p50/p95/p99 latency from
-// scheduled arrival, shed/error/dropped counts and pages read per
-// operation, per mix. See internal/loadgen for the driver's
+// scheduled arrival, shed/error/dropped counts, pages read per
+// operation, and (per the X-Cache response header) the result-cache
+// hit ratio with hit/miss latency split, per mix. See internal/loadgen for the driver's
 // methodology (coordinated-omission-resistant measurement, honest
 // client-capacity accounting).
 //
@@ -33,7 +34,7 @@ func main() {
 	rate := flag.Float64("rate", 200, "open-loop arrival rate, requests/second")
 	duration := flag.Duration("duration", 10*time.Second, "run length per mix")
 	inFlight := flag.Int("inflight", 256, "max outstanding requests (simulated client fleet size)")
-	mixArg := flag.String("mix", "all", "comma-separated mixes: t1,t2,t3,t4,t5,t6 or all")
+	mixArg := flag.String("mix", "all", "comma-separated mixes: t1,t2,t3,t4,t5,t6,t7 or all")
 	seed := flag.Int64("seed", 42, "request-sequence seed")
 	out := flag.String("out", "BENCH_loadgen.json", "output JSON path (empty = stdout only)")
 	flag.Parse()
@@ -45,7 +46,7 @@ func main() {
 		for _, name := range strings.Split(*mixArg, ",") {
 			m, ok := loadgen.MixByName(strings.TrimSpace(name))
 			if !ok {
-				log.Fatalf("loadgen: unknown mix %q (want t1..t6 or all)", name)
+				log.Fatalf("loadgen: unknown mix %q (want t1..t7 or all)", name)
 			}
 			mixes = append(mixes, m)
 		}
@@ -82,13 +83,18 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%-13s %9s %9s %8s %8s %8s %8s %8s %8s %8s\n",
-		"mix", "target", "achieved", "p50ms", "p95ms", "p99ms", "shed", "errors", "dropped", "pages/op")
+	fmt.Printf("%-13s %9s %9s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+		"mix", "target", "achieved", "p50ms", "p95ms", "p99ms", "shed", "errors", "dropped", "pages/op", "hit%")
 	for _, r := range results {
-		fmt.Printf("%-13s %9.1f %9.1f %8.2f %8.2f %8.2f %8d %8d %8d %8.2f\n",
+		fmt.Printf("%-13s %9.1f %9.1f %8.2f %8.2f %8.2f %8d %8d %8d %8.2f %8.1f\n",
 			r.Mix, r.TargetQPS, r.AchievedQPS,
 			r.Latency.P50Ms, r.Latency.P95Ms, r.Latency.P99Ms,
-			r.Shed, r.Errors, r.Dropped, r.PagesReadPerOp)
+			r.Shed, r.Errors, r.Dropped, r.PagesReadPerOp, 100*r.HitRatio)
+		if r.LatencyHit != nil && r.LatencyMiss != nil {
+			fmt.Printf("%-13s   cache hit p50 %.2fms p95 %.2fms (%d) | miss p50 %.2fms p95 %.2fms (%d)\n",
+				"", r.LatencyHit.P50Ms, r.LatencyHit.P95Ms, r.CacheHits,
+				r.LatencyMiss.P50Ms, r.LatencyMiss.P95Ms, r.CacheMisses)
+		}
 	}
 
 	report := map[string]any{

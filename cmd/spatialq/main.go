@@ -19,6 +19,7 @@
 //	spatialq -dir /tmp/sdss -q "SELECT * ORDER BY dist(19.5,18.9,18.2,17.9,17.7) LIMIT 5" -format ndjson
 //	spatialq -dir /tmp/sdss -knn "19.5,18.9,18.2,17.9,17.7" -k 10
 //	spatialq -dir /tmp/sdss -build        # build+persist missing indexes
+//	spatialq -dir /tmp/sdss -q "SELECT objid WHERE r<16 LIMIT 10" -result-cache-mb 8 -repeat 2
 package main
 
 import (
@@ -51,6 +52,8 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "query executor worker pool size")
 	limit := flag.Int("limit", 10, "result rows to print")
 	seed := flag.Int64("seed", 42, "seed for -build index construction")
+	resultCacheMB := flag.Int64("result-cache-mb", 0, "statement result cache budget in MiB (0 = plan cache only)")
+	repeat := flag.Int("repeat", 1, "execute the SELECT statement N times (with -result-cache-mb, later runs serve from the result cache)")
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("spatialq: -dir is required")
@@ -59,7 +62,7 @@ func main() {
 		log.Fatal("spatialq: exactly one of -q or -knn is required")
 	}
 
-	db, err := core.OpenExisting(core.Config{Dir: *dir, Workers: *workers})
+	db, err := core.OpenExisting(core.Config{Dir: *dir, Workers: *workers, ResultCacheBytes: *resultCacheMB << 20})
 	if err != nil {
 		log.Fatalf("spatialq: %v\n(generate the database first: sdssgen -dir %s)", err, *dir)
 	}
@@ -135,8 +138,13 @@ func main() {
 		if limitSet {
 			log.Fatal("spatialq: -limit does not apply to SELECT statements; use a LIMIT clause in the statement")
 		}
-		runStatement(db, *query, *plan, *format)
+		for i := 0; i < *repeat; i++ {
+			runStatement(db, *query, *plan, *format)
+		}
 		return
+	}
+	if *repeat != 1 {
+		log.Fatal("spatialq: -repeat applies to SELECT statements only")
 	}
 	runQuery(db, *query, *plan, *limit)
 }
@@ -194,6 +202,10 @@ func runStatement(db *core.SpatialDB, src, plan, format string) {
 	if rep.PagesSkipped > 0 || rep.PagesScanned > 0 {
 		fmt.Fprintf(os.Stderr, "zones:    skipped=%d scanned=%d stripsDecoded=%d\n",
 			rep.PagesSkipped, rep.PagesScanned, rep.StripsDecoded)
+	}
+	if rep.FromCache {
+		c := db.Cache().StatsFor("query")
+		fmt.Fprintf(os.Stderr, "cache:    served from result cache (hits=%d misses=%d)\n", c.Hits+c.Shared, c.Misses)
 	}
 }
 

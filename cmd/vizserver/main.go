@@ -24,6 +24,14 @@
 // threshold are shed before execution. /stats reports the per-endpoint
 // admission counters.
 //
+// A statement-keyed result cache (-result-cache-mb, default 8 MiB)
+// serves repeated bounded-LIMIT statements, single-point kNN probes
+// and small photo-z batches from memory: hits skip admission control
+// entirely (X-Cache: hit), concurrent identical statements execute
+// once and share the answer, and any persisted mutation invalidates
+// the cache wholesale through the store epoch. /stats reports the
+// per-namespace hit/miss/eviction counters under "qcache".
+//
 // Lifecycle: with -dir the server cold-opens a database persisted by
 // sdssgen (or by a previous -build run) and does zero index
 // construction at startup; -build ingests a synthetic catalog into
@@ -73,6 +81,7 @@ func main() {
 	qosQueue := flag.Int("qos-queue", 0, "max queued requests per endpoint (0 = 8×concurrent)")
 	qosTimeout := flag.Duration("qos-timeout", 0, "max time a request waits in the admission queue (0 = 2s)")
 	qosExpensive := flag.Float64("qos-expensive", 0, "planner cost above which a request is shed instead of queued under saturation (0 = 8×catalog scan, negative = off)")
+	resultCacheMB := flag.Int64("result-cache-mb", 8, "statement result cache budget in MiB (0 = plan cache only); cached answers skip admission control")
 	flag.Parse()
 	if *build && *dir == "" {
 		// Persisting into the ephemeral temp directory would delete the
@@ -80,7 +89,7 @@ func main() {
 		log.Fatal("vizserver: -build requires -dir (the persisted database must outlive the process)")
 	}
 
-	db, cleanup, err := openDB(*dir, *build, *n, *seed, *workers)
+	db, cleanup, err := openDB(*dir, *build, *n, *seed, *workers, *resultCacheMB<<20)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -146,11 +155,11 @@ func main() {
 // directory (default with -dir), build-once into -dir, or an
 // ephemeral in-memory build. The returned cleanup removes the
 // ephemeral directory.
-func openDB(dir string, build bool, n int, seed int64, workers int) (*core.SpatialDB, func(), error) {
+func openDB(dir string, build bool, n int, seed int64, workers int, resultCacheBytes int64) (*core.SpatialDB, func(), error) {
 	cleanup := func() {}
 	switch {
 	case dir != "" && !build:
-		db, err := core.OpenExisting(core.Config{Dir: dir, Workers: workers})
+		db, err := core.OpenExisting(core.Config{Dir: dir, Workers: workers, ResultCacheBytes: resultCacheBytes})
 		if err != nil {
 			return nil, cleanup, fmt.Errorf("%w\n(build it first: sdssgen -dir %s, or vizserver -dir %s -build)", err, dir, dir)
 		}
@@ -164,7 +173,7 @@ func openDB(dir string, build bool, n int, seed int64, workers int) (*core.Spati
 		cleanup = func() { os.RemoveAll(tmp) }
 		dir = tmp
 	}
-	db, err := core.Open(core.Config{Dir: dir, Workers: workers})
+	db, err := core.Open(core.Config{Dir: dir, Workers: workers, ResultCacheBytes: resultCacheBytes})
 	if err != nil {
 		return nil, cleanup, err
 	}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/colorsql"
+	"repro/internal/planner"
+	"repro/internal/qcache"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// This file wires the statement-keyed two-tier cache (internal/
+// qcache) into the query paths.
+//
+// Tier 1 (always on) caches planner work keyed on canonical
+// predicate text: per-clause planner.Choice verdicts and compiled
+// zone-map page predicates for DNF unions, and KNNChoice verdicts
+// per k. Admission pricing (EstimateStatementCost) and execution
+// (ExecStatement → unionCursor) share the entries, so a repeated
+// statement is planned exactly once per epoch.
+//
+// Tier 2 (opt-in via Config.ResultCacheBytes) caches materialized
+// small answers — bounded-LIMIT statements, single-point kNN probes,
+// small photo-z batches — with singleflight dedup. It is opt-in
+// because a cached answer deliberately skips execution: callers that
+// rely on per-request execution cost (admission-control tests, cost
+// benchmarks) must not silently change behaviour.
+//
+// Every entry is keyed under the current cache epoch; see cacheEpoch.
+
+// maxCacheableLimit bounds which statements tier 2 will materialize:
+// the LIMIT both caps the row count upfront (so the bypass decision
+// needs no trial execution) and keeps entries small. Statements with
+// no LIMIT (stmt.Limit < 0) or a larger one bypass tier 2 but still
+// reuse the tier-1 plan.
+const maxCacheableLimit = 4096
+
+// cachedRowBytes is the per-row resident-size estimate used to
+// charge entries against the cache budget (a table.Record is ~56 B;
+// 64 covers slice headers and rounding).
+const cachedRowBytes = 64
+
+// cachedEntryOverheadBytes charges each entry's fixed cost: key,
+// Report, bookkeeping.
+const cachedEntryOverheadBytes = 256
+
+// Cache namespaces. Tier-1 (plan) and tier-2 (result) namespaces are
+// reported separately by CacheStats.
+const (
+	nsQuery      = "query"
+	nsKNN        = "knn"
+	nsPhotoZ     = "photoz"
+	nsPlan       = "plan"
+	nsKNNPlan    = "knn-plan"
+	nsPhotoZPlan = "photoz-plan"
+)
+
+// initCache constructs the db's cache from its config. Called by
+// Open and OpenExisting before the db is shared.
+func (db *SpatialDB) initCache(cfg Config) {
+	store := db.eng.Store()
+	pressure := func() float64 {
+		cap := store.Capacity()
+		if cap <= 0 {
+			return 0
+		}
+		return float64(store.PressurePages()) / float64(cap)
+	}
+	db.resultCacheBytes = cfg.ResultCacheBytes
+	db.qc = qcache.New(cfg.ResultCacheBytes, 0, pressure)
+}
+
+// cacheEpoch snapshots the world every cache entry is keyed under:
+// the pagestore manifest epoch (any persisted mutation) plus the
+// in-process plan generation (index builds and ingest that have not
+// reached the manifest yet). A mismatch on either component
+// invalidates the entry.
+func (db *SpatialDB) cacheEpoch() qcache.Epoch {
+	return qcache.Epoch{Store: db.eng.Store().Epoch(), Plan: db.planGen.Load()}
+}
+
+// bumpPlanGen invalidates all cached plans and results built before
+// a plan-relevant in-process change (ingest, index build).
+func (db *SpatialDB) bumpPlanGen() { db.planGen.Add(1) }
+
+// Cache returns the db's statement cache (never nil after Open).
+func (db *SpatialDB) Cache() *qcache.Cache { return db.qc }
+
+// ResultCacheEnabled reports whether tier 2 is on.
+func (db *SpatialDB) ResultCacheEnabled() bool { return db.resultCacheBytes > 0 }
+
+// MaintainCache re-applies the pool-pressure budget, releasing
+// cached results if the pool got busier. Serving loops call it
+// opportunistically (vizhttp does from /stats).
+func (db *SpatialDB) MaintainCache() { db.qc.Maintain() }
+
+// CacheStats snapshots the cache counters per namespace plus the
+// resident tier-2 footprint.
+type CacheStats struct {
+	ResultBytes   int64                      `json:"resultBytes"`
+	ResultEntries int                        `json:"resultEntries"`
+	BudgetBytes   int64                      `json:"budgetBytes"`
+	Namespaces    map[string]qcache.Counters `json:"namespaces"`
+}
+
+// CacheStatsSnapshot returns the current cache counters.
+func (db *SpatialDB) CacheStatsSnapshot() CacheStats {
+	return CacheStats{
+		ResultBytes:   db.qc.ResultBytes(),
+		ResultEntries: db.qc.ResultEntries(),
+		BudgetBytes:   db.qc.BaseBudget(),
+		Namespaces:    db.qc.Stats(),
+	}
+}
+
+// unionPlan is a tier-1 entry: the planner's verdict and the
+// compiled zone-map page predicate for every clause of a DNF union,
+// in clause order. Entries are immutable once cached — cursors read
+// the choices and predicates but never write them.
+type unionPlan struct {
+	choices []planner.Choice
+	preds   []*table.PagePred
+}
+
+// unionPlanFor returns the cached plan for a union, planning every
+// clause and compiling its page predicate on first use. The key is
+// the union's canonical String() — the same property Statement
+// round-trips through — so textually identical predicates share one
+// entry regardless of which statement carries them.
+func (db *SpatialDB) unionPlanFor(u colorsql.Union) (*unionPlan, error) {
+	v, err := db.qc.GetOrBuildPlan(nsPlan, u.String(), db.cacheEpoch(), func() (any, error) {
+		pl, err := db.Planner()
+		if err != nil {
+			return nil, err
+		}
+		up := &unionPlan{choices: make([]planner.Choice, len(u.Polys))}
+		for i, q := range u.Polys {
+			up.choices[i] = pl.Plan(q)
+		}
+		// A union that cannot compile page predicates (wrong
+		// dimensionality) just forgoes pruning, exactly like the
+		// uncached path did.
+		if preds, err := u.PagePredicates(); err == nil {
+			up.preds = preds
+		}
+		return up, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*unionPlan), nil
+}
+
+// knnChoiceFor returns the cached kNN plan verdict for neighbourhood
+// size k against the main catalog.
+func (db *SpatialDB) knnChoiceFor(k int) (planner.KNNChoice, error) {
+	v, err := db.qc.GetOrBuildPlan(nsKNNPlan, "k="+strconv.Itoa(k), db.cacheEpoch(), func() (any, error) {
+		db.mu.RLock()
+		catalog, kd, kdTable := db.catalog, db.kd, db.kdTable
+		db.mu.RUnlock()
+		if catalog == nil {
+			return nil, fmt.Errorf("core: no catalog loaded")
+		}
+		pl := &planner.Planner{Catalog: catalog, Kd: kd, KdTable: kdTable, Domain: db.domain}
+		return pl.PlanKNN(k), nil
+	})
+	if err != nil {
+		return planner.KNNChoice{}, err
+	}
+	return v.(planner.KNNChoice), nil
+}
+
+// photoZUnitCost returns the cached per-point photo-z cost estimate
+// (the reference-table kNN plan's best cost). 0 when no estimator is
+// built.
+func (db *SpatialDB) photoZUnitCost() float64 {
+	db.mu.RLock()
+	est := db.photoZ
+	db.mu.RUnlock()
+	if est == nil {
+		return 0
+	}
+	v, err := db.qc.GetOrBuildPlan(nsPhotoZPlan, "unit", db.cacheEpoch(), func() (any, error) {
+		s := est.Searcher()
+		pl := &planner.Planner{Catalog: s.Tb, Kd: s.Tree, KdTable: s.Tb, Domain: db.domain}
+		return pl.PlanKNN(est.K).BestCost(), nil
+	})
+	if err != nil {
+		return 0
+	}
+	return v.(float64)
+}
+
+// statementCacheKey builds the tier-2 identity of a statement:
+// canonical statement text plus the plan-relevant config that could
+// change the answer's provenance (forced plan, worker count — worker
+// counts never change answers, but they are part of the execution
+// config the entry was observed under, and keying on them is free).
+// ok is false for statements tier 2 must not materialize: unbounded
+// (no LIMIT) or wider than maxCacheableLimit.
+func (db *SpatialDB) statementCacheKey(stmt colorsql.Statement, plan Plan) (string, bool) {
+	if stmt.Limit < 0 || stmt.Limit > maxCacheableLimit {
+		return "", false
+	}
+	return "w" + strconv.Itoa(db.exec.Workers) + "|" + plan.String() + "|" + stmt.String(), true
+}
+
+// cachedResult is a tier-2 entry: the fully materialized answer and
+// the Report of the execution that produced it. recs is shared
+// read-only by every cursor served from the entry.
+type cachedResult struct {
+	recs []table.Record
+	rep  Report
+}
+
+func (r *cachedResult) sizeBytes() int64 {
+	return int64(len(r.recs))*cachedRowBytes + cachedEntryOverheadBytes
+}
+
+// cachedReport converts an entry's execution Report into the Report
+// a cache-served answer must present: exact about this request —
+// FromCache set, zero I/O and scan counters (this request read
+// nothing) — while keeping the plan identity and selectivity
+// estimate of the execution that filled the entry.
+func cachedReport(rep Report) Report {
+	rep.FromCache = true
+	rep.RowsExamined = 0
+	rep.DiskReads = 0
+	rep.CacheHits = 0
+	rep.PagesSkipped = 0
+	rep.PagesScanned = 0
+	rep.StripsDecoded = 0
+	rep.LeavesExamined = 0
+	rep.FitFallbacks = 0
+	if rep.PlanReason != "" {
+		rep.PlanReason = "cached: " + rep.PlanReason
+	} else {
+		rep.PlanReason = "cached"
+	}
+	return rep
+}
+
+// ExecStatementCached serves a statement from the result cache if an
+// entry exists, without executing or queuing anything. The boolean
+// reports whether it hit; a miss counts nothing (the follow-up
+// ExecStatement accounts it), so admission layers can probe before
+// pricing without double-counting. Tier 2 disabled always misses.
+func (db *SpatialDB) ExecStatementCached(stmt colorsql.Statement, plan Plan) (Cursor, bool) {
+	if !db.ResultCacheEnabled() || stmt.Limit == 0 {
+		return nil, false
+	}
+	key, ok := db.statementCacheKey(stmt, plan)
+	if !ok {
+		return nil, false
+	}
+	v, ok := db.qc.Lookup(nsQuery, key, db.cacheEpoch())
+	if !ok {
+		return nil, false
+	}
+	res := v.(*cachedResult)
+	return &sliceCursor{recs: res.recs, rep: cachedReport(res.rep)}, true
+}
+
+// knnCacheKey is the tier-2 identity of a single-point kNN probe.
+func knnCacheKey(p vec.Point, k int) string {
+	buf := make([]byte, 0, 96)
+	buf = append(buf, 'k')
+	buf = strconv.AppendInt(buf, int64(k), 10)
+	for _, v := range p {
+		buf = append(buf, '|')
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	}
+	return string(buf)
+}
+
+// knnCached is a tier-2 entry for a single-point kNN probe.
+type knnCached struct {
+	recs []table.Record
+	rep  Report
+}
+
+// photoZCacheKey is the tier-2 identity of a small photo-z batch.
+func photoZCacheKey(mags []vec.Point) string {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, 'z')
+	for _, p := range mags {
+		for _, v := range p {
+			buf = append(buf, '|')
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		}
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
+
+// maxCacheablePhotoZBatch bounds which photo-z batches tier 2
+// materializes: interactive point probes, not bulk estimation.
+const maxCacheablePhotoZBatch = 8
+
+// photoZCached is a tier-2 entry for a photo-z batch.
+type photoZCached struct {
+	zs  []float64
+	rep Report
+}
+
+// NearestNeighborsBatchCached serves a single-point kNN probe from
+// the result cache if an entry exists, without executing or queuing.
+// A miss counts nothing (the follow-up NearestNeighborsBatch
+// accounts it). Only the cacheable shape — one point, bounded k —
+// can hit.
+func (db *SpatialDB) NearestNeighborsBatchCached(ps []vec.Point, k int) ([][]table.Record, []Report, bool) {
+	if !db.ResultCacheEnabled() || len(ps) != 1 || k <= 0 || k > maxCacheableLimit {
+		return nil, nil, false
+	}
+	v, ok := db.qc.Lookup(nsKNN, knnCacheKey(ps[0], k), db.cacheEpoch())
+	if !ok {
+		return nil, nil, false
+	}
+	e := v.(*knnCached)
+	rep := cachedReport(e.rep)
+	rep.RowsReturned = int64(len(e.recs))
+	return [][]table.Record{e.recs}, []Report{rep}, true
+}
+
+// EstimateRedshiftBatchCached serves a small photo-z batch from the
+// result cache if an entry exists; same contract as
+// NearestNeighborsBatchCached.
+func (db *SpatialDB) EstimateRedshiftBatchCached(mags []vec.Point) ([]float64, Report, bool) {
+	if !db.ResultCacheEnabled() || len(mags) < 1 || len(mags) > maxCacheablePhotoZBatch {
+		return nil, Report{}, false
+	}
+	v, ok := db.qc.Lookup(nsPhotoZ, photoZCacheKey(mags), db.cacheEpoch())
+	if !ok {
+		return nil, Report{}, false
+	}
+	e := v.(*photoZCached)
+	rep := cachedReport(e.rep)
+	rep.RowsReturned = int64(len(e.zs))
+	return e.zs, rep, true
+}

@@ -200,6 +200,69 @@ func TestEvictionChurnMatrix(t *testing.T) {
 	}
 }
 
+// TestEvictionChurnMatrixWithResultCache replays the churn matrix
+// with the tier-2 result cache enabled: under every pool size the
+// first pass fills the cache through constant eviction churn and the
+// second pass serves hits — both must be byte-identical to the
+// uncached RAM-sized reference, and the cache must hold no page pins.
+func TestEvictionChurnMatrixWithResultCache(t *testing.T) {
+	dir := t.TempDir()
+	db := buildFullDB(t, dir, 6000)
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := OpenExisting(Config{Dir: dir, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalPages int64
+	for _, pages := range ref.Engine().Store().ManifestFiles() {
+		totalPages += int64(pages)
+	}
+	want := collectAnswers(t, ref)
+	wantBatch := collectBatchAnswers(t, ref)
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pools := []struct {
+		name  string
+		pages int
+	}{
+		{"pin-floor", 16},
+		{"10pct", int(totalPages / 10)},
+	}
+	for _, pool := range pools {
+		t.Run(fmt.Sprintf("pool=%s", pool.name), func(t *testing.T) {
+			re, err := OpenExisting(Config{Dir: dir, PoolPages: pool.pages, Workers: 4, ResultCacheBytes: 8 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+
+			for pass := 0; pass < 2; pass++ {
+				got := collectAnswers(t, re)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("pass %d: answers diverge from uncached reference", pass)
+				}
+				if gotBatch := collectBatchAnswers(t, re); !reflect.DeepEqual(wantBatch, gotBatch) {
+					t.Errorf("pass %d: batched answers diverge from uncached reference", pass)
+				}
+			}
+			if c := re.Cache().StatsFor("query"); c.Hits == 0 {
+				t.Errorf("second pass served no statement-cache hits: %+v", c)
+			}
+			if n := re.Engine().Store().PinnedPages(); n != 0 {
+				t.Errorf("%d pages pinned after cached replay", n)
+			}
+		})
+	}
+}
+
 // TestQueryUnionMatchesQueryWhere pins the single-parse refactor:
 // executing a pre-parsed union must be exactly QueryWhere minus the
 // parse.

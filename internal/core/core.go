@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/colorsql"
 	"repro/internal/engine"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/photoz"
 	"repro/internal/planner"
+	"repro/internal/qcache"
 	"repro/internal/sky"
 	"repro/internal/table"
 	"repro/internal/vec"
@@ -53,6 +55,15 @@ type Config struct {
 	// scanned concurrently. 0 means GOMAXPROCS; 1 forces serial
 	// execution.
 	Workers int
+	// ResultCacheBytes budgets the tier-2 result cache: bounded-LIMIT
+	// statement answers, single-point kNN probes and small photo-z
+	// batches are materialized and served from memory with
+	// singleflight dedup. 0 (the default) disables result caching —
+	// every request executes — because a cached answer deliberately
+	// skips execution and callers relying on per-request cost must
+	// opt in. The tier-1 plan cache is always on. The effective
+	// budget shrinks under buffer-pool pressure; see internal/qcache.
+	ResultCacheBytes int64
 }
 
 // Plan selects the access path of a polyhedron query.
@@ -132,6 +143,12 @@ type Report struct {
 	// PlanReason explains the choice, e.g.
 	// "est sel 0.031 (kdtree-walk); kdtree 58.1 beats fullscan 494.0, voronoi n/a".
 	PlanReason string
+
+	// FromCache marks an answer served from the statement result
+	// cache: this request did no page I/O and examined no rows (the
+	// counters above are zero for it), while Plan, selectivity and
+	// reason describe the execution that originally filled the entry.
+	FromCache bool
 }
 
 // SpatialDB is the assembled system. Index builds serialize behind
@@ -153,6 +170,13 @@ type SpatialDB struct {
 	vor  *voronoi.Index
 
 	photoZ *photoz.Estimator
+
+	// qc is the statement-keyed two-tier cache (see cache.go);
+	// planGen counts in-process plan-relevant changes (ingest, index
+	// builds) and joins the pagestore epoch in every cache key.
+	qc               *qcache.Cache
+	resultCacheBytes int64
+	planGen          atomic.Uint64
 }
 
 // Open creates an empty SpatialDB at cfg.Dir.
@@ -172,6 +196,7 @@ func Open(cfg Config) (*SpatialDB, error) {
 		exec:   &planner.Executor{Workers: cfg.Workers},
 		domain: sky.Domain(),
 	}
+	db.initCache(cfg)
 	db.registerProcs()
 	return db, nil
 }
@@ -211,6 +236,7 @@ func (db *SpatialDB) IngestSynthetic(p sky.Params) error {
 		return err
 	}
 	db.catalog = tb
+	db.bumpPlanGen()
 	return nil
 }
 
@@ -229,6 +255,7 @@ func (db *SpatialDB) IngestRecords(recs []table.Record) error {
 		return err
 	}
 	db.catalog = tb
+	db.bumpPlanGen()
 	return nil
 }
 
@@ -260,6 +287,7 @@ func (db *SpatialDB) BuildKdIndex(levels int) error {
 	db.kd = tree
 	db.kdTable = clustered
 	db.knnS = knn.NewSearcher(tree, clustered)
+	db.bumpPlanGen()
 	return db.eng.RegisterClusteredTable(clustered, engine.ClusteredKdLeaf)
 }
 
@@ -288,6 +316,7 @@ func (db *SpatialDB) BuildGridIndex(base int, seed int64) error {
 		return err
 	}
 	db.grid = ix
+	db.bumpPlanGen()
 	return db.eng.RegisterClusteredTable(ix.Table(), engine.ClusteredGridCell)
 }
 
@@ -315,6 +344,7 @@ func (db *SpatialDB) BuildVoronoiIndex(numSeeds int, seed int64) error {
 		return err
 	}
 	db.vor = ix
+	db.bumpPlanGen()
 	return db.eng.RegisterClusteredTable(ix.Table(), engine.ClusteredVoronoiCell)
 }
 
@@ -351,6 +381,7 @@ func (db *SpatialDB) BuildPhotoZ(k, degree int) error {
 		return err
 	}
 	db.photoZ = est
+	db.bumpPlanGen()
 	return nil
 }
 
@@ -370,6 +401,32 @@ func (db *SpatialDB) EstimateRedshift(mags vec.Point) (float64, error) {
 // exact aggregate cost, including how many local polynomial fits
 // degenerated to the neighbour-mean fallback.
 func (db *SpatialDB) EstimateRedshiftBatch(mags []vec.Point) ([]float64, Report, error) {
+	// Small interactive batches cache like point probes; bulk
+	// estimation always executes.
+	if db.ResultCacheEnabled() && len(mags) >= 1 && len(mags) <= maxCacheablePhotoZBatch {
+		v, out, err := db.qc.Do(nsPhotoZ, photoZCacheKey(mags), db.cacheEpoch(), func() (any, int64, error) {
+			zs, rep, err := db.estimateRedshiftBatchUncached(mags)
+			if err != nil {
+				return nil, 0, err
+			}
+			e := &photoZCached{zs: zs, rep: rep}
+			return e, int64(len(zs))*8 + cachedEntryOverheadBytes, nil
+		})
+		if err != nil {
+			return nil, Report{}, err
+		}
+		e := v.(*photoZCached)
+		rep := e.rep
+		if out != qcache.Miss {
+			rep = cachedReport(rep)
+			rep.RowsReturned = int64(len(e.zs))
+		}
+		return e.zs, rep, nil
+	}
+	return db.estimateRedshiftBatchUncached(mags)
+}
+
+func (db *SpatialDB) estimateRedshiftBatchUncached(mags []vec.Point) ([]float64, Report, error) {
 	db.mu.RLock()
 	est := db.photoZ
 	db.mu.RUnlock()
@@ -481,18 +538,21 @@ func (db *SpatialDB) QueryPolyhedron(q vec.Polyhedron, plan Plan) ([]table.Recor
 	return recs, rep, nil
 }
 
-// knnPlan prices the kNN query and snapshots the structures it
-// needs. The searcher may be nil (kd-tree not built), in which case
-// brute force is the only path.
+// knnPlan prices the kNN query (through the tier-1 plan cache) and
+// snapshots the structures it needs. The searcher may be nil
+// (kd-tree not built), in which case brute force is the only path.
 func (db *SpatialDB) knnPlan(k int) (*knn.Searcher, *table.Table, planner.KNNChoice, error) {
 	db.mu.RLock()
-	searcher, catalog, kd, kdTable := db.knnS, db.catalog, db.kd, db.kdTable
+	searcher, catalog := db.knnS, db.catalog
 	db.mu.RUnlock()
 	if catalog == nil {
 		return nil, nil, planner.KNNChoice{}, fmt.Errorf("core: no catalog loaded")
 	}
-	pl := &planner.Planner{Catalog: catalog, Kd: kd, KdTable: kdTable, Domain: db.domain}
-	return searcher, catalog, pl.PlanKNN(k), nil
+	choice, err := db.knnChoiceFor(k)
+	if err != nil {
+		return nil, nil, planner.KNNChoice{}, err
+	}
+	return searcher, catalog, choice, nil
 }
 
 // knnReport converts search stats into a Report.
@@ -547,6 +607,33 @@ func (db *SpatialDB) NearestNeighbors(p vec.Point, k int) ([]table.Record, Repor
 // brute force cheaper (k approaching N, or no kd-tree built), the
 // queries run as brute-force scans fanned over the same worker pool.
 func (db *SpatialDB) NearestNeighborsBatch(ps []vec.Point, k int) ([][]table.Record, []Report, error) {
+	// A single-point batch is the interactive point-probe shape; with
+	// tier 2 enabled it is cached (and singleflighted) like a repeated
+	// statement. The cached record slice is shared read-only.
+	if db.ResultCacheEnabled() && len(ps) == 1 && k > 0 && k <= maxCacheableLimit {
+		v, out, err := db.qc.Do(nsKNN, knnCacheKey(ps[0], k), db.cacheEpoch(), func() (any, int64, error) {
+			recs, reports, err := db.nearestNeighborsBatchUncached(ps, k)
+			if err != nil {
+				return nil, 0, err
+			}
+			e := &knnCached{recs: recs[0], rep: reports[0]}
+			return e, int64(len(e.recs))*cachedRowBytes + cachedEntryOverheadBytes, nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		e := v.(*knnCached)
+		rep := e.rep
+		if out != qcache.Miss {
+			rep = cachedReport(rep)
+			rep.RowsReturned = int64(len(e.recs))
+		}
+		return [][]table.Record{e.recs}, []Report{rep}, nil
+	}
+	return db.nearestNeighborsBatchUncached(ps, k)
+}
+
+func (db *SpatialDB) nearestNeighborsBatchUncached(ps []vec.Point, k int) ([][]table.Record, []Report, error) {
 	searcher, catalog, choice, err := db.knnPlan(k)
 	if err != nil {
 		return nil, nil, err

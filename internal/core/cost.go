@@ -26,21 +26,27 @@ func (db *SpatialDB) EstimateStatementCost(stmt colorsql.Statement) float64 {
 	if o := stmt.Order; o != nil && o.Dist != nil && !o.Desc && !stmt.HasWhere && stmt.Limit > 0 {
 		return db.EstimateKNNCost(stmt.Limit, 1)
 	}
-	pl, err := db.Planner()
-	if err != nil {
-		return 0
-	}
 	if !stmt.HasWhere {
+		pl, err := db.Planner()
+		if err != nil {
+			return 0
+		}
 		// Full-catalog scan: priced like the planner's fullscan path.
 		m := planner.DefaultCostModel()
 		cost := float64(pl.Catalog.NumPages())*m.SeqPage + float64(pl.Catalog.NumRows())*m.Row
 		return boundByLimit(cost, float64(pl.Catalog.NumRows()), stmt)
 	}
 	// A DNF union runs one polyhedron query per clause; the union's
-	// price is their sum (dedup is in-memory).
+	// price is their sum (dedup is in-memory). The per-clause
+	// verdicts come from the tier-1 plan cache, shared with the
+	// execution path: a repeated statement is estimated once per
+	// epoch, not once per request.
+	up, err := db.unionPlanFor(stmt.Where)
+	if err != nil {
+		return 0
+	}
 	var cost, rows float64
-	for _, q := range stmt.Where.Polys {
-		c := pl.Plan(q)
+	for _, c := range up.choices {
 		cost += c.BestCost()
 		rows += c.Est.Rows
 	}
@@ -65,35 +71,26 @@ func boundByLimit(cost, estRows float64, stmt colorsql.Statement) float64 {
 }
 
 // EstimateKNNCost predicts the cost of numPoints k-nearest-neighbour
-// queries in sequential-page units, zero-I/O.
+// queries in sequential-page units, zero-I/O. The per-k verdict
+// comes from the tier-1 plan cache shared with execution.
 func (db *SpatialDB) EstimateKNNCost(k, numPoints int) float64 {
-	db.mu.RLock()
-	catalog, kd, kdTable := db.catalog, db.kd, db.kdTable
-	db.mu.RUnlock()
-	if catalog == nil {
-		return 0
-	}
 	if numPoints < 1 {
 		numPoints = 1
 	}
-	pl := &planner.Planner{Catalog: catalog, Kd: kd, KdTable: kdTable, Domain: db.domain}
-	return pl.PlanKNN(k).BestCost() * float64(numPoints)
+	choice, err := db.knnChoiceFor(k)
+	if err != nil {
+		return 0
+	}
+	return choice.BestCost() * float64(numPoints)
 }
 
 // EstimatePhotoZCost predicts the cost of a photometric-redshift
 // batch of numPoints objects: each is a k-neighbour search on the
-// spectroscopic reference table, priced by the same kNN model.
+// spectroscopic reference table, priced by the same kNN model. The
+// per-point unit cost comes from the tier-1 plan cache.
 func (db *SpatialDB) EstimatePhotoZCost(numPoints int) float64 {
-	db.mu.RLock()
-	est := db.photoZ
-	db.mu.RUnlock()
-	if est == nil {
-		return 0
-	}
 	if numPoints < 1 {
 		numPoints = 1
 	}
-	s := est.Searcher()
-	pl := &planner.Planner{Catalog: s.Tb, Kd: s.Tree, KdTable: s.Tb, Domain: db.domain}
-	return pl.PlanKNN(est.K).BestCost() * float64(numPoints)
+	return db.photoZUnitCost() * float64(numPoints)
 }

@@ -63,6 +63,10 @@ type cursorOpts struct {
 	// pred is a pre-compiled zone-map page predicate for the query's
 	// halfspaces; nil makes the pruned-scan path compile its own.
 	pred *table.PagePred
+	// choice is a pre-computed planner verdict for the query (from
+	// the tier-1 plan cache); nil makes PlanAuto consult the planner.
+	// Read-only: the cached entry is shared across requests.
+	choice *planner.Choice
 }
 
 // polyCursor streams one convex polyhedron query: an executor
@@ -116,12 +120,14 @@ func (db *SpatialDB) polyhedronCursor(ctx context.Context, q vec.Polyhedron, pla
 	resolved := plan
 	var est float64
 	var why string
-	var choice *planner.Choice
+	choice := opts.choice
 	if plan == PlanAuto {
-		ch := pl.Plan(q)
-		choice = &ch
-		est, why = ch.Est.Selectivity, ch.Reason
-		switch ch.Path {
+		if choice == nil {
+			ch := pl.Plan(q)
+			choice = &ch
+		}
+		est, why = choice.Est.Selectivity, choice.Reason
+		switch choice.Path {
 		case planner.PathKdTree:
 			resolved = PlanKdTree
 		case planner.PathVoronoi:
@@ -226,10 +232,13 @@ type unionCursor struct {
 	ctx   context.Context
 	polys []vec.Polyhedron
 	// preds, when non-nil, holds one pre-compiled page predicate per
-	// clause (same indexing as polys) for zone-map pruning.
-	preds []*table.PagePred
-	plan  Plan
-	opts  cursorOpts
+	// clause (same indexing as polys) for zone-map pruning; choices,
+	// when non-nil, the cached planner verdict per clause. Both come
+	// from the tier-1 plan cache and are shared read-only.
+	preds   []*table.PagePred
+	choices []planner.Choice
+	plan    Plan
+	opts    cursorOpts
 
 	idx     int
 	cur     *polyCursor
@@ -244,16 +253,18 @@ func (db *SpatialDB) newUnionCursor(ctx context.Context, u colorsql.Union, plan 
 	// Dedup needs the object identity decoded whatever the
 	// projection asked for.
 	opts.cols |= table.ColObjID
-	// Compile each clause's zone-map predicate up front so a
-	// pruned-scan clause never re-derives it; a clause that cannot
-	// compile (wrong dimensionality) just forgoes pruning here and
-	// surfaces its error if the pruned path is actually taken.
-	preds, err := u.PagePredicates()
-	if err != nil {
-		preds = nil
+	// The tier-1 plan cache holds (or builds) the per-clause planner
+	// verdicts and pre-compiled zone-map predicates for this union's
+	// canonical text. A union that cannot plan (no catalog) just
+	// carries nothing — the clause cursor surfaces the real error.
+	var preds []*table.PagePred
+	var choices []planner.Choice
+	if up, err := db.unionPlanFor(u); err == nil {
+		preds, choices = up.preds, up.choices
 	}
 	return &unionCursor{
-		db: db, ctx: ctx, polys: u.Polys, preds: preds, plan: plan, opts: opts,
+		db: db, ctx: ctx, polys: u.Polys, preds: preds, choices: choices,
+		plan: plan, opts: opts,
 		seen: make(map[int64]bool),
 	}
 }
@@ -270,6 +281,9 @@ func (c *unionCursor) Next() bool {
 			opts := c.opts
 			if c.preds != nil {
 				opts.pred = c.preds[c.idx]
+			}
+			if c.choices != nil {
+				opts.choice = &c.choices[c.idx]
 			}
 			cur, err := c.db.polyhedronCursor(c.ctx, c.polys[c.idx], c.plan, opts)
 			if err != nil {

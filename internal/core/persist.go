@@ -101,6 +101,7 @@ func OpenExisting(cfg Config) (*SpatialDB, error) {
 		exec:   &planner.Executor{Workers: cfg.Workers},
 		domain: sky.Domain(),
 	}
+	db.initCache(cfg)
 	db.registerProcs()
 	fail := func(err error) (*SpatialDB, error) {
 		eng.Close()

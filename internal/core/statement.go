@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/colorsql"
+	"repro/internal/qcache"
 	"repro/internal/table"
 	"repro/internal/vec"
 )
@@ -53,6 +54,17 @@ func (db *SpatialDB) QueryStatement(ctx context.Context, src string, plan Plan) 
 // cursor pipeline. The caller must Close the cursor; its Stats are
 // exact for the work this statement actually did, including under
 // early termination.
+//
+// With the result cache enabled (Config.ResultCacheBytes > 0),
+// bounded-LIMIT statements are materialized once and served from
+// memory: a repeated statement returns a cursor over the cached rows
+// with Report.FromCache set and zero I/O counters, and N concurrent
+// identical statements trigger one execution (singleflight) whose
+// answer they all share. Statements with no LIMIT (or one above the
+// cacheable cap) always stream. Cached and uncached answers are
+// byte-identical: the entry holds exactly what Collect over the
+// uncached cursor returned, keyed under the store epoch so any
+// persisted mutation or index build invalidates it.
 func (db *SpatialDB) ExecStatement(ctx context.Context, stmt colorsql.Statement, plan Plan) (Cursor, error) {
 	if err := db.validatePlan(stmt, plan); err != nil {
 		return nil, err
@@ -63,6 +75,39 @@ func (db *SpatialDB) ExecStatement(ctx context.Context, stmt colorsql.Statement,
 		return &sliceCursor{rep: Report{Plan: plan, PlanReason: "LIMIT 0: no rows requested"}}, nil
 	}
 
+	if db.ResultCacheEnabled() {
+		if key, ok := db.statementCacheKey(stmt, plan); ok {
+			v, out, err := db.qc.Do(nsQuery, key, db.cacheEpoch(), func() (any, int64, error) {
+				cur, err := db.execStatementUncached(ctx, stmt, plan)
+				if err != nil {
+					return nil, 0, err
+				}
+				recs, rep, err := Collect(cur)
+				if err != nil {
+					return nil, 0, err
+				}
+				res := &cachedResult{recs: recs, rep: rep}
+				return res, res.sizeBytes(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			res := v.(*cachedResult)
+			rep := res.rep
+			if out != qcache.Miss {
+				// Hit or shared: this request did no I/O of its own.
+				rep = cachedReport(rep)
+			}
+			return &sliceCursor{recs: res.recs, rep: rep}, nil
+		}
+		db.qc.Bypass(nsQuery)
+	}
+	return db.execStatementUncached(ctx, stmt, plan)
+}
+
+// execStatementUncached is the streaming execution path beneath the
+// result cache.
+func (db *SpatialDB) execStatementUncached(ctx context.Context, stmt colorsql.Statement, plan Plan) (Cursor, error) {
 	// kNN reuse: an ascending distance ordering with a row budget and
 	// no predicate is a nearest-neighbour query. This path is the one
 	// exception to mid-scan cancellation: the region-growing search

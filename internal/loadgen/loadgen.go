@@ -64,9 +64,21 @@ type MixResult struct {
 	// PagesReadPerOp is the server's diskReads delta over the run
 	// divided by completed requests (0 when /stats was unreachable).
 	PagesReadPerOp float64 `json:"pagesReadPerOp"`
+	// CacheHits/CacheMisses classify completed requests by the
+	// server's X-Cache response header (requests without the header —
+	// endpoints outside the result cache — count in neither).
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	// HitRatio = CacheHits / (CacheHits + CacheMisses), 0 when no
+	// completion carried the header.
+	HitRatio float64 `json:"hitRatio"`
 	// Latency distribution of completed (2xx) requests, measured from
 	// scheduled arrival.
 	Latency qos.HistogramSnapshot `json:"latency"`
+	// LatencyHit/LatencyMiss split the distribution by X-Cache,
+	// present only when the respective class completed at least once.
+	LatencyHit  *qos.HistogramSnapshot `json:"latencyHit,omitempty"`
+	LatencyMiss *qos.HistogramSnapshot `json:"latencyMiss,omitempty"`
 }
 
 // Run drives one mix at the configured rate until the duration
@@ -95,7 +107,9 @@ func Run(ctx context.Context, cfg Config, mix Mix) (MixResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sem := make(chan struct{}, maxInFlight)
 	hist := &qos.Histogram{}
+	histHit, histMiss := &qos.Histogram{}, &qos.Histogram{}
 	var completed, shed, errs, dropped atomic.Int64
+	var cacheHits, cacheMisses atomic.Int64
 	var wg sync.WaitGroup
 
 	readsBefore, statsOK := diskReads(client, cfg.BaseURL)
@@ -144,8 +158,17 @@ arrivals:
 				// Latency counts only admitted, completed work, from the
 				// scheduled arrival — shed requests answer fast by design
 				// and would flatter the distribution.
-				hist.Record(time.Since(sched))
+				lat := time.Since(sched)
+				hist.Record(lat)
 				completed.Add(1)
+				switch resp.Header.Get("X-Cache") {
+				case "hit":
+					cacheHits.Add(1)
+					histHit.Record(lat)
+				case "miss":
+					cacheMisses.Add(1)
+					histMiss.Record(lat)
+				}
 			default:
 				errs.Add(1)
 			}
@@ -164,7 +187,20 @@ arrivals:
 		Shed:        shed.Load(),
 		Errors:      errs.Load(),
 		Dropped:     dropped.Load(),
+		CacheHits:   cacheHits.Load(),
+		CacheMisses: cacheMisses.Load(),
 		Latency:     hist.Snapshot(),
+	}
+	if classified := res.CacheHits + res.CacheMisses; classified > 0 {
+		res.HitRatio = float64(res.CacheHits) / float64(classified)
+	}
+	if res.CacheHits > 0 {
+		snap := histHit.Snapshot()
+		res.LatencyHit = &snap
+	}
+	if res.CacheMisses > 0 {
+		snap := histMiss.Snapshot()
+		res.LatencyMiss = &snap
 	}
 	if readsAfter, ok := diskReads(client, cfg.BaseURL); ok && statsOK && res.Completed > 0 {
 		res.PagesReadPerOp = float64(readsAfter-readsBefore) / float64(res.Completed)

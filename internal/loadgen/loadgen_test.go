@@ -142,8 +142,67 @@ func TestRunCancellation(t *testing.T) {
 	}
 }
 
+// TestRunT7ReportsHitRatio drives the hot-statement mix against a
+// server with the result cache enabled: every /query completion is
+// classified by X-Cache, the pool is small enough that repeats
+// dominate, and the split histograms account for every completion.
+func TestRunT7ReportsHitRatio(t *testing.T) {
+	db, err := core.Open(core.Config{Dir: t.TempDir(), ResultCacheBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.IngestSynthetic(sky.DefaultParams(3000, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildGridIndex(256, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(vizhttp.New(db, vizhttp.Config{}).Handler())
+	t.Cleanup(ts.Close)
+
+	mix, ok := MixByName("t7")
+	if !ok {
+		t.Fatal("t7 mix missing")
+	}
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Rate:        500,
+		Duration:    400 * time.Millisecond,
+		MaxInFlight: 128,
+		Seed:        4,
+	}, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conservation(t, res)
+	if res.Errors > 0 {
+		t.Errorf("%d errors against a healthy server", res.Errors)
+	}
+	if res.CacheHits+res.CacheMisses != res.Completed {
+		t.Errorf("classified %d+%d != completed %d (every /query completion carries X-Cache)",
+			res.CacheHits, res.CacheMisses, res.Completed)
+	}
+	// The pool has len(hotStatements) distinct statements; everything
+	// past each statement's first execution is a hit or a shared
+	// singleflight answer.
+	if res.HitRatio <= 0.5 {
+		t.Errorf("hit ratio %.2f (hits %d misses %d completed %d), want > 0.5",
+			res.HitRatio, res.CacheHits, res.CacheMisses, res.Completed)
+	}
+	if res.LatencyHit == nil || res.LatencyHit.Count != res.CacheHits {
+		t.Errorf("latencyHit = %+v, want count %d", res.LatencyHit, res.CacheHits)
+	}
+	if res.LatencyMiss == nil || res.LatencyMiss.Count != res.CacheMisses {
+		t.Errorf("latencyMiss = %+v, want count %d", res.LatencyMiss, res.CacheMisses)
+	}
+}
+
 func TestMixByName(t *testing.T) {
-	for _, name := range []string{"t1", "T2", "T3-topk", "t4", "T5-MIXED"} {
+	for _, name := range []string{"t1", "T2", "T3-topk", "t4", "T5-MIXED", "t7", "T7-hot"} {
 		if _, ok := MixByName(name); !ok {
 			t.Errorf("MixByName(%q) not found", name)
 		}

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -33,10 +34,58 @@ func queryReq(base, stmt string) (*http.Request, error) {
 	return http.NewRequest("GET", base+"/query?q="+url.QueryEscape(stmt), nil)
 }
 
-// StandardMixes is the T1–T6 workload matrix from the QoS experiment:
+// hotStatements is T7's fixed statement pool: the bounded-LIMIT
+// shapes the result cache admits, frozen so repeats actually repeat.
+// Real SkyServer traffic is heavily skewed toward a small set of
+// canned queries (the web form's defaults and textbook examples);
+// a Zipfian draw over this pool models that skew.
+var hotStatements = []string{
+	"SELECT objid, g, r WHERE g - r > 0.40 AND r < 17.5 LIMIT 100",
+	"SELECT objid, g, r WHERE g - r > 0.55 AND r < 18.0 LIMIT 100",
+	"SELECT * ORDER BY dist(16.0, 15.8, 15.6, 15.5, 15.4) LIMIT 10",
+	"SELECT objid, u, g, r, i, z WHERE r < 20.0 LIMIT 200",
+	"SELECT objid, g, r WHERE g - r > 0.30 AND r < 16.5 LIMIT 100",
+	"SELECT * ORDER BY dist(18.5, 18.1, 17.9, 17.8, 17.7) LIMIT 10",
+	"SELECT objid, redshift, class WHERE r < 17.0 LIMIT 150",
+	"SELECT objid, g, r WHERE g - r > 0.45 AND r < 19.0 LIMIT 100",
+	"SELECT objid, ra, dec WHERE u - g > 0.8 LIMIT 50",
+	"SELECT * ORDER BY dist(15.0, 14.9, 14.8, 14.7, 14.6) LIMIT 10",
+	"SELECT objid, g, r, i WHERE r - i > 0.25 AND r < 18.5 LIMIT 100",
+	"SELECT objid WHERE g < 16.0 LIMIT 100",
+}
+
+// hotCDF is the cumulative Zipf(s=1.1) weight over hotStatements:
+// rank r (0-based) has weight 1/(r+1)^1.1, so the head statement
+// draws ~35% of requests and the tail still recurs.
+var hotCDF = func() []float64 {
+	cdf := make([]float64, len(hotStatements))
+	sum := 0.0
+	for r := range cdf {
+		sum += 1 / math.Pow(float64(r+1), 1.1)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	return cdf
+}()
+
+// zipfPick draws a rank by inverse CDF.
+func zipfPick(rng *rand.Rand, cdf []float64) int {
+	u := rng.Float64()
+	for r, c := range cdf {
+		if u <= c {
+			return r
+		}
+	}
+	return len(cdf) - 1
+}
+
+// StandardMixes is the T1–T7 workload matrix from the QoS experiment:
 // point lookups, range scans, top-k orderings, projection-heavy
-// selects, the mixed traffic a real SkyServer front end produces, and
-// the LIMIT-free selective color cut that exercises zone-map pruning.
+// selects, the mixed traffic a real SkyServer front end produces, the
+// LIMIT-free selective color cut that exercises zone-map pruning, and
+// the Zipfian hot-statement mix that exercises the result cache.
 func StandardMixes() []Mix {
 	t1 := Mix{
 		Name:        "T1-point",
@@ -100,7 +149,14 @@ func StandardMixes() []Mix {
 			return queryReq(base, fmt.Sprintf("SELECT objid, g, r WHERE g - r > %.3f AND r < %.2f", cut, rmax))
 		},
 	}
-	return []Mix{t1, t2, t3, t4, t5, t6}
+	t7 := Mix{
+		Name:        "T7-hot",
+		Description: "Zipfian repeats over a fixed hot-statement pool: result-cache hit ratio and hit/miss latency split (GET /query)",
+		Make: func(base string, rng *rand.Rand) (*http.Request, error) {
+			return queryReq(base, hotStatements[zipfPick(rng, hotCDF)])
+		},
+	}
+	return []Mix{t1, t2, t3, t4, t5, t6, t7}
 }
 
 // MixByName finds a mix by its short name ("T1-point") or prefix

@@ -22,34 +22,43 @@ import (
 //
 //	magic       u32  "SPGM"
 //	version     u32  FormatVersion
+//	epoch       u64  store epoch, bumped on every manifest rewrite
 //	fileCount   u32
 //	fileCount × { nameLen u16 | name bytes | pages u32 }
 //	crc32       u32  over every preceding byte
+//
+// The epoch is the store's coarse change counter: any Flush/Close
+// that actually wrote data bumps it, so a cache keyed on the epoch
+// (internal/qcache) invalidates wholesale when the catalog is
+// rebuilt or re-persisted, without tracking individual pages.
 
 // ManifestName is the superblock's file name within the store dir.
 const ManifestName = "MANIFEST"
 
 // FormatVersion is the on-disk format version stamped into the
 // manifest. Bump it when the page layout or manifest layout changes;
-// OpenExisting refuses any other version.
-const FormatVersion = 1
+// OpenExisting refuses any other version. Version 2 added the store
+// epoch after the version field.
+const FormatVersion = 2
 
 const manifestMagic = 0x4d475053 // "SPGM" little endian
 
 // encodeManifest serializes a file directory. Entries are sorted by
 // name so the bytes are deterministic.
-func encodeManifest(version uint32, files map[string]PageNum) []byte {
+func encodeManifest(version uint32, epoch uint64, files map[string]PageNum) []byte {
 	names := make([]string, 0, len(files))
 	for n := range files {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	buf := make([]byte, 0, 12+len(names)*32)
+	buf := make([]byte, 0, 20+len(names)*32)
 	var tmp [8]byte
 	binary.LittleEndian.PutUint32(tmp[:4], manifestMagic)
 	buf = append(buf, tmp[:4]...)
 	binary.LittleEndian.PutUint32(tmp[:4], version)
 	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:8], epoch)
+	buf = append(buf, tmp[:8]...)
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(names)))
 	buf = append(buf, tmp[:4]...)
 	for _, n := range names {
@@ -64,32 +73,34 @@ func encodeManifest(version uint32, files map[string]PageNum) []byte {
 	return buf
 }
 
-// decodeManifest parses and validates manifest bytes.
-func decodeManifest(buf []byte) (map[string]PageNum, error) {
-	if len(buf) < 16 {
-		return nil, fmt.Errorf("pagestore: manifest truncated (%d bytes)", len(buf))
+// decodeManifest parses and validates manifest bytes, returning the
+// file directory and the stored epoch.
+func decodeManifest(buf []byte) (map[string]PageNum, uint64, error) {
+	if len(buf) < 24 {
+		return nil, 0, fmt.Errorf("pagestore: manifest truncated (%d bytes)", len(buf))
 	}
 	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
 	if got := crc32.ChecksumIEEE(body); got != sum {
-		return nil, fmt.Errorf("pagestore: manifest checksum mismatch (stored %08x, computed %08x): superblock is corrupt", sum, got)
+		return nil, 0, fmt.Errorf("pagestore: manifest checksum mismatch (stored %08x, computed %08x): superblock is corrupt", sum, got)
 	}
 	if magic := binary.LittleEndian.Uint32(body[0:]); magic != manifestMagic {
-		return nil, fmt.Errorf("pagestore: bad manifest magic %08x (not a page store?)", magic)
+		return nil, 0, fmt.Errorf("pagestore: bad manifest magic %08x (not a page store?)", magic)
 	}
 	if v := binary.LittleEndian.Uint32(body[4:]); v != FormatVersion {
-		return nil, fmt.Errorf("pagestore: manifest format version %d, this binary supports %d", v, FormatVersion)
+		return nil, 0, fmt.Errorf("pagestore: manifest format version %d, this binary supports %d", v, FormatVersion)
 	}
-	count := int(binary.LittleEndian.Uint32(body[8:]))
+	epoch := binary.LittleEndian.Uint64(body[8:])
+	count := int(binary.LittleEndian.Uint32(body[16:]))
 	files := make(map[string]PageNum, count)
-	off := 12
+	off := 20
 	for i := 0; i < count; i++ {
 		if off+2 > len(body) {
-			return nil, fmt.Errorf("pagestore: manifest truncated inside entry %d", i)
+			return nil, 0, fmt.Errorf("pagestore: manifest truncated inside entry %d", i)
 		}
 		nameLen := int(binary.LittleEndian.Uint16(body[off:]))
 		off += 2
 		if off+nameLen+4 > len(body) {
-			return nil, fmt.Errorf("pagestore: manifest truncated inside entry %d", i)
+			return nil, 0, fmt.Errorf("pagestore: manifest truncated inside entry %d", i)
 		}
 		name := string(body[off : off+nameLen])
 		off += nameLen
@@ -97,9 +108,9 @@ func decodeManifest(buf []byte) (map[string]PageNum, error) {
 		off += 4
 	}
 	if off != len(body) {
-		return nil, fmt.Errorf("pagestore: manifest has %d trailing bytes", len(body)-off)
+		return nil, 0, fmt.Errorf("pagestore: manifest has %d trailing bytes", len(body)-off)
 	}
-	return files, nil
+	return files, epoch, nil
 }
 
 // writeManifestLocked rewrites the superblock from the current file
@@ -139,7 +150,15 @@ func (s *Store) writeManifestLocked() error {
 			files[name] = pages
 		}
 	}
-	buf := encodeManifest(FormatVersion, files)
+	// A rewrite means data changed since the manifest was loaded or
+	// last written: advance the store epoch so epoch-keyed caches see
+	// a new world. Bumped before encoding so the persisted epoch and
+	// the in-memory one agree; restored on failure along with the
+	// mutated flag.
+	epoch := s.epoch.Add(1)
+	restoreEpoch := restore
+	restore = func(err error) error { s.epoch.Add(^uint64(0)); return restoreEpoch(err) }
+	buf := encodeManifest(FormatVersion, epoch, files)
 	tmp := filepath.Join(s.dir, ManifestName+".tmp")
 	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -183,7 +202,7 @@ func OpenExisting(dir string, poolPages int) (*Store, error) {
 		}
 		return nil, fmt.Errorf("pagestore: read manifest: %w", err)
 	}
-	files, err := decodeManifest(buf)
+	files, epoch, err := decodeManifest(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +216,9 @@ func OpenExisting(dir string, poolPages int) (*Store, error) {
 				name, st.Size(), pages, want)
 		}
 	}
-	return newStoreState(dir, poolPages, files), nil
+	s := newStoreState(dir, poolPages, files)
+	s.epoch.Store(epoch)
+	return s, nil
 }
 
 // HasFile reports whether the store knows the named paged file —

@@ -64,6 +64,62 @@ func TestManifestRoundTrip(t *testing.T) {
 	p.Release()
 }
 
+// The store epoch must advance exactly when the manifest is
+// rewritten: a fresh build persists epoch 1, a read-only session
+// leaves it untouched, and a mutating session bumps it.
+func TestManifestEpoch(t *testing.T) {
+	dir := t.TempDir()
+	buildStore(t, dir) // fresh store: Close writes epoch 1
+
+	s, err := OpenExisting(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 1 {
+		t.Fatalf("epoch after first build = %d, want 1", got)
+	}
+	// Read-only session: Close must not rewrite or bump.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenExisting(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 1 {
+		t.Fatalf("epoch after read-only session = %d, want 1", got)
+	}
+	// Mutating session: the rewrite bumps to 2, visible both in
+	// memory after Flush and on the next open.
+	f, _, err := s.OpenFile("a.tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Alloc(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MarkDirty()
+	p.Release()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 2 {
+		t.Fatalf("epoch after mutating flush = %d, want 2", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenExisting(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Epoch(); got != 2 {
+		t.Fatalf("epoch after reopen = %d, want 2", got)
+	}
+}
+
 func TestOpenExistingNoManifest(t *testing.T) {
 	_, err := OpenExisting(t.TempDir(), 8)
 	if err == nil || !strings.Contains(err.Error(), "not built") {
@@ -106,7 +162,7 @@ func TestOpenExistingVersionSkew(t *testing.T) {
 	buildStore(t, dir)
 	// Re-encode the manifest with a future format version; the CRC is
 	// valid, so only the version check can reject it.
-	buf := encodeManifest(FormatVersion+1, map[string]PageNum{"a.tbl": 3, "b.idx": 3})
+	buf := encodeManifest(FormatVersion+1, 1, map[string]PageNum{"a.tbl": 3, "b.idx": 3})
 	if err := os.WriteFile(filepath.Join(dir, ManifestName), buf, 0o644); err != nil {
 		t.Fatal(err)
 	}

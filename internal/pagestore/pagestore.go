@@ -275,6 +275,13 @@ type Store struct {
 	// rewritten: read-only sessions never rewrite the superblock.
 	// Atomic because eviction write-back sets it outside every latch.
 	mutated atomic.Bool
+	// epoch is the store's persisted change counter: loaded from the
+	// manifest by OpenExisting, advanced by every manifest rewrite
+	// (writeManifestLocked). A fresh store starts at 0 and first
+	// persists epoch 1. Read-only serving sessions never rewrite the
+	// manifest, so the epoch is stable for the process lifetime —
+	// exactly what statement caches key on.
+	epoch atomic.Uint64
 
 	// readErrHook / writeErrHook let tests inject physical I/O
 	// failures deterministically. Consulted before the real
@@ -850,6 +857,36 @@ func (s *Store) PoolSize() int {
 
 // NumShards reports the pool's latch fan-out (1 for small pools).
 func (s *Store) NumShards() int { return len(s.shards) }
+
+// Epoch returns the store's change counter: the epoch loaded from
+// the manifest (or 0 for a fresh store), plus one per manifest
+// rewrite since. Two equal epochs over the same directory mean the
+// persisted data is byte-identical; caches key entries on it to
+// invalidate wholesale across Persist/reopen/rebuild.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// Capacity returns the pool's total frame capacity in pages.
+func (s *Store) Capacity() int { return s.capacity }
+
+// PressurePages counts frames that the replacement policy cannot
+// freely reclaim right now: pinned by a caller, or dirty and awaiting
+// write-back. It is the pool-pressure signal auxiliary memory users
+// (the statement cache) shrink against — when most of the pool is
+// pinned or dirty, the scan-resistant pool must win over stale
+// cached results.
+func (s *Store) PressurePages() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.pins > 0 || fr.dirty.Load() {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
 
 // PinnedPages counts the frames currently pinned by some caller. At
 // any quiescent point — no query in flight, every cursor closed — it

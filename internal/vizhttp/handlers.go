@@ -142,7 +142,10 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 // Admission happens after parsing (rejecting malformed input must not
 // consume a slot) and is priced by the planner's zero-I/O estimate of
 // this statement, so under saturation an expensive statement is shed
-// before it costs the server anything.
+// before it costs the server anything. A result-cache hit is probed
+// BEFORE admission: a cached answer does no I/O and no execution, so
+// it is served immediately and is never shed — the X-Cache response
+// header says which path a request took.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	src := r.URL.Query().Get("q")
 	legacy := false
@@ -175,6 +178,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		stmt.Limit = limit
 	}
 
+	// Served-from-cache fast path: no admission slot, no execution.
+	if cur, ok := s.db.ExecStatementCached(stmt, core.PlanAuto); ok {
+		s.cacheServed.Add(1)
+		s.writeQueryResponse(w, r, stmt, cur)
+		return
+	}
+
 	release, ok := s.admit("query", w, r, s.db.EstimateStatementCost(stmt))
 	if !ok {
 		return
@@ -186,7 +196,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.writeQueryResponse(w, r, stmt, cur)
+}
+
+// writeQueryResponse renders one statement's cursor as the /query
+// response (JSON or NDJSON) and closes it. The X-Cache header is
+// derived from the cursor's report: "hit" covers both a direct cache
+// hit and a singleflight-shared answer, since neither did I/O of its
+// own.
+func (s *Server) writeQueryResponse(w http.ResponseWriter, r *http.Request, stmt colorsql.Statement, cur core.Cursor) {
 	defer cur.Close()
+
+	if cur.Stats().FromCache {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
 
 	cols := stmt.OutputColumns()
 	if r.URL.Query().Get("format") == "ndjson" {
@@ -237,6 +262,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		"pagesSkipped":         rep.PagesSkipped,
 		"pagesScanned":         rep.PagesScanned,
 		"stripsDecoded":        rep.StripsDecoded,
+		"fromCache":            rep.FromCache,
 		"rows":                 rows,
 		"points":               points,
 	})
@@ -306,6 +332,7 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, cur core.Cursor, cols []col
 			"pagesSkipped":         rep.PagesSkipped,
 			"pagesScanned":         rep.PagesScanned,
 			"stripsDecoded":        rep.StripsDecoded,
+			"fromCache":            rep.FromCache,
 		},
 	})
 	w.Write(append(summary, '\n'))
@@ -397,6 +424,13 @@ func (s *Server) handleKnn(w http.ResponseWriter, r *http.Request) {
 		qs[i] = vec.Point(p)
 	}
 
+	// Cached single-point probes skip admission entirely.
+	if recs, reports, ok := s.db.NearestNeighborsBatchCached(qs, in.K); ok {
+		s.cacheServed.Add(1)
+		s.writeKnnResponse(w, in.K, qs, recs, reports)
+		return
+	}
+
 	release, ok := s.admit("knn", w, r, s.db.EstimateKNNCost(in.K, len(qs)))
 	if !ok {
 		return
@@ -408,6 +442,12 @@ func (s *Server) handleKnn(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.writeKnnResponse(w, in.K, qs, recs, reports)
+}
+
+// writeKnnResponse renders one kNN batch as the /knn response and
+// folds its reports into the serving counters.
+func (s *Server) writeKnnResponse(w http.ResponseWriter, k int, qs []vec.Point, recs [][]table.Record, reports []core.Report) {
 	results := make([]knnResultJSON, len(recs))
 	var leaves, rows, returned int64
 	for i, nbs := range recs {
@@ -438,12 +478,18 @@ func (s *Server) handleKnn(w http.ResponseWriter, r *http.Request) {
 	s.knnLeaves.Add(leaves)
 	s.knnRows.Add(rows)
 
+	if reports[0].FromCache {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"k":          in.K,
+		"k":          k,
 		"queries":    len(qs),
 		"plan":       reports[0].Plan.String(),
 		"planReason": reports[0].PlanReason,
+		"fromCache":  reports[0].FromCache,
 		"results":    results,
 	})
 }
@@ -472,6 +518,13 @@ func (s *Server) handlePhotoz(w http.ResponseWriter, r *http.Request) {
 		qs[i] = p
 	}
 
+	// Cached small batches skip admission entirely.
+	if zs, rep, ok := s.db.EstimateRedshiftBatchCached(qs); ok {
+		s.cacheServed.Add(1)
+		s.writePhotozResponse(w, zs, rep)
+		return
+	}
+
 	release, ok := s.admit("photoz", w, r, s.db.EstimatePhotoZCost(len(qs)))
 	if !ok {
 		return
@@ -483,8 +536,19 @@ func (s *Server) handlePhotoz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.writePhotozResponse(w, zs, rep)
+}
+
+// writePhotozResponse renders one photo-z batch as the /photoz
+// response.
+func (s *Server) writePhotozResponse(w http.ResponseWriter, zs []float64, rep core.Report) {
 	s.countRequest(int64(len(zs)))
 
+	if rep.FromCache {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"redshifts":      zs,
@@ -493,5 +557,6 @@ func (s *Server) handlePhotoz(w http.ResponseWriter, r *http.Request) {
 		"leavesExamined": rep.LeavesExamined,
 		"rowsExamined":   rep.RowsExamined,
 		"diskReads":      rep.DiskReads,
+		"fromCache":      rep.FromCache,
 	})
 }

@@ -68,6 +68,10 @@ type Server struct {
 	knnLeaves  atomic.Int64
 	knnRows    atomic.Int64
 
+	// Requests answered straight from the result cache, which skip
+	// admission control entirely (a hit costs no I/O and no slot).
+	cacheServed atomic.Int64
+
 	// Zone-map pruning totals across served queries: pages skipped
 	// without a read, pages the pruned scans did read, and magnitude
 	// strips their vectorized filters decoded.
@@ -173,6 +177,10 @@ func (s *Server) countZoneStats(rep core.Report) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Opportunistic cache maintenance: each stats poll re-applies the
+	// pool-pressure budget so a pinned-up pool sheds cached bytes even
+	// when no new inserts arrive.
+	s.db.MaintainCache()
 	pages := s.db.Engine().Store().Stats()
 	pz := s.db.PhotoZStats()
 	qosStats := make(map[string]qos.Counters, len(s.limiters))
@@ -194,6 +202,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"zoneStripsDecoded":  s.zoneStripsDecoded.Load(),
 		"photozEstimates":    pz.Estimates,
 		"photozFitFallbacks": pz.FitFallbacks,
+		"cacheServed":        s.cacheServed.Load(),
+		"qcache":             s.db.CacheStatsSnapshot(),
 		"qos":                qosStats,
 	})
 }
