@@ -1,4 +1,4 @@
-// Command loadgen drives the T1–T7 workload mixes against a running
+// Command loadgen drives the T1–T8 workload mixes against a running
 // vizserver with an open-loop arrival process and writes
 // BENCH_loadgen.json: achieved QPS, p50/p95/p99 latency from
 // scheduled arrival, shed/error/dropped counts, pages read per
@@ -34,7 +34,7 @@ func main() {
 	rate := flag.Float64("rate", 200, "open-loop arrival rate, requests/second")
 	duration := flag.Duration("duration", 10*time.Second, "run length per mix")
 	inFlight := flag.Int("inflight", 256, "max outstanding requests (simulated client fleet size)")
-	mixArg := flag.String("mix", "all", "comma-separated mixes: t1,t2,t3,t4,t5,t6,t7 or all")
+	mixArg := flag.String("mix", "all", "comma-separated mixes: t1,t2,t3,t4,t5,t6,t7,t8 or all")
 	seed := flag.Int64("seed", 42, "request-sequence seed")
 	out := flag.String("out", "BENCH_loadgen.json", "output JSON path (empty = stdout only)")
 	flag.Parse()
@@ -46,7 +46,7 @@ func main() {
 		for _, name := range strings.Split(*mixArg, ",") {
 			m, ok := loadgen.MixByName(strings.TrimSpace(name))
 			if !ok {
-				log.Fatalf("loadgen: unknown mix %q (want t1..t7 or all)", name)
+				log.Fatalf("loadgen: unknown mix %q (want t1..t8 or all)", name)
 			}
 			mixes = append(mixes, m)
 		}
@@ -94,6 +94,10 @@ func main() {
 			fmt.Printf("%-13s   cache hit p50 %.2fms p95 %.2fms (%d) | miss p50 %.2fms p95 %.2fms (%d)\n",
 				"", r.LatencyHit.P50Ms, r.LatencyHit.P95Ms, r.CacheHits,
 				r.LatencyMiss.P50Ms, r.LatencyMiss.P95Ms, r.CacheMisses)
+		}
+		if r.Inserts > 0 {
+			fmt.Printf("%-13s   ingest: %d insert batches completed, %.1f acked rows/s\n",
+				"", r.Inserts, r.InsertRowsPerSec)
 		}
 	}
 

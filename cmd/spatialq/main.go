@@ -17,6 +17,7 @@
 //	spatialq -dir /tmp/sdss -q "r < 22" -plan compare -workers 8
 //	spatialq -dir /tmp/sdss -q "SELECT objid,g,r WHERE g-r>0.4 ORDER BY r LIMIT 20"
 //	spatialq -dir /tmp/sdss -q "SELECT * ORDER BY dist(19.5,18.9,18.2,17.9,17.7) LIMIT 5" -format ndjson
+//	spatialq -dir /tmp/sdss -q "INSERT INTO catalog VALUES (9000000001, 19.1, 18.5, 18.2, 18.0, 17.9)"
 //	spatialq -dir /tmp/sdss -knn "19.5,18.9,18.2,17.9,17.7" -k 10
 //	spatialq -dir /tmp/sdss -build        # build+persist missing indexes
 //	spatialq -dir /tmp/sdss -q "SELECT objid WHERE r<16 LIMIT 10" -result-cache-mb 8 -repeat 2
@@ -126,6 +127,13 @@ func main() {
 		runKnn(db, *knnPt, *k)
 		return
 	}
+	if colorsql.IsInsert(*query) {
+		if *repeat != 1 {
+			log.Fatal("spatialq: -repeat applies to SELECT statements only")
+		}
+		runInsert(db, *query)
+		return
+	}
 	if isStatement(*query) {
 		// A SELECT carries its own LIMIT clause; silently ignoring an
 		// explicit -limit would surprise users of the legacy form.
@@ -147,6 +155,20 @@ func main() {
 		log.Fatal("spatialq: -repeat applies to SELECT statements only")
 	}
 	runQuery(db, *query, *plan, *limit)
+}
+
+// runInsert executes an INSERT statement through the WAL-backed write
+// path. When the printed acknowledgement appears, the batch is
+// durable: it survives a crash and is visible to every subsequently
+// opened cursor; a background or explicit compaction later merges it
+// into the paged clustered table.
+func runInsert(db *core.SpatialDB, src string) {
+	seq, n, err := db.ExecInsert(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted %d rows (WAL seq %d, durable); memtable holds %d rows awaiting compaction\n",
+		n, seq, db.MemRows())
 }
 
 // isStatement distinguishes a full SELECT from a bare predicate.

@@ -82,6 +82,7 @@ func main() {
 	qosTimeout := flag.Duration("qos-timeout", 0, "max time a request waits in the admission queue (0 = 2s)")
 	qosExpensive := flag.Float64("qos-expensive", 0, "planner cost above which a request is shed instead of queued under saturation (0 = 8×catalog scan, negative = off)")
 	resultCacheMB := flag.Int64("result-cache-mb", 8, "statement result cache budget in MiB (0 = plan cache only); cached answers skip admission control")
+	compactEvery := flag.Duration("compact-every", 2*time.Second, "background compaction interval for POST /insert ingest (0 = no background compactor; inserts stay in the WAL-backed memtable)")
 	flag.Parse()
 	if *build && *dir == "" {
 		// Persisting into the ephemeral temp directory would delete the
@@ -105,6 +106,13 @@ func main() {
 		db.NumRows(),
 		report("grid", db.Grid() != nil), report("kdtree", db.KdTree() != nil),
 		report("voronoi", db.Voronoi() != nil), report("photoz", db.PhotoZBuilt()))
+	if mem := db.MemRows(); mem > 0 {
+		log.Printf("recovered %d acknowledged rows from the WAL into the memtable", mem)
+	}
+	if *compactEvery > 0 {
+		db.StartCompactor(*compactEvery)
+		log.Printf("background compactor: every %v", *compactEvery)
+	}
 
 	s := vizhttp.New(db, vizhttp.Config{
 		MaxConcurrent: *qosConcurrent,

@@ -1,0 +1,135 @@
+package colorsql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestIsInsert(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"INSERT INTO catalog VALUES (1, 2, 3, 4, 5, 6)", true},
+		{"  \t\n insert into catalog values (1,2,3,4,5,6)", true},
+		{"InSeRt INTO catalog VALUES (1,2,3,4,5,6)", true},
+		{"SELECT objid WHERE r < 18", false},
+		{"INSERTED INTO catalog VALUES (1,2,3,4,5,6)", false},
+		{"r < 18 AND g - r > 0.4", false},
+		{"", false},
+		{"INSERT", true},
+	}
+	for _, c := range cases {
+		if got := IsInsert(c.src); got != c.want {
+			t.Errorf("IsInsert(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseInsertArities(t *testing.T) {
+	cases := []struct {
+		src  string
+		want table.Record
+	}{
+		{
+			"INSERT INTO catalog VALUES (7, 19.1, 18.5, 18.2, 18, 17.9)",
+			table.Record{ObjID: 7, Mags: [table.Dim]float32{19.1, 18.5, 18.2, 18, 17.9}},
+		},
+		{
+			"INSERT INTO catalog VALUES (8, 19, 18, 17, 16, 15, 210.5, -12.25)",
+			table.Record{ObjID: 8, Mags: [table.Dim]float32{19, 18, 17, 16, 15}, Ra: 210.5, Dec: -12.25},
+		},
+		{
+			"INSERT INTO catalog VALUES (9, 19, 18, 17, 16, 15, 210.5, -12.25, 0.37)",
+			table.Record{ObjID: 9, Mags: [table.Dim]float32{19, 18, 17, 16, 15}, Ra: 210.5, Dec: -12.25, Redshift: 0.37, HasZ: true},
+		},
+		{
+			"INSERT INTO catalog VALUES (10, 19, 18, 17, 16, 15, 210.5, -12.25, 0.37, galaxy)",
+			table.Record{ObjID: 10, Mags: [table.Dim]float32{19, 18, 17, 16, 15}, Ra: 210.5, Dec: -12.25, Redshift: 0.37, HasZ: true, Class: table.Galaxy},
+		},
+	}
+	for _, c := range cases {
+		st, err := ParseInsert(c.src, table.Dim)
+		if err != nil {
+			t.Errorf("ParseInsert(%q): %v", c.src, err)
+			continue
+		}
+		if len(st.Rows) != 1 {
+			t.Errorf("ParseInsert(%q): %d rows", c.src, len(st.Rows))
+			continue
+		}
+		if !reflect.DeepEqual(st.Rows[0], c.want) {
+			t.Errorf("ParseInsert(%q) = %+v, want %+v", c.src, st.Rows[0], c.want)
+		}
+	}
+}
+
+func TestParseInsertMultiTuple(t *testing.T) {
+	src := "INSERT INTO catalog VALUES (1, 19, 18, 17, 16, 15), (2, 20, 19, 18, 17, 16)"
+	st, err := ParseInsert(src, table.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(st.Rows))
+	}
+	if st.Rows[0].ObjID != 1 || st.Rows[1].ObjID != 2 {
+		t.Errorf("objids = %d, %d", st.Rows[0].ObjID, st.Rows[1].ObjID)
+	}
+}
+
+func TestParseInsertErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"not insert", "SELECT objid"},
+		{"wrong table", "INSERT INTO stars VALUES (1, 19, 18, 17, 16, 15)"},
+		{"missing values", "INSERT INTO catalog (1, 19, 18, 17, 16, 15)"},
+		{"too few mags", "INSERT INTO catalog VALUES (1, 19, 18, 17)"},
+		{"ra without dec", "INSERT INTO catalog VALUES (1, 19, 18, 17, 16, 15, 210.5)"},
+		{"too many values", "INSERT INTO catalog VALUES (1, 19, 18, 17, 16, 15, 210, -12, 0.3, star, 7)"},
+		{"fractional objid", "INSERT INTO catalog VALUES (1.5, 19, 18, 17, 16, 15)"},
+		{"unknown class", "INSERT INTO catalog VALUES (1, 19, 18, 17, 16, 15, 210, -12, 0.3, nebula)"},
+		{"trailing input", "INSERT INTO catalog VALUES (1, 19, 18, 17, 16, 15) garbage"},
+		{"no tuples", "INSERT INTO catalog VALUES"},
+		{"non-numeric magnitude", "INSERT INTO catalog VALUES (1, 19, 18, bogus, 16, 15)"},
+	}
+	for _, c := range cases {
+		if _, err := ParseInsert(c.src, table.Dim); err == nil {
+			t.Errorf("%s: ParseInsert(%q) succeeded, want error", c.name, c.src)
+		}
+	}
+}
+
+// TestInsertStringRoundTrip checks the exact round-trip contract:
+// ParseInsert(st.String()) yields a deeply equal statement.
+func TestInsertStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"INSERT INTO catalog VALUES (7, 19.125, 18.5, 18.25, 18, 17.875)",
+		"INSERT INTO catalog VALUES (8, 19, 18, 17, 16, 15, 210.5, -12.25)",
+		"INSERT INTO catalog VALUES (9, 19, 18, 17, 16, 15, 210.5, -12.25, 0.375)",
+		"INSERT INTO catalog VALUES (10, 19, 18, 17, 16, 15, 0, 0, 0, quasar)",
+		"INSERT INTO catalog VALUES (1, 19, 18, 17, 16, 15), (2, 20, 19, 18, 17, 16, 1.5, -2.5)",
+	}
+	for _, src := range srcs {
+		st, err := ParseInsert(src, table.Dim)
+		if err != nil {
+			t.Fatalf("ParseInsert(%q): %v", src, err)
+		}
+		rendered := st.String()
+		st2, err := ParseInsert(rendered, table.Dim)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rendered, src, err)
+		}
+		if !reflect.DeepEqual(st.Rows, st2.Rows) {
+			t.Errorf("round trip of %q changed rows:\n  first:  %+v\n  second: %+v", src, st.Rows, st2.Rows)
+		}
+		if !strings.EqualFold(st2.Table, InsertTableName) {
+			t.Errorf("round trip table = %q", st2.Table)
+		}
+	}
+}

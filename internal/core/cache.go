@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"repro/internal/colorsql"
+	"repro/internal/engine"
 	"repro/internal/planner"
 	"repro/internal/qcache"
 	"repro/internal/table"
@@ -52,6 +53,7 @@ const (
 	nsQuery      = "query"
 	nsKNN        = "knn"
 	nsPhotoZ     = "photoz"
+	nsNegative   = "negative"
 	nsPlan       = "plan"
 	nsKNNPlan    = "knn-plan"
 	nsPhotoZPlan = "photoz-plan"
@@ -153,17 +155,55 @@ func (db *SpatialDB) unionPlanFor(u colorsql.Union) (*unionPlan, error) {
 	return v.(*unionPlan), nil
 }
 
+// provablyEmptyUnion reports whether a WHERE union is proven empty
+// without reading a single page: every clause's zone-map consultation
+// (already cached in tier 1) found no page it could possibly touch,
+// and no acknowledged memtable row — which the zone maps do not cover
+// — satisfies any clause. The verdict is only valid at the epoch it
+// was computed under; any insert bumps the plan generation and
+// invalidates it.
+func (db *SpatialDB) provablyEmptyUnion(u colorsql.Union) (bool, error) {
+	up, err := db.unionPlanFor(u)
+	if err != nil {
+		return false, err
+	}
+	if len(up.choices) == 0 {
+		return false, nil
+	}
+	for _, ch := range up.choices {
+		if ch.PrunedTotal == 0 || ch.PrunedPages != 0 {
+			return false, nil
+		}
+	}
+	for _, row := range db.memSnapshot() {
+		var m [table.Dim]float64
+		for i, v := range row.Rec.Mags {
+			m[i] = float64(v)
+		}
+		for _, q := range u.Polys {
+			if engine.ContainsMags(q, &m) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
 // knnChoiceFor returns the cached kNN plan verdict for neighbourhood
 // size k against the main catalog.
 func (db *SpatialDB) knnChoiceFor(k int) (planner.KNNChoice, error) {
 	v, err := db.qc.GetOrBuildPlan(nsKNNPlan, "k="+strconv.Itoa(k), db.cacheEpoch(), func() (any, error) {
 		db.mu.RLock()
 		catalog, kd, kdTable := db.catalog, db.kd, db.kdTable
+		var memRows int64
+		if db.mem != nil {
+			memRows = int64(db.mem.Len())
+		}
 		db.mu.RUnlock()
 		if catalog == nil {
 			return nil, fmt.Errorf("core: no catalog loaded")
 		}
-		pl := &planner.Planner{Catalog: catalog, Kd: kd, KdTable: kdTable, Domain: db.domain}
+		pl := &planner.Planner{Catalog: catalog, Kd: kd, KdTable: kdTable, Domain: db.domain, MemRows: memRows}
 		return pl.PlanKNN(k), nil
 	})
 	if err != nil {

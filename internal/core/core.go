@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -32,7 +33,9 @@ import (
 	"repro/internal/hull"
 	"repro/internal/kdtree"
 	"repro/internal/knn"
+	"repro/internal/memtable"
 	"repro/internal/outlier"
+	"repro/internal/pagestore"
 	"repro/internal/parallel"
 	"repro/internal/photoz"
 	"repro/internal/planner"
@@ -177,6 +180,52 @@ type SpatialDB struct {
 	qc               *qcache.Cache
 	resultCacheBytes int64
 	planGen          atomic.Uint64
+
+	// The online-ingest write path (ingest.go, compact.go). dir is the
+	// store directory (where the WAL lives); wal acknowledges insert
+	// batches durably; mem holds acknowledged rows until a compaction
+	// moves them into the paged tables. compactMu serializes
+	// compactions (minor and full) against each other; the publish
+	// step additionally takes db.mu so readers snapshot atomically.
+	dir string
+	wal *pagestore.WAL
+	mem *memtable.Memtable
+
+	compactMu sync.Mutex
+	// buildParams remembers how each index was built so a full
+	// compaction can rebuild it identically (same structure a fresh
+	// build of the enlarged catalog would produce).
+	buildParams buildParams
+
+	// snapRefs counts open cursor snapshots; pendingRetire holds
+	// superseded generation files a full compaction could not delete
+	// while snapshots might still read them. The last snapshot to
+	// close drains the list.
+	snapRefs      atomic.Int64
+	retireMu      sync.Mutex
+	pendingRetire []string
+
+	// compactor background loop lifecycle (StartCompactor).
+	compactStop chan struct{}
+	compactWG   sync.WaitGroup
+
+	// write-path counters surfaced by IngestStatsSnapshot.
+	compactions     atomic.Int64
+	fullCompactions atomic.Int64
+	compactedRows   atomic.Int64
+}
+
+// buildParams records index build parameters for deterministic
+// rebuilds at full compaction. Cold-opened databases recover what the
+// persisted structures carry (kd levels from the tree, grid params
+// from its gob, voronoi seed count from the directory); fields the
+// serialization does not record fall back to defaults.
+type buildParams struct {
+	kdLevels int
+	gridBase int
+	gridSeed int64
+	vorSeeds int
+	vorSeed  int64
 }
 
 // Open creates an empty SpatialDB at cfg.Dir.
@@ -195,14 +244,31 @@ func Open(cfg Config) (*SpatialDB, error) {
 		eng:    eng,
 		exec:   &planner.Executor{Workers: cfg.Workers},
 		domain: sky.Domain(),
+		dir:    cfg.Dir,
 	}
 	db.initCache(cfg)
 	db.registerProcs()
+	if err := db.openIngest(); err != nil {
+		eng.Close()
+		return nil, err
+	}
 	return db, nil
 }
 
-// Close flushes and closes the underlying store.
-func (db *SpatialDB) Close() error { return db.eng.Close() }
+// Close stops the background compactor, closes the write-ahead log,
+// and flushes and closes the underlying store. Memtable rows not yet
+// compacted stay durable in the WAL and are replayed on the next open.
+func (db *SpatialDB) Close() error {
+	db.StopCompactor()
+	var err error
+	if db.wal != nil {
+		err = db.wal.Close()
+	}
+	if cerr := db.eng.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // Engine exposes the underlying database engine (stored procedure
 // registry, catalog, statistics).
@@ -287,6 +353,7 @@ func (db *SpatialDB) BuildKdIndex(levels int) error {
 	db.kd = tree
 	db.kdTable = clustered
 	db.knnS = knn.NewSearcher(tree, clustered)
+	db.buildParams.kdLevels = levels
 	db.bumpPlanGen()
 	return db.eng.RegisterClusteredTable(clustered, engine.ClusteredKdLeaf)
 }
@@ -316,6 +383,7 @@ func (db *SpatialDB) BuildGridIndex(base int, seed int64) error {
 		return err
 	}
 	db.grid = ix
+	db.buildParams.gridBase, db.buildParams.gridSeed = p.Base, p.Seed
 	db.bumpPlanGen()
 	return db.eng.RegisterClusteredTable(ix.Table(), engine.ClusteredGridCell)
 }
@@ -344,6 +412,7 @@ func (db *SpatialDB) BuildVoronoiIndex(numSeeds int, seed int64) error {
 		return err
 	}
 	db.vor = ix
+	db.buildParams.vorSeeds, db.buildParams.vorSeed = p.NumSeeds, p.Seed
 	db.bumpPlanGen()
 	return db.eng.RegisterClusteredTable(ix.Table(), engine.ClusteredVoronoiCell)
 }
@@ -506,14 +575,18 @@ func (db *SpatialDB) Planner() (*planner.Planner, error) {
 	if db.catalog == nil {
 		return nil, fmt.Errorf("core: no catalog loaded")
 	}
-	return &planner.Planner{
+	p := &planner.Planner{
 		Catalog: db.catalog,
 		Kd:      db.kd,
 		KdTable: db.kdTable,
 		Vor:     db.vor,
 		Grid:    db.grid,
 		Domain:  db.domain,
-	}, nil
+	}
+	if db.mem != nil {
+		p.MemRows = int64(db.mem.Len())
+	}
+	return p, nil
 }
 
 // QueryPolyhedron executes one convex polyhedron query under the
@@ -539,20 +612,78 @@ func (db *SpatialDB) QueryPolyhedron(q vec.Polyhedron, plan Plan) ([]table.Recor
 }
 
 // knnPlan prices the kNN query (through the tier-1 plan cache) and
-// snapshots the structures it needs. The searcher may be nil
-// (kd-tree not built), in which case brute force is the only path.
-func (db *SpatialDB) knnPlan(k int) (*knn.Searcher, *table.Table, planner.KNNChoice, error) {
+// snapshots the structures it needs, including the memtable rows the
+// search must consider alongside the paged candidates. The searcher
+// may be nil (kd-tree not built), in which case brute force is the
+// only path.
+func (db *SpatialDB) knnPlan(k int) (*knn.Searcher, *table.Table, []memtable.Row, planner.KNNChoice, error) {
 	db.mu.RLock()
 	searcher, catalog := db.knnS, db.catalog
+	var mem []memtable.Row
+	if db.mem != nil {
+		mem = db.mem.Snapshot()
+	}
 	db.mu.RUnlock()
 	if catalog == nil {
-		return nil, nil, planner.KNNChoice{}, fmt.Errorf("core: no catalog loaded")
+		return nil, nil, nil, planner.KNNChoice{}, fmt.Errorf("core: no catalog loaded")
 	}
 	choice, err := db.knnChoiceFor(k)
 	if err != nil {
-		return nil, nil, planner.KNNChoice{}, err
+		return nil, nil, nil, planner.KNNChoice{}, err
 	}
-	return searcher, catalog, choice, nil
+	return searcher, catalog, mem, choice, nil
+}
+
+// memNeighbors distance-stamps the memtable rows as kNN candidates —
+// the write-path analogue of the unindexed-tail scan — keeping the
+// best k. The sentinel row id marks them as not resident in any
+// paged table.
+func memNeighbors(mem []memtable.Row, p vec.Point, k int) []knn.Neighbor {
+	if len(mem) == 0 || k <= 0 {
+		return nil
+	}
+	out := make([]knn.Neighbor, 0, len(mem))
+	for i := range mem {
+		rec := &mem[i].Rec
+		var d2 float64
+		for j, v := range rec.Mags {
+			dv := float64(v) - p[j]
+			d2 += dv * dv
+		}
+		out = append(out, knn.Neighbor{Row: ^table.RowID(0), Dist2: d2, Rec: *rec})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist2 < out[j].Dist2 })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// mergeMemNeighbors folds the memtable candidates into a search's
+// result set. The paged search reads live table bounds, so a row a
+// concurrent compaction just published can surface both from the
+// table tail and from the mem snapshot; merging with headroom and
+// deduplicating by object identity (paged occurrence first — the
+// merge sort is stable) keeps the answer exact.
+func mergeMemNeighbors(nbs []knn.Neighbor, mem []memtable.Row, p vec.Point, k int) []knn.Neighbor {
+	cand := memNeighbors(mem, p, k)
+	if len(cand) == 0 {
+		return nbs
+	}
+	merged := knn.MergeCandidates(nbs, cand, k+len(cand))
+	seen := make(map[int64]bool, len(merged))
+	out := merged[:0]
+	for _, nb := range merged {
+		if seen[nb.Rec.ObjID] {
+			continue
+		}
+		seen[nb.Rec.ObjID] = true
+		out = append(out, nb)
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // knnReport converts search stats into a Report.
@@ -575,7 +706,7 @@ func knnReport(plan Plan, reason string, stats knn.Stats, returned int) Report {
 // the grown region covers most leaves at scattered-page prices and
 // the sequential scan wins, mirroring the Figure 5 crossover.
 func (db *SpatialDB) NearestNeighbors(p vec.Point, k int) ([]table.Record, Report, error) {
-	searcher, catalog, choice, err := db.knnPlan(k)
+	searcher, catalog, mem, choice, err := db.knnPlan(k)
 	if err != nil {
 		return nil, Report{}, err
 	}
@@ -593,6 +724,8 @@ func (db *SpatialDB) NearestNeighbors(p vec.Point, k int) ([]table.Record, Repor
 	if err != nil {
 		return nil, Report{}, err
 	}
+	nbs = mergeMemNeighbors(nbs, mem, p, k)
+	stats.RowsExamined += int64(len(mem))
 	out := make([]table.Record, len(nbs))
 	for i, nb := range nbs {
 		out[i] = nb.Rec
@@ -634,14 +767,14 @@ func (db *SpatialDB) NearestNeighborsBatch(ps []vec.Point, k int) ([][]table.Rec
 }
 
 func (db *SpatialDB) nearestNeighborsBatchUncached(ps []vec.Point, k int) ([][]table.Record, []Report, error) {
-	searcher, catalog, choice, err := db.knnPlan(k)
+	searcher, catalog, mem, choice, err := db.knnPlan(k)
 	if err != nil {
 		return nil, nil, err
 	}
 	recs := make([][]table.Record, len(ps))
 	reports := make([]Report, len(ps))
 	if !choice.UseIndex || searcher == nil {
-		if err := db.bruteForceBatch(catalog, ps, k, choice.Reason, recs, reports); err != nil {
+		if err := db.bruteForceBatch(catalog, mem, ps, k, choice.Reason, recs, reports); err != nil {
 			return nil, nil, err
 		}
 		return recs, reports, nil
@@ -651,6 +784,8 @@ func (db *SpatialDB) nearestNeighborsBatchUncached(ps []vec.Point, k int) ([][]t
 		return nil, nil, err
 	}
 	for i, nbs := range nbsAll {
+		nbs = mergeMemNeighbors(nbs, mem, ps[i], k)
+		statsAll[i].RowsExamined += int64(len(mem))
 		recs[i] = make([]table.Record, len(nbs))
 		for j, nb := range nbs {
 			recs[i][j] = nb.Rec
@@ -662,7 +797,7 @@ func (db *SpatialDB) nearestNeighborsBatchUncached(ps []vec.Point, k int) ([][]t
 
 // bruteForceBatch answers the queries by whole-table scans fanned
 // over the worker pool, filling recs/reports in input order.
-func (db *SpatialDB) bruteForceBatch(catalog *table.Table, ps []vec.Point, k int, reason string, recs [][]table.Record, reports []Report) error {
+func (db *SpatialDB) bruteForceBatch(catalog *table.Table, mem []memtable.Row, ps []vec.Point, k int, reason string, recs [][]table.Record, reports []Report) error {
 	return parallel.ForChunks(len(ps), db.exec.Workers, func(lo, hi int, stopped func() bool) error {
 		for i := lo; i < hi; i++ {
 			if stopped() {
@@ -672,6 +807,8 @@ func (db *SpatialDB) bruteForceBatch(catalog *table.Table, ps []vec.Point, k int
 			if err != nil {
 				return err
 			}
+			nbs = mergeMemNeighbors(nbs, mem, ps[i], k)
+			stats.RowsExamined += int64(len(mem))
 			recs[i] = make([]table.Record, len(nbs))
 			for j, nb := range nbs {
 				recs[i][j] = nb.Rec

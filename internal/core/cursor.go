@@ -107,15 +107,31 @@ func (c *polyCursor) Stats() Report {
 }
 
 // polyhedronCursor builds the streaming plan for one convex
-// polyhedron: resolve the access path (PlanAuto consults the
-// cost-based planner, reusing its kd classification), collect the
-// candidate ranges without table I/O, and open a RowStream over them
-// under a fresh accounting scope.
-func (db *SpatialDB) polyhedronCursor(ctx context.Context, q vec.Polyhedron, plan Plan, opts cursorOpts) (*polyCursor, error) {
-	pl, err := db.Planner()
+// polyhedron over a fresh store snapshot, releasing the snapshot's
+// file pin when the cursor closes.
+func (db *SpatialDB) polyhedronCursor(ctx context.Context, q vec.Polyhedron, plan Plan, opts cursorOpts) (Cursor, error) {
+	sn, err := db.snapshot()
 	if err != nil {
 		return nil, err
 	}
+	cur, err := db.polyhedronCursorSnap(ctx, sn, q, plan, opts)
+	if err != nil {
+		sn.release()
+		return nil, err
+	}
+	return &snapCursor{Cursor: cur, sn: sn}, nil
+}
+
+// polyhedronCursorSnap builds the streaming plan for one convex
+// polyhedron against an already-captured snapshot: resolve the access
+// path (PlanAuto consults the cost-based planner, reusing its kd
+// classification), collect the candidate ranges without table I/O,
+// open a RowStream over them under a fresh accounting scope, and
+// chain the snapshot's memtable rows after the paged rows — the same
+// physical order a compaction would produce. The caller owns the
+// snapshot's release.
+func (db *SpatialDB) polyhedronCursorSnap(ctx context.Context, sn *dbSnap, q vec.Polyhedron, plan Plan, opts cursorOpts) (Cursor, error) {
+	pl := sn.planner()
 	catalog, kd, kdTable, vor := pl.Catalog, pl.Kd, pl.KdTable, pl.Vor
 	resolved := plan
 	var est float64
@@ -150,26 +166,37 @@ func (db *SpatialDB) polyhedronCursor(ctx context.Context, q vec.Polyhedron, pla
 		}
 		var ranges []kdtree.Range
 		if choice != nil && choice.KdRanges != nil {
-			// Reuse the classification the planner already ran.
+			// Reuse the classification the planner already ran. The
+			// cached ranges cover the indexed prefix only and are shared
+			// read-only, so the unindexed tail goes into tasks, never
+			// appended onto the cached slice.
 			ranges = choice.KdRanges
 		} else {
 			ranges, _ = kd.CollectRanges(q, kdtree.PruneTightBounds)
 		}
-		tasks = make([]planner.ScanTask, len(ranges))
-		for i, r := range ranges {
-			tasks[i] = planner.ScanTask{Lo: r.Lo, Hi: r.Hi, Filter: r.Filter}
+		rows := kdTable.NumRows()
+		tasks = make([]planner.ScanTask, 0, len(ranges)+1)
+		for _, r := range ranges {
+			tasks = append(tasks, planner.ScanTask{Lo: r.Lo, Hi: r.Hi, Filter: r.Filter})
+		}
+		if rows > kd.NumRows {
+			// Minor compactions appended rows past the tree's coverage;
+			// they are unclassified, so filter them like a partial leaf.
+			tasks = append(tasks, planner.ScanTask{Lo: table.RowID(kd.NumRows), Hi: table.RowID(rows), Filter: true})
 		}
 		tb = kdTable.Scoped(scope)
 	case PlanVoronoi:
 		if vor == nil {
 			return nil, fmt.Errorf("core: voronoi index not built")
 		}
-		ranges, _ := vor.CollectRanges(q)
+		// Bound by the snapshot view, not the live directory table: the
+		// bounded collector covers the compaction-appended tail.
+		ranges, _ := vor.CollectRangesBounded(q, sn.vorTable.NumRows())
 		tasks = make([]planner.ScanTask, len(ranges))
 		for i, r := range ranges {
 			tasks[i] = planner.ScanTask{Lo: r.Lo, Hi: r.Hi, Filter: r.Filter}
 		}
-		tb = vor.Table().Scoped(scope)
+		tb = sn.vorTable.Scoped(scope)
 	case PlanFullScan:
 		rows := table.RowID(catalog.NumRows())
 		if opts.stopAfter >= 0 {
@@ -215,10 +242,17 @@ func (db *SpatialDB) polyhedronCursor(ctx context.Context, q vec.Polyhedron, pla
 		StopAfter: opts.stopAfter,
 		Pred:      pred,
 	})
-	return &polyCursor{
+	paged := &polyCursor{
 		stream: stream,
 		scope:  scope,
 		base:   Report{Plan: resolved, EstimatedSelectivity: est, PlanReason: why},
+	}
+	if len(sn.mem) == 0 {
+		return paged, nil
+	}
+	return &chainCursor{
+		base: paged,
+		mem:  &memCursor{rows: sn.mem, filter: polyMemFilter(q), cols: opts.cols},
 	}, nil
 }
 
@@ -226,10 +260,14 @@ func (db *SpatialDB) polyhedronCursor(ctx context.Context, q vec.Polyhedron, pla
 // object identity exactly like the eager QueryUnion: a row is
 // emitted the first time its ObjID appears. Clause cursors are built
 // lazily, so an early Close never plans or scans the remaining
-// clauses.
+// clauses. All clauses share one store snapshot, captured at
+// construction — a compaction between clauses cannot make the union
+// see a row twice (paged in one clause, memtable in another) or miss
+// it.
 type unionCursor struct {
 	db    *SpatialDB
 	ctx   context.Context
+	sn    *dbSnap
 	polys []vec.Polyhedron
 	// preds, when non-nil, holds one pre-compiled page predicate per
 	// clause (same indexing as polys) for zone-map pruning; choices,
@@ -241,7 +279,7 @@ type unionCursor struct {
 	opts    cursorOpts
 
 	idx     int
-	cur     *polyCursor
+	cur     Cursor
 	seen    map[int64]bool
 	agg     Report
 	emitted int64
@@ -262,11 +300,15 @@ func (db *SpatialDB) newUnionCursor(ctx context.Context, u colorsql.Union, plan 
 	if up, err := db.unionPlanFor(u); err == nil {
 		preds, choices = up.preds, up.choices
 	}
-	return &unionCursor{
+	c := &unionCursor{
 		db: db, ctx: ctx, polys: u.Polys, preds: preds, choices: choices,
 		plan: plan, opts: opts,
 		seen: make(map[int64]bool),
 	}
+	// One snapshot for every clause; a snapshot failure (no catalog)
+	// surfaces on the first Next like any clause error would.
+	c.sn, c.err = db.snapshot()
+	return c
 }
 
 func (c *unionCursor) Next() bool {
@@ -285,7 +327,7 @@ func (c *unionCursor) Next() bool {
 			if c.choices != nil {
 				opts.choice = &c.choices[c.idx]
 			}
-			cur, err := c.db.polyhedronCursor(c.ctx, c.polys[c.idx], c.plan, opts)
+			cur, err := c.db.polyhedronCursorSnap(c.ctx, c.sn, c.polys[c.idx], c.plan, opts)
 			if err != nil {
 				c.err = err
 				return false
@@ -338,6 +380,9 @@ func (c *unionCursor) Close() error {
 	c.closed = true
 	if c.cur != nil {
 		c.foldCurrent()
+	}
+	if c.sn != nil {
+		c.sn.release()
 	}
 	return nil
 }
@@ -597,16 +642,15 @@ func (c *sliceCursor) Stats() Report {
 }
 
 // fullCatalogCursor streams the whole catalog in physical order with
-// no predicate — the WHERE-less statement path.
-func (db *SpatialDB) fullCatalogCursor(ctx context.Context, opts cursorOpts) (*polyCursor, error) {
-	db.mu.RLock()
-	catalog := db.catalog
-	db.mu.RUnlock()
-	if catalog == nil {
-		return nil, fmt.Errorf("core: no catalog loaded")
+// no predicate — the WHERE-less statement path. Memtable rows follow
+// the paged rows unfiltered, in commit order.
+func (db *SpatialDB) fullCatalogCursor(ctx context.Context, opts cursorOpts) (Cursor, error) {
+	sn, err := db.snapshot()
+	if err != nil {
+		return nil, err
 	}
 	scope := db.eng.Store().Scoped()
-	rows := table.RowID(catalog.NumRows())
+	rows := table.RowID(sn.catalog.NumRows())
 	var tasks []planner.ScanTask
 	if opts.stopAfter >= 0 {
 		tasks = []planner.ScanTask{{Lo: 0, Hi: rows}}
@@ -616,12 +660,12 @@ func (db *SpatialDB) fullCatalogCursor(ctx context.Context, opts cursorOpts) (*p
 			tasks[i].Filter = false
 		}
 	}
-	stream := db.exec.Stream(catalog.Scoped(scope).ScanClassed(), vec.Polyhedron{}, tasks, planner.StreamOpts{
+	stream := db.exec.Stream(sn.catalog.Scoped(scope).ScanClassed(), vec.Polyhedron{}, tasks, planner.StreamOpts{
 		Ctx:       ctx,
 		Cols:      opts.cols,
 		StopAfter: opts.stopAfter,
 	})
-	return &polyCursor{
+	var cur Cursor = &polyCursor{
 		stream: stream,
 		scope:  scope,
 		base: Report{
@@ -629,7 +673,14 @@ func (db *SpatialDB) fullCatalogCursor(ctx context.Context, opts cursorOpts) (*p
 			EstimatedSelectivity: 1,
 			PlanReason:           "no predicate: sequential catalog scan",
 		},
-	}, nil
+	}
+	if len(sn.mem) > 0 {
+		cur = &chainCursor{
+			base: cur,
+			mem:  &memCursor{rows: sn.mem, cols: opts.cols},
+		}
+	}
+	return &snapCursor{Cursor: cur, sn: sn}, nil
 }
 
 // columnSet maps a statement's projection onto the table's partial

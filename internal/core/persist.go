@@ -52,23 +52,26 @@ func (db *SpatialDB) Persist() error {
 		return fmt.Errorf("core: nothing to persist: no catalog loaded")
 	}
 	store := db.eng.Store()
+	// Index gobs are addressed by logical name; full compaction moves
+	// them to generational physical files, so write wherever the
+	// catalog says each one currently lives.
 	if db.kd != nil {
-		if err := db.kd.SavePaged(store, kdIndexFile); err != nil {
+		if err := db.kd.SavePaged(store, db.eng.ArtifactFile(kdIndexFile)); err != nil {
 			return err
 		}
 	}
 	if db.grid != nil {
-		if err := db.grid.Persist(gridIndexFile); err != nil {
+		if err := db.grid.Persist(db.eng.ArtifactFile(gridIndexFile)); err != nil {
 			return err
 		}
 	}
 	if db.vor != nil {
-		if err := db.vor.Persist(vorIndexFile); err != nil {
+		if err := db.vor.Persist(db.eng.ArtifactFile(vorIndexFile)); err != nil {
 			return err
 		}
 	}
 	if db.photoZ != nil {
-		if err := db.photoZ.Persist(store, photozMetaFile, photozTreeFile); err != nil {
+		if err := db.photoZ.Persist(store, db.eng.ArtifactFile(photozMetaFile), db.eng.ArtifactFile(photozTreeFile)); err != nil {
 			return err
 		}
 	}
@@ -100,6 +103,7 @@ func OpenExisting(cfg Config) (*SpatialDB, error) {
 		eng:    eng,
 		exec:   &planner.Executor{Workers: cfg.Workers},
 		domain: sky.Domain(),
+		dir:    cfg.Dir,
 	}
 	db.initCache(cfg)
 	db.registerProcs()
@@ -114,16 +118,19 @@ func OpenExisting(cfg Config) (*SpatialDB, error) {
 	db.catalog = catalog
 	store := eng.Store()
 
-	if store.HasFile(kdIndexFile) {
+	if kdFile := eng.ArtifactFile(kdIndexFile); store.HasFile(kdFile) {
 		clustered, err := eng.Table(kdTableName)
 		if err != nil {
 			return fail(fmt.Errorf("core: kd-tree index file present but clustered table %q is not cataloged: %w", kdTableName, err))
 		}
-		tree, err := kdtree.LoadPaged(store, kdIndexFile)
+		tree, err := kdtree.LoadPaged(store, kdFile)
 		if err != nil {
 			return fail(err)
 		}
-		if tree.NumRows != clustered.NumRows() {
+		// Minor compactions append ingested rows past the indexed
+		// prefix without rebuilding the tree, so the table may be
+		// larger than the tree's coverage — never smaller.
+		if tree.NumRows > clustered.NumRows() {
 			return fail(fmt.Errorf("core: kd-tree indexes %d rows but %s has %d", tree.NumRows, kdTableName, clustered.NumRows()))
 		}
 		db.kd = tree
@@ -131,40 +138,43 @@ func OpenExisting(cfg Config) (*SpatialDB, error) {
 		db.knnS = knn.NewSearcher(tree, clustered)
 	}
 
-	if store.HasFile(gridIndexFile) {
+	if gridFile := eng.ArtifactFile(gridIndexFile); store.HasFile(gridFile) {
 		clustered, err := eng.Table(gridTableName)
 		if err != nil {
 			return fail(fmt.Errorf("core: grid index file present but clustered table %q is not cataloged: %w", gridTableName, err))
 		}
-		ix, err := grid.OpenExisting(store, gridIndexFile, clustered)
+		ix, err := grid.OpenExisting(store, gridFile, clustered)
 		if err != nil {
 			return fail(err)
 		}
 		db.grid = ix
 	}
 
-	if store.HasFile(vorIndexFile) {
+	if vorFile := eng.ArtifactFile(vorIndexFile); store.HasFile(vorFile) {
 		clustered, err := eng.Table(vorTableName)
 		if err != nil {
 			return fail(fmt.Errorf("core: voronoi index file present but clustered table %q is not cataloged: %w", vorTableName, err))
 		}
-		ix, err := voronoi.OpenExisting(store, vorIndexFile, clustered)
+		ix, err := voronoi.OpenExisting(store, vorFile, clustered)
 		if err != nil {
 			return fail(err)
 		}
 		db.vor = ix
 	}
 
-	if store.HasFile(photozMetaFile) {
+	if pzMeta := eng.ArtifactFile(photozMetaFile); store.HasFile(pzMeta) {
 		refClustered, err := eng.Table(refKdTableName)
 		if err != nil {
 			return fail(fmt.Errorf("core: photo-z estimator present but reference table %q is not cataloged: %w", refKdTableName, err))
 		}
-		est, err := photoz.OpenExisting(store, photozMetaFile, photozTreeFile, refClustered)
+		est, err := photoz.OpenExisting(store, pzMeta, eng.ArtifactFile(photozTreeFile), refClustered)
 		if err != nil {
 			return fail(err)
 		}
 		db.photoZ = est
+	}
+	if err := db.openIngest(); err != nil {
+		return fail(err)
 	}
 	return db, nil
 }

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/colorsql"
+	"repro/internal/pagestore"
+	"repro/internal/sky"
+	"repro/internal/table"
+)
+
+// insertTestRecord builds a distinctive, valid record for ingest
+// tests: a large ObjID that cannot collide with generated catalogs and
+// magnitudes inside the populated range.
+func insertTestRecord(id int64) table.Record {
+	f := float32(id % 7)
+	return table.Record{
+		ObjID: id,
+		Mags:  [table.Dim]float32{17 + f*0.1, 17.2 + f*0.1, 17.4 + f*0.1, 17.6 + f*0.1, 17.8 + f*0.1},
+		Ra:    float32(id % 360),
+		Dec:   float32(id%120) - 60,
+	}
+}
+
+// visibleInsertedIDs scans the whole catalog (paged rows + memtable)
+// and returns the set of ObjIDs at or above the insert-test marker.
+func visibleInsertedIDs(t *testing.T, db *SpatialDB, marker int64) map[int64]bool {
+	t.Helper()
+	stmt, err := colorsql.ParseStatement("SELECT objid", colorsql.DefaultVars(), table.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := db.ExecStatement(context.Background(), stmt, PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	ids := make(map[int64]bool)
+	for cur.Next() {
+		if id := cur.Record().ObjID; id >= marker {
+			ids[id] = true
+		}
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// TestWALKillPointMatrix is the crash-recovery kill matrix: after a
+// run of acknowledged insert batches, the WAL is truncated at every
+// byte offset — every record boundary and every mid-record position —
+// simulating a kill at that exact point of durability. Reopening must
+// recover exactly the batches whose records are complete below the
+// cut: no acknowledged-and-complete batch lost, no torn batch
+// resurrected, and the manifest-backed catalog always validates.
+func TestWALKillPointMatrix(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sky.DefaultParams(120, 42)
+	p.SpectroFrac = 0.15
+	if err := db.IngestSynthetic(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+
+	const marker = int64(1_000_000_000)
+	nextID := marker
+	type batch struct {
+		end int64 // WAL size after this batch's record
+		ids []int64
+	}
+	var batches []batch
+	for _, n := range []int{1, 3, 2, 4} {
+		recs := make([]table.Record, n)
+		ids := make([]int64, n)
+		for i := range recs {
+			recs[i] = insertTestRecord(nextID)
+			ids[i] = nextID
+			nextID++
+		}
+		if _, err := db.Insert(recs); err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, batch{end: db.IngestStatsSnapshot().WALBytes, ids: ids})
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, pagestore.WALName)
+	walBytes, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(walBytes)) != batches[len(batches)-1].end {
+		t.Fatalf("WAL is %d bytes, last batch ended at %d", len(walBytes), batches[len(batches)-1].end)
+	}
+
+	for off := 0; off <= len(walBytes); off++ {
+		if err := os.WriteFile(walPath, walBytes[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db, err := OpenExisting(Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("offset %d: reopen: %v", off, err)
+		}
+		want := make(map[int64]bool)
+		for _, b := range batches {
+			if b.end <= int64(off) {
+				for _, id := range b.ids {
+					want[id] = true
+				}
+			}
+		}
+		if got := db.MemRows(); got != len(want) {
+			db.Close()
+			t.Fatalf("offset %d: recovered %d memtable rows, want %d", off, got, len(want))
+		}
+		got := visibleInsertedIDs(t, db, marker)
+		if len(got) != len(want) {
+			db.Close()
+			t.Fatalf("offset %d: %d inserted rows visible, want %d", off, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				db.Close()
+				t.Fatalf("offset %d: acknowledged row %d not visible after recovery", off, id)
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatalf("offset %d: close: %v", off, err)
+		}
+	}
+
+	// Restore the intact log: everything acknowledged comes back.
+	if err := os.WriteFile(walPath, walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err = OpenExisting(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	all := visibleInsertedIDs(t, db, marker)
+	if len(all) != int(nextID-marker) {
+		t.Fatalf("intact log recovered %d rows, want %d", len(all), nextID-marker)
+	}
+}
+
+// TestRecoveryAfterCompactionSkipsDurableBatches: batches a committed
+// compaction moved into the paged tables must not replay into the
+// memtable on reopen, even when their WAL records still exist.
+func TestRecoveryAfterCompactionSkipsDurableBatches(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sky.DefaultParams(120, 42)
+	p.SpectroFrac = 0.15
+	if err := db.IngestSynthetic(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	const marker = int64(2_000_000_000)
+	for i := 0; i < 3; i++ {
+		if _, err := db.Insert([]table.Record{insertTestRecord(marker + int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.MemRows() != 0 {
+		t.Fatalf("memtable holds %d rows after compaction", db.MemRows())
+	}
+	// One more acknowledged batch after the compaction.
+	if _, err := db.Insert([]table.Record{insertTestRecord(marker + 10)}); err != nil {
+		t.Fatal(err)
+	}
+	rowsBefore := db.NumRows()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenExisting(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.MemRows(); got != 1 {
+		t.Fatalf("recovered %d memtable rows, want 1 (post-compaction batch only)", got)
+	}
+	if db2.NumRows() != rowsBefore {
+		t.Fatalf("paged rows = %d, want %d", db2.NumRows(), rowsBefore)
+	}
+	ids := visibleInsertedIDs(t, db2, marker)
+	if len(ids) != 4 {
+		t.Fatalf("%d inserted rows visible, want 4", len(ids))
+	}
+	for _, id := range []int64{marker, marker + 1, marker + 2, marker + 10} {
+		if !ids[id] {
+			t.Fatalf("row %d missing after recovery", id)
+		}
+	}
+}

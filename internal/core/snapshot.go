@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/memtable"
+	"repro/internal/planner"
+	"repro/internal/table"
+	"repro/internal/vec"
+
+	"repro/internal/grid"
+	"repro/internal/kdtree"
+	"repro/internal/voronoi"
+)
+
+// dbSnap is the read view a cursor holds for its whole lifetime: the
+// index structures and fixed-bound table views that were current when
+// the cursor opened, plus the memtable rows acknowledged by then.
+// Compactions publish rows and swap rebuilt indexes under db.mu, and
+// the snapshot is captured under one RLock of the same mutex, so a
+// snapshot never observes a torn merge: a row is either in mem or
+// within the paged bound, never both, never neither.
+//
+// Snapshots also pin superseded generation files: a full compaction
+// that replaces physical tables defers deleting the old ones while
+// any snapshot is open (snapRefs), and the last release drains the
+// retire queue.
+type dbSnap struct {
+	db      *SpatialDB
+	catalog *table.Table
+
+	kd      *kdtree.Tree
+	kdTable *table.Table
+
+	vor      *voronoi.Index
+	vorTable *table.Table
+
+	grid *grid.Index
+
+	mem []memtable.Row
+
+	released atomic.Bool
+}
+
+// snapshot captures the store's read view under one RLock.
+func (db *SpatialDB) snapshot() (*dbSnap, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.catalog == nil {
+		return nil, fmt.Errorf("core: no catalog loaded")
+	}
+	sn := &dbSnap{
+		db:      db,
+		catalog: db.catalog.Snapshot(),
+		kd:      db.kd,
+		vor:     db.vor,
+		grid:    db.grid,
+	}
+	if db.kdTable != nil {
+		sn.kdTable = db.kdTable.Snapshot()
+	}
+	if db.vor != nil {
+		sn.vorTable = db.vor.Table().Snapshot()
+	}
+	if db.mem != nil {
+		sn.mem = db.mem.Snapshot()
+	}
+	db.snapRefs.Add(1)
+	return sn, nil
+}
+
+// release drops the snapshot's pin on superseded generation files.
+// Idempotent; the last open snapshot to release drains the retire
+// queue.
+func (sn *dbSnap) release() {
+	if sn.released.Swap(true) {
+		return
+	}
+	if sn.db.snapRefs.Add(-1) == 0 {
+		sn.db.drainRetired()
+	}
+}
+
+// planner builds a cost-based planner over the snapshot's view, so
+// plan resolution and execution see the same row bounds.
+func (sn *dbSnap) planner() *planner.Planner {
+	return &planner.Planner{
+		Catalog: sn.catalog,
+		Kd:      sn.kd,
+		KdTable: sn.kdTable,
+		Vor:     sn.vor,
+		Grid:    sn.grid,
+		Domain:  sn.db.domain,
+		MemRows: int64(len(sn.mem)),
+	}
+}
+
+// memCursor streams the snapshot's memtable rows through the Cursor
+// interface, optionally filtered, projecting each emitted record to
+// the same column set the paged stream decodes so the two sources are
+// byte-identical under any projection.
+type memCursor struct {
+	rows   []memtable.Row
+	filter func(*table.Record) bool // nil emits every row
+	cols   table.ColumnSet
+
+	pos      int
+	cur      table.Record
+	examined int64
+	emitted  int64
+}
+
+// polyMemFilter builds the memtable-side predicate matching a convex
+// polyhedron scan: exact containment of the magnitudes, the same test
+// the paged stream's filtering ranges apply.
+func polyMemFilter(q vec.Polyhedron) func(*table.Record) bool {
+	return func(r *table.Record) bool {
+		var m [table.Dim]float64
+		for i, v := range r.Mags {
+			m[i] = float64(v)
+		}
+		return engine.ContainsMags(q, &m)
+	}
+}
+
+func (c *memCursor) Next() bool {
+	for c.pos < len(c.rows) {
+		r := &c.rows[c.pos].Rec
+		c.pos++
+		c.examined++
+		if c.filter != nil && !c.filter(r) {
+			continue
+		}
+		c.cur = r.Project(c.cols)
+		c.emitted++
+		return true
+	}
+	return false
+}
+
+func (c *memCursor) Record() *table.Record { return &c.cur }
+func (c *memCursor) Err() error            { return nil }
+func (c *memCursor) Close() error          { return nil }
+
+func (c *memCursor) Stats() Report {
+	return Report{RowsReturned: c.emitted, RowsExamined: c.examined}
+}
+
+// chainCursor concatenates the paged cursor with the memtable cursor,
+// paged rows first. That order is load-bearing: a minor compaction
+// appends mem rows after the existing paged rows, so a pre-compaction
+// cursor and a post-compaction cursor emit the same physical order —
+// the byte-identity contract for snapshot isolation.
+type chainCursor struct {
+	base Cursor
+	mem  *memCursor
+
+	inMem bool
+	final Report // base stats folded at the switchover
+	err   error
+}
+
+func (c *chainCursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	if !c.inMem {
+		if c.base.Next() {
+			return true
+		}
+		if err := c.base.Err(); err != nil {
+			c.err = err
+			return false
+		}
+		c.foldBase()
+	}
+	return c.mem.Next()
+}
+
+// foldBase closes the paged child and freezes its final stats:
+// Close-before-Stats so a parallel stream's workers stop moving the
+// scope counters first.
+func (c *chainCursor) foldBase() {
+	if c.inMem {
+		return
+	}
+	c.inMem = true
+	c.base.Close()
+	c.final = c.base.Stats()
+}
+
+func (c *chainCursor) Record() *table.Record {
+	if c.inMem {
+		return c.mem.Record()
+	}
+	return c.base.Record()
+}
+
+func (c *chainCursor) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.base.Err()
+}
+
+func (c *chainCursor) Close() error {
+	c.foldBase()
+	return nil
+}
+
+func (c *chainCursor) Stats() Report {
+	var r Report
+	if c.inMem {
+		r = c.final
+	} else {
+		r = c.base.Stats()
+	}
+	ms := c.mem.Stats()
+	r.RowsReturned += ms.RowsReturned
+	r.RowsExamined += ms.RowsExamined
+	return r
+}
+
+// snapCursor pairs a cursor with the snapshot backing it, releasing
+// the snapshot's file pin exactly once on Close.
+type snapCursor struct {
+	Cursor
+	sn *dbSnap
+}
+
+func (c *snapCursor) Close() error {
+	err := c.Cursor.Close()
+	c.sn.release()
+	return err
+}

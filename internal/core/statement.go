@@ -75,6 +75,34 @@ func (db *SpatialDB) ExecStatement(ctx context.Context, stmt colorsql.Statement,
 		return &sliceCursor{rep: Report{Plan: plan, PlanReason: "LIMIT 0: no rows requested"}}, nil
 	}
 
+	// Negative cache: a WHERE whose every clause the zone maps prove
+	// page-disjoint (and that no acknowledged memtable row satisfies)
+	// short-circuits to an empty answer without opening a stream. The
+	// verdict caches under the current epoch, so any insert or
+	// compaction invalidates it. Forced index plans skip it — they
+	// promise a specific execution, and an empty kd walk is cheap
+	// anyway.
+	if db.ResultCacheEnabled() && stmt.HasWhere && (plan == PlanAuto || plan == PlanPrunedScan) {
+		v, out, err := db.qc.Do(nsNegative, stmt.Where.String(), db.cacheEpoch(), func() (any, int64, error) {
+			empty, err := db.provablyEmptyUnion(stmt.Where)
+			if err != nil {
+				return nil, 0, err
+			}
+			return empty, cachedEntryOverheadBytes, nil
+		})
+		if err == nil && v.(bool) {
+			rep := Report{
+				Plan:       PlanPrunedScan,
+				PlanReason: "negative cache: zone maps prove every clause empty",
+			}
+			if out != qcache.Miss {
+				rep = cachedReport(rep)
+			}
+			return &sliceCursor{rep: rep}, nil
+		}
+		// A verdict error (no catalog) surfaces on the normal path.
+	}
+
 	if db.ResultCacheEnabled() {
 		if key, ok := db.statementCacheKey(stmt, plan); ok {
 			v, out, err := db.qc.Do(nsQuery, key, db.cacheEpoch(), func() (any, int64, error) {
@@ -204,7 +232,9 @@ func (db *SpatialDB) hasZoneSourceLocked() bool {
 		if t == nil || t.NumRows() == 0 {
 			continue
 		}
-		if zm := t.ZoneMaps(); zm != nil && zm.NumPages() == t.NumPages() {
+		// >= not ==: ingest widens zones before publishing rows, so the
+		// sidecar may momentarily cover more pages than readers see.
+		if zm := t.ZoneMaps(); zm != nil && zm.NumPages() >= t.NumPages() {
 			return true
 		}
 	}

@@ -64,7 +64,12 @@ type DB struct {
 	// clustered on). Persisted in the catalog so a reopened process
 	// knows which tables are which without re-deriving them.
 	clusteredBy map[string]string
-	procs       map[string]Proc
+	// artifacts maps logical artifact names (index serializations) to
+	// the physical file currently backing them — identical until a
+	// generational rebuild moves storage to a name@gen file. Persisted
+	// in the catalog.
+	artifacts map[string]string
+	procs     map[string]Proc
 }
 
 // Open creates an engine over a fresh page store rooted at dir with
@@ -78,6 +83,7 @@ func Open(dir string, poolPages int) (*DB, error) {
 		store:       s,
 		tables:      make(map[string]*table.Table),
 		clusteredBy: make(map[string]string),
+		artifacts:   make(map[string]string),
 		procs:       make(map[string]Proc),
 	}, nil
 }
@@ -114,14 +120,62 @@ func (db *DB) RegisterTable(t *table.Table) error {
 // records the physical ordering it was rewritten clustered on
 // (e.g. ClusteredKdLeaf). The identity is persisted in the catalog.
 func (db *DB) RegisterClusteredTable(t *table.Table, orderedBy string) error {
+	return db.RegisterClusteredTableAs(t.Name(), t, orderedBy)
+}
+
+// RegisterClusteredTableAs registers a table under an explicit
+// logical name, which may differ from the physical file name when the
+// table's storage lives in a generational name@gen file.
+func (db *DB) RegisterClusteredTableAs(name string, t *table.Table, orderedBy string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.tables[t.Name()]; ok {
-		return fmt.Errorf("engine: table %q already exists", t.Name())
+	if _, ok := db.tables[name]; ok {
+		return fmt.Errorf("engine: table %q already exists", name)
 	}
-	db.tables[t.Name()] = t
-	db.clusteredBy[t.Name()] = orderedBy
+	db.tables[name] = t
+	db.clusteredBy[name] = orderedBy
 	return nil
+}
+
+// ReplaceTable swaps the table registered under a logical name for a
+// rebuilt copy (typically backed by a fresh generational file) and
+// returns the previous table. The caller retires the old table's
+// storage once no snapshot references it.
+func (db *DB) ReplaceTable(name string, t *table.Table, orderedBy string) (*table.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	old, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q to replace", name)
+	}
+	db.tables[name] = t
+	db.clusteredBy[name] = orderedBy
+	return old, nil
+}
+
+// SetArtifact records the physical file backing a logical artifact
+// name (an index serialization moved to a generational file). The
+// mapping is persisted in the catalog.
+func (db *DB) SetArtifact(logical, physical string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if logical == physical {
+		delete(db.artifacts, logical)
+		return
+	}
+	db.artifacts[logical] = physical
+}
+
+// ArtifactFile resolves a logical artifact name to the physical file
+// currently backing it (the logical name itself when storage never
+// moved).
+func (db *DB) ArtifactFile(logical string) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if p, ok := db.artifacts[logical]; ok {
+		return p
+	}
+	return logical
 }
 
 // ClusteredBy returns the recorded physical-order identity of a

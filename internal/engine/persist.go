@@ -22,6 +22,22 @@ import (
 // CatalogFileName is the paged file holding the persisted catalog.
 const CatalogFileName = "system.catalog"
 
+// GenName returns the physical file name of an artifact at a given
+// generation: the bare base name for generation 0 (the legacy layout,
+// still readable), "base@N" otherwise. Rewritten artifacts — the
+// catalog, zone sidecars, rebuilt clustered tables and index
+// serializations — are written to a fresh generation's name and
+// committed by the single manifest rename that bumps the store's
+// ArtifactGen, so a crash mid-rewrite leaves the previous generation
+// fully intact: there is no in-place overwrite anywhere on the
+// persistence path.
+func GenName(base string, gen uint64) string {
+	if gen == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s@%d", base, gen)
+}
+
 // catalogFormatVersion 2 is the columnar-page era: table files hold
 // column strips (table/colpage.go) and each table may carry a
 // zone-map sidecar. Version 1 databases hold row-major 64-byte record
@@ -56,14 +72,28 @@ type TableMeta struct {
 	Rows        uint64
 	RecordSize  int
 	ClusteredBy string
-	// HasZones records that a zone-map sidecar (<name>.zones) was
-	// persisted alongside the table.
+	// HasZones records that a zone-map sidecar was persisted alongside
+	// the table.
 	HasZones bool
+	// File is the physical paged-file name backing the table; empty
+	// means Name itself (the legacy and common case — the two diverge
+	// only after a generational rebuild, when a table's logical name
+	// stays put while its storage moves to a name@gen file).
+	File string
+	// ZoneFile is the physical sidecar file name; empty means the
+	// legacy <name>.zones.
+	ZoneFile string
 }
 
 type persistedCatalog struct {
 	Version int
 	Tables  []TableMeta
+	// Artifacts maps logical artifact names (index serializations and
+	// similar non-table files) to their physical file names, so a
+	// reopened process can find structures whose storage moved to a
+	// generational file. Absent entries mean the logical name is the
+	// physical name.
+	Artifacts map[string]string
 }
 
 // persistedZones is the gob payload of one zone-map sidecar.
@@ -76,13 +106,29 @@ type persistedZones struct {
 // zoneFileName names a table's zone-map sidecar file.
 func zoneFileName(tableName string) string { return tableName + ".zones" }
 
-// PersistCatalog writes the catalog of registered tables into
-// system.catalog, and each table's zone maps into a checksummed
-// paged sidecar. Call it before Store.Flush/Close so the manifest
-// covers the catalog and sidecar files.
+// PersistCatalog writes the catalog of registered tables into the
+// next generation's catalog file, and each table's zone maps into a
+// checksummed paged sidecar at the same generation, then stamps the
+// store's ArtifactGen. Nothing is overwritten in place: the previous
+// generation's files stay intact until the manifest commits (the
+// caller's Store.Flush/Close), so a crash at any byte leaves a
+// consistent database. Retire the previous generation's files after
+// the flush with RetireCatalogGen.
 func (db *DB) PersistCatalog() error {
+	return db.PersistCatalogAt(db.store.ArtifactGen() + 1)
+}
+
+// PersistCatalogAt is PersistCatalog targeting an explicit
+// generation; callers that also write their own generational
+// artifacts (core.Persist writes index serializations) pick the
+// generation first, write their artifacts at it, and then call this.
+// Sets the store's ArtifactGen to gen; the caller's Flush commits.
+func (db *DB) PersistCatalogAt(gen uint64) error {
 	db.mu.RLock()
-	cat := persistedCatalog{Version: catalogFormatVersion}
+	cat := persistedCatalog{Version: catalogFormatVersion, Artifacts: make(map[string]string, len(db.artifacts))}
+	for k, v := range db.artifacts {
+		cat.Artifacts[k] = v
+	}
 	tables := make(map[string]*table.Table, len(db.tables))
 	for name, t := range db.tables {
 		tables[name] = t
@@ -96,6 +142,8 @@ func (db *DB) PersistCatalog() error {
 			RecordSize:  table.RecordSize,
 			ClusteredBy: clustered,
 			HasZones:    t.ZoneMaps() != nil,
+			File:        t.Name(),
+			ZoneFile:    GenName(zoneFileName(name), gen),
 		})
 	}
 	db.mu.RUnlock()
@@ -104,6 +152,7 @@ func (db *DB) PersistCatalog() error {
 	for i := range cat.Tables {
 		m := &cat.Tables[i]
 		if !m.HasZones {
+			m.ZoneFile = ""
 			continue
 		}
 		t := tables[m.Name]
@@ -114,17 +163,43 @@ func (db *DB) PersistCatalog() error {
 			return fmt.Errorf("engine: persist zone maps for %q: %w", m.Name, err)
 		}
 		pz := persistedZones{Table: m.Name, Rows: m.Rows, Zones: zm.Snapshot()}
-		err := pagedio.WriteGob(db.store, zoneFileName(m.Name), func(enc *gob.Encoder) error { return enc.Encode(pz) })
+		err := pagedio.WriteGob(db.store, m.ZoneFile, func(enc *gob.Encoder) error { return enc.Encode(pz) })
 		if err != nil {
 			return fmt.Errorf("engine: persist zone maps for %q: %w", m.Name, err)
 		}
 	}
 
-	err := pagedio.WriteGob(db.store, CatalogFileName, func(enc *gob.Encoder) error { return enc.Encode(cat) })
+	err := pagedio.WriteGob(db.store, GenName(CatalogFileName, gen), func(enc *gob.Encoder) error { return enc.Encode(cat) })
 	if err != nil {
 		return fmt.Errorf("engine: persist catalog: %w", err)
 	}
+	db.store.SetArtifactGen(gen)
 	return nil
+}
+
+// RetireCatalogGen deletes the catalog and zone-sidecar files of a
+// superseded generation. Call it only after the manifest committed
+// the replacement (Store.Flush returned): these files are loaded at
+// open and never referenced by live cursors, so they can go the
+// moment the new generation is durable. Missing files are skipped —
+// retirement is idempotent.
+func (db *DB) RetireCatalogGen(oldGen uint64) error {
+	doomed := []string{GenName(CatalogFileName, oldGen)}
+	db.mu.RLock()
+	for name := range db.tables {
+		doomed = append(doomed, GenName(zoneFileName(name), oldGen))
+	}
+	db.mu.RUnlock()
+	var present []string
+	for _, name := range doomed {
+		if db.store.HasFile(name) {
+			present = append(present, name)
+		}
+	}
+	if len(present) == 0 {
+		return nil
+	}
+	return db.store.DeleteFiles(present...)
 }
 
 // OpenExisting opens a previously persisted engine at dir: the page
@@ -143,14 +218,19 @@ func OpenExisting(dir string, poolPages int) (*DB, error) {
 		store:       s,
 		tables:      make(map[string]*table.Table),
 		clusteredBy: make(map[string]string),
+		artifacts:   make(map[string]string),
 		procs:       make(map[string]Proc),
 	}
-	if !s.HasFile(CatalogFileName) {
+	// The manifest's artifact generation names the catalog file; a
+	// crash can never desynchronize the two because both commit in the
+	// same manifest rename.
+	catName := GenName(CatalogFileName, s.ArtifactGen())
+	if !s.HasFile(catName) {
 		s.Close()
-		return nil, fmt.Errorf("engine: %s has no %s: database was never persisted (call PersistCatalog / SpatialDB.Persist after building)", dir, CatalogFileName)
+		return nil, fmt.Errorf("engine: %s has no %s: database was never persisted (call PersistCatalog / SpatialDB.Persist after building)", dir, catName)
 	}
 	var cat persistedCatalog
-	err = pagedio.ReadGob(s, CatalogFileName, func(dec *gob.Decoder) error {
+	err = pagedio.ReadGob(s, catName, func(dec *gob.Decoder) error {
 		if err := dec.Decode(&cat); err != nil {
 			return err
 		}
@@ -164,13 +244,20 @@ func OpenExisting(dir string, poolPages int) (*DB, error) {
 		s.Close()
 		return nil, fmt.Errorf("engine: catalog: %w", err)
 	}
+	for k, v := range cat.Artifacts {
+		db.artifacts[k] = v
+	}
 	for _, m := range cat.Tables {
 		if m.RecordSize != table.RecordSize {
 			s.Close()
 			return nil, fmt.Errorf("engine: table %q was written with %d-byte records, this binary uses %d: incompatible schema",
 				m.Name, m.RecordSize, table.RecordSize)
 		}
-		t, err := table.OpenWithRows(s, m.Name, m.Rows)
+		file := m.File
+		if file == "" {
+			file = m.Name
+		}
+		t, err := table.OpenWithRows(s, file, m.Rows)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("engine: open cataloged table: %w", err)
@@ -192,7 +279,10 @@ func OpenExisting(dir string, poolPages int) (*DB, error) {
 // row-count skew, page-count skew, non-finite bounds — fails the
 // open: a wrong zone map would silently drop rows from query answers.
 func loadZoneSidecar(s *pagestore.Store, t *table.Table, m TableMeta) error {
-	name := zoneFileName(m.Name)
+	name := m.ZoneFile
+	if name == "" {
+		name = zoneFileName(m.Name)
+	}
 	if !s.HasFile(name) {
 		return fmt.Errorf("engine: table %q: catalog records a zone-map sidecar but %s is missing", m.Name, name)
 	}

@@ -58,7 +58,7 @@ func TestOpenRejectsRowFormatCatalog(t *testing.T) {
 	cat := persistedCatalog{Version: 1, Tables: []TableMeta{{
 		Name: "t.tbl", Rows: 300, RecordSize: table.RecordSize, ClusteredBy: ClusteredHeap,
 	}}}
-	err = pagedio.WriteGob(s, CatalogFileName, func(enc *gob.Encoder) error { return enc.Encode(cat) })
+	err = pagedio.WriteGob(s, GenName(CatalogFileName, s.ArtifactGen()), func(enc *gob.Encoder) error { return enc.Encode(cat) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestOpenRejectsFutureCatalogVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	cat := persistedCatalog{Version: catalogFormatVersion + 1}
-	err = pagedio.WriteGob(s, CatalogFileName, func(enc *gob.Encoder) error { return enc.Encode(cat) })
+	err = pagedio.WriteGob(s, GenName(CatalogFileName, s.ArtifactGen()), func(enc *gob.Encoder) error { return enc.Encode(cat) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestZoneSidecarStaleRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	pz := persistedZones{Table: "t.tbl", Rows: 123, Zones: nil}
-	err = pagedio.WriteGob(s, zoneFileName("t.tbl"), func(enc *gob.Encoder) error { return enc.Encode(pz) })
+	err = pagedio.WriteGob(s, GenName(zoneFileName("t.tbl"), s.ArtifactGen()), func(enc *gob.Encoder) error { return enc.Encode(pz) })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -367,6 +367,11 @@ func shuffleCodes(codes []uint64, seed int64) {
 // NumLayers returns how many layers the index built.
 func (ix *Index) NumLayers() int { return len(ix.layers) }
 
+// Params returns the build parameters, so a full compaction can
+// rebuild the index over the enlarged table with identical geometry
+// (they round-trip through persistence, unlike most index params).
+func (ix *Index) Params() Params { return ix.params }
+
 // ProjDim returns the dimensionality of the visualization space the
 // grid lives in.
 func (ix *Index) ProjDim() int { return ix.params.ProjDim }
@@ -585,7 +590,11 @@ func (ix *Index) ValidateStructure() error {
 	for _, l := range ix.layers {
 		total += l.points
 	}
-	if total != int(ix.tbl.NumRows()) {
+	// The plan and directory may cover a prefix of the table — rows
+	// past it are the unindexed tail appended by minor compactions,
+	// invisible to sampling until a full compaction re-layers them —
+	// but can never cover more rows than the table holds.
+	if total > int(ix.tbl.NumRows()) {
 		return fmt.Errorf("grid: layer plan covers %d rows, table has %d", total, ix.tbl.NumRows())
 	}
 	covered := uint64(0)
@@ -595,10 +604,25 @@ func (ix *Index) ValidateStructure() error {
 		}
 		covered += uint64(r.count)
 	}
-	if covered != ix.tbl.NumRows() {
+	if covered > ix.tbl.NumRows() {
 		return fmt.Errorf("grid: directory covers %d rows, table has %d", covered, ix.tbl.NumRows())
 	}
+	if covered != uint64(total) {
+		return fmt.Errorf("grid: directory covers %d rows, layer plan %d", covered, total)
+	}
 	return nil
+}
+
+// CoveredRows returns how many clustered rows the layer directory
+// covers — the prefix the index was built over. Rows appended past it
+// by minor compactions are excluded from sampling (a documented,
+// bounded staleness) until a full compaction re-layers the table.
+func (ix *Index) CoveredRows() uint64 {
+	var covered uint64
+	for _, r := range ix.dir {
+		covered += uint64(r.count)
+	}
+	return covered
 }
 
 // Validate checks the structural invariants of the index: layer
@@ -610,8 +634,14 @@ func (ix *Index) Validate() error {
 		return err
 	}
 	// Spot-check stored codes against geometry.
+	covered := table.RowID(ix.CoveredRows())
 	var checkErr error
 	err := ix.tbl.Scan(func(id table.RowID, r *table.Record) bool {
+		if id >= covered {
+			// Unindexed tail: rows appended after the layered rewrite
+			// carry no layer/cell codes yet.
+			return true
+		}
 		layer := int(r.Layer)
 		if layer < 1 || layer > len(ix.layers) {
 			checkErr = fmt.Errorf("grid: row %d has layer %d", id, layer)

@@ -239,6 +239,25 @@ func (t *Tree) CollectRanges(q vec.Polyhedron, pr Pruning) ([]Range, Walk) {
 	return out, walk
 }
 
+// CollectRangesBounded is CollectRanges plus the unindexed tail:
+// when the clustered table has grown past the rows the tree was
+// built over (minor compactions append ingested rows at the end
+// without rebuilding the tree), the extra rows [t.NumRows, tableRows)
+// are returned as one trailing filter range. The tree's own ranges
+// are exact as ever; the tail pays a per-point test until the next
+// full compaction rebuilds the tree over the enlarged table.
+func (t *Tree) CollectRangesBounded(q vec.Polyhedron, pr Pruning, tableRows uint64) ([]Range, Walk) {
+	out, walk := t.CollectRanges(q, pr)
+	if tableRows > t.NumRows {
+		out = append(out, Range{
+			Lo:     table.RowID(t.NumRows),
+			Hi:     table.RowID(tableRows),
+			Filter: true,
+		})
+	}
+	return out, walk
+}
+
 // ClassifyLeaves returns, for a query polyhedron, how many leaf
 // cells fall inside / outside / partial — the cell coloring of
 // Figure 4. It classifies partition cells (not tight bounds) because

@@ -37,6 +37,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/kdtree"
@@ -315,6 +316,64 @@ func dist2Mags(p vec.Point, r *table.Record) float64 {
 		s += d * d
 	}
 	return s
+}
+
+// MergeCandidates folds extra candidates into an ascending-distance
+// neighbour list, keeping the k best. The sort is stable, so existing
+// entries win distance ties and merging an empty candidate set is the
+// identity — results stay deterministic across merges.
+func MergeCandidates(nbs []Neighbor, cand []Neighbor, k int) []Neighbor {
+	if len(cand) == 0 {
+		return nbs
+	}
+	merged := make([]Neighbor, 0, len(nbs)+len(cand))
+	merged = append(merged, nbs...)
+	merged = append(merged, cand...)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Dist2 < merged[j].Dist2 })
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// TailCandidates brute-scans the unindexed tail of the clustered
+// table — rows [Tree.NumRows, Tb.NumRows) appended by minor
+// compactions after the tree was built — and returns them all as
+// distance-stamped candidates for MergeCandidates. Row and page
+// counters accumulate into stats.
+func (s *Searcher) TailCandidates(p vec.Point, stats *Stats) ([]Neighbor, error) {
+	lo, hi := table.RowID(s.Tree.NumRows), table.RowID(s.Tb.NumRows())
+	if hi <= lo {
+		return nil, nil
+	}
+	scope := s.Tb.Store().Scoped()
+	tb := s.Tb.Scoped(scope)
+	var cand []Neighbor
+	err := tb.ScanRange(lo, hi, func(id table.RowID, r *table.Record) bool {
+		stats.RowsExamined++
+		cand = append(cand, Neighbor{Row: id, Dist2: dist2Mags(p, r), Rec: *r})
+		return true
+	})
+	stats.Pages = stats.Pages.Add(scope.Stats())
+	return cand, err
+}
+
+// SearchTailMerged returns the k nearest neighbours over the whole
+// clustered table: the region-growing answer over the indexed prefix
+// merged with a brute pass over the unindexed tail. Between full
+// compactions the tail is small by construction, so the extra scan is
+// a few pages; the next full compaction rebuilds the tree over the
+// enlarged table and the tail disappears.
+func (s *Searcher) SearchTailMerged(p vec.Point, k int) ([]Neighbor, Stats, error) {
+	nbs, stats, err := s.Search(p, k)
+	if err != nil {
+		return nil, stats, err
+	}
+	cand, err := s.TailCandidates(p, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	return MergeCandidates(nbs, cand, k), stats, nil
 }
 
 // BruteForce returns the exact k nearest neighbours by scanning the

@@ -64,6 +64,13 @@ type MixResult struct {
 	// PagesReadPerOp is the server's diskReads delta over the run
 	// divided by completed requests (0 when /stats was unreachable).
 	PagesReadPerOp float64 `json:"pagesReadPerOp"`
+	// Inserts counts completed POST /insert requests. InsertRowsPerSec
+	// is the server's acknowledged insertedRows delta over the run
+	// divided by elapsed time — the durable ingest rate sustained while
+	// the rest of the mix was reading (0 for read-only mixes or when
+	// /stats was unreachable).
+	Inserts          int64   `json:"inserts"`
+	InsertRowsPerSec float64 `json:"insertRowsPerSec"`
 	// CacheHits/CacheMisses classify completed requests by the
 	// server's X-Cache response header (requests without the header —
 	// endpoints outside the result cache — count in neither).
@@ -110,9 +117,10 @@ func Run(ctx context.Context, cfg Config, mix Mix) (MixResult, error) {
 	histHit, histMiss := &qos.Histogram{}, &qos.Histogram{}
 	var completed, shed, errs, dropped atomic.Int64
 	var cacheHits, cacheMisses atomic.Int64
+	var inserts atomic.Int64
 	var wg sync.WaitGroup
 
-	readsBefore, statsOK := diskReads(client, cfg.BaseURL)
+	before, statsOK := serverCounters(client, cfg.BaseURL)
 	start := time.Now()
 	var sent int64
 arrivals:
@@ -161,6 +169,9 @@ arrivals:
 				lat := time.Since(sched)
 				hist.Record(lat)
 				completed.Add(1)
+				if req.URL.Path == "/insert" {
+					inserts.Add(1)
+				}
 				switch resp.Header.Get("X-Cache") {
 				case "hit":
 					cacheHits.Add(1)
@@ -189,6 +200,7 @@ arrivals:
 		Dropped:     dropped.Load(),
 		CacheHits:   cacheHits.Load(),
 		CacheMisses: cacheMisses.Load(),
+		Inserts:     inserts.Load(),
 		Latency:     hist.Snapshot(),
 	}
 	if classified := res.CacheHits + res.CacheMisses; classified > 0 {
@@ -202,26 +214,36 @@ arrivals:
 		snap := histMiss.Snapshot()
 		res.LatencyMiss = &snap
 	}
-	if readsAfter, ok := diskReads(client, cfg.BaseURL); ok && statsOK && res.Completed > 0 {
-		res.PagesReadPerOp = float64(readsAfter-readsBefore) / float64(res.Completed)
+	if after, ok := serverCounters(client, cfg.BaseURL); ok && statsOK {
+		if res.Completed > 0 {
+			res.PagesReadPerOp = float64(after.DiskReads-before.DiskReads) / float64(res.Completed)
+		}
+		if elapsed > 0 {
+			res.InsertRowsPerSec = float64(after.InsertedRows-before.InsertedRows) / elapsed.Seconds()
+		}
 	}
 	return res, nil
 }
 
-// diskReads fetches the server's cumulative diskReads counter;
-// ok=false when /stats is unreachable (the run still proceeds,
-// pages-per-op just reports 0).
-func diskReads(client *http.Client, base string) (int64, bool) {
+// counters are the cumulative server-side totals the report diffs
+// across a run.
+type counters struct {
+	DiskReads    int64 `json:"diskReads"`
+	InsertedRows int64 `json:"insertedRows"`
+}
+
+// serverCounters fetches the server's cumulative counters; ok=false
+// when /stats is unreachable (the run still proceeds, the derived
+// per-op rates just report 0).
+func serverCounters(client *http.Client, base string) (counters, bool) {
 	resp, err := client.Get(base + "/stats")
 	if err != nil {
-		return 0, false
+		return counters{}, false
 	}
 	defer resp.Body.Close()
-	var stats struct {
-		DiskReads int64 `json:"diskReads"`
-	}
+	var stats counters
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		return 0, false
+		return counters{}, false
 	}
-	return stats.DiskReads, true
+	return stats, true
 }

@@ -81,11 +81,13 @@ func zipfPick(rng *rand.Rand, cdf []float64) int {
 	return len(cdf) - 1
 }
 
-// StandardMixes is the T1–T7 workload matrix from the QoS experiment:
+// StandardMixes is the T1–T8 workload matrix from the QoS experiment:
 // point lookups, range scans, top-k orderings, projection-heavy
 // selects, the mixed traffic a real SkyServer front end produces, the
-// LIMIT-free selective color cut that exercises zone-map pruning, and
-// the Zipfian hot-statement mix that exercises the result cache.
+// LIMIT-free selective color cut that exercises zone-map pruning, the
+// Zipfian hot-statement mix that exercises the result cache, and the
+// mixed read/write ingest mix that exercises the WAL-backed insert
+// path while reads serve concurrently.
 func StandardMixes() []Mix {
 	t1 := Mix{
 		Name:        "T1-point",
@@ -156,7 +158,47 @@ func StandardMixes() []Mix {
 			return queryReq(base, hotStatements[zipfPick(rng, hotCDF)])
 		},
 	}
-	return []Mix{t1, t2, t3, t4, t5, t6, t7}
+	t8 := Mix{
+		Name:        "T8-ingest",
+		Description: "mixed read/write: 20% durable insert batches (POST /insert), 80% T5 interactive reads",
+		Make: func(base string, rng *rand.Rand) (*http.Request, error) {
+			if rng.Float64() < 0.20 {
+				return insertReq(base, rng)
+			}
+			return t5.Make(base, rng)
+		},
+	}
+	return []Mix{t1, t2, t3, t4, t5, t6, t7, t8}
+}
+
+// insertBatch is T8's rows per /insert request: small enough that one
+// write prices comparably to one read under the per-row admission
+// cost, large enough that the WAL group commit amortizes the fsync.
+const insertBatch = 32
+
+// insertReq builds one JSON insert batch of synthetic rows in the
+// catalog's populated magnitude range. ObjIDs draw from the rng's
+// 63-bit space, so collisions with generated catalogs (sequential
+// small IDs) are effectively impossible.
+func insertReq(base string, rng *rand.Rand) (*http.Request, error) {
+	var b strings.Builder
+	b.WriteString(`{"rows":[`)
+	for i := 0; i < insertBatch; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		m := randMags(rng)
+		fmt.Fprintf(&b, `{"objId":%d,"mags":[%.4f,%.4f,%.4f,%.4f,%.4f],"ra":%.5f,"dec":%.5f,"class":"star"}`,
+			rng.Int63(), m[0], m[1], m[2], m[3], m[4],
+			rng.Float64()*360, -90+rng.Float64()*180)
+	}
+	b.WriteString("]}")
+	req, err := http.NewRequest("POST", base+"/insert", strings.NewReader(b.String()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return req, nil
 }
 
 // MixByName finds a mix by its short name ("T1-point") or prefix

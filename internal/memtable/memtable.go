@@ -1,0 +1,141 @@
+// Package memtable holds the freshly ingested rows of a table: the
+// in-memory half of the LSM-style write path that broke the engine's
+// read-only assumption. A row lives in exactly one of two places — in
+// the memtable (recent, WAL-backed, unindexed) or in the paged
+// clustered tables (compacted, zone-mapped, indexed) — and the
+// compactor moves rows from the first to the second in one atomic
+// publish step, so no snapshot ever sees a row twice or not at all.
+//
+// Visibility is strictly sequence-ordered. The WAL assigns each
+// acknowledged batch a dense sequence number under its own latch, but
+// concurrent inserters reach Commit in whatever order the scheduler
+// picks; a reorder buffer holds early arrivals until their
+// predecessors land, so the visible prefix is always exactly the
+// batches 1..k with no gaps. That is what makes crash recovery
+// honest: the set of rows a reader could have seen is a prefix of the
+// WAL, and replay reconstructs precisely that prefix.
+package memtable
+
+import (
+	"sync"
+
+	"repro/internal/table"
+)
+
+// Row is one ingested record stamped with its batch sequence.
+type Row struct {
+	Seq uint64
+	Rec table.Record
+}
+
+// Memtable accumulates committed rows in sequence order. Safe for
+// concurrent use; snapshots are O(1) and immutable.
+type Memtable struct {
+	mu sync.Mutex
+	// rows is append-only between trims: a snapshot captures the
+	// current slice header and stays valid because elements below its
+	// length are never rewritten (append either extends in place past
+	// the captured length or relocates; TrimFront installs a fresh
+	// backing array).
+	rows []Row
+	// nextCommit is the lowest sequence not yet visible; pending parks
+	// batches that arrived ahead of it.
+	nextCommit uint64
+	pending    map[uint64][]table.Record
+}
+
+// New returns an empty memtable expecting nextSeq as the first
+// committed batch — durableSeq+1 after recovery, 1 on a fresh store.
+func New(nextSeq uint64) *Memtable {
+	if nextSeq == 0 {
+		nextSeq = 1
+	}
+	return &Memtable{nextCommit: nextSeq, pending: make(map[uint64][]table.Record)}
+}
+
+// Commit makes one acknowledged batch visible. Batches become visible
+// in dense sequence order regardless of arrival order; a batch at or
+// below the trim/commit horizon is dropped (idempotent replay).
+func (m *Memtable) Commit(seq uint64, recs []table.Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if seq < m.nextCommit {
+		return
+	}
+	if seq > m.nextCommit {
+		cp := make([]table.Record, len(recs))
+		copy(cp, recs)
+		m.pending[seq] = cp
+		return
+	}
+	m.commitLocked(seq, recs)
+	for {
+		next, ok := m.pending[m.nextCommit]
+		if !ok {
+			return
+		}
+		delete(m.pending, m.nextCommit)
+		m.commitLocked(m.nextCommit, next)
+	}
+}
+
+func (m *Memtable) commitLocked(seq uint64, recs []table.Record) {
+	for i := range recs {
+		m.rows = append(m.rows, Row{Seq: seq, Rec: recs[i]})
+	}
+	m.nextCommit = seq + 1
+}
+
+// Snapshot returns the visible rows in sequence order. The returned
+// slice is immutable: later commits and trims never rewrite its
+// elements.
+func (m *Memtable) Snapshot() []Row {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rows
+}
+
+// Len returns the number of visible rows.
+func (m *Memtable) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.rows)
+}
+
+// NextSeq returns the lowest sequence number not yet visible.
+func (m *Memtable) NextSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextCommit
+}
+
+// MaxSeq returns the highest visible sequence, or 0 when empty.
+func (m *Memtable) MaxSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.rows) == 0 {
+		return 0
+	}
+	return m.rows[len(m.rows)-1].Seq
+}
+
+// TrimFront drops the visible rows with Seq <= throughSeq — the
+// prefix the compactor has copied into the paged tables. The caller
+// publishes the enlarged table bound and calls TrimFront under one
+// lock so snapshots taken before, between, or after see each row
+// exactly once. Survivors move to a fresh backing array, leaving
+// existing snapshots untouched.
+func (m *Memtable) TrimFront(throughSeq uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := 0
+	for i < len(m.rows) && m.rows[i].Seq <= throughSeq {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	rest := make([]Row, len(m.rows)-i)
+	copy(rest, m.rows[i:])
+	m.rows = rest
+}

@@ -1,0 +1,137 @@
+package memtable
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func recsFor(seq uint64, n int) []table.Record {
+	recs := make([]table.Record, n)
+	for i := range recs {
+		recs[i].ObjID = int64(seq)*100 + int64(i)
+	}
+	return recs
+}
+
+func TestCommitInOrder(t *testing.T) {
+	m := New(1)
+	m.Commit(1, recsFor(1, 2))
+	m.Commit(2, recsFor(2, 1))
+	rows := m.Snapshot()
+	if len(rows) != 3 {
+		t.Fatalf("len = %d", len(rows))
+	}
+	want := []int64{100, 101, 200}
+	for i, r := range rows {
+		if r.Rec.ObjID != want[i] {
+			t.Fatalf("row %d: ObjID %d, want %d", i, r.Rec.ObjID, want[i])
+		}
+	}
+}
+
+// Out-of-order commits must not become visible until the gap fills:
+// visibility order is sequence order, always.
+func TestCommitReorder(t *testing.T) {
+	m := New(1)
+	m.Commit(3, recsFor(3, 1))
+	m.Commit(2, recsFor(2, 1))
+	if m.Len() != 0 {
+		t.Fatalf("rows visible before seq 1 committed: %d", m.Len())
+	}
+	m.Commit(1, recsFor(1, 1))
+	rows := m.Snapshot()
+	if len(rows) != 3 {
+		t.Fatalf("len = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("row %d has seq %d", i, r.Seq)
+		}
+	}
+	if m.NextSeq() != 4 || m.MaxSeq() != 3 {
+		t.Fatalf("NextSeq %d MaxSeq %d", m.NextSeq(), m.MaxSeq())
+	}
+}
+
+// A duplicate (replayed) batch at or below the horizon is dropped.
+func TestCommitIdempotent(t *testing.T) {
+	m := New(1)
+	m.Commit(1, recsFor(1, 2))
+	m.Commit(1, recsFor(1, 2))
+	if m.Len() != 2 {
+		t.Fatalf("len = %d after duplicate commit", m.Len())
+	}
+	m.TrimFront(1)
+	m.Commit(1, recsFor(1, 2))
+	if m.Len() != 0 {
+		t.Fatalf("trimmed batch resurrected: len = %d", m.Len())
+	}
+}
+
+// Snapshots are immutable across trims and later commits.
+func TestSnapshotImmutable(t *testing.T) {
+	m := New(1)
+	m.Commit(1, recsFor(1, 2))
+	m.Commit(2, recsFor(2, 2))
+	snap := m.Snapshot()
+	m.TrimFront(1)
+	m.Commit(3, recsFor(3, 5))
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length changed: %d", len(snap))
+	}
+	want := []int64{100, 101, 200, 201}
+	for i, r := range snap {
+		if r.Rec.ObjID != want[i] {
+			t.Fatalf("snapshot row %d mutated: %d", i, r.Rec.ObjID)
+		}
+	}
+	// Post-trim state: only seq-2 and seq-3 rows.
+	rows := m.Snapshot()
+	if len(rows) != 7 || rows[0].Seq != 2 {
+		t.Fatalf("post-trim rows: len %d first seq %d", len(rows), rows[0].Seq)
+	}
+}
+
+func TestTrimFrontAll(t *testing.T) {
+	m := New(5)
+	m.Commit(5, recsFor(5, 3))
+	m.TrimFront(5)
+	if m.Len() != 0 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if m.MaxSeq() != 0 {
+		t.Fatalf("MaxSeq on empty = %d", m.MaxSeq())
+	}
+	// Commits continue past the trim.
+	m.Commit(6, recsFor(6, 1))
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+// Concurrent commits in scrambled arrival order still yield the dense
+// sequence-ordered prefix.
+func TestCommitConcurrent(t *testing.T) {
+	m := New(1)
+	const n = 64
+	var wg sync.WaitGroup
+	for seq := uint64(1); seq <= n; seq++ {
+		wg.Add(1)
+		go func(s uint64) {
+			defer wg.Done()
+			m.Commit(s, recsFor(s, 1))
+		}(seq)
+	}
+	wg.Wait()
+	rows := m.Snapshot()
+	if len(rows) != n {
+		t.Fatalf("len = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("row %d has seq %d", i, r.Seq)
+		}
+	}
+}

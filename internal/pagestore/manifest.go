@@ -23,6 +23,8 @@ import (
 //	magic       u32  "SPGM"
 //	version     u32  FormatVersion
 //	epoch       u64  store epoch, bumped on every manifest rewrite
+//	durableSeq  u64  highest WAL sequence compacted into paged files
+//	artifactGen u64  current generation of rewritten artifacts
 //	fileCount   u32
 //	fileCount × { nameLen u16 | name bytes | pages u32 }
 //	crc32       u32  over every preceding byte
@@ -31,33 +33,52 @@ import (
 // that actually wrote data bumps it, so a cache keyed on the epoch
 // (internal/qcache) invalidates wholesale when the catalog is
 // rebuilt or re-persisted, without tracking individual pages.
+//
+// durableSeq and artifactGen are the write path's recovery anchors.
+// durableSeq commits — in the same atomic manifest rename as the data
+// file sizes covering them — which WAL records have been merged into
+// the paged tables: recovery replays only records above it, so a
+// crash between compaction and log rotation can never double-apply an
+// insert. artifactGen names the current generation of
+// rewritten-not-appended artifacts (system catalog, zone sidecars,
+// index structures, rebuilt clustered tables): compaction writes the
+// next generation to fresh "name@gen" files and this one manifest
+// rename flips the database to them, so a crash mid-compaction leaves
+// the previous generation fully intact.
 
 // ManifestName is the superblock's file name within the store dir.
 const ManifestName = "MANIFEST"
 
 // FormatVersion is the on-disk format version stamped into the
-// manifest. Bump it when the page layout or manifest layout changes;
-// OpenExisting refuses any other version. Version 2 added the store
-// epoch after the version field.
-const FormatVersion = 2
+// manifest. Bump it when the page layout or manifest layout changes.
+// Version 2 added the store epoch after the version field; version 3
+// added durableSeq and artifactGen for the online-ingest write path.
+// OpenExisting accepts version 2 (reading zero for the new fields —
+// a pre-ingest database has nothing to recover) and refuses anything
+// else.
+const FormatVersion = 3
 
 const manifestMagic = 0x4d475053 // "SPGM" little endian
 
 // encodeManifest serializes a file directory. Entries are sorted by
 // name so the bytes are deterministic.
-func encodeManifest(version uint32, epoch uint64, files map[string]PageNum) []byte {
+func encodeManifest(version uint32, epoch, durableSeq, artifactGen uint64, files map[string]PageNum) []byte {
 	names := make([]string, 0, len(files))
 	for n := range files {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	buf := make([]byte, 0, 20+len(names)*32)
+	buf := make([]byte, 0, 36+len(names)*32)
 	var tmp [8]byte
 	binary.LittleEndian.PutUint32(tmp[:4], manifestMagic)
 	buf = append(buf, tmp[:4]...)
 	binary.LittleEndian.PutUint32(tmp[:4], version)
 	buf = append(buf, tmp[:4]...)
 	binary.LittleEndian.PutUint64(tmp[:8], epoch)
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint64(tmp[:8], durableSeq)
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint64(tmp[:8], artifactGen)
 	buf = append(buf, tmp[:8]...)
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(names)))
 	buf = append(buf, tmp[:4]...)
@@ -74,33 +95,45 @@ func encodeManifest(version uint32, epoch uint64, files map[string]PageNum) []by
 }
 
 // decodeManifest parses and validates manifest bytes, returning the
-// file directory and the stored epoch.
-func decodeManifest(buf []byte) (map[string]PageNum, uint64, error) {
+// file directory, the stored epoch, the durable WAL sequence, and the
+// artifact generation (both zero when reading a version-2 manifest).
+func decodeManifest(buf []byte) (map[string]PageNum, uint64, uint64, uint64, error) {
 	if len(buf) < 24 {
-		return nil, 0, fmt.Errorf("pagestore: manifest truncated (%d bytes)", len(buf))
+		return nil, 0, 0, 0, fmt.Errorf("pagestore: manifest truncated (%d bytes)", len(buf))
 	}
 	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
 	if got := crc32.ChecksumIEEE(body); got != sum {
-		return nil, 0, fmt.Errorf("pagestore: manifest checksum mismatch (stored %08x, computed %08x): superblock is corrupt", sum, got)
+		return nil, 0, 0, 0, fmt.Errorf("pagestore: manifest checksum mismatch (stored %08x, computed %08x): superblock is corrupt", sum, got)
 	}
 	if magic := binary.LittleEndian.Uint32(body[0:]); magic != manifestMagic {
-		return nil, 0, fmt.Errorf("pagestore: bad manifest magic %08x (not a page store?)", magic)
+		return nil, 0, 0, 0, fmt.Errorf("pagestore: bad manifest magic %08x (not a page store?)", magic)
 	}
-	if v := binary.LittleEndian.Uint32(body[4:]); v != FormatVersion {
-		return nil, 0, fmt.Errorf("pagestore: manifest format version %d, this binary supports %d", v, FormatVersion)
+	v := binary.LittleEndian.Uint32(body[4:])
+	if v != FormatVersion && v != 2 {
+		return nil, 0, 0, 0, fmt.Errorf("pagestore: manifest format version %d, this binary supports %d", v, FormatVersion)
 	}
 	epoch := binary.LittleEndian.Uint64(body[8:])
-	count := int(binary.LittleEndian.Uint32(body[16:]))
+	var durableSeq, artifactGen uint64
+	off := 16
+	if v >= 3 {
+		if len(body) < 40 {
+			return nil, 0, 0, 0, fmt.Errorf("pagestore: manifest truncated (%d bytes)", len(buf))
+		}
+		durableSeq = binary.LittleEndian.Uint64(body[16:])
+		artifactGen = binary.LittleEndian.Uint64(body[24:])
+		off = 32
+	}
+	count := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
 	files := make(map[string]PageNum, count)
-	off := 20
 	for i := 0; i < count; i++ {
 		if off+2 > len(body) {
-			return nil, 0, fmt.Errorf("pagestore: manifest truncated inside entry %d", i)
+			return nil, 0, 0, 0, fmt.Errorf("pagestore: manifest truncated inside entry %d", i)
 		}
 		nameLen := int(binary.LittleEndian.Uint16(body[off:]))
 		off += 2
 		if off+nameLen+4 > len(body) {
-			return nil, 0, fmt.Errorf("pagestore: manifest truncated inside entry %d", i)
+			return nil, 0, 0, 0, fmt.Errorf("pagestore: manifest truncated inside entry %d", i)
 		}
 		name := string(body[off : off+nameLen])
 		off += nameLen
@@ -108,9 +141,9 @@ func decodeManifest(buf []byte) (map[string]PageNum, uint64, error) {
 		off += 4
 	}
 	if off != len(body) {
-		return nil, 0, fmt.Errorf("pagestore: manifest has %d trailing bytes", len(body)-off)
+		return nil, 0, 0, 0, fmt.Errorf("pagestore: manifest has %d trailing bytes", len(body)-off)
 	}
-	return files, epoch, nil
+	return files, epoch, durableSeq, artifactGen, nil
 }
 
 // writeManifestLocked rewrites the superblock from the current file
@@ -135,6 +168,9 @@ func (s *Store) writeManifestLocked() error {
 	}
 	restore := func(err error) error { s.mutated.Store(true); return err }
 	for _, f := range s.files {
+		if f == nil {
+			continue // deleted file's tombstoned slot
+		}
 		if err := f.Sync(); err != nil {
 			return restore(fmt.Errorf("pagestore: sync data file: %w", err))
 		}
@@ -158,7 +194,7 @@ func (s *Store) writeManifestLocked() error {
 	epoch := s.epoch.Add(1)
 	restoreEpoch := restore
 	restore = func(err error) error { s.epoch.Add(^uint64(0)); return restoreEpoch(err) }
-	buf := encodeManifest(FormatVersion, epoch, files)
+	buf := encodeManifest(FormatVersion, epoch, s.durableSeq.Load(), s.artifactGen.Load(), files)
 	tmp := filepath.Join(s.dir, ManifestName+".tmp")
 	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -188,9 +224,13 @@ func (s *Store) writeManifestLocked() error {
 
 // OpenExisting opens a store previously persisted at dir, validating
 // the manifest superblock: magic, format version, checksum, and that
-// every listed paged file exists on disk with exactly the recorded
-// number of whole pages. Any mismatch is an error — a database that
-// fails validation is never silently rebuilt.
+// every listed paged file exists on disk with at least the recorded
+// number of whole pages. A SHORT file is an error — the manifest
+// committed pages the disk lost. A LONG file is the expected debris
+// of a crash between a compaction's page appends and its manifest
+// commit: the uncommitted tail is truncated away (those rows are
+// still in the WAL and will be replayed), restoring exactly the
+// committed state.
 func OpenExisting(dir string, poolPages int) (*Store, error) {
 	if poolPages < 1 {
 		return nil, fmt.Errorf("pagestore: pool must hold at least 1 page, got %d", poolPages)
@@ -202,22 +242,31 @@ func OpenExisting(dir string, poolPages int) (*Store, error) {
 		}
 		return nil, fmt.Errorf("pagestore: read manifest: %w", err)
 	}
-	files, epoch, err := decodeManifest(buf)
+	files, epoch, durableSeq, artifactGen, err := decodeManifest(buf)
 	if err != nil {
 		return nil, err
 	}
 	for name, pages := range files {
-		st, err := os.Stat(filepath.Join(dir, name))
+		path := filepath.Join(dir, name)
+		st, err := os.Stat(path)
 		if err != nil {
 			return nil, fmt.Errorf("pagestore: manifest lists %q but it is missing: %w", name, err)
 		}
-		if want := int64(pages) * PageSize; st.Size() != want {
+		want := int64(pages) * PageSize
+		if st.Size() < want {
 			return nil, fmt.Errorf("pagestore: %q is %d bytes, manifest records %d pages (%d bytes): truncated or torn file",
 				name, st.Size(), pages, want)
+		}
+		if st.Size() > want {
+			if err := os.Truncate(path, want); err != nil {
+				return nil, fmt.Errorf("pagestore: discard uncommitted tail of %q: %w", name, err)
+			}
 		}
 	}
 	s := newStoreState(dir, poolPages, files)
 	s.epoch.Store(epoch)
+	s.durableSeq.Store(durableSeq)
+	s.artifactGen.Store(artifactGen)
 	return s, nil
 }
 

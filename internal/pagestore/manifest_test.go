@@ -162,7 +162,7 @@ func TestOpenExistingVersionSkew(t *testing.T) {
 	buildStore(t, dir)
 	// Re-encode the manifest with a future format version; the CRC is
 	// valid, so only the version check can reject it.
-	buf := encodeManifest(FormatVersion+1, 1, map[string]PageNum{"a.tbl": 3, "b.idx": 3})
+	buf := encodeManifest(FormatVersion+1, 1, 0, 0, map[string]PageNum{"a.tbl": 3, "b.idx": 3})
 	if err := os.WriteFile(filepath.Join(dir, ManifestName), buf, 0o644); err != nil {
 		t.Fatal(err)
 	}

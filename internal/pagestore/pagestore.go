@@ -35,8 +35,16 @@
 // One carve-out: concurrently reading a page while the Alloc that
 // creates it is still in flight is the caller's race (the reader may
 // observe the page zeroed rather than with the allocator's content).
-// Appends and index builds are offline batch steps in this system,
-// so no query path hits this.
+// The online-ingest write path (internal/core's compactor) respects
+// this by publication ordering: appended rows become visible to new
+// snapshots only after their pages are fully written, and snapshot
+// readers never reach past their frozen row bound — so no query path
+// hits this.
+//
+// The store also carries the write path's two non-paged file classes:
+// the WAL (wal.go), an append-only checksummed record log with group
+// commit, and the manifest's durableSeq/artifactGen anchors
+// (manifest.go) that commit compaction results atomically.
 package pagestore
 
 import (
@@ -282,6 +290,15 @@ type Store struct {
 	// manifest, so the epoch is stable for the process lifetime —
 	// exactly what statement caches key on.
 	epoch atomic.Uint64
+	// durableSeq is the highest WAL sequence number whose inserts have
+	// been compacted into paged files; it commits atomically with the
+	// manifest rewrite that covers those pages (see manifest.go).
+	durableSeq atomic.Uint64
+	// artifactGen is the current generation of rewritten artifacts
+	// (catalog, sidecars, index structures, rebuilt clustered tables);
+	// compaction stages generation g+1 under fresh names and the
+	// manifest rename flips to it.
+	artifactGen atomic.Uint64
 
 	// readErrHook / writeErrHook let tests inject physical I/O
 	// failures deterministically. Consulted before the real
@@ -482,7 +499,7 @@ func (s *Store) alloc(f FileID, sc *Scope, scan bool) (*Page, error) {
 		time.Sleep(100 * time.Microsecond)
 		s.mu.Lock()
 	}
-	if int(f) >= len(s.sizes) {
+	if int(f) >= len(s.sizes) || s.files[f] == nil {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("pagestore: unknown file %d", f)
 	}
@@ -865,6 +882,89 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // invalidate wholesale across Persist/reopen/rebuild.
 func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 
+// DurableSeq returns the highest WAL sequence the manifest records as
+// compacted into paged files. Recovery replays only records above it.
+func (s *Store) DurableSeq() uint64 { return s.durableSeq.Load() }
+
+// SetDurableSeq stages a new durable sequence for the next manifest
+// rewrite. Call it after the pages holding those inserts are written
+// and before Flush: the sequence and the page counts covering it then
+// commit in one atomic manifest rename.
+func (s *Store) SetDurableSeq(seq uint64) {
+	s.durableSeq.Store(seq)
+	s.mutated.Store(true)
+}
+
+// ArtifactGen returns the current artifact generation recorded by the
+// manifest.
+func (s *Store) ArtifactGen() uint64 { return s.artifactGen.Load() }
+
+// SetArtifactGen stages a new artifact generation for the next
+// manifest rewrite, committing a staged set of "name@gen" artifacts.
+func (s *Store) SetArtifactGen(g uint64) {
+	s.artifactGen.Store(g)
+	s.mutated.Store(true)
+}
+
+// DeleteFiles removes paged files from the store and from disk: the
+// frames are dropped (an error if any is pinned), the manifest is
+// rewritten WITHOUT the files first, and only then are the OS files
+// unlinked — a crash between the two leaves harmless orphans the
+// manifest no longer references, never a manifest listing a missing
+// file. Compaction uses it to retire superseded artifact generations.
+// Names not known to the store are ignored.
+func (s *Store) DeleteFiles(names ...string) error {
+	s.mu.Lock()
+	var doomed []string
+	for _, name := range names {
+		id, open := s.names[name]
+		_, listed := s.manifest[name]
+		if !open && !listed {
+			continue
+		}
+		if open {
+			for _, sh := range s.shards {
+				sh.mu.Lock()
+				for pid, fr := range sh.frames {
+					if pid.File == id && (fr.pins > 0 || fr.writing != nil) {
+						sh.mu.Unlock()
+						s.mu.Unlock()
+						return fmt.Errorf("pagestore: cannot delete %q: page %v is pinned", name, pid)
+					}
+				}
+				for pid, fr := range sh.frames {
+					if pid.File == id {
+						sh.unpark(fr)
+						delete(sh.frames, pid)
+					}
+				}
+				sh.mu.Unlock()
+			}
+			s.files[id].Close()
+			s.files[id] = nil
+			s.sizes[id] = 0
+			s.diskSizes[id].Store(0)
+			delete(s.names, name)
+		}
+		delete(s.manifest, name)
+		doomed = append(doomed, name)
+	}
+	if len(doomed) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mutated.Store(true)
+	err := s.writeManifestLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, name := range doomed {
+		os.Remove(filepath.Join(s.dir, name))
+	}
+	return nil
+}
+
 // Capacity returns the pool's total frame capacity in pages.
 func (s *Store) Capacity() int { return s.capacity }
 
@@ -928,6 +1028,9 @@ func (s *Store) Close() error {
 		}
 	}
 	for _, f := range s.files {
+		if f == nil {
+			continue
+		}
 		if err := f.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -1,0 +1,361 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// The write-ahead log is the store's only mutable-append file class:
+// unlike paged files it is not listed in the manifest and carries no
+// page structure — it is a flat stream of checksummed records, each
+// holding one acknowledged insert batch. Durability contract:
+//
+//   - Append returns only after the record's bytes are fsynced, so an
+//     acknowledged batch survives a kill at any byte boundary.
+//   - The fsync is a group commit: concurrent appenders stage their
+//     records under the append latch, then one leader syncs the file
+//     once for the whole cohort (Syncs ≪ Appends under load).
+//   - Recovery (OpenWAL) scans the log, keeps every record whose
+//     bytes and CRC are complete, and truncates the torn tail a crash
+//     mid-write leaves behind. Replay is idempotent against the
+//     manifest: records with Seq ≤ Store.DurableSeq() were already
+//     compacted into paged files and are skipped by the caller.
+//   - Rotate(durableSeq) garbage-collects records covered by the
+//     manifest via an atomic rewrite+rename, so the log stays
+//     proportional to the un-compacted tail.
+//
+// Record layout (little endian), CRC-32 (IEEE) over seq..payload:
+//
+//	magic      u32  "WALR"
+//	seq        u64  monotonically increasing batch sequence number
+//	payloadLen u32
+//	payload    payloadLen bytes (opaque to the log)
+//	crc32      u32
+
+// WALName is the log's file name within the store dir.
+const WALName = "WAL"
+
+const walMagic = 0x524c4157 // "WALR" little endian
+
+const walHeaderSize = 4 + 8 + 4 // magic + seq + payloadLen
+
+// walMaxPayload bounds a single record; a length beyond it during the
+// recovery scan is treated as a torn record, not an allocation.
+const walMaxPayload = 64 << 20
+
+// WALRecord is one recovered log record.
+type WALRecord struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// WALStats counts log activity; Syncs < Appends demonstrates group
+// commit batching under concurrent ingest.
+type WALStats struct {
+	Appends int64 // records staged
+	Syncs   int64 // physical fsyncs issued
+	Bytes   int64 // payload bytes appended this session
+}
+
+// WAL is an append-only write-ahead log with leader-elected group
+// commit. Safe for concurrent use.
+type WAL struct {
+	path string
+
+	// mu guards staging: file writes, size, and seq assignment. Held
+	// only for the buffered write, never across the fsync.
+	mu      sync.Mutex
+	f       *os.File
+	size    int64
+	nextSeq uint64
+
+	// syncMu elects the group-commit leader; syncedSeq is the highest
+	// sequence number known durable. Durability is tracked by sequence
+	// rather than byte offset: Rotate rewrites the file and resets its
+	// length, but sequences are monotonic for the life of the log, so a
+	// waiter's target survives a concurrent rotation.
+	syncMu    sync.Mutex
+	syncedSeq atomic.Uint64
+
+	appends atomic.Int64
+	syncs   atomic.Int64
+	bytes   atomic.Int64
+}
+
+// OpenWAL opens (creating if missing) the store directory's log and
+// recovers every complete record in order. A torn tail — a crash mid
+// write — is truncated away; everything before it is returned. The
+// next Append continues the sequence after the highest recovered Seq.
+func OpenWAL(dir string) (*WAL, []WALRecord, error) {
+	path := filepath.Join(dir, WALName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pagestore: open wal: %w", err)
+	}
+	recs, good, err := scanWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("pagestore: stat wal: %w", err)
+	}
+	if st.Size() > good {
+		// Torn tail from a crash mid-append: discard it so the next
+		// record starts at a clean boundary.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("pagestore: truncate torn wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("pagestore: sync wal: %w", err)
+		}
+	}
+	w := &WAL{path: path, f: f, size: good, nextSeq: 1}
+	for _, r := range recs {
+		if r.Seq >= w.nextSeq {
+			w.nextSeq = r.Seq + 1
+		}
+	}
+	// Every recovered record is already on disk.
+	w.syncedSeq.Store(w.nextSeq - 1)
+	return w, recs, nil
+}
+
+// scanWAL reads records from the start of f, returning the complete
+// ones and the offset of the first byte past the last complete record.
+// A short, torn, or checksum-failing record ends the scan (everything
+// after a torn record is unreachable by construction: records are
+// appended strictly in order and synced front-to-back).
+func scanWAL(f *os.File) ([]WALRecord, int64, error) {
+	var recs []WALRecord
+	var off int64
+	hdr := make([]byte, walHeaderSize)
+	for {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, off, nil
+			}
+			return nil, 0, fmt.Errorf("pagestore: read wal: %w", err)
+		}
+		if binary.LittleEndian.Uint32(hdr[0:]) != walMagic {
+			return recs, off, nil
+		}
+		seq := binary.LittleEndian.Uint64(hdr[4:])
+		plen := int64(binary.LittleEndian.Uint32(hdr[12:]))
+		if plen > walMaxPayload {
+			return recs, off, nil
+		}
+		body := make([]byte, plen+4)
+		if _, err := f.ReadAt(body, off+walHeaderSize); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, off, nil
+			}
+			return nil, 0, fmt.Errorf("pagestore: read wal: %w", err)
+		}
+		sum := binary.LittleEndian.Uint32(body[plen:])
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[4:])
+		crc.Write(body[:plen])
+		if crc.Sum32() != sum {
+			return recs, off, nil
+		}
+		recs = append(recs, WALRecord{Seq: seq, Payload: body[:plen]})
+		off += walHeaderSize + plen + 4
+	}
+}
+
+// AdvanceSeq ensures the next assigned sequence is strictly greater
+// than seq. Recovery calls it with the manifest's durable sequence:
+// after a rotation emptied the log, a reopened WAL would otherwise
+// restart at 1 and reissue numbers the manifest already covers,
+// making replay silently drop acknowledged batches.
+func (w *WAL) AdvanceSeq(seq uint64) {
+	w.mu.Lock()
+	if w.nextSeq <= seq {
+		w.nextSeq = seq + 1
+	}
+	w.mu.Unlock()
+}
+
+// encodeWALRecord serializes one record.
+func encodeWALRecord(seq uint64, payload []byte) []byte {
+	buf := make([]byte, walHeaderSize+len(payload)+4)
+	binary.LittleEndian.PutUint32(buf[0:], walMagic)
+	binary.LittleEndian.PutUint64(buf[4:], seq)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(payload)))
+	copy(buf[walHeaderSize:], payload)
+	crc := crc32.NewIEEE()
+	crc.Write(buf[4 : walHeaderSize+len(payload)])
+	binary.LittleEndian.PutUint32(buf[walHeaderSize+len(payload):], crc.Sum32())
+	return buf
+}
+
+// Append stages one record and returns once it is durable, with its
+// assigned sequence number. The fsync is shared with every record
+// staged by the time the group-commit leader runs it.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	w.mu.Lock()
+	if w.f == nil {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("pagestore: wal closed")
+	}
+	seq := w.nextSeq
+	buf := encodeWALRecord(seq, payload)
+	if _, err := w.f.WriteAt(buf, w.size); err != nil {
+		// The write may have landed partially; the recovery scan's CRC
+		// discards it either way, and leaving size untouched lets the
+		// next append overwrite the torn bytes.
+		w.mu.Unlock()
+		return 0, fmt.Errorf("pagestore: wal append: %w", err)
+	}
+	w.nextSeq++
+	w.size += int64(len(buf))
+	w.mu.Unlock()
+	w.appends.Add(1)
+	w.bytes.Add(int64(len(payload)))
+	if err := w.syncTo(seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// syncTo blocks until the record carrying seq is durable. One caller
+// at a time holds syncMu and syncs everything staged so far; cohort
+// members arriving while a sync is in flight find their sequence
+// covered when they get the latch and return without syncing. The
+// target is a sequence, never a byte offset: a concurrent Rotate may
+// shrink the file below any offset captured before it, but a staged
+// record's sequence stays durable across the rewrite.
+func (w *WAL) syncTo(seq uint64) error {
+	for w.syncedSeq.Load() < seq {
+		w.syncMu.Lock()
+		if w.syncedSeq.Load() >= seq {
+			w.syncMu.Unlock()
+			return nil
+		}
+		w.mu.Lock()
+		targetSeq := w.nextSeq - 1
+		f := w.f
+		w.mu.Unlock()
+		if f == nil {
+			w.syncMu.Unlock()
+			return fmt.Errorf("pagestore: wal closed")
+		}
+		err := f.Sync()
+		if err == nil {
+			// Everything staged when targetSeq was captured is in the
+			// file the sync just flushed (Rotate is excluded by syncMu).
+			w.syncedSeq.Store(targetSeq)
+			w.syncs.Add(1)
+		}
+		w.syncMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("pagestore: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Rotate garbage-collects records whose Seq is covered by the given
+// durable sequence (compacted into paged files and committed by the
+// manifest). The survivors are rewritten to a temp file installed by
+// atomic rename, so a crash leaves either the old or the new log.
+// Appends are held out for the duration.
+func (w *WAL) Rotate(durableSeq uint64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("pagestore: wal closed")
+	}
+	recs, _, err := scanWAL(w.f)
+	if err != nil {
+		return err
+	}
+	tmp := w.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("pagestore: rotate wal: %w", err)
+	}
+	var size int64
+	for _, r := range recs {
+		if r.Seq <= durableSeq {
+			continue
+		}
+		buf := encodeWALRecord(r.Seq, r.Payload)
+		if _, err := tf.Write(buf); err != nil {
+			tf.Close()
+			return fmt.Errorf("pagestore: rotate wal: %w", err)
+		}
+		size += int64(len(buf))
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("pagestore: rotate wal: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("pagestore: rotate wal: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		return fmt.Errorf("pagestore: rotate wal: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(w.path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	// Reopen the installed file; the old descriptor points at the
+	// unlinked inode.
+	nf, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("pagestore: reopen rotated wal: %w", err)
+	}
+	w.f.Close()
+	w.f = nf
+	w.size = size
+	// Every staged record either survived into the rotated file (which
+	// tf.Sync made durable before the rename) or was dropped because
+	// the manifest already covers it — either way it is durable, so
+	// waiters blocked in syncTo with pre-rotation targets are released.
+	w.syncedSeq.Store(w.nextSeq - 1)
+	return nil
+}
+
+// Size returns the log's current byte length.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Stats snapshots the session counters.
+func (w *WAL) Stats() WALStats {
+	return WALStats{Appends: w.appends.Load(), Syncs: w.syncs.Load(), Bytes: w.bytes.Load()}
+}
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

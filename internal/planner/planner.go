@@ -182,6 +182,12 @@ type Planner struct {
 	Grid    *grid.Index
 	Domain  vec.Box
 	Model   CostModel
+	// MemRows is the number of memtable rows every access path must
+	// additionally merge (freshly ingested, not yet compacted into the
+	// paged tables). It is a per-row CPU surcharge common to all paths,
+	// so it never flips the argmin but keeps BestCost honest for
+	// admission control under ingest.
+	MemRows int64
 }
 
 // Plan estimates the query's selectivity, prices every available
@@ -199,11 +205,18 @@ func (p *Planner) Plan(q vec.Polyhedron) Choice {
 		c.Cost[i] = math.Inf(1)
 	}
 
+	// Every path additionally merges the memtable rows (pure CPU —
+	// they are already in memory). Common to all paths, so it never
+	// flips the choice, but BestCost stays honest under ingest.
+	memCost := float64(p.MemRows) * m.Row
+
 	// Full scan: every catalog page sequentially, every row tested.
-	c.Cost[PathFullScan] = catPages*m.SeqPage + n*m.Row
+	c.Cost[PathFullScan] = catPages*m.SeqPage + n*m.Row + memCost
 
 	// kd-tree: price from the same range classification the executor
-	// will run — inside + partial rows as scattered pages.
+	// will run — inside + partial rows as scattered pages, plus the
+	// unindexed tail (rows minor compactions appended past the tree)
+	// as one sequential filter range.
 	var kdRanges []kdtree.Range
 	if p.Kd != nil {
 		var walk kdtree.Walk
@@ -213,8 +226,13 @@ func (p *Planner) Plan(q vec.Polyhedron) Choice {
 		for _, r := range kdRanges {
 			candRows += r.Rows()
 		}
+		var tailRows int64
+		if p.KdTable != nil && p.KdTable.NumRows() > p.Kd.NumRows {
+			tailRows = int64(p.KdTable.NumRows() - p.Kd.NumRows)
+		}
 		pages := pagesFor(candRows)
-		c.Cost[PathKdTree] = pages*m.RandPage + float64(walk.NodesVisited)*m.Node + float64(candRows)*m.Row
+		c.Cost[PathKdTree] = pages*m.RandPage + float64(walk.NodesVisited)*m.Node + float64(candRows)*m.Row +
+			pagesFor(tailRows)*m.SeqPage + float64(tailRows)*m.Row + memCost
 	}
 
 	// Voronoi: classify every cell's bounding sphere in memory.
@@ -236,7 +254,12 @@ func (p *Planner) Plan(q vec.Polyhedron) Choice {
 			}
 		}
 		cand := vorInsideRows + vorPartialRows
-		c.Cost[PathVoronoi] = pagesFor(cand)*m.RandPage + float64(cells)*m.Node + float64(cand)*m.Row
+		var tailRows int64
+		if t := p.Vor.Table().NumRows(); t > p.Vor.CoveredRows() {
+			tailRows = int64(t - p.Vor.CoveredRows())
+		}
+		c.Cost[PathVoronoi] = pagesFor(cand)*m.RandPage + float64(cells)*m.Node + float64(cand)*m.Row +
+			pagesFor(tailRows)*m.SeqPage + float64(tailRows)*m.Row + memCost
 	}
 
 	// Pruned scan: classify every page's zone map against the query —
@@ -248,8 +271,12 @@ func (p *Planner) Plan(q vec.Polyhedron) Choice {
 		if pred, err := table.CompilePagePred(q.Planes); err == nil {
 			zm := src.ZoneMaps()
 			pages, rows := prunedOverlap(zm, src.NumRows(), pred)
-			c.PrunedPages, c.PrunedTotal = pages, zm.NumPages()
-			c.Cost[PathPrunedScan] = float64(pages)*m.SeqPage + float64(zm.NumPages())*m.Node + float64(rows)*m.Row
+			// Totals derive from the published row bound, not
+			// zm.NumPages(): an in-flight staged append may already have
+			// widened zones for pages no reader can see yet.
+			total := src.NumPages()
+			c.PrunedPages, c.PrunedTotal = pages, total
+			c.Cost[PathPrunedScan] = float64(pages)*m.SeqPage + float64(total)*m.Node + float64(rows)*m.Row + memCost
 		}
 	}
 
@@ -390,8 +417,9 @@ func (p *Planner) PlanKNN(k int) KNNChoice {
 	n := float64(p.Catalog.NumRows())
 	catPages := float64(p.Catalog.NumPages())
 
+	memCost := float64(p.MemRows) * m.Row
 	c := KNNChoice{
-		CostBrute: catPages*m.SeqPage + n*m.Row,
+		CostBrute: catPages*m.SeqPage + n*m.Row + memCost,
 		CostIndex: math.Inf(1),
 	}
 	if p.Kd != nil && p.Kd.NumLeaves() > 0 && n > 0 {
@@ -406,7 +434,12 @@ func (p *Planner) PlanKNN(k int) KNNChoice {
 		// node classifications in the thin-slab walk.
 		nodes := expLeaves * float64(p.Kd.Levels+1)
 		c.ExpectedLeaves = expLeaves
-		c.CostIndex = pagesFor(int64(expRows))*m.RandPage + nodes*m.Node + expRows*m.Row
+		var tailRows int64
+		if p.KdTable != nil && p.KdTable.NumRows() > p.Kd.NumRows {
+			tailRows = int64(p.KdTable.NumRows() - p.Kd.NumRows)
+		}
+		c.CostIndex = pagesFor(int64(expRows))*m.RandPage + nodes*m.Node + expRows*m.Row +
+			pagesFor(tailRows)*m.SeqPage + float64(tailRows)*m.Row + memCost
 	}
 	c.UseIndex = c.CostIndex < c.CostBrute
 	if c.UseIndex {
@@ -432,7 +465,11 @@ func (p *Planner) PrunedScanSource() *table.Table {
 		if t == nil || t.NumRows() == 0 {
 			continue
 		}
-		if zm := t.ZoneMaps(); zm != nil && zm.NumPages() == t.NumPages() {
+		// Zones widen before rows publish on the ingest path, so the
+		// sidecar may momentarily cover more pages than readers can
+		// see; covering at least the published pages is what soundness
+		// requires.
+		if zm := t.ZoneMaps(); zm != nil && zm.NumPages() >= t.NumPages() {
 			return t
 		}
 	}
@@ -440,9 +477,11 @@ func (p *Planner) PrunedScanSource() *table.Table {
 }
 
 // prunedOverlap classifies every page zone against the predicate and
-// returns how many pages survive and how many rows they hold.
+// returns how many pages survive and how many rows they hold. The
+// page total derives from the published row count, never from the
+// sidecar (which may already cover staged-but-unpublished pages).
 func prunedOverlap(zm *table.ZoneMaps, rows uint64, pred *table.PagePred) (pages int, overlapRows int64) {
-	total := zm.NumPages()
+	total := int((rows + table.RecordsPerPage - 1) / table.RecordsPerPage)
 	for pg := 0; pg < total; pg++ {
 		z, ok := zm.Page(pg)
 		if !ok || pred.Classify(&z) == vec.Outside {

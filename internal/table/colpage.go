@@ -76,11 +76,53 @@ const (
 // magStripOff returns the base offset of one magnitude axis' strip.
 func magStripOff(axis int) int { return magStrip + axis*8*RecordsPerPage }
 
-// setColPageMeta stamps the page header: magic, version, row count.
+// setColPageMeta stamps the full page header: magic, version, row
+// count. Written only when a page is created — before any of its rows
+// can be visible to a concurrent reader — so the magic/version bytes
+// are immutable for the page's lifetime afterwards.
 func setColPageMeta(data []byte, rows int) {
 	binary.LittleEndian.PutUint32(data[0:], colPageMagic)
 	binary.LittleEndian.PutUint16(data[4:], colPageVersion)
 	binary.LittleEndian.PutUint16(data[6:], uint16(rows))
+}
+
+// setColPageCount updates the row count alone. Appends into an
+// already-created page go through this: the count bytes (offset 6..7)
+// are disjoint from the magic/version bytes concurrent readers
+// validate, and readers never consult the count itself — they derive
+// per-page row counts from their snapshot bound (pageRowCount) — so
+// online ingest appends race with no reader access.
+func setColPageCount(data []byte, rows int) {
+	binary.LittleEndian.PutUint16(data[6:], uint16(rows))
+}
+
+// checkColPage validates the immutable page header bytes (magic and
+// version) without reading the row count — the reader-side check,
+// safe against a concurrent appender.
+func checkColPage(data []byte) error {
+	if binary.LittleEndian.Uint32(data[0:]) != colPageMagic {
+		return fmt.Errorf("page is not columnar format v%d (no COLP header; a pre-columnar row-format v1 table file cannot be opened by this binary — rebuild the data directory)", colPageVersion)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != colPageVersion {
+		return fmt.Errorf("columnar page version %d, this binary reads version %d", v, colPageVersion)
+	}
+	return nil
+}
+
+// pageRowCount returns how many of a snapshot's rows land on page pg:
+// the reader-side replacement for the page header's count, derived
+// from the visible bound so a page the ingest path is still filling
+// reports only the published prefix.
+func pageRowCount(rows, pg uint64) int {
+	start := pg * RecordsPerPage
+	if rows <= start {
+		return 0
+	}
+	n := rows - start
+	if n > RecordsPerPage {
+		n = RecordsPerPage
+	}
+	return int(n)
 }
 
 // colPageRows validates the page header and returns the row count.
@@ -164,6 +206,14 @@ func decodeMagsAt(data []byte, slot int, dst *[Dim]float64) {
 	for i := 0; i < Dim; i++ {
 		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[magStripOff(i)+8*slot:]))
 	}
+}
+
+// decodeSkyAt reads one slot's sky coordinates (ra, dec) — the
+// spatial counterpart of decodeMagsAt, used by the sky-box filter.
+func decodeSkyAt(data []byte, slot int) (ra, dec float64) {
+	ra = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[raStrip+4*slot:])))
+	dec = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[decStrip+4*slot:])))
+	return ra, dec
 }
 
 // decodeMagStrip copies one axis' strip for slots [0, len(dst)) into

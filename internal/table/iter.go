@@ -33,9 +33,14 @@ type Iter struct {
 	cols ColumnSet
 
 	pred     *PagePred
+	sky      *SkyBoxPred
 	counters *ScanCounters
 	scratch  *stripScratch
 
+	// bound is the visible row count captured at construction: per-page
+	// row counts derive from it rather than the page header, whose
+	// count bytes a concurrent ingest append may be rewriting.
+	bound    uint64
 	row, hi  RowID
 	page     *pagestore.Page
 	filtered bool
@@ -56,17 +61,33 @@ func (t *Table) IterRange(ctx context.Context, lo, hi RowID, cols ColumnSet) *It
 // counters (which may be shared across iterators and goroutines; nil
 // means don't count). A nil pred degrades to the plain IterRange.
 func (t *Table) IterRangePred(ctx context.Context, lo, hi RowID, cols ColumnSet, pred *PagePred, counters *ScanCounters) *Iter {
-	if hi > RowID(t.rows) {
-		hi = RowID(t.rows)
+	rows := t.numRows()
+	if hi > RowID(rows) {
+		hi = RowID(rows)
 	}
 	if lo > hi {
 		lo = hi
 	}
-	it := &Iter{t: t, ctx: ctx, cols: cols, row: lo, hi: hi, pred: pred, counters: counters}
+	it := &Iter{t: t, ctx: ctx, cols: cols, bound: rows, row: lo, hi: hi, pred: pred, counters: counters}
 	if pred != nil {
 		it.scratch = &stripScratch{}
 	}
 	return it
+}
+
+// IterRangeSky is IterRangePred's spatial counterpart: rows whose
+// (ra, dec) falls in the box are emitted, pages whose sky zone proves
+// them disjoint are never read, and Inside pages skip the per-row
+// test. Pruning counters accumulate into counters as usual.
+func (t *Table) IterRangeSky(ctx context.Context, lo, hi RowID, cols ColumnSet, sky *SkyBoxPred, counters *ScanCounters) *Iter {
+	rows := t.numRows()
+	if hi > RowID(rows) {
+		hi = RowID(rows)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &Iter{t: t, ctx: ctx, cols: cols, bound: rows, row: lo, hi: hi, sky: sky, counters: counters}
 }
 
 // Next advances to the next (matching) row, decoding it into rec. It
@@ -122,9 +143,13 @@ func (it *Iter) loadPage() bool {
 	// inside-page fast path. Partial is the conservative default for
 	// tables without zone maps.
 	rel := vec.Partial
-	if it.pred != nil {
+	if it.pred != nil || it.sky != nil {
 		if z, ok := it.t.zoneOf(int(pg)); ok {
-			rel = it.pred.Classify(&z)
+			if it.pred != nil {
+				rel = it.pred.Classify(&z)
+			} else {
+				rel = it.sky.Classify(&z)
+			}
 		}
 		if rel == vec.Outside {
 			if it.counters != nil {
@@ -140,26 +165,38 @@ func (it *Iter) loadPage() bool {
 		it.err = err
 		return false
 	}
-	n, err := colPageRows(p.Data)
-	if err != nil {
+	if err := checkColPage(p.Data); err != nil {
 		p.Release()
 		it.err = fmt.Errorf("table %s: %w", it.t.name, err)
 		return false
 	}
+	// Per-page row count from the snapshot bound, not the header: the
+	// header's count bytes may be mid-rewrite by a concurrent append,
+	// and may already claim rows published after this iterator opened.
+	n := pageRowCount(it.bound, pg)
 	it.page = p
 	it.filtered = false
 	if it.counters != nil {
 		it.counters.PagesScanned.Add(1)
 		it.counters.Examined.Add(int64(pageEnd - it.row))
 	}
-	if it.pred != nil && rel != vec.Inside {
-		// Partial overlap (or no zone to consult): vectorized strip
-		// filter over the page's rows.
-		strips := it.pred.evalStrips(p.Data, n, it.scratch, it.match[:n])
-		if it.counters != nil {
-			it.counters.StripsDecoded.Add(int64(strips))
+	if rel != vec.Inside {
+		switch {
+		case it.pred != nil:
+			// Partial overlap (or no zone to consult): vectorized strip
+			// filter over the page's rows.
+			strips := it.pred.evalStrips(p.Data, n, it.scratch, it.match[:n])
+			if it.counters != nil {
+				it.counters.StripsDecoded.Add(int64(strips))
+			}
+			it.filtered = true
+		case it.sky != nil:
+			strips := it.sky.evalSky(p.Data, n, it.match[:n])
+			if it.counters != nil {
+				it.counters.StripsDecoded.Add(int64(strips))
+			}
+			it.filtered = true
 		}
-		it.filtered = true
 	}
 	return true
 }

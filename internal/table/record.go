@@ -225,3 +225,44 @@ func (r *Record) DecodeCols(buf []byte, cols ColumnSet) {
 		r.LeafID = binary.LittleEndian.Uint32(buf[56:])
 	}
 }
+
+// Project returns a copy of r holding only the selected columns,
+// zeroing the rest — the in-memory analogue of DecodeCols, so rows
+// served from the memtable project exactly like rows decoded from
+// page bytes and the two sources stay byte-identical under any
+// projection.
+func (r *Record) Project(cols ColumnSet) Record {
+	if cols == ColAll {
+		return *r
+	}
+	var out Record
+	if cols&ColObjID != 0 {
+		out.ObjID = r.ObjID
+	}
+	if cols&ColMags != 0 {
+		out.Mags = r.Mags
+	}
+	if cols&ColRa != 0 {
+		out.Ra = r.Ra
+	}
+	if cols&ColDec != 0 {
+		out.Dec = r.Dec
+	}
+	if cols&ColRedshift != 0 {
+		out.Redshift = r.Redshift
+	}
+	if cols&ColClass != 0 {
+		out.Class = r.Class
+	}
+	if cols&ColHasZ != 0 {
+		out.HasZ = r.HasZ
+	}
+	if cols&ColIndexCols != 0 {
+		out.Layer = r.Layer
+		out.RandomID = r.RandomID
+		out.ContainedBy = r.ContainedBy
+		out.CellID = r.CellID
+		out.LeafID = r.LeafID
+	}
+	return out
+}

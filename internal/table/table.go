@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/pagestore"
 	"repro/internal/vec"
@@ -24,7 +25,23 @@ type Table struct {
 	store *pagestore.Store
 	file  pagestore.FileID
 	name  string
-	rows  uint64
+
+	// rows is the published row count, shared by every view of the
+	// table (pointer copy). Readers never see a row until it is
+	// published: the appender encodes the row's strip bytes first and
+	// stores the new count last, so the atomic store/load pair carries
+	// the happens-before edge that makes those bytes visible. During
+	// online compaction the count is held back (staged appender) and
+	// published in one step together with the memtable trim, so a row
+	// is never visible in both places at once.
+	rows *atomic.Uint64
+
+	// snapRows/snapped freeze a view's visible bound: a snapshot view
+	// answers NumRows/NumPages from snapRows and never observes rows
+	// published after Snapshot was taken. Cursor isolation is built on
+	// this — see core's snapshot machinery.
+	snapRows uint64
+	snapped  bool
 
 	// zones are the per-page magnitude zone maps, shared by every
 	// Scoped/ScanClassed view (pointer copy). Nil on tables reopened
@@ -49,7 +66,7 @@ func Create(store *pagestore.Store, name string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Table{store: store, file: f, name: name, zones: NewZoneMaps()}, nil
+	return &Table{store: store, file: f, name: name, rows: new(atomic.Uint64), zones: NewZoneMaps()}, nil
 }
 
 // OpenExisting opens a table previously written to the named file,
@@ -63,7 +80,7 @@ func OpenExisting(store *pagestore.Store, name string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{store: store, file: f, name: name}
+	t := &Table{store: store, file: f, name: name, rows: new(atomic.Uint64)}
 	if pages > 0 {
 		// Row count = full pages * RecordsPerPage + header of last page.
 		last, err := store.Get(pagestore.PageID{File: f, Num: pages - 1})
@@ -75,7 +92,7 @@ func OpenExisting(store *pagestore.Store, name string) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("table %s: %w", name, err)
 		}
-		t.rows = uint64(pages-1)*RecordsPerPage + uint64(lastCount)
+		t.rows.Store(uint64(pages-1)*RecordsPerPage + uint64(lastCount))
 	}
 	return t, nil
 }
@@ -95,25 +112,52 @@ func OpenWithRows(store *pagestore.Store, name string, rows uint64) (*Table, err
 		return nil, fmt.Errorf("table %s: catalog records %d rows (%d pages) but file has %d pages",
 			name, rows, want, pages)
 	}
-	return &Table{store: store, file: f, name: name, rows: rows}, nil
+	t := &Table{store: store, file: f, name: name, rows: new(atomic.Uint64)}
+	t.rows.Store(rows)
+	return t, nil
 }
 
 // Name returns the table's file name.
 func (t *Table) Name() string { return t.name }
 
-// NumRows returns the number of records.
-func (t *Table) NumRows() uint64 { return t.rows }
-
-// NumPages returns the number of pages the table occupies.
-func (t *Table) NumPages() int {
-	n, err := t.store.NumPages(t.file)
-	if err != nil {
-		// The table's own file id is valid for the lifetime of the
-		// store; an error here means the store was closed.
-		return 0
+// numRows returns the view's visible row bound: frozen for a
+// snapshot view, the live published count otherwise.
+func (t *Table) numRows() uint64 {
+	if t.snapped {
+		return t.snapRows
 	}
-	return int(n)
+	return t.rows.Load()
 }
+
+// NumRows returns the number of visible records.
+func (t *Table) NumRows() uint64 { return t.numRows() }
+
+// NumPages returns the number of pages the visible rows occupy. It is
+// derived from the published row count rather than the file length,
+// so a page the ingest path has allocated but not yet published is
+// not visible — and a snapshot view's page count stays frozen with
+// its row bound.
+func (t *Table) NumPages() int {
+	return int((t.numRows() + RecordsPerPage - 1) / RecordsPerPage)
+}
+
+// Snapshot returns a read-only view frozen at the current published
+// row count: rows published afterwards — by ingest compaction running
+// concurrently — are invisible to it, giving cursors a stable bound
+// for the lifetime of a query. Scoped and ScanClassed views derived
+// from a snapshot inherit the frozen bound.
+func (t *Table) Snapshot() *Table {
+	cp := *t
+	cp.snapRows = t.numRows()
+	cp.snapped = true
+	return &cp
+}
+
+// PublishRows publishes the row count after a staged bulk append (see
+// NewStagedAppender). The caller serializes publication with any
+// other writer; readers pick the new bound up on their next Snapshot
+// or NumRows call.
+func (t *Table) PublishRows(n uint64) { t.rows.Store(n) }
 
 // Store exposes the underlying page store (for stats snapshots).
 func (t *Table) Store() *pagestore.Store { return t.store }
@@ -211,16 +255,48 @@ type Appender struct {
 	// through t, page I/O through view.
 	view *Table
 	page *pagestore.Page
+	// pos is the physical append position. For a normal appender it is
+	// republished after every append; a staged appender advances it
+	// silently and the caller publishes once via PublishRows.
+	pos    uint64
+	staged bool
 }
 
 // NewAppender returns a bulk loader positioned at the end of the
-// table.
-func (t *Table) NewAppender() *Appender { return &Appender{t: t, view: t.ScanClassed()} }
+// table. Every appended row is published (visible to readers)
+// immediately.
+func (t *Table) NewAppender() *Appender {
+	return &Appender{t: t, view: t.ScanClassed(), pos: t.rows.Load()}
+}
+
+// NewStagedAppender returns a bulk loader whose appends stay
+// invisible to readers until the caller publishes the new bound with
+// PublishRows(a.Rows()). Online compaction uses this to copy memtable
+// rows into the paged table while serving: snapshots taken mid-copy
+// see none of the staged rows, and the publish step happens atomically
+// with the memtable trim so no row is ever visible twice.
+func (t *Table) NewStagedAppender() *Appender {
+	a := t.NewAppender()
+	a.staged = true
+	return a
+}
+
+// Rows returns the appender's physical position: the row count the
+// table will have once the staged rows are published.
+func (a *Appender) Rows() uint64 { return a.pos }
 
 // Append adds one record to the table.
+//
+// Concurrent-reader safety (the online ingest path appends while
+// snapshots read): the full page header is written only when a page
+// is created, before any row of that page can be visible; subsequent
+// appends touch the count bytes alone, which readers never consult —
+// they derive per-page row counts from their frozen bound. Each
+// slot's strip bytes are disjoint from every other slot's, so an
+// in-flight encode never overlaps a visible row's bytes.
 func (a *Appender) Append(r *Record) error {
-	slot := int(a.t.rows % RecordsPerPage)
-	pg := int(a.t.rows / RecordsPerPage)
+	slot := int(a.pos % RecordsPerPage)
+	pg := int(a.pos / RecordsPerPage)
 	if slot == 0 {
 		// Previous page (if any) is full; start a new one.
 		if a.page != nil {
@@ -232,6 +308,7 @@ func (a *Appender) Append(r *Record) error {
 			return err
 		}
 		a.page = p
+		setColPageMeta(p.Data, 0)
 	} else if a.page == nil {
 		// Resuming an append into a partially filled tail page.
 		p, err := a.view.getPage(pagestore.PageID{File: a.t.file, Num: pagestore.PageNum(pg)})
@@ -245,12 +322,15 @@ func (a *Appender) Append(r *Record) error {
 		a.page = p
 	}
 	encodeRecordAt(a.page.Data, slot, r)
-	setColPageMeta(a.page.Data, slot+1)
+	setColPageCount(a.page.Data, slot+1)
 	a.page.MarkDirty()
 	if a.t.zones != nil {
-		a.t.zones.widen(pg, &r.Mags)
+		a.t.zones.widen(pg, r)
 	}
-	a.t.rows++
+	a.pos++
+	if !a.staged {
+		a.t.rows.Store(a.pos)
+	}
 	return nil
 }
 
@@ -277,8 +357,8 @@ func (t *Table) AppendAll(recs []Record) error {
 
 // rowPage maps a RowID to its page and slot.
 func (t *Table) rowPage(id RowID) (pagestore.PageID, int, error) {
-	if uint64(id) >= t.rows {
-		return pagestore.PageID{}, 0, fmt.Errorf("table %s: row %d out of range (%d rows)", t.name, id, t.rows)
+	if rows := t.numRows(); uint64(id) >= rows {
+		return pagestore.PageID{}, 0, fmt.Errorf("table %s: row %d out of range (%d rows)", t.name, id, rows)
 	}
 	return pagestore.PageID{File: t.file, Num: pagestore.PageNum(uint64(id) / RecordsPerPage)},
 		int(uint64(id) % RecordsPerPage), nil
@@ -354,7 +434,7 @@ func (t *Table) Update(id RowID, fn func(*Record)) error {
 	p.MarkDirty()
 	p.Release()
 	if t.zones != nil {
-		t.zones.widen(int(pid.Num), &rec.Mags)
+		t.zones.widen(int(pid.Num), &rec)
 	}
 	return nil
 }
@@ -364,21 +444,18 @@ func (t *Table) Update(id RowID, fn func(*Record)) error {
 // Returning false stops the scan early.
 func (t *Table) Scan(fn func(RowID, *Record) bool) error {
 	var rec Record
-	pages, err := t.store.NumPages(t.file)
-	if err != nil {
-		return err
-	}
+	rows := t.numRows()
 	row := RowID(0)
-	for num := pagestore.PageNum(0); num < pages; num++ {
+	for num := pagestore.PageNum(0); uint64(row) < rows; num++ {
 		p, err := t.getPage(pagestore.PageID{File: t.file, Num: num})
 		if err != nil {
 			return err
 		}
-		n, err := colPageRows(p.Data)
-		if err != nil {
+		if err := checkColPage(p.Data); err != nil {
 			p.Release()
 			return fmt.Errorf("table %s: %w", t.name, err)
 		}
+		n := pageRowCount(rows, uint64(num))
 		for slot := 0; slot < n; slot++ {
 			decodeRecordColsAt(p.Data, slot, ColAll, &rec)
 			if !fn(row, &rec) {
@@ -395,8 +472,8 @@ func (t *Table) Scan(fn func(RowID, *Record) bool) error {
 // ScanRange iterates rows [lo, hi) in physical order — the BETWEEN
 // retrieval the kd-tree uses once leaves are numbered contiguously.
 func (t *Table) ScanRange(lo, hi RowID, fn func(RowID, *Record) bool) error {
-	if hi > RowID(t.rows) {
-		hi = RowID(t.rows)
+	if rows := RowID(t.numRows()); hi > rows {
+		hi = rows
 	}
 	if lo >= hi {
 		return nil
@@ -430,21 +507,18 @@ func (t *Table) ScanRange(lo, hi RowID, fn func(RowID, *Record) bool) error {
 // fn receives a buffer reused between calls.
 func (t *Table) ScanMags(fn func(RowID, *[Dim]float64) bool) error {
 	var mags [Dim]float64
-	pages, err := t.store.NumPages(t.file)
-	if err != nil {
-		return err
-	}
+	rows := t.numRows()
 	row := RowID(0)
-	for num := pagestore.PageNum(0); num < pages; num++ {
+	for num := pagestore.PageNum(0); uint64(row) < rows; num++ {
 		p, err := t.getPage(pagestore.PageID{File: t.file, Num: num})
 		if err != nil {
 			return err
 		}
-		n, err := colPageRows(p.Data)
-		if err != nil {
+		if err := checkColPage(p.Data); err != nil {
 			p.Release()
 			return fmt.Errorf("table %s: %w", t.name, err)
 		}
+		n := pageRowCount(rows, uint64(num))
 		for slot := 0; slot < n; slot++ {
 			decodeMagsAt(p.Data, slot, &mags)
 			if !fn(row, &mags) {
@@ -463,8 +537,8 @@ func (t *Table) ScanMags(fn func(RowID, *[Dim]float64) bool) error {
 // executor uses it to test candidate ranges without materializing
 // whole records. fn receives a buffer reused between calls.
 func (t *Table) ScanMagsRange(lo, hi RowID, fn func(RowID, *[Dim]float64) bool) error {
-	if hi > RowID(t.rows) {
-		hi = RowID(t.rows)
+	if rows := RowID(t.numRows()); hi > rows {
+		hi = rows
 	}
 	if lo >= hi {
 		return nil
@@ -498,7 +572,7 @@ func (t *Table) ScanMagsRange(lo, hi RowID, fn func(RowID, *[Dim]float64) bool) 
 // (the in-memory build mirrors the paper's index construction, which
 // is an offline batch step).
 func (t *Table) AllPoints() ([]vec.Point, error) {
-	pts := make([]vec.Point, 0, t.rows)
+	pts := make([]vec.Point, 0, t.numRows())
 	// One pass over every page: scan-class, so an offline build does
 	// not flush a serving pool's hot set.
 	err := t.ScanClassed().ScanMags(func(_ RowID, m *[Dim]float64) bool {
@@ -517,8 +591,8 @@ func (t *Table) AllPoints() ([]vec.Point, error) {
 // table gets fresh zone maps from its appender — on a color-clustered
 // ordering they come out much tighter than the source's.
 func (t *Table) Rewrite(newName string, perm []RowID) (*Table, error) {
-	if uint64(len(perm)) != t.rows {
-		return nil, fmt.Errorf("table %s: permutation length %d != %d rows", t.name, len(perm), t.rows)
+	if rows := t.numRows(); uint64(len(perm)) != rows {
+		return nil, fmt.Errorf("table %s: permutation length %d != %d rows", t.name, len(perm), rows)
 	}
 	nt, err := Create(t.store, newName)
 	if err != nil {

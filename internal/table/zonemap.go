@@ -3,6 +3,7 @@ package table
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/vec"
@@ -18,14 +19,21 @@ import (
 // clustered in color space (the kd-leaf ordering) zones are tight and
 // most pages of a selective cut fall in the first bucket.
 
-// PageZone is the per-page bounding box over the magnitude columns.
+// PageZone is the per-page bounding box over the magnitude columns,
+// plus a sky (ra, dec) bounding box for spatial pruning. Sky reports
+// whether the sky bounds are valid: zones loaded from a sidecar
+// persisted before sky zones existed decode with Sky false, which
+// degrades sky pruning to Partial everywhere — never wrong.
 type PageZone struct {
-	Min, Max [Dim]float64
+	Min, Max       [Dim]float64
+	SkyMin, SkyMax [2]float64 // ra, dec
+	Sky            bool
 }
 
-// widen grows the zone to cover one magnitude vector.
-func (z *PageZone) widen(mags *[Dim]float32) {
-	for i, v := range mags {
+// widen grows the zone to cover one record's magnitudes and sky
+// position.
+func (z *PageZone) widen(r *Record) {
+	for i, v := range r.Mags {
 		f := float64(v)
 		if f < z.Min[i] {
 			z.Min[i] = f
@@ -33,6 +41,25 @@ func (z *PageZone) widen(mags *[Dim]float32) {
 		if f > z.Max[i] {
 			z.Max[i] = f
 		}
+	}
+	ra, dec := float64(r.Ra), float64(r.Dec)
+	if !z.Sky {
+		z.SkyMin = [2]float64{ra, dec}
+		z.SkyMax = [2]float64{ra, dec}
+		z.Sky = true
+		return
+	}
+	if ra < z.SkyMin[0] {
+		z.SkyMin[0] = ra
+	}
+	if ra > z.SkyMax[0] {
+		z.SkyMax[0] = ra
+	}
+	if dec < z.SkyMin[1] {
+		z.SkyMin[1] = dec
+	}
+	if dec > z.SkyMax[1] {
+		z.SkyMax[1] = dec
 	}
 }
 
@@ -49,10 +76,14 @@ func emptyZone() PageZone {
 // ZoneMaps holds a table's per-page zones. It is maintained by the
 // Appender (and widened, never shrunk, by in-place Updates), shared
 // by all Scoped/ScanClassed views of the table, and persisted as a
-// paged sidecar by the engine catalog. Like the table's row count it
-// is not synchronized against concurrent appends; build first, then
-// serve.
+// paged sidecar by the engine catalog. An RWMutex makes concurrent
+// widening by the ingest compactor safe against serving readers —
+// and widening is always sound for them: a wider zone can only turn
+// an exact verdict into Partial, never fabricate Inside/Outside, so a
+// snapshot reader consulting a zone that already covers unpublished
+// rows still prunes correctly.
 type ZoneMaps struct {
+	mu    sync.RWMutex
 	zones []PageZone
 }
 
@@ -65,10 +96,16 @@ func ZoneMapsFrom(zones []PageZone) *ZoneMaps {
 }
 
 // NumPages returns how many pages have zones.
-func (z *ZoneMaps) NumPages() int { return len(z.zones) }
+func (z *ZoneMaps) NumPages() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return len(z.zones)
+}
 
 // Page returns the zone of one page.
 func (z *ZoneMaps) Page(pg int) (PageZone, bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
 	if pg < 0 || pg >= len(z.zones) {
 		return PageZone{}, false
 	}
@@ -77,18 +114,22 @@ func (z *ZoneMaps) Page(pg int) (PageZone, bool) {
 
 // Snapshot copies the zones for persistence.
 func (z *ZoneMaps) Snapshot() []PageZone {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
 	out := make([]PageZone, len(z.zones))
 	copy(out, z.zones)
 	return out
 }
 
-// widen covers one appended or updated row's magnitudes, creating the
-// page's zone on first touch.
-func (z *ZoneMaps) widen(pg int, mags *[Dim]float32) {
+// widen covers one appended or updated row, creating the page's zone
+// on first touch.
+func (z *ZoneMaps) widen(pg int, r *Record) {
+	z.mu.Lock()
 	for len(z.zones) <= pg {
 		z.zones = append(z.zones, emptyZone())
 	}
-	z.zones[pg].widen(mags)
+	z.zones[pg].widen(r)
+	z.mu.Unlock()
 }
 
 // Validate checks the zone set against a table's page count: exactly
@@ -96,6 +137,8 @@ func (z *ZoneMaps) widen(pg int, mags *[Dim]float32) {
 // stale or truncated sidecar fails loudly instead of silently
 // mispruning.
 func (z *ZoneMaps) Validate(pages int) error {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
 	if len(z.zones) != pages {
 		return fmt.Errorf("zone maps cover %d pages, table has %d", len(z.zones), pages)
 	}
@@ -104,6 +147,15 @@ func (z *ZoneMaps) Validate(pages int) error {
 			lo, hi := z.zones[pg].Min[i], z.zones[pg].Max[i]
 			if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || lo > hi {
 				return fmt.Errorf("zone maps: page %d axis %d has invalid bounds [%g, %g]", pg, i, lo, hi)
+			}
+		}
+		if z.zones[pg].Sky {
+			s := &z.zones[pg]
+			for i := 0; i < 2; i++ {
+				lo, hi := s.SkyMin[i], s.SkyMax[i]
+				if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || lo > hi {
+					return fmt.Errorf("zone maps: page %d sky axis %d has invalid bounds [%g, %g]", pg, i, lo, hi)
+				}
 			}
 		}
 	}
@@ -200,6 +252,51 @@ func (p *PagePred) evalStrips(data []byte, n int, sc *stripScratch, match []bool
 		}
 	}
 	return decoded
+}
+
+// SkyBoxPred is a rectangular cut on the sky: ra in [RaMin, RaMax]
+// and dec in [DecMin, DecMax], both inclusive. The box does not wrap
+// through ra = 0/360 — a caller with a wrapping box splits it into
+// two. It classifies pages against the sky half of their zone exactly
+// as PagePred does against the magnitude half.
+type SkyBoxPred struct {
+	RaMin, RaMax   float64
+	DecMin, DecMax float64
+}
+
+// Contains reports whether one position falls in the box.
+func (p *SkyBoxPred) Contains(ra, dec float64) bool {
+	return ra >= p.RaMin && ra <= p.RaMax && dec >= p.DecMin && dec <= p.DecMax
+}
+
+// Classify returns the three-way verdict of the zone's sky box
+// against the cut. Zones without valid sky bounds (pre-sky sidecars)
+// classify Partial: every row is tested, none is lost.
+func (p *SkyBoxPred) Classify(z *PageZone) vec.Relation {
+	if !z.Sky {
+		return vec.Partial
+	}
+	if z.SkyMin[0] > p.RaMax || z.SkyMax[0] < p.RaMin ||
+		z.SkyMin[1] > p.DecMax || z.SkyMax[1] < p.DecMin {
+		return vec.Outside
+	}
+	if z.SkyMin[0] >= p.RaMin && z.SkyMax[0] <= p.RaMax &&
+		z.SkyMin[1] >= p.DecMin && z.SkyMax[1] <= p.DecMax {
+		return vec.Inside
+	}
+	return vec.Partial
+}
+
+// evalSky fills the match mask for one page's rows by testing each
+// slot's (ra, dec) against the box. Returns the number of strips
+// decoded (ra and dec count as one each, mirroring evalStrips'
+// accounting).
+func (p *SkyBoxPred) evalSky(data []byte, n int, match []bool) int {
+	for j := 0; j < n; j++ {
+		ra, dec := decodeSkyAt(data, j)
+		match[j] = p.Contains(ra, dec)
+	}
+	return 2
 }
 
 // stripScratch is the per-iterator working set of the strip filter:

@@ -79,6 +79,10 @@ type Server struct {
 	zonePagesScanned  atomic.Int64
 	zoneStripsDecoded atomic.Int64
 
+	// Write-path counters: acknowledged insert batches and rows.
+	inserts      atomic.Int64
+	insertedRows atomic.Int64
+
 	// Per-endpoint admission controllers; nil entries admit
 	// everything.
 	limiters map[string]*qos.Limiter
@@ -86,8 +90,9 @@ type Server struct {
 
 // limitedEndpoints are the endpoint names under admission control.
 // /stats is deliberately absent: the overload dashboard must stay
-// readable while everything else sheds.
-var limitedEndpoints = []string{"points", "render", "query", "knn", "photoz"}
+// readable while everything else sheds. "insert" has its own class so
+// shedding writes never blocks reads and vice versa.
+var limitedEndpoints = []string{"points", "render", "query", "knn", "photoz", "insert", "sky"}
 
 // New assembles a Server over db. See Config for the QoS defaults.
 func New(db *core.SpatialDB, cfg Config) *Server {
@@ -158,6 +163,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/knn", s.handleKnn)
 	mux.HandleFunc("/photoz", s.handlePhotoz)
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/sky", s.handleSky)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
 }
@@ -205,5 +212,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cacheServed":        s.cacheServed.Load(),
 		"qcache":             s.db.CacheStatsSnapshot(),
 		"qos":                qosStats,
+		"inserts":            s.inserts.Load(),
+		"insertedRows":       s.insertedRows.Load(),
+		"ingest":             s.db.IngestStatsSnapshot(),
 	})
 }

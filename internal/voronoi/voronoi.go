@@ -352,6 +352,33 @@ func (ix *Index) CollectRanges(q vec.Polyhedron) ([]Range, Walk) {
 	return out, w
 }
 
+// CoveredRows returns how many clustered rows the cell directory
+// covers — the prefix the index was built over. Rows appended past it
+// by minor compactions are the unindexed tail.
+func (ix *Index) CoveredRows() uint64 {
+	var covered uint64
+	for _, r := range ix.dir {
+		covered += uint64(r.count)
+	}
+	return covered
+}
+
+// CollectRangesBounded is CollectRanges plus the unindexed tail: rows
+// [CoveredRows, tableRows) appended by compaction after the directory
+// was built are returned as one trailing filter range, paying a
+// per-point test until the next full compaction re-clusters them.
+func (ix *Index) CollectRangesBounded(q vec.Polyhedron, tableRows uint64) ([]Range, Walk) {
+	out, w := ix.CollectRanges(q)
+	if covered := ix.CoveredRows(); tableRows > covered {
+		out = append(out, Range{
+			Lo:     table.RowID(covered),
+			Hi:     table.RowID(tableRows),
+			Filter: true,
+		})
+	}
+	return out, w
+}
+
 // DirectedWalk locates the cell containing p by walking the Delaunay
 // graph from the start cell, always moving to the neighbour whose
 // seed is closest to p, halting at a local minimum — the paper's
@@ -425,6 +452,23 @@ func (ix *Index) QueryPolyhedron(q vec.Polyhedron) ([]table.RowID, QueryStats, e
 			}
 		}
 	}
+	// The unindexed tail (rows past the directory) is filter-scanned
+	// after the cells — tail rows sit at the end of the table, so the
+	// answer stays in ascending physical order — keeping the answer
+	// complete between the minor compaction that appended the rows and
+	// the full compaction that re-clusters them.
+	if covered := ix.CoveredRows(); ix.tbl.NumRows() > covered {
+		err := ix.tbl.ScanRange(table.RowID(covered), table.RowID(ix.tbl.NumRows()), func(id table.RowID, r *table.Record) bool {
+			stats.RowsExamined++
+			if q.Contains(r.Point()) {
+				out = append(out, id)
+			}
+			return true
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+	}
 	stats.RowsReturned = int64(len(out))
 	stats.Pages = ix.tbl.Store().Stats().Sub(before)
 	stats.Duration = time.Since(start)
@@ -492,7 +536,10 @@ func (ix *Index) ValidateStructure() error {
 		}
 		covered += uint64(r.count)
 	}
-	if covered != ix.tbl.NumRows() {
+	// The directory may cover a prefix of the table — rows past it are
+	// the unindexed tail appended by minor compactions — but can never
+	// cover more rows than the table holds.
+	if covered > ix.tbl.NumRows() {
 		return fmt.Errorf("voronoi: directory covers %d of %d rows", covered, ix.tbl.NumRows())
 	}
 	return nil
@@ -505,8 +552,14 @@ func (ix *Index) Validate() error {
 	if err := ix.ValidateStructure(); err != nil {
 		return err
 	}
+	covered := table.RowID(ix.CoveredRows())
 	var checkErr error
 	err := ix.tbl.Scan(func(id table.RowID, rec *table.Record) bool {
+		if id >= covered {
+			// Unindexed tail: rows appended after the clustered rewrite
+			// live outside every directory range by construction.
+			return true
+		}
 		c := int(rec.CellID)
 		lo, hi := ix.CellRows(c)
 		if id < lo || id >= hi {
