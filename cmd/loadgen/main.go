@@ -31,13 +31,22 @@ import (
 func main() {
 	log.SetFlags(0)
 	baseURL := flag.String("url", "http://localhost:8080", "target vizserver base URL")
+	targetsArg := flag.String("targets", "", "comma-separated base URLs to spread arrivals over round-robin (overrides -url; reports per-target and merged tallies)")
 	rate := flag.Float64("rate", 200, "open-loop arrival rate, requests/second")
 	duration := flag.Duration("duration", 10*time.Second, "run length per mix")
 	inFlight := flag.Int("inflight", 256, "max outstanding requests (simulated client fleet size)")
-	mixArg := flag.String("mix", "all", "comma-separated mixes: t1,t2,t3,t4,t5,t6,t7,t8 or all")
+	mixArg := flag.String("mix", "all", "comma-separated mixes: t1,t2,t3,t4,t5,t6,t7,t8,t9 or all")
 	seed := flag.Int64("seed", 42, "request-sequence seed")
 	out := flag.String("out", "BENCH_loadgen.json", "output JSON path (empty = stdout only)")
 	flag.Parse()
+
+	var targets []string
+	if *targetsArg != "" {
+		for _, t := range strings.Split(*targetsArg, ",") {
+			targets = append(targets, strings.TrimRight(strings.TrimSpace(t), "/"))
+		}
+		*baseURL = targets[0]
+	}
 
 	var mixes []loadgen.Mix
 	if strings.EqualFold(*mixArg, "all") {
@@ -46,18 +55,24 @@ func main() {
 		for _, name := range strings.Split(*mixArg, ",") {
 			m, ok := loadgen.MixByName(strings.TrimSpace(name))
 			if !ok {
-				log.Fatalf("loadgen: unknown mix %q (want t1..t8 or all)", name)
+				log.Fatalf("loadgen: unknown mix %q (want t1..t9 or all)", name)
 			}
 			mixes = append(mixes, m)
 		}
 	}
 
-	// One warm-up probe: fail fast with a useful message when the
-	// server is not there, instead of reporting a run of errors.
-	if resp, err := http.Get(*baseURL + "/stats"); err != nil {
-		log.Fatalf("loadgen: target unreachable: %v", err)
-	} else {
-		resp.Body.Close()
+	// One warm-up probe per target: fail fast with a useful message
+	// when a server is not there, instead of reporting a run of errors.
+	probe := targets
+	if len(probe) == 0 {
+		probe = []string{*baseURL}
+	}
+	for _, t := range probe {
+		if resp, err := http.Get(t + "/stats"); err != nil {
+			log.Fatalf("loadgen: target %s unreachable: %v", t, err)
+		} else {
+			resp.Body.Close()
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -68,6 +83,7 @@ func main() {
 		log.Printf("%-13s %s: %g req/s for %v ...", mix.Name, mix.Description, *rate, *duration)
 		res, err := loadgen.Run(ctx, loadgen.Config{
 			BaseURL:     *baseURL,
+			Targets:     targets,
 			Rate:        *rate,
 			Duration:    *duration,
 			MaxInFlight: *inFlight,
@@ -99,10 +115,16 @@ func main() {
 			fmt.Printf("%-13s   ingest: %d insert batches completed, %.1f acked rows/s\n",
 				"", r.Inserts, r.InsertRowsPerSec)
 		}
+		for _, t := range r.Targets {
+			fmt.Printf("%-13s   %-28s %9.1f %8.2f %8.2f %8.2f %8d %8d\n",
+				"", t.URL, t.AchievedQPS,
+				t.Latency.P50Ms, t.Latency.P95Ms, t.Latency.P99Ms, t.Shed, t.Errors)
+		}
 	}
 
 	report := map[string]any{
 		"url":         *baseURL,
+		"targets":     targets,
 		"rate":        *rate,
 		"durationSec": duration.Seconds(),
 		"inFlight":    *inFlight,

@@ -7,6 +7,14 @@
 //
 //	sdssgen -dir /tmp/sdss -n 1000000 -seed 42 -spectro 0.01
 //	sdssgen -dir /tmp/sdss -n 1000000 -indexes=false   # catalog only
+//
+// With -shards N it builds a sharded cluster instead: the catalog is
+// partitioned by kd-subtree ranges into N self-contained shard stores
+// (shard-0/ … shard-N-1/, each with its own indexes and a replicated
+// photo-z reference set) plus a compact ROUTING.json that a
+// vizserver -coordinator cold-opens to route queries:
+//
+//	sdssgen -dir /tmp/cluster -n 1000000 -shards 3
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pagestore"
+	"repro/internal/shard"
 	"repro/internal/sky"
 	"repro/internal/table"
 )
@@ -30,12 +39,18 @@ func main() {
 	spectro := flag.Float64("spectro", 0.01, "spectroscopic (reference) fraction")
 	indexes := flag.Bool("indexes", true, "build and persist the kd-tree, grid, Voronoi and photo-z structures")
 	knnK := flag.Int("photoz-k", 24, "photo-z neighbourhood size (with -indexes)")
+	shards := flag.Int("shards", 0, "partition the catalog into this many shard stores plus a routing table (0 = single store)")
 	flag.Parse()
 	if *dir == "" {
 		*dir = *out
 	}
 	if *dir == "" {
 		log.Fatal("sdssgen: -dir is required")
+	}
+
+	if *shards > 0 {
+		buildCluster(*dir, *n, *seed, *spectro, *indexes, *knnK, *shards)
+		return
 	}
 
 	db, err := core.Open(core.Config{Dir: *dir})
@@ -126,4 +141,37 @@ func main() {
 		fmt.Printf("  %-8s %9d (%.1f%%)\n", c, counts[c], 100*float64(counts[c])/float64(tb.NumRows()))
 	}
 	fmt.Printf("  %-8s %9d (%.2f%%)\n", "spectro", spec, 100*float64(spec)/float64(tb.NumRows()))
+}
+
+// buildCluster generates the catalog once and partitions it into
+// shard stores plus ROUTING.json.
+func buildCluster(dir string, n int, seed int64, spectro float64, indexes bool, knnK, shards int) {
+	start := time.Now()
+	p := sky.DefaultParams(n, seed)
+	p.SpectroFrac = spectro
+	recs, err := sky.Generate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d rows in %v\n", len(recs), time.Since(start).Round(time.Millisecond))
+
+	t0 := time.Now()
+	rt, err := shard.BuildCluster(dir, recs, shard.BuildParams{
+		Shards:  shards,
+		Seed:    seed,
+		Indexes: indexes,
+		PhotoZK: knnK,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partitioned into %d shards (%d routing units) in %v\n",
+		rt.NumShards(), len(rt.UnitShard), time.Since(t0).Round(time.Millisecond))
+	for i := range rt.Shards {
+		s := &rt.Shards[i]
+		fmt.Printf("  shard %d: %s/%s — %d rows (%.1f%%), %d routing cells\n",
+			i, dir, shard.ShardDir(i), s.Rows, 100*float64(s.Rows)/float64(rt.TotalRows), len(s.Cells))
+	}
+	fmt.Printf("routing table: %s/%s — serve each shard with vizserver -dir, then\n", dir, shard.RoutingFile)
+	fmt.Printf("  vizserver -coordinator -dir %s -targets http://shard0,http://shard1,...\n", dir)
 }

@@ -59,15 +59,22 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/shard"
 	"repro/internal/sky"
 	"repro/internal/vizhttp"
 )
+
+// The coordinator serves the same HTTP surface through the same
+// handlers as a single store — enforced at compile time.
+var _ vizhttp.Backend = (*shard.Coordinator)(nil)
 
 func main() {
 	log.SetFlags(0)
@@ -83,6 +90,11 @@ func main() {
 	qosExpensive := flag.Float64("qos-expensive", 0, "planner cost above which a request is shed instead of queued under saturation (0 = 8×catalog scan, negative = off)")
 	resultCacheMB := flag.Int64("result-cache-mb", 8, "statement result cache budget in MiB (0 = plan cache only); cached answers skip admission control")
 	compactEvery := flag.Duration("compact-every", 2*time.Second, "background compaction interval for POST /insert ingest (0 = no background compactor; inserts stay in the WAL-backed memtable)")
+	coordinator := flag.Bool("coordinator", false, "serve as a scatter-gather coordinator over -targets; -dir holds the routing table only (no store is opened)")
+	targets := flag.String("targets", "", "comma-separated shard base URLs for -coordinator mode, one per routing-table shard in shard order")
+	shardTimeout := flag.Duration("shard-timeout", 0, "coordinator: per-sub-request timeout (0 = 60s)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: duplicate an idempotent sub-request not answered after this long (0 = 2s, negative = off)")
+	debugAddr := flag.String("debug-addr", "", "optional separate listen address for net/http/pprof profiling endpoints")
 	flag.Parse()
 	if *build && *dir == "" {
 		// Persisting into the ephemeral temp directory would delete the
@@ -90,31 +102,74 @@ func main() {
 		log.Fatal("vizserver: -build requires -dir (the persisted database must outlive the process)")
 	}
 
-	db, cleanup, err := openDB(*dir, *build, *n, *seed, *workers, *resultCacheMB<<20)
-	if err != nil {
-		log.Fatal(err)
+	if *debugAddr != "" {
+		// pprof registers on the default mux; the serving mux below is
+		// dedicated, so profiling stays off the public listener.
+		go func() {
+			log.Printf("pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
-	defer cleanup()
 
-	report := func(name string, built bool) string {
-		if built {
-			return name
+	var backend vizhttp.Backend
+	var db *core.SpatialDB
+	if *coordinator {
+		if *dir == "" {
+			log.Fatal("vizserver: -coordinator requires -dir (the directory holding ROUTING.json)")
 		}
-		return name + "(absent)"
-	}
-	log.Printf("catalog: %d rows; indexes: %s %s %s %s",
-		db.NumRows(),
-		report("grid", db.Grid() != nil), report("kdtree", db.KdTree() != nil),
-		report("voronoi", db.Voronoi() != nil), report("photoz", db.PhotoZBuilt()))
-	if mem := db.MemRows(); mem > 0 {
-		log.Printf("recovered %d acknowledged rows from the WAL into the memtable", mem)
-	}
-	if *compactEvery > 0 {
-		db.StartCompactor(*compactEvery)
-		log.Printf("background compactor: every %v", *compactEvery)
+		rt, err := shard.LoadRoutingTable(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		urls := strings.Split(*targets, ",")
+		if *targets == "" {
+			urls = nil
+		}
+		coord, err := shard.NewCoordinator(rt, urls, shard.Config{
+			ShardTimeout: *shardTimeout,
+			HedgeAfter:   *hedgeAfter,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("coordinator: %d shards, %d routing units, %d rows total (no store opened)",
+			rt.NumShards(), len(rt.UnitShard), rt.TotalRows)
+		for i, s := range rt.Shards {
+			log.Printf("  shard %d → %s (%d rows)", i, urls[i], s.Rows)
+		}
+		backend = coord
+	} else {
+		var cleanup func()
+		var err error
+		db, cleanup, err = openDB(*dir, *build, *n, *seed, *workers, *resultCacheMB<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cleanup()
+
+		report := func(name string, built bool) string {
+			if built {
+				return name
+			}
+			return name + "(absent)"
+		}
+		log.Printf("catalog: %d rows; indexes: %s %s %s %s",
+			db.NumRows(),
+			report("grid", db.Grid() != nil), report("kdtree", db.KdTree() != nil),
+			report("voronoi", db.Voronoi() != nil), report("photoz", db.PhotoZBuilt()))
+		if mem := db.MemRows(); mem > 0 {
+			log.Printf("recovered %d acknowledged rows from the WAL into the memtable", mem)
+		}
+		if *compactEvery > 0 {
+			db.StartCompactor(*compactEvery)
+			log.Printf("background compactor: every %v", *compactEvery)
+		}
+		backend = vizhttp.CoreBackend(db)
 	}
 
-	s := vizhttp.New(db, vizhttp.Config{
+	s := vizhttp.NewBackend(backend, vizhttp.Config{
 		MaxConcurrent: *qosConcurrent,
 		MaxQueue:      *qosQueue,
 		QueueTimeout:  *qosTimeout,
@@ -151,9 +206,12 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 		// Close the database after the last request: flushes dirty
-		// pages and rewrites the manifest superblock.
-		if err := db.Close(); err != nil {
-			log.Printf("close database: %v", err)
+		// pages and rewrites the manifest superblock. The coordinator
+		// owns no store, so it has nothing to close.
+		if db != nil {
+			if err := db.Close(); err != nil {
+				log.Printf("close database: %v", err)
+			}
 		}
 		log.Printf("closed cleanly")
 	}

@@ -213,6 +213,12 @@ type SpatialDB struct {
 	compactions     atomic.Int64
 	fullCompactions atomic.Int64
 	compactedRows   atomic.Int64
+
+	// hot-statement log (hotlog.go): statement texts with execution
+	// counts, persisted on Close and used to warm the tier-1 plan
+	// cache on the next cold open.
+	hotMu    sync.Mutex
+	hotStmts map[string]int64
 }
 
 // buildParams records index build parameters for deterministic
@@ -260,6 +266,7 @@ func Open(cfg Config) (*SpatialDB, error) {
 // compacted stay durable in the WAL and are replayed on the next open.
 func (db *SpatialDB) Close() error {
 	db.StopCompactor()
+	db.saveHotLog()
 	var err error
 	if db.wal != nil {
 		err = db.wal.Close()
@@ -443,6 +450,53 @@ func (db *SpatialDB) BuildPhotoZ(k, degree int) error {
 	}
 	// Register the reference tables so the persisted catalog covers
 	// them and a reopened process can reassemble the estimator.
+	if err := db.eng.RegisterTable(ref); err != nil {
+		return err
+	}
+	if err := db.eng.RegisterClusteredTable(est.Searcher().Tb, engine.ClusteredKdLeaf); err != nil {
+		return err
+	}
+	db.photoZ = est
+	db.bumpPlanGen()
+	return nil
+}
+
+// BuildPhotoZFromRecords builds the photo-z estimator over a
+// caller-provided spectroscopic reference set instead of extracting
+// the catalog's own HasZ rows. Shard stores use this to replicate the
+// full survey reference into every shard, so each shard's estimator
+// answers exactly like the single-store one regardless of which rows
+// the shard happens to hold.
+func (db *SpatialDB) BuildPhotoZFromRecords(refs []table.Record, k, degree int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.catalog == nil {
+		return fmt.Errorf("core: no catalog loaded")
+	}
+	if len(refs) == 0 {
+		return fmt.Errorf("core: empty photo-z reference set")
+	}
+	ref, err := table.Create(db.eng.Store(), refTableName)
+	if err != nil {
+		return err
+	}
+	a := ref.NewAppender()
+	for i := range refs {
+		if !refs[i].HasZ {
+			a.Close()
+			return fmt.Errorf("core: photo-z reference row %d has no spectroscopic redshift", i)
+		}
+		rec := refs[i]
+		if err := a.Append(&rec); err != nil {
+			a.Close()
+			return err
+		}
+	}
+	a.Close()
+	est, err := photoz.NewEstimator(ref, refKdTableName, k, degree)
+	if err != nil {
+		return err
+	}
 	if err := db.eng.RegisterTable(ref); err != nil {
 		return err
 	}

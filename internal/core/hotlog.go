@@ -1,0 +1,133 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/colorsql"
+	"repro/internal/table"
+)
+
+// The hot-statement log persists the most-executed statement texts on
+// shutdown so the next cold open can warm the tier-1 plan cache
+// before the first request arrives. Everything here is best-effort:
+// a missing, unwritable, or corrupt log never fails an open or a
+// close — the worst case is simply a cold plan cache.
+
+const (
+	hotLogFile = "hotstmts.json"
+
+	// hotLogMaxTracked bounds the in-memory count map: once this many
+	// distinct statements are tracked, new texts are dropped (existing
+	// ones keep counting). Keeps the tracker O(1) under adversarial
+	// statement churn.
+	hotLogMaxTracked = 512
+
+	// hotLogMaxPersist bounds both the persisted log and the number of
+	// plans built during warming.
+	hotLogMaxPersist = 128
+)
+
+type hotLogEntry struct {
+	Q string `json:"q"`
+	N int64  `json:"n"`
+}
+
+type hotLogBlob struct {
+	Statements []hotLogEntry `json:"statements"`
+}
+
+// noteHotStatement records one execution of stmt in the bounded
+// tracker.
+func (db *SpatialDB) noteHotStatement(stmt colorsql.Statement) {
+	text := stmt.String()
+	db.hotMu.Lock()
+	if db.hotStmts == nil {
+		db.hotStmts = make(map[string]int64)
+	}
+	if _, ok := db.hotStmts[text]; ok || len(db.hotStmts) < hotLogMaxTracked {
+		db.hotStmts[text]++
+	}
+	db.hotMu.Unlock()
+}
+
+// saveHotLog writes the top statements to <dir>/hotstmts.json.
+// Best-effort: errors are ignored.
+func (db *SpatialDB) saveHotLog() {
+	if db.dir == "" {
+		return
+	}
+	db.hotMu.Lock()
+	entries := make([]hotLogEntry, 0, len(db.hotStmts))
+	for q, n := range db.hotStmts {
+		entries = append(entries, hotLogEntry{Q: q, N: n})
+	}
+	db.hotMu.Unlock()
+	if len(entries) == 0 {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].N != entries[j].N {
+			return entries[i].N > entries[j].N
+		}
+		return entries[i].Q < entries[j].Q
+	})
+	if len(entries) > hotLogMaxPersist {
+		entries = entries[:hotLogMaxPersist]
+	}
+	blob, err := json.MarshalIndent(hotLogBlob{Statements: entries}, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(filepath.Join(db.dir, hotLogFile), blob, 0o644)
+}
+
+// warmFromHotLog reads the persisted hot-statement log and rebuilds
+// tier-1 plan-cache entries for each statement: union plans for WHERE
+// clauses and the kNN access-path choice for ORDER BY dist LIMIT k.
+// Corrupt logs and unparseable entries are silently skipped; counts
+// are re-seeded so the log survives across restarts.
+func (db *SpatialDB) warmFromHotLog() {
+	if db.dir == "" {
+		return
+	}
+	blob, err := os.ReadFile(filepath.Join(db.dir, hotLogFile))
+	if err != nil {
+		return
+	}
+	var in hotLogBlob
+	if json.Unmarshal(blob, &in) != nil {
+		return
+	}
+	warmed := 0
+	for _, e := range in.Statements {
+		if warmed >= hotLogMaxPersist {
+			break
+		}
+		if e.Q == "" || e.N <= 0 {
+			continue
+		}
+		stmt, err := colorsql.ParseStatement(e.Q, colorsql.DefaultVars(), table.Dim)
+		if err != nil {
+			continue
+		}
+		if stmt.HasWhere {
+			if _, err := db.unionPlanFor(stmt.Where); err != nil {
+				continue
+			}
+		} else if o := stmt.Order; o != nil && o.Dist != nil && !o.Desc && stmt.Limit > 0 {
+			db.knnChoiceFor(stmt.Limit)
+		}
+		db.hotMu.Lock()
+		if db.hotStmts == nil {
+			db.hotStmts = make(map[string]int64)
+		}
+		if _, ok := db.hotStmts[e.Q]; ok || len(db.hotStmts) < hotLogMaxTracked {
+			db.hotStmts[e.Q] += e.N
+		}
+		db.hotMu.Unlock()
+		warmed++
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/colorsql"
+	"repro/internal/sky"
+	"repro/internal/table"
+)
+
+// execAndDrain runs one statement to completion.
+func execAndDrain(t *testing.T, db *SpatialDB, src string) {
+	t.Helper()
+	stmt, err := colorsql.ParseStatement(src, colorsql.DefaultVars(), table.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := db.ExecStatement(context.Background(), stmt, PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cur.Next() {
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cur.Close()
+}
+
+// TestHotLogWarmsPlanCache: statements executed before shutdown are
+// persisted to the hot-statement log, and the next cold open rebuilds
+// their tier-1 plan-cache entries before the first request — the
+// first post-restart execution is a plan hit, not a build.
+func TestHotLogWarmsPlanCache(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.IngestSynthetic(sky.DefaultParams(2000, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	const whereStmt = "SELECT objid, g, r WHERE g - r > 0.4 AND r < 18.0 LIMIT 10"
+	for i := 0; i < 3; i++ {
+		execAndDrain(t, db, whereStmt)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(filepath.Join(dir, hotLogFile))
+	if err != nil {
+		t.Fatalf("hot-statement log not written: %v", err)
+	}
+	// The log stores the normalized statement text, so assert on
+	// shape, not the source spelling.
+	if !bytes.Contains(blob, []byte("LIMIT 10")) || !bytes.Contains(blob, []byte("\"n\": 3")) {
+		t.Fatalf("log does not mention the executed statement:\n%s", blob)
+	}
+
+	db2, err := OpenExisting(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	warm := db2.Cache().StatsFor("plan")
+	if warm.PlanBuilds == 0 {
+		t.Fatal("cold open warmed no plans from the hot-statement log")
+	}
+	execAndDrain(t, db2, whereStmt)
+	after := db2.Cache().StatsFor("plan")
+	if after.PlanBuilds != warm.PlanBuilds {
+		t.Errorf("first post-restart execution built a plan (builds %d -> %d), want a warm hit",
+			warm.PlanBuilds, after.PlanBuilds)
+	}
+	if after.PlanHits <= warm.PlanHits {
+		t.Errorf("plan hits did not grow (%d -> %d)", warm.PlanHits, after.PlanHits)
+	}
+}
+
+// TestHotLogCorruptIgnored: a corrupt log never fails a cold open —
+// the cache just starts cold.
+func TestHotLogCorruptIgnored(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.IngestSynthetic(sky.DefaultParams(1000, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildKdIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, hotLogFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenExisting(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("cold open failed on a corrupt hot-statement log: %v", err)
+	}
+	defer db2.Close()
+	if got := db2.Cache().StatsFor("plan").PlanBuilds; got != 0 {
+		t.Errorf("corrupt log warmed %d plans, want 0", got)
+	}
+	execAndDrain(t, db2, "SELECT objid WHERE r < 17.0 LIMIT 5")
+}

@@ -176,5 +176,8 @@ func OpenExisting(cfg Config) (*SpatialDB, error) {
 	if err := db.openIngest(); err != nil {
 		return fail(err)
 	}
+	// Warm the tier-1 plan cache from the previous process's
+	// hot-statement log (best-effort; see hotlog.go).
+	db.warmFromHotLog()
 	return db, nil
 }

@@ -65,10 +65,18 @@ func (db *SpatialDB) QueryStatement(ctx context.Context, src string, plan Plan) 
 // byte-identical: the entry holds exactly what Collect over the
 // uncached cursor returned, keyed under the store epoch so any
 // persisted mutation or index build invalidates it.
-func (db *SpatialDB) ExecStatement(ctx context.Context, stmt colorsql.Statement, plan Plan) (Cursor, error) {
+func (db *SpatialDB) ExecStatement(ctx context.Context, stmt colorsql.Statement, plan Plan) (cur Cursor, err error) {
 	if err := db.validatePlan(stmt, plan); err != nil {
 		return nil, err
 	}
+	// Log successful statements for next cold open's cache warm-up —
+	// after the cursor exists, so the bookkeeping lock never sits
+	// between the caller and snapshot acquisition.
+	defer func() {
+		if err == nil {
+			db.noteHotStatement(stmt)
+		}
+	}()
 
 	// LIMIT 0 short-circuits before any planning or I/O.
 	if stmt.Limit == 0 {

@@ -30,6 +30,11 @@ import (
 type Config struct {
 	// BaseURL of the target vizserver, e.g. "http://localhost:8080".
 	BaseURL string
+	// Targets optionally spreads arrivals round-robin over several
+	// servers (a shard fleet, or a coordinator next to its shards for
+	// comparison). Empty means [BaseURL]. Per-target tallies land in
+	// MixResult.Targets; server counters are summed across targets.
+	Targets []string
 	// Rate is the open-loop arrival rate in requests per second.
 	Rate float64
 	// Duration of the run; arrivals stop after it, in-flight requests
@@ -86,6 +91,19 @@ type MixResult struct {
 	// present only when the respective class completed at least once.
 	LatencyHit  *qos.HistogramSnapshot `json:"latencyHit,omitempty"`
 	LatencyMiss *qos.HistogramSnapshot `json:"latencyMiss,omitempty"`
+	// Targets breaks the run down per target URL when the run drove
+	// more than one server (Config.Targets).
+	Targets []TargetResult `json:"targets,omitempty"`
+}
+
+// TargetResult is one target's share of a multi-target run.
+type TargetResult struct {
+	URL         string                `json:"url"`
+	Completed   int64                 `json:"completed"`
+	Shed        int64                 `json:"shed"`
+	Errors      int64                 `json:"errors"`
+	AchievedQPS float64               `json:"achievedQps"`
+	Latency     qos.HistogramSnapshot `json:"latency"`
 }
 
 // Run drives one mix at the configured rate until the duration
@@ -111,6 +129,11 @@ func Run(ctx context.Context, cfg Config, mix Mix) (MixResult, error) {
 		n = 1
 	}
 
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		targets = []string{cfg.BaseURL}
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sem := make(chan struct{}, maxInFlight)
 	hist := &qos.Histogram{}
@@ -120,7 +143,16 @@ func Run(ctx context.Context, cfg Config, mix Mix) (MixResult, error) {
 	var inserts atomic.Int64
 	var wg sync.WaitGroup
 
-	before, statsOK := serverCounters(client, cfg.BaseURL)
+	// Per-target tallies for the multi-target breakdown.
+	perCompleted := make([]atomic.Int64, len(targets))
+	perShed := make([]atomic.Int64, len(targets))
+	perErrs := make([]atomic.Int64, len(targets))
+	perHist := make([]*qos.Histogram, len(targets))
+	for i := range perHist {
+		perHist[i] = &qos.Histogram{}
+	}
+
+	before, statsOK := sumServerCounters(client, targets)
 	start := time.Now()
 	var sent int64
 arrivals:
@@ -135,9 +167,12 @@ arrivals:
 		} else if ctx.Err() != nil {
 			break arrivals
 		}
+		// Arrivals round-robin over the targets by arrival index, so
+		// every target sees the same request shapes at the same rate.
+		tgt := i % len(targets)
 		// The generator's rng is single-threaded: requests are built in
 		// the dispatch loop, only the send runs on a worker goroutine.
-		req, err := mix.Make(cfg.BaseURL, rng)
+		req, err := mix.Make(targets[tgt], rng)
 		if err != nil {
 			return MixResult{}, fmt.Errorf("loadgen: building %s request: %w", mix.Name, err)
 		}
@@ -149,12 +184,13 @@ arrivals:
 			continue
 		}
 		wg.Add(1)
-		go func(req *http.Request, sched time.Time) {
+		go func(req *http.Request, sched time.Time, tgt int) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			resp, err := client.Do(req.WithContext(ctx))
 			if err != nil {
 				errs.Add(1)
+				perErrs[tgt].Add(1)
 				return
 			}
 			io.Copy(io.Discard, resp.Body)
@@ -162,6 +198,7 @@ arrivals:
 			switch {
 			case resp.StatusCode == http.StatusTooManyRequests:
 				shed.Add(1)
+				perShed[tgt].Add(1)
 			case resp.StatusCode >= 200 && resp.StatusCode < 300:
 				// Latency counts only admitted, completed work, from the
 				// scheduled arrival — shed requests answer fast by design
@@ -169,6 +206,8 @@ arrivals:
 				lat := time.Since(sched)
 				hist.Record(lat)
 				completed.Add(1)
+				perCompleted[tgt].Add(1)
+				perHist[tgt].Record(lat)
 				if req.URL.Path == "/insert" {
 					inserts.Add(1)
 				}
@@ -182,8 +221,9 @@ arrivals:
 				}
 			default:
 				errs.Add(1)
+				perErrs[tgt].Add(1)
 			}
-		}(req, sched)
+		}(req, sched, tgt)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -214,7 +254,19 @@ arrivals:
 		snap := histMiss.Snapshot()
 		res.LatencyMiss = &snap
 	}
-	if after, ok := serverCounters(client, cfg.BaseURL); ok && statsOK {
+	if len(targets) > 1 {
+		for i, url := range targets {
+			res.Targets = append(res.Targets, TargetResult{
+				URL:         url,
+				Completed:   perCompleted[i].Load(),
+				Shed:        perShed[i].Load(),
+				Errors:      perErrs[i].Load(),
+				AchievedQPS: float64(perCompleted[i].Load()) / elapsed.Seconds(),
+				Latency:     perHist[i].Snapshot(),
+			})
+		}
+	}
+	if after, ok := sumServerCounters(client, targets); ok && statsOK {
 		if res.Completed > 0 {
 			res.PagesReadPerOp = float64(after.DiskReads-before.DiskReads) / float64(res.Completed)
 		}
@@ -230,6 +282,22 @@ arrivals:
 type counters struct {
 	DiskReads    int64 `json:"diskReads"`
 	InsertedRows int64 `json:"insertedRows"`
+}
+
+// sumServerCounters sums the cumulative counters across all targets;
+// ok=false when any target's /stats is unreachable (the run still
+// proceeds, the derived per-op rates just report 0).
+func sumServerCounters(client *http.Client, targets []string) (counters, bool) {
+	var total counters
+	for _, base := range targets {
+		c, ok := serverCounters(client, base)
+		if !ok {
+			return counters{}, false
+		}
+		total.DiskReads += c.DiskReads
+		total.InsertedRows += c.InsertedRows
+	}
+	return total, true
 }
 
 // serverCounters fetches the server's cumulative counters; ok=false

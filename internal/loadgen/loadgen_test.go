@@ -202,12 +202,12 @@ func TestRunT7ReportsHitRatio(t *testing.T) {
 }
 
 func TestMixByName(t *testing.T) {
-	for _, name := range []string{"t1", "T2", "T3-topk", "t4", "T5-MIXED", "t7", "T7-hot"} {
+	for _, name := range []string{"t1", "T2", "T3-topk", "t4", "T5-MIXED", "t7", "T7-hot", "t9", "T9-scatter"} {
 		if _, ok := MixByName(name); !ok {
 			t.Errorf("MixByName(%q) not found", name)
 		}
 	}
-	if _, ok := MixByName("t9"); ok {
-		t.Error("MixByName(t9) unexpectedly found")
+	if _, ok := MixByName("t10"); ok {
+		t.Error("MixByName(t10) unexpectedly found")
 	}
 }

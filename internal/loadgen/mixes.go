@@ -168,7 +168,33 @@ func StandardMixes() []Mix {
 			return t5.Make(base, rng)
 		},
 	}
-	return []Mix{t1, t2, t3, t4, t5, t6, t7, t8}
+	t9 := Mix{
+		Name:        "T9-scatter",
+		Description: "scatter-gather mix: 30% range cut, 25% top-k order, 25% point kNN, 10% photo-z, 10% sky box",
+		Make: func(base string, rng *rand.Rand) (*http.Request, error) {
+			// Every statement shape the coordinator merges differently:
+			// scan merge, order merge, kNN rerank, replicated photo-z,
+			// and the eager /sky fan-out.
+			switch p := rng.Float64(); {
+			case p < 0.30:
+				return t2.Make(base, rng)
+			case p < 0.55:
+				return t3.Make(base, rng)
+			case p < 0.80:
+				return t1.Make(base, rng)
+			case p < 0.90:
+				m := randMags(rng)
+				return http.NewRequest("GET", fmt.Sprintf("%s/photoz?mags=%.3f,%.3f,%.3f,%.3f,%.3f",
+					base, m[0], m[1], m[2], m[3], m[4]), nil)
+			default:
+				raLo := rng.Float64() * 350
+				decLo := -90 + rng.Float64()*170
+				return http.NewRequest("GET", fmt.Sprintf("%s/sky?ra=%.3f,%.3f&dec=%.3f,%.3f&limit=500",
+					base, raLo, raLo+10, decLo, decLo+10), nil)
+			}
+		},
+	}
+	return []Mix{t1, t2, t3, t4, t5, t6, t7, t8, t9}
 }
 
 // insertBatch is T8's rows per /insert request: small enough that one

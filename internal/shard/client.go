@@ -1,0 +1,327 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// This file is the coordinator's HTTP plumbing: hedged sub-requests
+// against shard vizservers and the wire decoding back into
+// table.Record. All magnitude/position/redshift values cross the wire
+// as the shortest float64 rendering of the underlying float32, so
+// parse → float32 recast is lossless and re-serialization on the
+// coordinator is byte-identical to what the shard would have written.
+
+// wireSummary is the trailing {"summary": ...} line of a /query
+// NDJSON stream.
+type wireSummary struct {
+	Plan                 string  `json:"plan"`
+	PlanReason           string  `json:"planReason"`
+	EstimatedSelectivity float64 `json:"estimatedSelectivity"`
+	RowsReturned         int64   `json:"rowsReturned"`
+	RowsExamined         int64   `json:"rowsExamined"`
+	DiskReads            int64   `json:"diskReads"`
+	CacheHits            int64   `json:"cacheHits"`
+	PagesSkipped         int64   `json:"pagesSkipped"`
+	PagesScanned         int64   `json:"pagesScanned"`
+	StripsDecoded        int64   `json:"stripsDecoded"`
+}
+
+// toReport converts a shard's summary into a Report for merging.
+func (ws *wireSummary) toReport() core.Report {
+	return core.Report{
+		Plan:                 parsePlan(ws.Plan),
+		PlanReason:           ws.PlanReason,
+		EstimatedSelectivity: ws.EstimatedSelectivity,
+		RowsReturned:         ws.RowsReturned,
+		RowsExamined:         ws.RowsExamined,
+		DiskReads:            ws.DiskReads,
+		CacheHits:            ws.CacheHits,
+		PagesSkipped:         ws.PagesSkipped,
+		PagesScanned:         ws.PagesScanned,
+		StripsDecoded:        ws.StripsDecoded,
+	}
+}
+
+// parsePlan inverts core.Plan.String.
+func parsePlan(s string) core.Plan {
+	for p := core.PlanAuto; p <= core.PlanPrunedScan; p++ {
+		if p.String() == s {
+			return p
+		}
+	}
+	return core.PlanAuto
+}
+
+// wireLine is one NDJSON line: a SELECT * row, a summary, or an
+// error. Pointer fields distinguish the three.
+type wireLine struct {
+	ObjID    *int64       `json:"objid"`
+	U        *float64     `json:"u"`
+	G        *float64     `json:"g"`
+	R        *float64     `json:"r"`
+	I        *float64     `json:"i"`
+	Z        *float64     `json:"z"`
+	Ra       *float64     `json:"ra"`
+	Dec      *float64     `json:"dec"`
+	Redshift *float64     `json:"redshift"`
+	Class    *string      `json:"class"`
+	Summary  *wireSummary `json:"summary"`
+	Error    *string      `json:"error"`
+}
+
+// toRecord decodes a SELECT * wire row.
+func (w *wireLine) toRecord() (table.Record, error) {
+	var rec table.Record
+	if w.ObjID == nil || w.U == nil || w.G == nil || w.R == nil || w.I == nil ||
+		w.Z == nil || w.Ra == nil || w.Dec == nil || w.Redshift == nil || w.Class == nil {
+		return rec, fmt.Errorf("row is missing SELECT * columns")
+	}
+	rec.ObjID = *w.ObjID
+	rec.Mags = [5]float32{
+		float32(*w.U), float32(*w.G), float32(*w.R), float32(*w.I), float32(*w.Z),
+	}
+	rec.Ra = float32(*w.Ra)
+	rec.Dec = float32(*w.Dec)
+	rec.Redshift = float32(*w.Redshift)
+	c, ok := table.ParseClass(*w.Class)
+	if !ok {
+		return rec, fmt.Errorf("unknown class %q", *w.Class)
+	}
+	rec.Class = c
+	return rec, nil
+}
+
+// shardError wraps a sub-request failure with the shard's identity,
+// so a partial failure surfaces as a descriptive error and never as a
+// silently truncated answer.
+func (c *Coordinator) shardError(shard int, err error) error {
+	return fmt.Errorf("shard %d (%s): %w", shard, c.targets[shard], err)
+}
+
+// doHedged issues one idempotent sub-request with hedging: if no
+// response has arrived after cfg.HedgeAfter, a duplicate request is
+// launched and the first usable response wins (the loser is
+// cancelled). A fast failure also triggers the hedge immediately — a
+// single retry. Returns the winning response and a release func the
+// caller must invoke once the body is fully consumed. Never use for
+// non-idempotent requests (/insert).
+func (c *Coordinator) doHedged(ctx context.Context, shard int, build func(ctx context.Context) (*http.Request, error)) (*http.Response, func(), error) {
+	type attempt struct {
+		resp   *http.Response
+		err    error
+		cancel context.CancelFunc
+	}
+	results := make(chan attempt, 2)
+	launch := func() {
+		actx, cancel := context.WithCancel(ctx)
+		req, err := build(actx)
+		if err != nil {
+			results <- attempt{err: err, cancel: cancel}
+			return
+		}
+		go func() {
+			resp, err := c.client.Do(req)
+			results <- attempt{resp: resp, err: err, cancel: cancel}
+		}()
+	}
+	launch()
+	outstanding := 1
+
+	var hedgeCh <-chan time.Time
+	var hedgeTimer *time.Timer
+	if c.cfg.HedgeAfter > 0 {
+		hedgeTimer = time.NewTimer(c.cfg.HedgeAfter)
+		hedgeCh = hedgeTimer.C
+		defer hedgeTimer.Stop()
+	}
+	fireHedge := func() {
+		if hedgeCh == nil {
+			return
+		}
+		hedgeCh = nil
+		c.hedges[shard].Add(1)
+		launch()
+		outstanding++
+	}
+
+	var firstErr error
+	for {
+		select {
+		case <-hedgeCh:
+			fireHedge()
+		case a := <-results:
+			outstanding--
+			switch {
+			case a.err != nil:
+				a.cancel()
+				if firstErr == nil {
+					firstErr = a.err
+				}
+			case a.resp.StatusCode != http.StatusOK:
+				msg, _ := io.ReadAll(io.LimitReader(a.resp.Body, 512))
+				a.resp.Body.Close()
+				a.cancel()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("status %d: %s", a.resp.StatusCode, bytes.TrimSpace(msg))
+				}
+			default:
+				// Winner. Reap any still-outstanding attempt once it lands.
+				if outstanding > 0 {
+					go func() {
+						l := <-results
+						if l.resp != nil {
+							l.resp.Body.Close()
+						}
+						l.cancel()
+					}()
+				}
+				return a.resp, a.cancel, nil
+			}
+			if outstanding == 0 {
+				if hedgeCh != nil && ctx.Err() == nil {
+					// The primary failed before the hedge timer: hedge now
+					// (one retry) instead of giving up.
+					fireHedge()
+					continue
+				}
+				return nil, nil, firstErr
+			}
+		}
+	}
+}
+
+// fetchQueryNDJSON streams one shard's /query?format=ndjson answer,
+// invoking emit per row. The summary line is written to *sum; a
+// stream that ends without one (mid-stream shard death) is an error,
+// never a truncated success.
+func (c *Coordinator) fetchQueryNDJSON(ctx context.Context, shard int, query string, emit func(table.Record) error, sum *core.Report) error {
+	resp, release, err := c.doHedged(ctx, shard, func(actx context.Context) (*http.Request, error) {
+		u := c.targets[shard] + "/query?format=ndjson&q=" + url.QueryEscape(query)
+		return http.NewRequestWithContext(actx, http.MethodGet, u, nil)
+	})
+	if err != nil {
+		return c.shardError(shard, err)
+	}
+	defer release()
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sawSummary := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var wl wireLine
+		if err := json.Unmarshal(line, &wl); err != nil {
+			return c.shardError(shard, fmt.Errorf("bad stream line: %w", err))
+		}
+		switch {
+		case wl.Error != nil:
+			return c.shardError(shard, fmt.Errorf("%s", *wl.Error))
+		case wl.Summary != nil:
+			*sum = wl.Summary.toReport()
+			sawSummary = true
+		default:
+			rec, err := wl.toRecord()
+			if err != nil {
+				return c.shardError(shard, err)
+			}
+			if err := emit(rec); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return c.shardError(shard, err)
+	}
+	if !sawSummary {
+		return c.shardError(shard, fmt.Errorf("stream truncated before summary"))
+	}
+	return nil
+}
+
+// getJSON issues a hedged GET and decodes the JSON response into out.
+func (c *Coordinator) getJSON(ctx context.Context, shard int, path string, out any) error {
+	resp, release, err := c.doHedged(ctx, shard, func(actx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(actx, http.MethodGet, c.targets[shard]+path, nil)
+	})
+	if err != nil {
+		return c.shardError(shard, err)
+	}
+	defer release()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return c.shardError(shard, err)
+	}
+	return nil
+}
+
+// postJSON issues a hedged POST (idempotent endpoints only — /knn)
+// and decodes the JSON response into out. The body is rebuilt per
+// attempt.
+func (c *Coordinator) postJSON(ctx context.Context, shard int, path string, body []byte, out any) error {
+	resp, release, err := c.doHedged(ctx, shard, func(actx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, c.targets[shard]+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	if err != nil {
+		return c.shardError(shard, err)
+	}
+	defer release()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return c.shardError(shard, err)
+	}
+	return nil
+}
+
+// postJSONOnce issues a single non-hedged POST — the write path.
+// Duplicating an /insert would double-apply the batch, so writes
+// never hedge.
+func (c *Coordinator) postJSONOnce(ctx context.Context, shard int, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.targets[shard]+path, bytes.NewReader(body))
+	if err != nil {
+		return c.shardError(shard, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return c.shardError(shard, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return c.shardError(shard, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return c.shardError(shard, err)
+	}
+	return nil
+}
+
+// skyQueryPath renders the /sky request for one box.
+func skyQueryPath(raLo, raHi, decLo, decHi float64, limit int) string {
+	return "/sky?ra=" + url.QueryEscape(formatFloat(raLo)+","+formatFloat(raHi)) +
+		"&dec=" + url.QueryEscape(formatFloat(decLo)+","+formatFloat(decHi)) +
+		"&limit=" + strconv.Itoa(limit)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,735 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/colorsql"
+	"repro/internal/core"
+	"repro/internal/planner"
+	"repro/internal/qos"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// Config tunes the coordinator's fan-out behaviour.
+type Config struct {
+	// ShardTimeout bounds every sub-request, connection to last byte.
+	// 0 means 60s.
+	ShardTimeout time.Duration
+	// HedgeAfter launches a duplicate of an idempotent sub-request
+	// that has not responded after this long (first response wins).
+	// 0 means 2s; negative disables hedging.
+	HedgeAfter time.Duration
+	// Client is the HTTP client for sub-requests; nil means a
+	// dedicated client with sane connection pooling.
+	Client *http.Client
+}
+
+// Coordinator serves the whole catalog by scatter-gather over shard
+// vizservers. It cold-opens from the routing table alone — no store
+// I/O — plans each statement once with zero-I/O estimates (which
+// shards to target, which merge discipline), fans sub-statements over
+// the shards' own HTTP/NDJSON endpoints, and merges the streams.
+// It implements vizhttp.Backend, so the coordinator serves the exact
+// same HTTP surface as a single-store vizserver.
+type Coordinator struct {
+	rt      *RoutingTable
+	targets []string
+	cfg     Config
+	client  *http.Client
+
+	// Per-shard fan-out telemetry, surfaced in /stats.
+	requests []atomic.Int64
+	errors   []atomic.Int64
+	hedges   []atomic.Int64
+	hists    []*qos.Histogram
+	memRows  []atomic.Int64
+
+	// diskReads sums the exact per-shard page counters returned in
+	// sub-query summaries — the cluster-wide analogue of the single
+	// store's pool counter.
+	diskReads atomic.Int64
+
+	// photozNext round-robins photo-z batches: the reference set is
+	// replicated, so any one shard answers exactly.
+	photozNext atomic.Int64
+
+	// plans caches the per-statement routing decision (statement text
+	// → targets + sub-query + merge discipline): planning happens once
+	// per distinct statement, with zero I/O.
+	planMu sync.Mutex
+	plans  map[string]*subPlan
+}
+
+// subPlan is one statement's cached routing decision.
+type subPlan struct {
+	query   string
+	targets []int
+	order   *colorsql.OrderBy
+	hasDed  bool // dedup across shards (statement has a WHERE clause)
+	limit   int
+}
+
+const maxPlanCache = 4096
+
+// NewCoordinator assembles a coordinator over the routing table and
+// one base URL per shard (index i serves rt.Shards[i]).
+func NewCoordinator(rt *RoutingTable, targets []string, cfg Config) (*Coordinator, error) {
+	if err := rt.Validate(); err != nil {
+		return nil, err
+	}
+	if len(targets) != rt.NumShards() {
+		return nil, fmt.Errorf("shard: routing table has %d shards, got %d targets", rt.NumShards(), len(targets))
+	}
+	if cfg.ShardTimeout == 0 {
+		cfg.ShardTimeout = 60 * time.Second
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 2 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 64
+		client = &http.Client{Transport: tr}
+	}
+	c := &Coordinator{
+		rt:       rt,
+		targets:  make([]string, len(targets)),
+		cfg:      cfg,
+		client:   client,
+		requests: make([]atomic.Int64, len(targets)),
+		errors:   make([]atomic.Int64, len(targets)),
+		hedges:   make([]atomic.Int64, len(targets)),
+		hists:    make([]*qos.Histogram, len(targets)),
+		memRows:  make([]atomic.Int64, len(targets)),
+		plans:    make(map[string]*subPlan),
+	}
+	for i, t := range targets {
+		c.targets[i] = strings.TrimRight(t, "/")
+		c.hists[i] = &qos.Histogram{}
+	}
+	return c, nil
+}
+
+// Routing returns the coordinator's routing table.
+func (c *Coordinator) Routing() *RoutingTable { return c.rt }
+
+func (c *Coordinator) now() time.Time { return time.Now() }
+
+// planStatement resolves (and caches) one statement's routing.
+func (c *Coordinator) planStatement(stmt colorsql.Statement) *subPlan {
+	key := stmt.String()
+	c.planMu.Lock()
+	if sp, ok := c.plans[key]; ok {
+		c.planMu.Unlock()
+		return sp
+	}
+	c.planMu.Unlock()
+
+	sub := colorsql.Statement{
+		Star:     true,
+		Where:    stmt.Where,
+		HasWhere: stmt.HasWhere,
+		Order:    stmt.Order,
+		Limit:    stmt.Limit,
+	}
+	sp := &subPlan{
+		query:  sub.String(),
+		order:  stmt.Order,
+		hasDed: stmt.HasWhere,
+		limit:  stmt.Limit,
+	}
+	if stmt.HasWhere {
+		sp.targets = c.rt.TargetsFor(stmt.Where.Polys)
+	} else {
+		sp.targets = c.rt.AllShards()
+	}
+
+	c.planMu.Lock()
+	if len(c.plans) >= maxPlanCache {
+		c.plans = make(map[string]*subPlan)
+	}
+	c.plans[key] = sp
+	c.planMu.Unlock()
+	return sp
+}
+
+// ExecStatement fans the statement to the targeted shards and merges
+// the streams. The projection stays on the coordinator: shards always
+// run the SELECT * variant, and the caller's column list is applied
+// at serialization time, exactly like the single store's execution
+// (decode everything the plan needs, project at the edge).
+func (c *Coordinator) ExecStatement(ctx context.Context, stmt colorsql.Statement, plan core.Plan) (core.Cursor, error) {
+	if plan != core.PlanAuto {
+		return nil, fmt.Errorf("shard: the coordinator only routes auto plans (shards plan locally); got %v", plan)
+	}
+	if stmt.Limit == 0 {
+		return &emptyCursor{rep: core.Report{Plan: plan, PlanReason: "LIMIT 0: no rows requested"}}, nil
+	}
+	sp := c.planStatement(stmt)
+	if len(sp.targets) == 0 {
+		return &emptyCursor{rep: core.Report{
+			Plan:       plan,
+			PlanReason: "scatter-gather: routing table proves every shard disjoint from the predicate",
+		}}, nil
+	}
+
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	streams := make([]*shardStream, len(sp.targets))
+	for i, t := range sp.targets {
+		streams[i] = c.startQueryStream(cctx, t, sp.query)
+	}
+	base := scatterCursor{
+		cancel:  cancel,
+		streams: streams,
+		c:       c,
+		limit:   int64(sp.limit),
+	}
+	base.agg.PlanReason = scatterReason(len(sp.targets), c.rt.NumShards())
+	if sp.hasDed {
+		base.dedup = make(map[int64]bool)
+	}
+	if sp.order != nil {
+		return &orderMergeCursor{scatterCursor: base, order: sp.order}, nil
+	}
+	return &scanMergeCursor{scatterCursor: base}, nil
+}
+
+// ExecStatementCached always misses: result caching lives on the
+// shards (each sub-query probes its shard's cache), not on the
+// coordinator.
+func (c *Coordinator) ExecStatementCached(colorsql.Statement, core.Plan) (core.Cursor, bool) {
+	return nil, false
+}
+
+// EstimateStatementCost prices the statement with zero I/O from the
+// routing table alone: the targeted shards' row counts scaled by the
+// predicate's bounding-box volume fraction.
+func (c *Coordinator) EstimateStatementCost(stmt colorsql.Statement) float64 {
+	if stmt.Limit == 0 {
+		return 0
+	}
+	sp := c.planStatement(stmt)
+	var rows float64
+	for _, t := range sp.targets {
+		rows += float64(c.rt.Shards[t].Rows)
+	}
+	frac := 1.0
+	if stmt.HasWhere {
+		domainVol := c.rt.Domain.Volume()
+		if domainVol > 0 {
+			frac = 0
+			for _, q := range stmt.Where.Polys {
+				frac += q.BoundingBox(c.rt.Domain).Volume() / domainVol
+			}
+			frac = min(frac, 1)
+		}
+	}
+	m := planner.DefaultCostModel()
+	scanRows := frac * rows
+	return scanRows*m.Row + (scanRows/128+1)*m.SeqPage
+}
+
+// DefaultExpensiveCost mirrors the single-store default — eight full
+// scans of the whole (cluster-wide) catalog — computed from the
+// routing table with zero I/O.
+func (c *Coordinator) DefaultExpensiveCost() float64 {
+	rows := float64(c.rt.TotalRows)
+	if rows <= 0 {
+		return 1 << 20
+	}
+	m := planner.DefaultCostModel()
+	return 8 * (rows*m.Row + (rows/128+1)*m.SeqPage)
+}
+
+// knn wire shapes (the /knn response).
+type knnWireNeighbor struct {
+	ObjID    int64      `json:"objId"`
+	Mags     [5]float64 `json:"mags"`
+	Class    string     `json:"class"`
+	Redshift float64    `json:"redshift"`
+}
+
+type knnWireResult struct {
+	Neighbors      []knnWireNeighbor `json:"neighbors"`
+	LeavesExamined int64             `json:"leavesExamined"`
+	RowsExamined   int64             `json:"rowsExamined"`
+	DiskReads      int64             `json:"diskReads"`
+}
+
+type knnWireResponse struct {
+	Plan       string          `json:"plan"`
+	PlanReason string          `json:"planReason"`
+	Results    []knnWireResult `json:"results"`
+}
+
+// NearestNeighborsBatch fans the whole batch to every shard (kNN has
+// no safe routing prune: the k nearest may straddle any partition
+// boundary) and merges each query's neighbour lists by recomputed
+// squared distance. Because every shard returns its local top k
+// sorted, the global top k is contained in the union.
+func (c *Coordinator) NearestNeighborsBatch(ctx context.Context, qs []vec.Point, k int) ([][]table.Record, []core.Report, error) {
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	defer cancel()
+
+	points := make([][]float64, len(qs))
+	for i, q := range qs {
+		points[i] = []float64(q)
+	}
+	body, err := json.Marshal(map[string]any{"points": points, "k": k})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	resps := make([]knnWireResponse, c.rt.NumShards())
+	errs := make([]error, c.rt.NumShards())
+	var wg sync.WaitGroup
+	for s := range c.targets {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			start := c.now()
+			c.requests[s].Add(1)
+			errs[s] = c.postJSON(cctx, s, "/knn", body, &resps[s])
+			c.hists[s].Record(c.now().Sub(start))
+			if errs[s] != nil {
+				c.errors[s].Add(1)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for s := range resps {
+		if len(resps[s].Results) != len(qs) {
+			return nil, nil, c.shardError(s, fmt.Errorf("knn returned %d results for %d queries", len(resps[s].Results), len(qs)))
+		}
+	}
+
+	recs := make([][]table.Record, len(qs))
+	reports := make([]core.Report, len(qs))
+	for i := range qs {
+		type cand struct {
+			rec   table.Record
+			dist2 float64
+		}
+		var cands []cand
+		rep := core.Report{
+			Plan:       parsePlan(resps[0].Plan),
+			PlanReason: scatterReason(c.rt.NumShards(), c.rt.NumShards()),
+		}
+		for s := range resps {
+			res := &resps[s].Results[i]
+			rep.LeavesExamined += res.LeavesExamined
+			rep.RowsExamined += res.RowsExamined
+			rep.DiskReads += res.DiskReads
+			c.diskReads.Add(res.DiskReads)
+			for _, nb := range res.Neighbors {
+				rec := table.Record{ObjID: nb.ObjID, Redshift: float32(nb.Redshift)}
+				for d := 0; d < 5; d++ {
+					rec.Mags[d] = float32(nb.Mags[d])
+				}
+				cl, ok := table.ParseClass(nb.Class)
+				if !ok {
+					return nil, nil, c.shardError(s, fmt.Errorf("unknown class %q", nb.Class))
+				}
+				rec.Class = cl
+				var d2 float64
+				for d := 0; d < 5; d++ {
+					diff := float64(rec.Mags[d]) - qs[i][d]
+					d2 += diff * diff
+				}
+				cands = append(cands, cand{rec: rec, dist2: d2})
+			}
+		}
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].dist2 < cands[b].dist2 })
+		seen := make(map[int64]bool, k)
+		for _, cd := range cands {
+			if len(recs[i]) >= k {
+				break
+			}
+			if seen[cd.rec.ObjID] {
+				continue
+			}
+			seen[cd.rec.ObjID] = true
+			recs[i] = append(recs[i], cd.rec)
+		}
+		rep.RowsReturned = int64(len(recs[i]))
+		reports[i] = rep
+	}
+	return recs, reports, nil
+}
+
+// NearestNeighborsBatchCached always misses (shards own the caches).
+func (c *Coordinator) NearestNeighborsBatchCached([]vec.Point, int) ([][]table.Record, []core.Report, bool) {
+	return nil, nil, false
+}
+
+// EstimateKNNCost scales the per-shard estimate by the fan-out: every
+// shard runs the full batch.
+func (c *Coordinator) EstimateKNNCost(k, numPoints int) float64 {
+	m := planner.DefaultCostModel()
+	return float64(numPoints) * float64(k) * float64(c.rt.NumShards()) * (m.Row + m.Node)
+}
+
+// EstimateRedshiftBatch routes the whole batch to one shard, round
+// robin: the spectroscopic reference set is replicated into every
+// shard at cluster build, so any shard's estimator answers exactly
+// like the single store's.
+func (c *Coordinator) EstimateRedshiftBatch(ctx context.Context, qs []vec.Point) ([]float64, core.Report, error) {
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	defer cancel()
+
+	shard := int(c.photozNext.Add(1)-1) % c.rt.NumShards()
+	var sb strings.Builder
+	sb.WriteString("/photoz?")
+	for i, q := range qs {
+		if i > 0 {
+			sb.WriteByte('&')
+		}
+		sb.WriteString("mags=")
+		for d, v := range q {
+			if d > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(formatFloat(v))
+		}
+	}
+	var resp struct {
+		Redshifts      []float64 `json:"redshifts"`
+		FitFallbacks   int64     `json:"fitFallbacks"`
+		LeavesExamined int64     `json:"leavesExamined"`
+		RowsExamined   int64     `json:"rowsExamined"`
+		DiskReads      int64     `json:"diskReads"`
+	}
+	start := c.now()
+	c.requests[shard].Add(1)
+	err := c.getJSON(cctx, shard, sb.String(), &resp)
+	c.hists[shard].Record(c.now().Sub(start))
+	if err != nil {
+		c.errors[shard].Add(1)
+		return nil, core.Report{}, err
+	}
+	if len(resp.Redshifts) != len(qs) {
+		return nil, core.Report{}, c.shardError(shard, fmt.Errorf("photoz returned %d redshifts for %d queries", len(resp.Redshifts), len(qs)))
+	}
+	c.diskReads.Add(resp.DiskReads)
+	rep := core.Report{
+		Plan:           core.PlanKdTree,
+		PlanReason:     fmt.Sprintf("photo-z routed to shard %d (replicated reference set)", shard),
+		RowsReturned:   int64(len(resp.Redshifts)),
+		RowsExamined:   resp.RowsExamined,
+		DiskReads:      resp.DiskReads,
+		LeavesExamined: resp.LeavesExamined,
+		FitFallbacks:   resp.FitFallbacks,
+	}
+	return resp.Redshifts, rep, nil
+}
+
+// EstimateRedshiftBatchCached always misses (shards own the caches).
+func (c *Coordinator) EstimateRedshiftBatchCached([]vec.Point) ([]float64, core.Report, bool) {
+	return nil, core.Report{}, false
+}
+
+// EstimatePhotoZCost prices one shard's batch (photo-z does not fan
+// out).
+func (c *Coordinator) EstimatePhotoZCost(numPoints int) float64 {
+	m := planner.DefaultCostModel()
+	return float64(numPoints) * 64 * (m.Row + m.Node)
+}
+
+// SampleRegion fans /points across the shards whose cells can
+// intersect the 3-D view, asking each for a share proportional to its
+// row count. Sampling endpoints are best-effort by design (they serve
+// the viz, not the exact query surface), but failures still surface.
+func (c *Coordinator) SampleRegion(view vec.Box, n int) ([]table.Record, core.Report, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ShardTimeout)
+	defer cancel()
+
+	targets := c.shardsIntersectingView(view)
+	if len(targets) == 0 {
+		return nil, core.Report{Plan: core.PlanGrid, PlanReason: scatterReason(0, c.rt.NumShards())}, nil
+	}
+	var targetRows int64
+	for _, t := range targets {
+		targetRows += c.rt.Shards[t].Rows
+	}
+
+	type pointsResp struct {
+		Points []struct {
+			X        float64 `json:"x"`
+			Y        float64 `json:"y"`
+			Z        float64 `json:"z"`
+			Class    string  `json:"class"`
+			Redshift float64 `json:"redshift"`
+		} `json:"points"`
+	}
+	resps := make([]pointsResp, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		share := int(int64(n) * c.rt.Shards[t].Rows / max(targetRows, 1))
+		if share < 1 {
+			share = 1
+		}
+		path := fmt.Sprintf("/points?min=%s,%s,%s&max=%s,%s,%s&n=%d",
+			formatFloat(view.Min[0]), formatFloat(view.Min[1]), formatFloat(view.Min[2]),
+			formatFloat(view.Max[0]), formatFloat(view.Max[1]), formatFloat(view.Max[2]), share)
+		wg.Add(1)
+		go func(i, t int, path string) {
+			defer wg.Done()
+			start := c.now()
+			c.requests[t].Add(1)
+			errs[i] = c.getJSON(ctx, t, path, &resps[i])
+			c.hists[t].Record(c.now().Sub(start))
+			if errs[i] != nil {
+				c.errors[t].Add(1)
+			}
+		}(i, t, path)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, core.Report{}, err
+		}
+	}
+	var recs []table.Record
+	for i := range resps {
+		for _, p := range resps[i].Points {
+			if len(recs) >= n {
+				break
+			}
+			cl, _ := table.ParseClass(p.Class)
+			rec := table.Record{Class: cl, Redshift: float32(p.Redshift)}
+			rec.Mags[0] = float32(p.X)
+			rec.Mags[1] = float32(p.Y)
+			rec.Mags[2] = float32(p.Z)
+			recs = append(recs, rec)
+		}
+	}
+	rep := core.Report{
+		Plan:         core.PlanGrid,
+		PlanReason:   scatterReason(len(targets), c.rt.NumShards()),
+		RowsReturned: int64(len(recs)),
+	}
+	return recs, rep, nil
+}
+
+// shardsIntersectingView prunes shards whose cells cannot meet the
+// 3-D (u,g,r) view box on its three axes.
+func (c *Coordinator) shardsIntersectingView(view vec.Box) []int {
+	var out []int
+	for i := range c.rt.Shards {
+		hit := false
+		for _, cell := range c.rt.Shards[i].Cells {
+			ok := true
+			for d := 0; d < 3 && d < len(cell.Min); d++ {
+				if view.Max[d] < cell.Min[d] || view.Min[d] > cell.Max[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// QuerySkyBox fans /sky to every shard (sky position is not the
+// partition key, so no pruning) and concatenates the answers in shard
+// order with summed exact counters.
+func (c *Coordinator) QuerySkyBox(ctx context.Context, box table.SkyBoxPred, cols table.ColumnSet) (core.Cursor, error) {
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	defer cancel()
+
+	type skyResp struct {
+		PagesSkipped int64 `json:"pagesSkipped"`
+		PagesScanned int64 `json:"pagesScanned"`
+		RowsExamined int64 `json:"rowsExamined"`
+		DiskReads    int64 `json:"diskReads"`
+		Points       []struct {
+			ObjID    int64   `json:"objId"`
+			Ra       float64 `json:"ra"`
+			Dec      float64 `json:"dec"`
+			Class    string  `json:"class"`
+			Redshift float64 `json:"redshift"`
+		} `json:"points"`
+	}
+	path := skyQueryPath(box.RaMin, box.RaMax, box.DecMin, box.DecMax, 1_000_000)
+	resps := make([]skyResp, c.rt.NumShards())
+	errs := make([]error, c.rt.NumShards())
+	var wg sync.WaitGroup
+	for s := range c.targets {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			start := c.now()
+			c.requests[s].Add(1)
+			errs[s] = c.getJSON(cctx, s, path, &resps[s])
+			c.hists[s].Record(c.now().Sub(start))
+			if errs[s] != nil {
+				c.errors[s].Add(1)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var recs []table.Record
+	rep := core.Report{PlanReason: scatterReason(c.rt.NumShards(), c.rt.NumShards())}
+	for s := range resps {
+		rep.PagesSkipped += resps[s].PagesSkipped
+		rep.PagesScanned += resps[s].PagesScanned
+		rep.RowsExamined += resps[s].RowsExamined
+		rep.DiskReads += resps[s].DiskReads
+		c.diskReads.Add(resps[s].DiskReads)
+		for _, p := range resps[s].Points {
+			cl, ok := table.ParseClass(p.Class)
+			if !ok {
+				return nil, c.shardError(s, fmt.Errorf("unknown class %q", p.Class))
+			}
+			recs = append(recs, table.Record{
+				ObjID:    p.ObjID,
+				Ra:       float32(p.Ra),
+				Dec:      float32(p.Dec),
+				Class:    cl,
+				Redshift: float32(p.Redshift),
+			})
+		}
+	}
+	return &recsCursor{recs: recs, rep: rep}, nil
+}
+
+// Insert routes the batch by partition key: rows are grouped by
+// RouteMags and each group goes through its owning shard's /insert —
+// and therefore that shard's WAL, preserving the per-shard durability
+// acknowledgement. A failing shard aborts with a descriptive error;
+// groups already acknowledged by other shards stay durable (the
+// semantics of a partially failed multi-shard batch are those of
+// issuing the per-shard batches yourself).
+func (c *Coordinator) Insert(recs []table.Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("shard: empty insert batch")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ShardTimeout)
+	defer cancel()
+
+	type insertRow struct {
+		ObjID    int64      `json:"objId"`
+		Mags     [5]float64 `json:"mags"`
+		Ra       float64    `json:"ra"`
+		Dec      float64    `json:"dec"`
+		Redshift *float64   `json:"redshift,omitempty"`
+		Class    string     `json:"class"`
+	}
+	groups := make(map[int][]insertRow)
+	m := make([]float64, 5)
+	for i := range recs {
+		rec := &recs[i]
+		for d := 0; d < 5; d++ {
+			m[d] = float64(rec.Mags[d])
+		}
+		s := c.rt.RouteMags(m)
+		row := insertRow{ObjID: rec.ObjID, Ra: float64(rec.Ra), Dec: float64(rec.Dec), Class: rec.Class.String()}
+		for d := 0; d < 5; d++ {
+			row.Mags[d] = float64(rec.Mags[d])
+		}
+		if rec.HasZ {
+			z := float64(rec.Redshift)
+			row.Redshift = &z
+		}
+		groups[s] = append(groups[s], row)
+	}
+
+	var maxSeq uint64
+	shards := make([]int, 0, len(groups))
+	for s := range groups {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	for _, s := range shards {
+		body, err := json.Marshal(map[string]any{"rows": groups[s]})
+		if err != nil {
+			return 0, err
+		}
+		var resp struct {
+			Seq     uint64 `json:"seq"`
+			MemRows int64  `json:"memRows"`
+		}
+		start := c.now()
+		c.requests[s].Add(1)
+		err = c.postJSONOnce(ctx, s, "/insert", body, &resp)
+		c.hists[s].Record(c.now().Sub(start))
+		if err != nil {
+			c.errors[s].Add(1)
+			return 0, err
+		}
+		c.memRows[s].Store(resp.MemRows)
+		if resp.Seq > maxSeq {
+			maxSeq = resp.Seq
+		}
+	}
+	return maxSeq, nil
+}
+
+// MemRows sums the last acknowledged per-shard memtable sizes.
+func (c *Coordinator) MemRows() int {
+	var total int64
+	for i := range c.memRows {
+		total += c.memRows[i].Load()
+	}
+	return int(total)
+}
+
+// MaintainCache is a no-op: the caches live on the shards.
+func (c *Coordinator) MaintainCache() {}
+
+// BackendStats surfaces the fan-out telemetry: per-shard request and
+// error counts, hedge count, and the fan-out latency histogram, plus
+// the summed exact per-shard page counters.
+func (c *Coordinator) BackendStats() map[string]any {
+	shards := make([]map[string]any, c.rt.NumShards())
+	for i := range shards {
+		shards[i] = map[string]any{
+			"id":       i,
+			"target":   c.targets[i],
+			"rows":     c.rt.Shards[i].Rows,
+			"requests": c.requests[i].Load(),
+			"errors":   c.errors[i].Load(),
+			"hedges":   c.hedges[i].Load(),
+			"latency":  c.hists[i].Snapshot(),
+		}
+	}
+	return map[string]any{
+		"coordinator": true,
+		"diskReads":   c.diskReads.Load(),
+		"shards":      shards,
+		"routing": map[string]any{
+			"shards":    c.rt.NumShards(),
+			"units":     len(c.rt.UnitShard),
+			"totalRows": c.rt.TotalRows,
+		},
+		"ingest": map[string]any{"memRows": c.MemRows()},
+	}
+}

@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+// TestShardDownDescriptiveError: a dead shard surfaces as an error
+// naming the shard and its URL — never as a silently truncated
+// answer.
+func TestShardDownDescriptiveError(t *testing.T) {
+	cl := startCluster(t, Config{HedgeAfter: -1})
+	const down = 1
+	cl.servers[down].Close()
+
+	stmt := mustParse(t, "SELECT objid")
+	cur, err := cl.coord.ExecStatement(context.Background(), stmt, core.PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for cur.Next() {
+	}
+	err = cur.Err()
+	if err == nil {
+		t.Fatal("cursor completed cleanly with shard 1 down")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, fmt.Sprintf("shard %d", down)) || !strings.Contains(msg, cl.targets[down]) {
+		t.Fatalf("error does not identify the dead shard: %v", err)
+	}
+}
+
+// stubRow is a syntactically valid SELECT * NDJSON row.
+const stubRow = `{"objid":%d,"u":%g,"g":15,"r":%g,"i":15,"z":15,"ra":1,"dec":1,"redshift":0,"class":"star"}` + "\n"
+
+const stubSummary = `{"summary":{"plan":"fullscan","planReason":"stub","rowsReturned":1}}` + "\n"
+
+// TestCancellationPropagates: cancelling the coordinator's context
+// reaches every in-flight shard sub-request — a stalled shard's
+// handler observes its request context cancelled, and the merge
+// cursor reports the cancellation instead of hanging.
+func TestCancellationPropagates(t *testing.T) {
+	rt, err := LoadRoutingTable(clusterDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalledCancelled := make(chan struct{})
+	var servers []*httptest.Server
+	var targets []string
+	for i := 0; i < rt.NumShards(); i++ {
+		i := i
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if i == 0 {
+				// One row, then stall until the client gives up.
+				fmt.Fprintf(w, stubRow, 1, 15.0, 15.0)
+				w.(http.Flusher).Flush()
+				<-r.Context().Done()
+				close(stalledCancelled)
+				return
+			}
+			fmt.Fprintf(w, stubRow, 100+i, 15.0, 15.0)
+			fmt.Fprint(w, stubSummary)
+		}))
+		servers = append(servers, srv)
+		targets = append(targets, srv.URL)
+	}
+	t.Cleanup(func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	})
+
+	coord, err := NewCoordinator(rt, targets, Config{HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	stmt := mustParse(t, "SELECT * ORDER BY r LIMIT 10")
+	cur, err := coord.ExecStatement(ctx, stmt, core.PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+
+	drained := make(chan error, 1)
+	go func() {
+		for cur.Next() {
+		}
+		drained <- cur.Err()
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-drained:
+		if err == nil {
+			t.Fatal("cursor completed cleanly despite cancellation mid-stream")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("merge cursor did not observe the cancellation")
+	}
+	select {
+	case <-stalledCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled shard handler never saw its request context cancelled")
+	}
+}
+
+// oneShardTable builds a minimal valid single-shard routing table for
+// stub-server tests.
+func oneShardTable(rows int64) *RoutingTable {
+	domain := vec.Box{Min: vec.Point{10, 10, 10, 10, 10}, Max: vec.Point{30, 30, 30, 30, 30}}
+	cell := vec.Box{
+		Min: vec.Point{-routingInf, -routingInf, -routingInf, -routingInf, -routingInf},
+		Max: vec.Point{routingInf, routingInf, routingInf, routingInf, routingInf},
+	}
+	return &RoutingTable{
+		Version:   1,
+		TotalRows: rows,
+		Domain:    domain,
+		UnitShard: []int{0},
+		Shards: []ShardInfo{{
+			ID: 0, Dir: ShardDir(0), Rows: rows,
+			UnitLo: 0, UnitHi: 1, Cells: []vec.Box{cell},
+		}},
+	}
+}
+
+// TestHedgeRetriesFastFailure: with hedging enabled, a shard that
+// fails one request and recovers is retried — the hedge counter
+// increments and the query still succeeds.
+func TestHedgeRetriesFastFailure(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, stubRow, 1, 15.0, 15.0)
+		fmt.Fprint(w, stubSummary)
+	}))
+	defer srv.Close()
+
+	coord, err := NewCoordinator(oneShardTable(1), []string{srv.URL}, Config{HedgeAfter: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := mustParse(t, "SELECT objid")
+	cur, err := coord.ExecStatement(context.Background(), stmt, core.PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	var rows int
+	for cur.Next() {
+		rows++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("hedged retry did not recover: %v", err)
+	}
+	if rows != 1 {
+		t.Fatalf("rows = %d, want 1", rows)
+	}
+	if got := coord.hedges[0].Load(); got != 1 {
+		t.Errorf("hedge counter = %d, want 1", got)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("shard saw %d requests, want 2 (failed primary + hedge)", got)
+	}
+}
+
+// TestInsertNeverHedges: a transient insert failure is NOT retried —
+// duplicating a write would double-apply the batch. The error
+// surfaces instead.
+func TestInsertNeverHedges(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "transient", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	coord, err := NewCoordinator(oneShardTable(1), []string{srv.URL}, Config{HedgeAfter: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := makeInsertRecords(1, 5_000_000)
+	if _, err := coord.Insert(recs); err == nil {
+		t.Fatal("insert against a failing shard reported success")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("failing insert sent %d requests, want exactly 1 (writes never hedge)", got)
+	}
+}

@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/table"
+	"repro/internal/vec"
+)
+
+// TestScatterEquivalence is the merge-layer contract: for every plan
+// path and statement shape, the coordinator's answer is identical to
+// the single store's over the same catalog. Ordered statements must
+// match row for row (byte-identical serialization); unordered ones as
+// sets (shard concatenation order is not catalog scan order); a plain
+// LIMIT without ORDER BY selects an arbitrary subset by definition,
+// so only the count is comparable.
+func TestScatterEquivalence(t *testing.T) {
+	cl := startCluster(t, Config{})
+	single := openSingle(t)
+	ctx := context.Background()
+
+	cases := []struct {
+		name, src string
+		ordered   bool
+		countOnly bool
+	}{
+		{"where-and", "SELECT objid, g, r WHERE g - r > 0.4 AND r < 18.0", false, false},
+		{"where-or-dedup", "SELECT * WHERE u - g > 0.8 OR g - r > 0.9", false, false},
+		{"where-selective", "SELECT objid WHERE r < 14.5", false, false},
+		{"wide-projection", "SELECT objid, u, g, r, i, z, ra, dec, redshift, class WHERE r < 16.0", false, false},
+		{"full-scan", "SELECT objid", false, false},
+		{"order-asc", "SELECT * ORDER BY r LIMIT 25", true, false},
+		{"order-desc", "SELECT objid, r ORDER BY r DESC LIMIT 25", true, false},
+		{"order-expr", "SELECT objid, g, r ORDER BY g - r LIMIT 30", true, false},
+		{"knn-order", "SELECT * ORDER BY dist(16.0, 15.8, 15.6, 15.5, 15.4) LIMIT 10", true, false},
+		{"limit-subset", "SELECT objid, g WHERE g - r > 0.2 AND r < 19.0 LIMIT 40", false, true},
+		{"limit-zero", "SELECT objid LIMIT 0", false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stmt := mustParse(t, tc.src)
+			curS, err := single.ExecStatement(ctx, stmt, core.PlanAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := renderRows(t, stmt, curS)
+			curC, err := cl.coord.ExecStatement(ctx, stmt, core.PlanAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderRows(t, stmt, curC)
+
+			if tc.countOnly {
+				if len(got) != len(want) {
+					t.Fatalf("row count %d, single store %d", len(got), len(want))
+				}
+				return
+			}
+			if !tc.ordered {
+				sort.Strings(want)
+				sort.Strings(got)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("row count %d, single store %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("row %d differs:\n coordinator %s\n single      %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestScatterPrunesShards: a predicate confined to one corner of
+// magnitude space skips shards the routing table proves disjoint, and
+// the answer still matches the single store.
+func TestScatterPrunesShards(t *testing.T) {
+	cl := startCluster(t, Config{})
+	single := openSingle(t)
+
+	// Walk the fixture's statements until one actually prunes (the
+	// kd split layout decides which cuts align with shard boundaries).
+	pruned := false
+	for _, src := range []string{
+		"SELECT objid WHERE u < 14.0",
+		"SELECT objid WHERE u > 26.0",
+		"SELECT objid WHERE g < 14.0",
+		"SELECT objid WHERE r < 13.5",
+	} {
+		stmt := mustParse(t, src)
+		targets := cl.rt.TargetsFor(stmt.Where.Polys)
+		if len(targets) == cl.rt.NumShards() {
+			continue
+		}
+		pruned = true
+		curS, err := single.ExecStatement(context.Background(), stmt, core.PlanAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := renderRows(t, stmt, curS)
+		curC, err := cl.coord.ExecStatement(context.Background(), stmt, core.PlanAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := renderRows(t, stmt, curC)
+		sort.Strings(want)
+		sort.Strings(got)
+		if len(got) != len(want) {
+			t.Fatalf("%s: pruned scatter returned %d rows, single store %d", src, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: row %d differs: %s vs %s", src, i, got[i], want[i])
+			}
+		}
+	}
+	if !pruned {
+		t.Error("no test predicate pruned any shard — routing-table pruning untested")
+	}
+}
+
+// TestKnnEquivalence: the coordinator's global rerank of per-shard
+// top-k lists equals the single store's exact kNN, query by query.
+func TestKnnEquivalence(t *testing.T) {
+	cl := startCluster(t, Config{})
+	single := openSingle(t)
+
+	qs := []vec.Point{
+		{16.0, 15.8, 15.6, 15.5, 15.4},
+		{20.1, 19.8, 19.5, 19.4, 19.2},
+		{14.2, 14.0, 13.9, 13.8, 13.7},
+	}
+	const k = 8
+	wantRecs, _, err := single.NearestNeighborsBatch(qs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRecs, gotReps, err := cl.coord.NearestNeighborsBatch(context.Background(), qs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if len(gotRecs[i]) != len(wantRecs[i]) {
+			t.Fatalf("query %d: %d neighbours, want %d", i, len(gotRecs[i]), len(wantRecs[i]))
+		}
+		for j := range wantRecs[i] {
+			g, w := gotRecs[i][j], wantRecs[i][j]
+			if g.ObjID != w.ObjID || g.Mags != w.Mags || g.Class != w.Class {
+				t.Fatalf("query %d neighbour %d: got %+v, want %+v", i, j, g, w)
+			}
+		}
+		if gotReps[i].RowsReturned != int64(len(wantRecs[i])) {
+			t.Errorf("query %d: report rowsReturned %d, want %d", i, gotReps[i].RowsReturned, len(wantRecs[i]))
+		}
+	}
+}
+
+// TestPhotoZEquivalence: the replicated reference set makes any
+// shard's estimator answer exactly — float64-exact — like the single
+// store's.
+func TestPhotoZEquivalence(t *testing.T) {
+	cl := startCluster(t, Config{})
+	single := openSingle(t)
+
+	qs := []vec.Point{
+		{17.0, 16.8, 16.6, 16.5, 16.4},
+		{19.4, 19.1, 18.9, 18.8, 18.6},
+	}
+	want, _, err := single.EstimateRedshiftBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hit every shard at least once (round robin) — each must answer
+	// identically.
+	for round := 0; round < fixtureShards; round++ {
+		got, rep, err := cl.coord.EstimateRedshiftBatch(context.Background(), qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d redshifts, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d query %d: z = %v, single store %v", round, i, got[i], want[i])
+			}
+		}
+		if rep.RowsReturned != int64(len(qs)) {
+			t.Errorf("round %d: rowsReturned %d, want %d", round, rep.RowsReturned, len(qs))
+		}
+	}
+}
+
+// TestSkyBoxEquivalence: the /sky fan-out returns exactly the single
+// store's rows for the same rectangular cut.
+func TestSkyBoxEquivalence(t *testing.T) {
+	cl := startCluster(t, Config{})
+	single := openSingle(t)
+	ctx := context.Background()
+
+	box := table.SkyBoxPred{RaMin: 40, RaMax: 140, DecMin: -30, DecMax: 45}
+	cols := table.ColObjID | table.ColRa | table.ColDec | table.ColClass | table.ColRedshift
+
+	collect := func(cur core.Cursor) map[int64]table.Record {
+		t.Helper()
+		defer cur.Close()
+		out := make(map[int64]table.Record)
+		for cur.Next() {
+			rec := cur.Record()
+			out[rec.ObjID] = table.Record{
+				ObjID: rec.ObjID, Ra: rec.Ra, Dec: rec.Dec,
+				Class: rec.Class, Redshift: rec.Redshift,
+			}
+		}
+		if err := cur.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	curS, err := single.QuerySkyBox(ctx, box, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collect(curS)
+	curC, err := cl.coord.QuerySkyBox(ctx, box, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(curC)
+
+	if len(got) != len(want) {
+		t.Fatalf("sky cut returned %d rows, single store %d", len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("sky cut matched no rows — fixture box too narrow to test anything")
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("row %d missing from scatter answer", id)
+		}
+		if g != w {
+			t.Fatalf("row %d differs: %+v vs %+v", id, g, w)
+		}
+	}
+}

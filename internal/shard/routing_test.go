@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// TestRoutingTableRoundTrip: the persisted table validates, survives
+// a save/load cycle unchanged, and its per-shard metadata is
+// consistent with the fixture.
+func TestRoutingTableRoundTrip(t *testing.T) {
+	rt, err := LoadRoutingTable(clusterDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumShards() != fixtureShards {
+		t.Fatalf("NumShards = %d, want %d", rt.NumShards(), fixtureShards)
+	}
+	if rt.TotalRows != int64(len(fixtureRecs)) {
+		t.Fatalf("TotalRows = %d, want %d", rt.TotalRows, len(fixtureRecs))
+	}
+	tmp := t.TempDir()
+	if err := rt.Save(tmp); err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := LoadRoutingTable(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt2.TotalRows != rt.TotalRows || rt2.NumShards() != rt.NumShards() ||
+		len(rt2.Splits) != len(rt.Splits) || len(rt2.UnitShard) != len(rt.UnitShard) {
+		t.Fatalf("round trip changed the table: %+v vs %+v", rt2, rt)
+	}
+	// No shard is empty and the balance is sane: with contiguous
+	// grouping the largest shard should stay within a small factor of
+	// the ideal share.
+	ideal := rt.TotalRows / int64(rt.NumShards())
+	for i := range rt.Shards {
+		if rt.Shards[i].Rows == 0 {
+			t.Fatalf("shard %d is empty", i)
+		}
+		if rt.Shards[i].Rows > 2*ideal {
+			t.Errorf("shard %d holds %d rows, ideal %d — partition badly unbalanced", i, rt.Shards[i].Rows, ideal)
+		}
+	}
+}
+
+// TestRouteMagsMatchesPartition: for every fixture record, the split
+// tree routes its magnitudes to the shard whose store actually holds
+// it — router and partitioner agree row by row.
+func TestRouteMagsMatchesPartition(t *testing.T) {
+	rt, err := LoadRoutingTable(clusterDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := make(map[int64]int, len(fixtureRecs))
+	for i := 0; i < rt.NumShards(); i++ {
+		db, err := core.OpenExisting(core.Config{Dir: filepath.Join(clusterDir, ShardDir(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := db.Catalog()
+		if err != nil {
+			db.Close()
+			t.Fatal(err)
+		}
+		if err := tb.Scan(func(_ table.RowID, rec *table.Record) bool {
+			owner[rec.ObjID] = i
+			return true
+		}); err != nil {
+			db.Close()
+			t.Fatal(err)
+		}
+		db.Close()
+	}
+	if len(owner) != len(fixtureRecs) {
+		t.Fatalf("shards hold %d distinct rows, want %d", len(owner), len(fixtureRecs))
+	}
+	m := make([]float64, 5)
+	for i := range fixtureRecs {
+		rec := &fixtureRecs[i]
+		for d := 0; d < 5; d++ {
+			m[d] = float64(rec.Mags[d])
+		}
+		if got, want := rt.RouteMags(m), owner[rec.ObjID]; got != want {
+			t.Fatalf("row %d: RouteMags says shard %d, store %d holds it", rec.ObjID, got, want)
+		}
+	}
+}

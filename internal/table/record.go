@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/vec"
 )
@@ -46,6 +47,17 @@ func (c Class) String() string {
 		return "outlier"
 	}
 	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// ParseClass resolves a class name case-insensitively, the inverse of
+// Class.String. The second return is false for unknown names.
+func ParseClass(s string) (Class, bool) {
+	for c := Star; c < NumClasses; c++ {
+		if strings.EqualFold(s, c.String()) {
+			return c, true
+		}
+	}
+	return 0, false
 }
 
 // Record is one row of the magnitude table.

@@ -143,7 +143,7 @@ func TestRepeatedStatementEstimatedOnce(t *testing.T) {
 			t.Fatalf("request %d: status %d: %s", i, w.Code, w.Body)
 		}
 	}
-	plan := s.db.Cache().StatsFor("plan")
+	plan := s.coreDB().Cache().StatsFor("plan")
 	if plan.PlanBuilds != 1 {
 		t.Errorf("plan builds = %d after %d identical requests, want 1", plan.PlanBuilds, n)
 	}

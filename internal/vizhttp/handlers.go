@@ -437,7 +437,7 @@ func (s *Server) handleKnn(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	recs, reports, err := s.db.NearestNeighborsBatch(qs, in.K)
+	recs, reports, err := s.db.NearestNeighborsBatch(r.Context(), qs, in.K)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -531,7 +531,7 @@ func (s *Server) handlePhotoz(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	zs, rep, err := s.db.EstimateRedshiftBatch(qs)
+	zs, rep, err := s.db.EstimateRedshiftBatch(r.Context(), qs)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

@@ -135,16 +135,11 @@ func (row *insertRowJSON) toRecord() (table.Record, error) {
 		rec.HasZ = true
 	}
 	if row.Class != "" {
-		found := false
-		for c := table.Star; c < table.NumClasses; c++ {
-			if strings.EqualFold(row.Class, c.String()) {
-				rec.Class, found = c, true
-				break
-			}
-		}
-		if !found {
+		c, ok := table.ParseClass(row.Class)
+		if !ok {
 			return rec, fmt.Errorf("unknown class %q", row.Class)
 		}
+		rec.Class = c
 	}
 	return rec, nil
 }

@@ -162,7 +162,7 @@ func TestKnnAndPhotozShed429(t *testing.T) {
 }
 
 // pinned returns the buffer pool's currently pinned frame count.
-func pinned(s *Server) int { return s.db.Engine().Store().PinnedPages() }
+func pinned(s *Server) int { return s.coreDB().Engine().Store().PinnedPages() }
 
 // TestNoPinLeaksOnErrorPaths drives every rejection, error and
 // cancellation path of the cost-aware endpoints and asserts, via the

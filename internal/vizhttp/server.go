@@ -24,7 +24,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/planner"
 	"repro/internal/qos"
 )
 
@@ -57,7 +56,7 @@ type Config struct {
 // SpatialDB. All counters are atomics: /stats snapshots them without
 // taking any lock that handlers contend on.
 type Server struct {
-	db  *core.SpatialDB
+	db  Backend
 	cfg Config
 
 	// Cumulative serving counters, all atomic (the /stats snapshot
@@ -94,8 +93,15 @@ type Server struct {
 // shedding writes never blocks reads and vice versa.
 var limitedEndpoints = []string{"points", "render", "query", "knn", "photoz", "insert", "sky"}
 
-// New assembles a Server over db. See Config for the QoS defaults.
+// New assembles a Server over a single-store db. See Config for the
+// QoS defaults.
 func New(db *core.SpatialDB, cfg Config) *Server {
+	return NewBackend(CoreBackend(db), cfg)
+}
+
+// NewBackend assembles a Server over any Backend — the shard
+// coordinator mounts the same handlers this way.
+func NewBackend(db Backend, cfg Config) *Server {
 	if cfg.MaxConcurrent == 0 {
 		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
 	}
@@ -106,7 +112,7 @@ func New(db *core.SpatialDB, cfg Config) *Server {
 		cfg.QueueTimeout = 2 * time.Second
 	}
 	if cfg.ExpensiveCost == 0 {
-		cfg.ExpensiveCost = defaultExpensiveCost(db)
+		cfg.ExpensiveCost = db.DefaultExpensiveCost()
 	}
 	if cfg.StreamWriteTimeout == 0 {
 		cfg.StreamWriteTimeout = 30 * time.Second
@@ -122,23 +128,6 @@ func New(db *core.SpatialDB, cfg Config) *Server {
 		})
 	}
 	return s
-}
-
-// defaultExpensiveCost prices "expensive" relative to the loaded
-// catalog: eight full sequential scans. Every sane T1–T5 request
-// prices far below it; a 10k-point k=1000 kNN batch prices far above.
-// Falls back to a large constant when no catalog is loaded yet.
-func defaultExpensiveCost(db *core.SpatialDB) float64 {
-	pl, err := db.Planner()
-	if err != nil {
-		return 1 << 20
-	}
-	m := planner.DefaultCostModel()
-	full := float64(pl.Catalog.NumPages())*m.SeqPage + float64(pl.Catalog.NumRows())*m.Row
-	if full <= 0 {
-		return 1 << 20
-	}
-	return 8 * full
 }
 
 // Limiter exposes the endpoint's admission controller ("points",
@@ -188,32 +177,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// pool-pressure budget so a pinned-up pool sheds cached bytes even
 	// when no new inserts arrive.
 	s.db.MaintainCache()
-	pages := s.db.Engine().Store().Stats()
-	pz := s.db.PhotoZStats()
 	qosStats := make(map[string]qos.Counters, len(s.limiters))
 	for name, l := range s.limiters {
 		qosStats[name] = l.Counters()
 	}
+	// Backend-specific keys first (single store: diskReads, poolHits,
+	// qcache, ingest, …; coordinator: per-shard fan-out stats), then
+	// the server's own serving counters on top.
+	out := s.db.BackendStats()
+	for k, v := range map[string]any{
+		"requests":          s.requests.Load(),
+		"pointsReturned":    s.returned.Load(),
+		"knnQueries":        s.knnQueries.Load(),
+		"knnLeavesExamined": s.knnLeaves.Load(),
+		"knnRowsExamined":   s.knnRows.Load(),
+		"zonePagesSkipped":  s.zonePagesSkipped.Load(),
+		"zonePagesScanned":  s.zonePagesScanned.Load(),
+		"zoneStripsDecoded": s.zoneStripsDecoded.Load(),
+		"cacheServed":       s.cacheServed.Load(),
+		"qos":               qosStats,
+		"inserts":           s.inserts.Load(),
+		"insertedRows":      s.insertedRows.Load(),
+	} {
+		out[k] = v
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"requests":           s.requests.Load(),
-		"pointsReturned":     s.returned.Load(),
-		"diskReads":          pages.DiskReads,
-		"poolHits":           pages.Hits,
-		"pinnedPages":        s.db.Engine().Store().PinnedPages(),
-		"knnQueries":         s.knnQueries.Load(),
-		"knnLeavesExamined":  s.knnLeaves.Load(),
-		"knnRowsExamined":    s.knnRows.Load(),
-		"zonePagesSkipped":   s.zonePagesSkipped.Load(),
-		"zonePagesScanned":   s.zonePagesScanned.Load(),
-		"zoneStripsDecoded":  s.zoneStripsDecoded.Load(),
-		"photozEstimates":    pz.Estimates,
-		"photozFitFallbacks": pz.FitFallbacks,
-		"cacheServed":        s.cacheServed.Load(),
-		"qcache":             s.db.CacheStatsSnapshot(),
-		"qos":                qosStats,
-		"inserts":            s.inserts.Load(),
-		"insertedRows":       s.insertedRows.Load(),
-		"ingest":             s.db.IngestStatsSnapshot(),
-	})
+	json.NewEncoder(w).Encode(out)
 }
